@@ -1,0 +1,266 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "baselines/forest.hpp"
+#include "baselines/gaussian_process.hpp"
+#include "baselines/global_models.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/mars.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/sparse_grid.hpp"
+#include "baselines/svr.hpp"
+#include "core/cpr_model.hpp"
+
+namespace cpr::bench {
+
+common::FeatureTransform transform_for(const apps::BenchmarkApp& app) {
+  const auto& params = app.parameters();
+  common::FeatureTransform transform;
+  transform.log_target = true;
+  transform.log_feature.resize(params.size());
+  for (std::size_t j = 0; j < params.size(); ++j) {
+    transform.log_feature[j] = params[j].kind == grid::ParameterKind::NumericalLog;
+  }
+  return transform;
+}
+
+common::RegressorPtr wrapped(const apps::BenchmarkApp& app, common::RegressorPtr inner) {
+  return std::make_unique<common::LogSpaceRegressor>(std::move(inner), transform_for(app));
+}
+
+std::vector<ModelCandidate> cpr_candidates(const apps::BenchmarkApp& app, SweepScale scale) {
+  // Paper: grid-cell counts 4 -> 256 per dimension, CP ranks 1 -> 64,
+  // lambda 1e-6 -> 1e-3. High-order apps cap cells to keep the
+  // cell-count product sane (the paper likewise uses smaller per-dim
+  // granularity for the 6-12 parameter apps).
+  std::vector<std::size_t> cells =
+      scale == SweepScale::Full ? std::vector<std::size_t>{4, 8, 16, 32, 64}
+                                : std::vector<std::size_t>{4, 8, 16};
+  if (app.dimensions() >= 6) {
+    cells = scale == SweepScale::Full ? std::vector<std::size_t>{3, 5, 8}
+                                      : std::vector<std::size_t>{5, 8};
+  }
+  const std::vector<std::size_t> ranks = scale == SweepScale::Full
+                                             ? std::vector<std::size_t>{1, 2, 4, 8, 16, 32}
+                                             : std::vector<std::size_t>{2, 4, 8};
+  const std::vector<double> lambdas = scale == SweepScale::Full
+                                          ? std::vector<double>{1e-6, 1e-5, 1e-4, 1e-3}
+                                          : std::vector<double>{1e-5, 1e-4};
+
+  std::vector<ModelCandidate> out;
+  const auto specs = app.parameters();
+  for (const auto cell_count : cells) {
+    for (const auto rank : ranks) {
+      for (const double lambda : lambdas) {
+        ModelCandidate candidate;
+        candidate.family = "CPR";
+        candidate.config = "cells=" + std::to_string(cell_count) +
+                           ",rank=" + std::to_string(rank) +
+                           ",lam=" + Table::fmt(lambda, 0);
+        candidate.make = [specs, cell_count, rank, lambda] {
+          core::CprOptions options;
+          options.rank = rank;
+          options.regularization = lambda;
+          return std::make_unique<core::CprModel>(
+              grid::Discretization(specs, cell_count), options);
+        };
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ModelCandidate> baseline_candidates(const apps::BenchmarkApp& app,
+                                                SweepScale scale) {
+  std::vector<ModelCandidate> out;
+  const bool full = scale == SweepScale::Full;
+  const apps::BenchmarkApp* app_ptr = &app;
+
+  const auto add = [&](const std::string& family, const std::string& config,
+                       std::function<common::RegressorPtr()> make_inner) {
+    out.push_back(ModelCandidate{
+        family, config, [app_ptr, make_inner = std::move(make_inner)] {
+          return wrapped(*app_ptr, make_inner());
+        }});
+  };
+
+  // SGR: discretization levels 2 -> 8, refinements, lambdas (Section 6.0.4).
+  // Levels above 5 explode combinatorially for d >= 6; cap like SG++ would.
+  const std::size_t max_level = app.dimensions() >= 6 ? (full ? 4u : 3u) : (full ? 6u : 4u);
+  for (std::size_t level = 2; level <= max_level; ++level) {
+    for (const int refinements : full ? std::vector<int>{0, 4, 8} : std::vector<int>{0, 4}) {
+      for (const double lambda : full ? std::vector<double>{1e-6, 1e-4}
+                                      : std::vector<double>{1e-5}) {
+        add("SGR",
+            "level=" + std::to_string(level) + ",ref=" + std::to_string(refinements),
+            [level, refinements, lambda] {
+              baselines::SgrOptions options;
+              options.level = level;
+              options.refinements = refinements;
+              options.refine_points = 8;
+              options.regularization = lambda;
+              return std::make_unique<baselines::SparseGridRegressor>(options);
+            });
+      }
+    }
+  }
+
+  // MARS: max spline degrees 1 -> 6 (interaction order).
+  for (const int degree : full ? std::vector<int>{1, 2, 3, 4} : std::vector<int>{1, 2}) {
+    add("MARS", "degree=" + std::to_string(degree), [degree] {
+      baselines::MarsOptions options;
+      options.max_degree = degree;
+      options.max_terms = 21;
+      return std::make_unique<baselines::Mars>(options);
+    });
+  }
+
+  // KNN: 1 -> 6 neighbors.
+  for (const std::size_t k : full ? std::vector<std::size_t>{1, 2, 3, 4, 5, 6}
+                                  : std::vector<std::size_t>{1, 3, 6}) {
+    add("KNN", "k=" + std::to_string(k), [k] {
+      return std::make_unique<baselines::KnnRegressor>(baselines::KnnOptions{k, true});
+    });
+  }
+
+  // Recursive partitioning: tree counts 1 -> 64, depths 2 -> 16.
+  const auto tree_counts = full ? std::vector<std::size_t>{8, 16, 64}
+                                : std::vector<std::size_t>{16};
+  const auto depths = full ? std::vector<int>{4, 8, 16} : std::vector<int>{8, 16};
+  for (const auto trees : tree_counts) {
+    for (const int depth : depths) {
+      const std::string config =
+          "trees=" + std::to_string(trees) + ",depth=" + std::to_string(depth);
+      add("RF", config, [trees, depth] {
+        baselines::ForestOptions options;
+        options.n_trees = trees;
+        options.max_depth = depth;
+        return std::make_unique<baselines::RandomForestRegressor>(options);
+      });
+      add("ET", config, [trees, depth] {
+        baselines::ForestOptions options;
+        options.n_trees = trees;
+        options.max_depth = depth;
+        return std::make_unique<baselines::ExtraTreesRegressor>(options);
+      });
+      add("GB", config, [trees, depth] {
+        baselines::BoostingOptions options;
+        options.n_trees = trees;
+        options.max_depth = std::min(depth, 6);
+        return std::make_unique<baselines::GradientBoostingRegressor>(options);
+      });
+    }
+  }
+
+  // GP: the paper's five covariance kernels.
+  const std::vector<std::pair<baselines::GpKernel, std::string>> kernels = {
+      {baselines::GpKernel::RationalQuadratic, "RationalQuadratic"},
+      {baselines::GpKernel::Rbf, "RBF"},
+      {baselines::GpKernel::DotProductWhite, "DotProduct+White"},
+      {baselines::GpKernel::Matern, "Matern"},
+      {baselines::GpKernel::Constant, "Constant"},
+  };
+  for (const auto& [kernel, kernel_name] : kernels) {
+    add("GP", "kernel=" + kernel_name, [kernel, full] {
+      baselines::GpOptions options;
+      options.kernel = kernel;
+      options.max_samples = full ? 2048 : 1024;
+      return std::make_unique<baselines::GaussianProcess>(options);
+    });
+  }
+
+  // SVM: {poly, rbf} kernels, polynomial degrees 1 -> 3.
+  add("SVM", "kernel=rbf", [full] {
+    baselines::SvrOptions options;
+    options.kernel = baselines::SvrKernel::Rbf;
+    options.max_samples = full ? 2048 : 1024;
+    return std::make_unique<baselines::Svr>(options);
+  });
+  for (const int degree : full ? std::vector<int>{1, 2, 3} : std::vector<int>{2}) {
+    add("SVM", "kernel=poly,degree=" + std::to_string(degree), [degree, full] {
+      baselines::SvrOptions options;
+      options.kernel = baselines::SvrKernel::Poly;
+      options.poly_degree = degree;
+      options.max_samples = full ? 2048 : 1024;
+      return std::make_unique<baselines::Svr>(options);
+    });
+  }
+
+  // NN: 1 -> 8 hidden layers of 2 -> 2048 units, {relu, tanh}.
+  struct MlpArch {
+    std::vector<std::size_t> layers;
+    std::string name;
+  };
+  const std::vector<MlpArch> archs =
+      full ? std::vector<MlpArch>{{{64}, "64"},
+                                  {{256}, "256"},
+                                  {{64, 64}, "64x2"},
+                                  {{256, 256}, "256x2"},
+                                  {{128, 128, 128}, "128x3"}}
+           : std::vector<MlpArch>{{{32}, "32"}, {{64, 64}, "64x2"}};
+  for (const auto& arch : archs) {
+    for (const auto activation : {baselines::Activation::Relu, baselines::Activation::Tanh}) {
+      const std::string act_name =
+          activation == baselines::Activation::Relu ? "relu" : "tanh";
+      add("NN", "arch=" + arch.name + ",act=" + act_name, [arch, activation, full] {
+        baselines::MlpOptions options;
+        options.hidden_layers = arch.layers;
+        options.activation = activation;
+        options.epochs = full ? 200 : 80;
+        return std::make_unique<baselines::Mlp>(options);
+      });
+    }
+  }
+
+  return out;
+}
+
+FitScore fit_and_score(const ModelCandidate& candidate, const common::Dataset& train,
+                       const common::Dataset& test) {
+  auto model = candidate.make();
+  Stopwatch watch;
+  model->fit(train);
+  FitScore score;
+  score.seconds = watch.seconds();
+  score.mlogq = common::evaluate_mlogq(*model, test);
+  score.bytes = model->model_size_bytes();
+  return score;
+}
+
+BestScore best_over(const std::vector<ModelCandidate>& candidates,
+                    const common::Dataset& train, const common::Dataset& test,
+                    double time_budget_seconds) {
+  BestScore best;
+  best.score.mlogq = std::numeric_limits<double>::infinity();
+  Stopwatch budget;
+  for (const auto& candidate : candidates) {
+    if (budget.seconds() > time_budget_seconds) break;
+    const FitScore score = fit_and_score(candidate, train, test);
+    if (score.mlogq < best.score.mlogq) {
+      best.score = score;
+      best.config = candidate.config;
+    }
+  }
+  return best;
+}
+
+void emit(const Table& table, const CliArgs& args, const std::string& default_csv_name) {
+  table.print(std::cout);
+  if (args.has("csv")) {
+    const std::string path = args.get_string("csv", default_csv_name);
+    table.write_csv(path.empty() ? default_csv_name : path);
+    std::cout << "csv written to " << (path.empty() ? default_csv_name : path) << "\n";
+  }
+}
+
+std::unique_ptr<apps::BenchmarkApp> app_by_name(const std::string& name) {
+  for (auto& app : apps::make_all_apps()) {
+    if (app->name() == name) return std::move(app);
+  }
+  CPR_CHECK_MSG(false, "unknown app '" << name << "'");
+  return nullptr;
+}
+
+}  // namespace cpr::bench

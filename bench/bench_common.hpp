@@ -1,0 +1,78 @@
+#pragma once
+// Shared infrastructure for the figure/table reproduction benches:
+// the model zoo (every family of Section 6.0.4 with its hyper-parameter
+// sweep), the Section-6.0.4 feature transform, and fit/score helpers.
+//
+// Every bench accepts:
+//   --full        paper-scale sweeps (default runs are scaled down so the
+//                 whole bench suite finishes in minutes)
+//   --csv=<path>  additionally write the printed table as CSV
+//   --seed=<n>    dataset seed (default 1)
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark_app.hpp"
+#include "common/evaluation.hpp"
+#include "common/regressor.hpp"
+#include "common/transform.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace cpr::bench {
+
+/// One configured model in a hyper-parameter sweep.
+struct ModelCandidate {
+  std::string family;   ///< "CPR", "SGR", "NN", ...
+  std::string config;   ///< human-readable hyper-parameter string
+  std::function<common::RegressorPtr()> make;
+};
+
+/// Sweep sizes: Small keeps the default bench suite fast; Full approximates
+/// the paper's exhaustive grids (Section 6.0.4).
+enum class SweepScale { Small, Full };
+
+/// The Section-6.0.4 transform: log-transform execution times and the
+/// log-sampled (input/architectural) parameters; leave uniform-sampled
+/// configuration parameters and categorical indices linear.
+common::FeatureTransform transform_for(const apps::BenchmarkApp& app);
+
+/// Wraps a baseline in the Section-6.0.4 transform.
+common::RegressorPtr wrapped(const apps::BenchmarkApp& app, common::RegressorPtr inner);
+
+/// CPR (our method) candidates: cells x rank x lambda.
+std::vector<ModelCandidate> cpr_candidates(const apps::BenchmarkApp& app, SweepScale scale);
+
+/// All alternative-model candidates (SGR, MARS, KNN, RF, GB, ET, GP, SVM, NN).
+std::vector<ModelCandidate> baseline_candidates(const apps::BenchmarkApp& app,
+                                                SweepScale scale);
+
+/// Fit + MLogQ on the test set; returns (error, fit_seconds, model_bytes).
+struct FitScore {
+  double mlogq = 0.0;
+  double seconds = 0.0;
+  std::size_t bytes = 0;
+};
+FitScore fit_and_score(const ModelCandidate& candidate, const common::Dataset& train,
+                       const common::Dataset& test);
+
+/// Best (minimum-error) score across a candidate list — the paper's
+/// "minimum error achieved by exhaustively exploring hyper-parameters".
+struct BestScore {
+  FitScore score;
+  std::string config;
+};
+BestScore best_over(const std::vector<ModelCandidate>& candidates,
+                    const common::Dataset& train, const common::Dataset& test,
+                    double time_budget_seconds = 1e9);
+
+/// Prints the table and optionally writes CSV per --csv.
+void emit(const Table& table, const CliArgs& args, const std::string& default_csv_name);
+
+/// Returns the app with the given short name ("MM", "QR", ...).
+std::unique_ptr<apps::BenchmarkApp> app_by_name(const std::string& name);
+
+}  // namespace cpr::bench

@@ -1,0 +1,82 @@
+// Extension bench: online CPR updates vs full refits — the paper's closing
+// future-work item on streaming settings.
+//
+// A stream of observations arrives in batches; after each batch we compare
+//   full refit      cold ALS from scratch on all data so far
+//   warm refresh    OnlineCprModel: incremental cell statistics + a few
+//                   warm-started ALS sweeps
+// on test error and cumulative fit time. Expected shape: warm refreshes
+// track the full-refit accuracy at a fraction of the cost.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/cpr_model.hpp"
+#include "core/online_cpr.hpp"
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool full = args.has("full");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::cout << "== Extension: warm online refreshes vs full refits ==\n";
+
+  Table table({"app", "observations", "model", "MLogQ", "cumulative fit s"});
+  for (const std::string app_name : full ? std::vector<std::string>{"MM", "BC", "AMG"}
+                                         : std::vector<std::string>{"MM", "BC"}) {
+    const auto app = bench::app_by_name(app_name);
+    const bool high_dim = app->dimensions() >= 6;
+    const std::size_t cells = high_dim ? 8 : 12;
+    const std::size_t rank = high_dim ? 8 : 6;
+    const grid::Discretization disc(app->parameters(), cells);
+    const auto test = app->generate_dataset(full ? 1024 : 384, seed + 1);
+    const std::size_t total = full ? 32768 : 8192;
+    const auto stream = app->generate_dataset(total, seed);
+
+    core::OnlineCprOptions online_options;
+    online_options.rank = rank;
+    online_options.refresh_interval = 1u << 30;  // manual refreshes below
+    core::OnlineCprModel online(disc, online_options);
+    double online_seconds = 0.0, refit_seconds = 0.0;
+
+    std::size_t cursor = 0;
+    for (std::size_t checkpoint = total / 8; checkpoint <= total; checkpoint *= 2) {
+      for (; cursor < checkpoint; ++cursor) {
+        online.observe(stream.config(cursor), stream.y[cursor]);
+      }
+      {
+        Stopwatch watch;
+        online.refresh();
+        online_seconds += watch.seconds();
+        table.add_row({app_name, Table::fmt(checkpoint), "warm refresh",
+                       Table::fmt(common::evaluate_mlogq(online, test), 4),
+                       Table::fmt(online_seconds, 2)});
+      }
+      {
+        core::CprOptions options;
+        options.rank = rank;
+        core::CprModel refit(disc, options);
+        common::Dataset so_far;
+        so_far.x = linalg::Matrix(checkpoint, app->dimensions());
+        so_far.y.assign(stream.y.begin(),
+                        stream.y.begin() + static_cast<std::ptrdiff_t>(checkpoint));
+        for (std::size_t i = 0; i < checkpoint; ++i) {
+          for (std::size_t j = 0; j < app->dimensions(); ++j) {
+            so_far.x(i, j) = stream.x(i, j);
+          }
+        }
+        Stopwatch watch;
+        refit.fit(so_far);
+        refit_seconds += watch.seconds();
+        table.add_row({app_name, Table::fmt(checkpoint), "full refit",
+                       Table::fmt(common::evaluate_mlogq(refit, test), 4),
+                       Table::fmt(refit_seconds, 2)});
+      }
+    }
+  }
+
+  bench::emit(table, args, "ext_online_updates.csv");
+  return 0;
+}

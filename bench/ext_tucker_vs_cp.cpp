@@ -1,0 +1,75 @@
+// Extension bench: CP vs Tucker vs the uncompressed regular grid.
+//
+// The paper leaves alternative tensor factorizations to future work
+// (Section 4.1); this bench quantifies the trade-off on our benchmarks.
+// Tucker's core couples the modes (capturing cross-mode interactions CP
+// needs extra rank for) at the cost of a prod_j R_j core — which explodes
+// with order, so CP's accuracy-per-byte advantage grows with the number of
+// parameters. The dense GridInterpolator anchors the uncompressed extreme.
+
+#include <cmath>
+#include <iostream>
+
+#include "baselines/grid_interpolator.hpp"
+#include "bench_common.hpp"
+#include "core/cpr_model.hpp"
+#include "core/tucker_perf_model.hpp"
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool full = args.has("full");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::size_t train_size = full ? 16384 : 4096;
+  const std::size_t test_size = full ? 1024 : 512;
+
+  std::cout << "== Extension: CP vs Tucker vs uncompressed grid ==\n";
+
+  Table table({"app", "model", "config", "MLogQ", "model bytes", "fit s"});
+  for (const std::string app_name :
+       full ? std::vector<std::string>{"MM", "QR", "BC", "FMM", "AMG", "KRIPKE"}
+            : std::vector<std::string>{"MM", "BC", "FMM", "AMG"}) {
+    const auto app = bench::app_by_name(app_name);
+    const auto train = app->generate_dataset(train_size, seed);
+    const auto test = app->generate_dataset(test_size, seed + 1);
+    const bool high_dim = app->dimensions() >= 6;
+    const std::size_t cells = high_dim ? 6 : 12;
+    const grid::Discretization disc(app->parameters(), cells);
+
+    const auto record = [&](const std::string& model_name, const std::string& config,
+                            common::Regressor& model) {
+      Stopwatch watch;
+      model.fit(train);
+      table.add_row({app_name, model_name, config,
+                     Table::fmt(common::evaluate_mlogq(model, test), 4),
+                     Table::fmt(model.model_size_bytes()),
+                     Table::fmt(watch.seconds(), 2)});
+    };
+
+    for (const std::size_t rank : {4u, 8u}) {
+      core::CprOptions options;
+      options.rank = rank;
+      core::CprModel model(disc, options);
+      record("CP", "rank=" + std::to_string(rank), model);
+    }
+    for (const std::size_t mode_rank : {2u, 3u}) {
+      // Tucker core grows as mode_rank^order: keep within the solver cap.
+      if (std::pow(static_cast<double>(mode_rank),
+                   static_cast<double>(app->dimensions())) > 4096.0) {
+        continue;
+      }
+      core::TuckerPerfOptions options;
+      options.mode_rank = mode_rank;
+      core::TuckerPerfModel model(disc, options);
+      record("Tucker", "R_j=" + std::to_string(mode_rank), model);
+    }
+    {
+      baselines::GridInterpolator model(disc);
+      record("GRID", "cells=" + std::to_string(cells), model);
+    }
+  }
+
+  bench::emit(table, args, "ext_tucker_vs_cp.csv");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 4 reproduction: accuracy under model refinement — CP rank for CPR
+// (at fixed cell counts C_k) vs sparse-grid refinement rounds for SGR (at
+// fixed levels L_k). The paper's takeaway: raising CP rank is the most
+// effective refinement mechanism among piecewise/grid-based models; SGR's
+// surplus-based grid refinement cannot catch up even after many rounds.
+
+#include <iostream>
+
+#include "baselines/sparse_grid.hpp"
+#include "bench_common.hpp"
+#include "core/cpr_model.hpp"
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool full = args.has("full");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  struct Panel {
+    std::string app;
+    std::size_t train_size;
+    std::vector<std::size_t> cpr_cells;  ///< the C_k lines
+    std::vector<std::size_t> sgr_levels; ///< the L_k lines
+  };
+  const std::vector<Panel> panels = full
+      ? std::vector<Panel>{{"MM", 65536, {16, 64}, {3, 5}},
+                           {"QR", 32768, {16, 64}, {3, 5}},
+                           {"FMM", 32768, {4, 8}, {2, 3}},
+                           {"AMG", 16384, {4, 6}, {2, 3}},
+                           {"KRIPKE", 16384, {4, 6}, {2, 3}}}
+      : std::vector<Panel>{{"MM", 8192, {8, 32}, {3, 4}},
+                           {"BC", 8192, {8, 16}, {3, 4}},
+                           {"FMM", 4096, {4, 8}, {2, 3}}};
+  const std::size_t test_size = full ? 2048 : 512;
+
+  std::cout << "== Figure 4: refinement — CP rank (CPR) vs grid refinement (SGR) ==\n";
+
+  Table table({"app", "model", "line", "refinement", "MLogQ", "model bytes", "fit s"});
+  for (const auto& panel : panels) {
+    const auto app = bench::app_by_name(panel.app);
+    const auto train = app->generate_dataset(panel.train_size, seed);
+    const auto test = app->generate_dataset(test_size, seed + 1);
+
+    for (const auto cells : panel.cpr_cells) {
+      for (const std::size_t rank : full ? std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64}
+                                         : std::vector<std::size_t>{1, 2, 4, 8, 16}) {
+        core::CprOptions options;
+        options.rank = rank;
+        core::CprModel model(grid::Discretization(app->parameters(), cells), options);
+        Stopwatch watch;
+        model.fit(train);
+        table.add_row({panel.app, "CPR", "C" + std::to_string(cells),
+                       "rank=" + std::to_string(rank),
+                       Table::fmt(common::evaluate_mlogq(model, test), 4),
+                       Table::fmt(model.model_size_bytes()),
+                       Table::fmt(watch.seconds(), 2)});
+      }
+    }
+
+    for (const auto level : panel.sgr_levels) {
+      for (const int refinements : full ? std::vector<int>{0, 1, 2, 4, 8, 16}
+                                        : std::vector<int>{0, 2, 4, 8}) {
+        baselines::SgrOptions options;
+        options.level = level;
+        options.refinements = refinements;
+        options.refine_points = full ? 16 : 8;
+        auto inner = std::make_unique<baselines::SparseGridRegressor>(options);
+        auto* sgr = inner.get();
+        auto model = bench::wrapped(*app, std::move(inner));
+        Stopwatch watch;
+        model->fit(train);
+        table.add_row({panel.app, "SGR", "L" + std::to_string(level),
+                       "refs=" + std::to_string(refinements) +
+                           " (pts=" + std::to_string(sgr->grid_point_count()) + ")",
+                       Table::fmt(common::evaluate_mlogq(*model, test), 4),
+                       Table::fmt(model->model_size_bytes()),
+                       Table::fmt(watch.seconds(), 2)});
+      }
+    }
+  }
+
+  bench::emit(table, args, "fig4_refinement.csv");
+  return 0;
+}

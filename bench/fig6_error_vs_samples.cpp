@@ -1,0 +1,60 @@
+// Figure 6 reproduction: prediction error (MLogQ) vs training-set size for
+// the grid-based models and the alternative supervised-learning families.
+// Each data point is the minimum error over that family's hyper-parameter
+// sweep (Section 6.0.4); models taking >= 1000 s to optimize are dropped,
+// as in the paper. SVM, RF, GB are evaluated but reported separately by the
+// paper because GP/ET dominate them; we print them all.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool full = args.has("full");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto scale = full ? bench::SweepScale::Full : bench::SweepScale::Small;
+
+  const std::vector<std::string> panel_apps =
+      full ? std::vector<std::string>{"MM", "QR", "BC", "FMM", "AMG", "KRIPKE"}
+           : std::vector<std::string>{"MM", "BC", "AMG"};
+  const std::vector<std::size_t> train_sizes =
+      full ? std::vector<std::size_t>{512, 2048, 8192, 32768}
+           : std::vector<std::size_t>{256, 1024, 4096};
+  const std::size_t test_size = full ? 2048 : 512;
+  const double per_family_budget = full ? 1000.0 : 60.0;
+
+  std::cout << "== Figure 6: error vs training-set size (all model families) ==\n"
+            << "(minimum MLogQ over each family's hyper-parameter sweep)\n";
+
+  Table table({"app", "train", "family", "best config", "MLogQ", "fit s"});
+  for (const auto& app_name : panel_apps) {
+    const auto app = bench::app_by_name(app_name);
+    const auto test = app->generate_dataset(test_size, seed + 1);
+
+    // Group candidates by family once.
+    std::map<std::string, std::vector<bench::ModelCandidate>> families;
+    for (auto& candidate : bench::cpr_candidates(*app, scale)) {
+      families[candidate.family].push_back(std::move(candidate));
+    }
+    for (auto& candidate : bench::baseline_candidates(*app, scale)) {
+      families[candidate.family].push_back(std::move(candidate));
+    }
+
+    for (const auto train_size : train_sizes) {
+      const auto train = app->generate_dataset(train_size, seed);
+      for (const auto& [family, candidates] : families) {
+        const auto best = bench::best_over(candidates, train, test, per_family_budget);
+        table.add_row({app_name, Table::fmt(train_size), family, best.config,
+                       Table::fmt(best.score.mlogq, 4),
+                       Table::fmt(best.score.seconds, 2)});
+      }
+    }
+  }
+
+  bench::emit(table, args, "fig6_error_vs_samples.csv");
+  return 0;
+}

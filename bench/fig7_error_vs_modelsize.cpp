@@ -1,0 +1,75 @@
+// Figure 7 reproduction: prediction error vs model size (bytes of persisted
+// fitted parameters). All families are trained on the same sample count
+// (paper: 8192) and every hyper-parameter configuration contributes one
+// (size, error) point; the paper drops models above 10 MB. CPR's claim:
+// highest accuracy relative to model size, increasingly so in higher
+// dimensions (KNN/GP must store the training set; NN needs ~50x more bytes
+// at comparable accuracy).
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool full = args.has("full");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto scale = full ? bench::SweepScale::Full : bench::SweepScale::Small;
+
+  const std::vector<std::string> panel_apps =
+      full ? std::vector<std::string>{"MM", "QR", "BC", "FMM", "AMG", "KRIPKE"}
+           : std::vector<std::string>{"MM", "FMM", "AMG"};
+  const std::size_t train_size = full ? 8192 : 4096;
+  const std::size_t test_size = full ? 2048 : 512;
+  constexpr std::size_t kMaxBytes = 10u << 20;  // paper's 10 MB cutoff
+
+  std::cout << "== Figure 7: error vs model size (train = " << train_size << ") ==\n";
+
+  Table table({"app", "family", "config", "bytes", "MLogQ"});
+  Table frontier({"app", "family", "best MLogQ", "bytes at best", "min bytes within 2x"});
+  for (const auto& app_name : panel_apps) {
+    const auto app = bench::app_by_name(app_name);
+    const auto train = app->generate_dataset(train_size, seed);
+    const auto test = app->generate_dataset(test_size, seed + 1);
+
+    std::vector<bench::ModelCandidate> candidates = bench::cpr_candidates(*app, scale);
+    for (auto& candidate : bench::baseline_candidates(*app, scale)) {
+      candidates.push_back(std::move(candidate));
+    }
+
+    std::map<std::string, std::vector<std::pair<std::size_t, double>>> family_points;
+    for (const auto& candidate : candidates) {
+      const auto score = bench::fit_and_score(candidate, train, test);
+      if (score.bytes >= kMaxBytes) continue;
+      if (score.seconds >= (full ? 1000.0 : 120.0)) continue;
+      family_points[candidate.family].emplace_back(score.bytes, score.mlogq);
+      table.add_row({app_name, candidate.family, candidate.config,
+                     Table::fmt(score.bytes), Table::fmt(score.mlogq, 4)});
+    }
+
+    for (const auto& [family, points] : family_points) {
+      double best_error = 1e300;
+      std::size_t bytes_at_best = 0;
+      for (const auto& [bytes, error] : points) {
+        if (error < best_error) {
+          best_error = error;
+          bytes_at_best = bytes;
+        }
+      }
+      std::size_t min_bytes_2x = bytes_at_best;
+      for (const auto& [bytes, error] : points) {
+        if (error <= 2.0 * best_error) min_bytes_2x = std::min(min_bytes_2x, bytes);
+      }
+      frontier.add_row({app_name, family, Table::fmt(best_error, 4),
+                        Table::fmt(bytes_at_best), Table::fmt(min_bytes_2x)});
+    }
+  }
+
+  bench::emit(table, args, "fig7_error_vs_modelsize.csv");
+  std::cout << "\nPer-family accuracy/size frontier summary:\n";
+  bench::emit(frontier, args, "fig7_frontier.csv");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Table 1 reproduction: error metrics and their equivalent error expressions
+// in eps = m/y - 1, verified numerically. Rows 1-5 are exact identities;
+// rows 6-7 (MLogQ, MLogQ2) match their Taylor expansions to the stated
+// order, which we demonstrate by shrinking eps and reporting the
+// convergence order of the identity residual.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "util/rng.hpp"
+
+using namespace cpr;
+
+namespace {
+
+struct MetricRow {
+  std::string name;
+  double (*metric)(const std::vector<double>&, const std::vector<double>&);
+  double (*expression)(const std::vector<double>&);  ///< in eps
+  bool exact;
+};
+
+double mape_expr(const std::vector<double>& eps) {
+  double total = 0.0;
+  for (const double e : eps) total += std::abs(e);
+  return total / eps.size();
+}
+double smape_expr(const std::vector<double>& eps) {
+  double total = 0.0;
+  for (const double e : eps) total += 2.0 * std::abs(e / (2.0 + e));
+  return total / eps.size();
+}
+double mlogq_expr(const std::vector<double>& eps) {
+  double total = 0.0;
+  for (const double e : eps) total += std::abs(e / (1.0 + e));
+  return total / eps.size();
+}
+double mlogq2_expr(const std::vector<double>& eps) {
+  double total = 0.0;
+  for (const double e : eps) {
+    const double term = e / (1.0 + e);
+    total += term * term;
+  }
+  return total / eps.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  Rng rng(seed);
+
+  std::cout << "== Table 1: error metrics and eps-expressions "
+               "(eps = m/y - 1) ==\n";
+
+  // Exact-identity rows evaluated at moderate eps.
+  const std::size_t n = 256;
+  std::vector<double> truths(n), eps(n), predictions(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    truths[k] = rng.log_uniform(1e-4, 1e2);
+    eps[k] = rng.uniform(-0.5, 1.0);
+    predictions[k] = truths[k] * (1.0 + eps[k]);
+  }
+
+  Table table({"metric", "value", "eps-expression", "abs diff", "identity"});
+  const auto add_exact = [&](const std::string& name, double metric_value,
+                             double expression_value) {
+    table.add_row({name, Table::fmt(metric_value, 6), Table::fmt(expression_value, 6),
+                   Table::fmt(std::abs(metric_value - expression_value), 3), "exact"});
+  };
+  add_exact("MAPE", metrics::mape(predictions, truths), mape_expr(eps));
+  {
+    double mae_expr = 0.0, mse_expr = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      mae_expr += std::abs(truths[k] * eps[k]);
+      mse_expr += truths[k] * eps[k] * truths[k] * eps[k];
+    }
+    add_exact("MAE", metrics::mae(predictions, truths), mae_expr / n);
+    add_exact("MSE", metrics::mse(predictions, truths), mse_expr / n);
+  }
+  add_exact("SMAPE", metrics::smape(predictions, truths), smape_expr(eps));
+  {
+    double lg_expr = 0.0;
+    for (const double e : eps) lg_expr += std::log(std::abs(e));
+    add_exact("LGMAPE", metrics::lgmape(predictions, truths), lg_expr / n);
+  }
+
+  // Taylor rows: residual should shrink like O(eps^2) / O(eps^4).
+  for (const double scale : {1.0, 0.1, 0.01}) {
+    std::vector<double> scaled_predictions(n);
+    std::vector<double> scaled_eps(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      scaled_eps[k] = scale * eps[k];
+      scaled_predictions[k] = truths[k] * (1.0 + scaled_eps[k]);
+    }
+    const double q = metrics::mlogq(scaled_predictions, truths);
+    const double q_expr = mlogq_expr(scaled_eps);
+    table.add_row({"MLogQ(eps*" + Table::fmt(scale, 2) + ")", Table::fmt(q, 6),
+                   Table::fmt(q_expr, 6), Table::fmt(std::abs(q - q_expr), 3),
+                   "Taylor O(eps^2)"});
+    const double q2 = metrics::mlogq2(scaled_predictions, truths);
+    const double q2_expr = mlogq2_expr(scaled_eps);
+    table.add_row({"MLogQ2(eps*" + Table::fmt(scale, 2) + ")", Table::fmt(q2, 6),
+                   Table::fmt(q2_expr, 6), Table::fmt(std::abs(q2 - q2_expr), 3),
+                   "Taylor O(eps^4)"});
+  }
+
+  // Scale-independence demonstration (the property that picks MLogQ).
+  std::cout << "\nScale independence (y=1, factor a: over- vs under-prediction):\n";
+  Table scale_table({"metric", "m = a*y (a=4)", "m = y/a (a=4)", "scale-independent"});
+  const std::vector<double> y{1.0};
+  const auto row = [&](const std::string& name,
+                       double (*metric)(const std::vector<double>&,
+                                        const std::vector<double>&)) {
+    const double over = metric({4.0}, y);
+    const double under = metric({0.25}, y);
+    scale_table.add_row({name, Table::fmt(over, 5), Table::fmt(under, 5),
+                         std::abs(over - under) < 1e-12 ? "yes" : "no"});
+  };
+  row("MAPE", metrics::mape);
+  row("SMAPE", metrics::smape);
+  row("MLogQ", metrics::mlogq);
+  row("MLogQ2", metrics::mlogq2);
+
+  bench::emit(table, args, "table1_metrics.csv");
+  bench::emit(scale_table, args, "table1_scale_independence.csv");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Autotuning with a CPR surrogate (the "optimal tuning parameter selection"
+// task of Section 1).
+//
+// Scenario: choose the fastest ExaFMM configuration (ppl, tl, tpp, ppn) for
+// a given input (n particles, expansion order) without running every
+// candidate. We train a CPR model on randomly sampled executions, rank all
+// feasible configurations by *predicted* time, and compare the predicted-
+// best configuration's true runtime against the true optimum found by
+// exhaustive search.
+//
+// Run:  ./autotuning [--train=8192] [--n=32768] [--ord=8]
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "apps/benchmark_app.hpp"
+#include "core/cpr_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  CliArgs args(argc, argv);
+  const auto train_size = static_cast<std::size_t>(args.get_int("train", 8192));
+  const double n_particles = args.get_double("n", 32768.0);
+  const double order = args.get_double("ord", 8.0);
+
+  const auto fmm = apps::make_exafmm();
+  std::cout << "training CPR surrogate on " << train_size
+            << " random FMM executions...\n";
+  const common::Dataset train = fmm->generate_dataset(train_size, /*seed=*/3);
+  core::CprOptions options;
+  options.rank = 8;
+  core::CprModel surrogate(grid::Discretization(fmm->parameters(), 8), options);
+  surrogate.fit(train);
+
+  // Candidate space: every feasible (tpp, ppn, ppl, tl) for this input.
+  struct Candidate {
+    grid::Config config;
+    double predicted;
+    double actual;
+  };
+  std::vector<Candidate> candidates;
+  for (double tpp : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    for (double ppn : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+      for (double ppl : {32.0, 64.0, 96.0, 128.0, 192.0, 256.0}) {
+        for (double tl : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+          const grid::Config x{n_particles, order, tpp, ppn, ppl, tl};
+          if (!fmm->satisfies_constraints(x)) continue;
+          candidates.push_back({x, surrogate.predict(x), fmm->base_time(x)});
+        }
+      }
+    }
+  }
+  std::cout << candidates.size() << " feasible configurations for n=" << n_particles
+            << ", ord=" << order << "\n\n";
+
+  // Rank by prediction; compare against the exhaustive-search optimum.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.predicted < b.predicted; });
+  const double true_best =
+      std::min_element(candidates.begin(), candidates.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.actual < b.actual;
+                       })->actual;
+
+  Table table({"rank", "tpp", "ppn", "ppl", "tl", "predicted s", "actual s",
+               "vs true optimum"});
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, candidates.size()); ++k) {
+    const auto& c = candidates[k];
+    table.add_row({Table::fmt(k + 1), Table::fmt(c.config[2], 0), Table::fmt(c.config[3], 0),
+                   Table::fmt(c.config[4], 0), Table::fmt(c.config[5], 0),
+                   Table::fmt(c.predicted, 4), Table::fmt(c.actual, 4),
+                   Table::fmt(c.actual / true_best, 3) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntrue optimum: " << true_best << " s; surrogate's top pick runs at "
+            << candidates.front().actual << " s ("
+            << candidates.front().actual / true_best << "x of optimal)\n";
+  std::cout << "exhaustive search would execute " << candidates.size()
+            << " configurations; the surrogate executed 0 of them.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Model-family comparison on one application (a miniature of Figures 6/7).
+//
+// Fits CPR and each alternative family (Section 6.0.4) on the same AMG
+// training set and reports test MLogQ, fitted-model size, and fit time —
+// the three axes of the paper's evaluation. AMG is the 8-parameter app
+// whose categorical-heavy space shows the starkest contrasts.
+//
+// Run:  ./model_comparison [--app=AMG] [--train=4096]
+
+#include <iostream>
+
+#include "baselines/forest.hpp"
+#include "baselines/gaussian_process.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/mars.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/sparse_grid.hpp"
+#include "common/evaluation.hpp"
+#include "common/transform.hpp"
+#include "core/cpr_model.hpp"
+#include "apps/benchmark_app.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  CliArgs args(argc, argv);
+  const std::string app_name = args.get_string("app", "AMG");
+  const auto train_size = static_cast<std::size_t>(args.get_int("train", 4096));
+
+  std::unique_ptr<apps::BenchmarkApp> app;
+  for (auto& candidate : apps::make_all_apps()) {
+    if (candidate->name() == app_name) app = std::move(candidate);
+  }
+  if (!app) {
+    std::cerr << "unknown app '" << app_name << "' (use MM/QR/BC/FMM/AMG/KRIPKE)\n";
+    return 1;
+  }
+
+  const common::Dataset train = app->generate_dataset(train_size, 7);
+  const common::Dataset test = app->generate_dataset(512, 8);
+  std::cout << "== " << app->name() << ": " << train.size() << " training / "
+            << test.size() << " test samples, " << app->dimensions()
+            << " parameters ==\n";
+
+  // Section-6.0.4 transform for the baselines.
+  common::FeatureTransform transform;
+  transform.log_target = true;
+  transform.log_feature.resize(app->dimensions());
+  for (std::size_t j = 0; j < app->dimensions(); ++j) {
+    transform.log_feature[j] =
+        app->parameters()[j].kind == grid::ParameterKind::NumericalLog;
+  }
+
+  Table table({"model", "MLogQ", "model bytes", "fit s"});
+  const auto evaluate = [&](const std::string& name, common::RegressorPtr model) {
+    Stopwatch watch;
+    model->fit(train);
+    const double seconds = watch.seconds();
+    table.add_row({name, Table::fmt(common::evaluate_mlogq(*model, test), 4),
+                   Table::fmt(model->model_size_bytes()), Table::fmt(seconds, 2)});
+  };
+  const auto wrapped = [&](common::RegressorPtr inner) {
+    return std::make_unique<common::LogSpaceRegressor>(std::move(inner), transform);
+  };
+
+  {
+    core::CprOptions options;
+    options.rank = 8;
+    evaluate("CPR (ours)", std::make_unique<core::CprModel>(
+                               grid::Discretization(app->parameters(), 8), options));
+  }
+  {
+    baselines::SgrOptions options;
+    options.level = app->dimensions() >= 6 ? 3 : 4;
+    evaluate("SGR", wrapped(std::make_unique<baselines::SparseGridRegressor>(options)));
+  }
+  {
+    baselines::MarsOptions options;
+    options.max_degree = 2;
+    evaluate("MARS", wrapped(std::make_unique<baselines::Mars>(options)));
+  }
+  evaluate("KNN", wrapped(std::make_unique<baselines::KnnRegressor>(
+                      baselines::KnnOptions{3, true})));
+  {
+    baselines::ForestOptions options;
+    options.n_trees = 32;
+    options.max_depth = 12;
+    evaluate("ET", wrapped(std::make_unique<baselines::ExtraTreesRegressor>(options)));
+    evaluate("RF", wrapped(std::make_unique<baselines::RandomForestRegressor>(options)));
+  }
+  {
+    baselines::BoostingOptions options;
+    options.n_trees = 64;
+    evaluate("GB", wrapped(std::make_unique<baselines::GradientBoostingRegressor>(options)));
+  }
+  {
+    baselines::GpOptions options;
+    options.kernel = baselines::GpKernel::Rbf;
+    evaluate("GP", wrapped(std::make_unique<baselines::GaussianProcess>(options)));
+  }
+  {
+    baselines::MlpOptions options;
+    options.hidden_layers = {64, 64};
+    options.epochs = 120;
+    evaluate("NN", wrapped(std::make_unique<baselines::Mlp>(options)));
+  }
+
+  table.print(std::cout);
+  std::cout << "\n(each row = one fixed hyper-parameter choice; the fig6/fig7 benches "
+               "sweep each family's full grid)\n";
+  return 0;
+}

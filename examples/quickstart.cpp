@@ -1,0 +1,68 @@
+// Quickstart: the end-to-end CPR workflow of Figure 2.
+//
+//  1. collect (configuration, execution time) observations of a benchmark
+//     (here: the matrix-multiplication simulator),
+//  2. discretize the parameter space on a regular grid (Section 5.1),
+//  3. fit a low-rank CP decomposition of the partially-observed tensor of
+//     cell-mean log execution times (Section 5.2),
+//  4. predict unseen configurations via Eq.-5 interpolation,
+//  5. persist the model and reload it for deployment.
+//
+// Run:  ./quickstart [--train=4096] [--rank=8] [--cells=16]
+
+#include <cmath>
+#include <iostream>
+
+#include "apps/benchmark_app.hpp"
+#include "common/evaluation.hpp"
+#include "core/cpr_model.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  CliArgs args(argc, argv);
+  const auto train_size = static_cast<std::size_t>(args.get_int("train", 4096));
+  const auto rank = static_cast<std::size_t>(args.get_int("rank", 8));
+  const auto cells = static_cast<std::size_t>(args.get_int("cells", 16));
+
+  // 1. Observations. In a real deployment these come from running your
+  // application; here a simulator stands in for the machine.
+  const auto mm = apps::make_matmul();
+  const common::Dataset train = mm->generate_dataset(train_size, /*seed=*/1);
+  const common::Dataset test = mm->generate_dataset(512, /*seed=*/2);
+  std::cout << "collected " << train.size() << " training observations of "
+            << mm->name() << " (" << mm->dimensions() << " parameters)\n";
+
+  // 2. Discretization: the input parameters m, n, k are log-sampled, so the
+  // grid uses logarithmic spacing (ParameterSpec carries that choice).
+  grid::Discretization disc(mm->parameters(), cells);
+  std::cout << "grid: " << cells << " cells/dim, " << disc.cell_count()
+            << " tensor elements\n";
+
+  // 3. Fit.
+  core::CprOptions options;
+  options.rank = rank;
+  core::CprModel model(disc, options);
+  model.fit(train);
+  std::cout << "fit: observed density " << model.observed_density() << ", "
+            << model.report().sweeps << " ALS sweeps, final objective "
+            << model.report().final_objective() << "\n";
+
+  // 4. Predict.
+  const double error = common::evaluate_mlogq(model, test);
+  std::cout << "test MLogQ = " << error << "  (geometric accuracy factor e^"
+            << error << " = " << std::exp(error) << "x)\n";
+
+  const grid::Config example{1000.0, 2000.0, 500.0};
+  std::cout << "predicted time for m=1000 n=2000 k=500: " << model.predict(example)
+            << " s (simulator says " << mm->base_time(example) << " s)\n";
+
+  // 5. Persist + reload.
+  BufferSink sink;
+  model.serialize(sink);
+  std::cout << "serialized model: " << sink.buffer().size() << " bytes\n";
+  BufferSource source(sink.buffer());
+  const core::CprModel deployed = core::CprModel::deserialize(source);
+  std::cout << "reloaded model predicts " << deployed.predict(example) << " s\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+#pragma once
+// Synthetic application benchmarks standing in for the paper's Stampede2
+// measurements (see DESIGN.md, "Substitutions").
+//
+// Each app defines the exact parameter space of Table 2 and an analytic
+// base cost model with the structural features the paper's evaluation
+// exercises: power-law scaling in input parameters, non-monotonic
+// configuration effects, categorical choices with distinct scaling, core
+// contention in ppn x tpp, and multiplicative log-normal noise. Noise is
+// deterministic per (configuration, run id) via hashing, so datasets are
+// reproducible.
+//
+// Dataset generation follows Section 6.0.3: input and architectural
+// parameters are sampled log-uniformly, configuration parameters uniformly,
+// categorical parameters uniformly over their choices. Kernel benchmarks
+// (MM, QR, BC) average 50 simulated runs per configuration; applications
+// (FMM, AMG, Kripke) execute once.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/dataset.hpp"
+#include "grid/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::apps {
+
+/// Sampling treatment per parameter (Section 6.0.3).
+enum class SampleRule {
+  LogUniform,   ///< input and architectural parameters
+  Uniform,      ///< configuration parameters
+  UniformChoice ///< categorical parameters
+};
+
+class BenchmarkApp {
+ public:
+  virtual ~BenchmarkApp() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Table-2 parameter space (order fixes the tensor mode order).
+  virtual const std::vector<grid::ParameterSpec>& parameters() const = 0;
+
+  /// Sampling rule per parameter (same arity as parameters()).
+  virtual const std::vector<SampleRule>& sample_rules() const = 0;
+
+  /// Noise-free execution time (seconds) of a configuration.
+  virtual double base_time(const grid::Config& x) const = 0;
+
+  /// Coefficient of variation of the per-run multiplicative noise.
+  virtual double noise_cv() const { return 0.03; }
+
+  /// Runs averaged per measured configuration (kernels: 50; apps: 1).
+  virtual int runs_per_configuration() const { return 1; }
+
+  /// Configuration-validity constraint (e.g. 64 <= ppn*tpp <= 128 or m >= n);
+  /// invalid samples are rejected and redrawn.
+  virtual bool satisfies_constraints(const grid::Config& x) const {
+    (void)x;
+    return true;
+  }
+
+  std::size_t dimensions() const { return parameters().size(); }
+
+  /// One simulated execution: base_time * exp(noise). Deterministic in
+  /// (x, run_id).
+  double execute(const grid::Config& x, std::uint64_t run_id = 0) const;
+
+  /// Mean over runs_per_configuration() simulated executions — the "measured"
+  /// value a dataset stores.
+  double measure(const grid::Config& x, std::uint64_t config_id) const;
+
+  /// Draws one valid configuration. `bounds_override[j]`, when present,
+  /// replaces the sampling range of parameter j (used by the Figure-8
+  /// extrapolation splits); it does not affect validity constraints.
+  grid::Config sample_config(
+      Rng& rng,
+      const std::vector<std::optional<std::pair<double, double>>>* bounds_override =
+          nullptr) const;
+
+  /// Generates an n-sample dataset per the Section 6.0.3 rules.
+  common::Dataset generate_dataset(
+      std::size_t n, std::uint64_t seed,
+      const std::vector<std::optional<std::pair<double, double>>>* bounds_override =
+          nullptr) const;
+};
+
+/// Deterministic piecewise-constant "texture": a per-octave multiplier in
+/// [1 - amplitude, 1 + amplitude] drawn by hashing (salt, floor(log2 x)).
+/// Models the non-smooth per-value behavior real applications exhibit
+/// (cache alignment, hyper-thread scheduling steps, load-imbalance bands)
+/// that Section 3.2 argues global smooth models cannot capture — a regular
+/// grid resolves it per cell, a level-bounded sparse grid or a few-knot
+/// spline cannot resolve it along every dimension at once.
+double octave_texture(std::uint64_t salt, double x, double amplitude);
+
+/// Pairwise interaction texture: exp(amplitude * s(x) * s(y)) where s maps
+/// each octave of its argument to a deterministic value in [-1, 1]. In log
+/// space this is a *product* of univariate functions — exactly a rank-1
+/// CP component, but a true two-dimensional interaction for sparse grids
+/// (whose level-sum budget cannot afford octave resolution along two
+/// dimensions simultaneously) and for low-degree spline models. Captures
+/// the kind of configuration-coupling (e.g. ppn x tpp contention bands)
+/// Section 1 cites as motivation.
+double interaction_texture(std::uint64_t salt, double x, double y, double amplitude);
+
+/// Three-way regime coupling: exp(amplitude * s(x) * s(y) * s(z)) with ±1
+/// octave signs — still a single rank-1 CP component in log space, but a
+/// third-order interaction no affordable sparse-grid level can resolve.
+double interaction3_texture(std::uint64_t salt, double x, double y, double z,
+                            double amplitude);
+
+/// All six benchmarks, in the paper's order: MM, QR, BC, FMM, AMG, Kripke.
+std::vector<std::unique_ptr<BenchmarkApp>> make_all_apps();
+
+std::unique_ptr<BenchmarkApp> make_matmul();
+std::unique_ptr<BenchmarkApp> make_qr_factorization();
+std::unique_ptr<BenchmarkApp> make_broadcast();
+std::unique_ptr<BenchmarkApp> make_exafmm();
+std::unique_ptr<BenchmarkApp> make_amg();
+std::unique_ptr<BenchmarkApp> make_kripke();
+
+}  // namespace cpr::apps

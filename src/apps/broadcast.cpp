@@ -1,0 +1,64 @@
+// MPI_Bcast kernel simulator (Intel MPI on Stampede2's Omni-Path fat tree in
+// the paper): nodes in {1..128}, ppn in {1..64}, message size 2^16..2^26 B.
+//
+// Cost structure: the minimum of a binomial-tree estimate (latency-bound,
+// small messages) and a scatter-allgather estimate (bandwidth-bound, large
+// messages), with per-node injection bandwidth shared across ranks (ppn
+// contention) and latency growing slowly with the node count (fat-tree
+// hops). The algorithm crossover produces the non-smooth surface the paper's
+// BC panels show.
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/benchmark_app.hpp"
+
+namespace cpr::apps {
+
+namespace {
+
+class BroadcastApp final : public BenchmarkApp {
+ public:
+  BroadcastApp() {
+    params_ = {
+        grid::ParameterSpec::numerical_log("nodes", 1, 128, /*integral=*/true),
+        grid::ParameterSpec::numerical_log("ppn", 1, 64, /*integral=*/true),
+        grid::ParameterSpec::numerical_log("msg_bytes", 65536, 67108864,
+                                           /*integral=*/true),
+    };
+    rules_ = {SampleRule::LogUniform, SampleRule::LogUniform, SampleRule::LogUniform};
+  }
+
+  std::string name() const override { return "BC"; }
+  const std::vector<grid::ParameterSpec>& parameters() const override { return params_; }
+  const std::vector<SampleRule>& sample_rules() const override { return rules_; }
+  int runs_per_configuration() const override { return 50; }
+  double noise_cv() const override { return 0.08; }
+
+  double base_time(const grid::Config& x) const override {
+    const double nodes = x[0], ppn = x[1], bytes = x[2];
+    const double ranks = nodes * ppn;
+    const double hops = std::log2(std::max(2.0, nodes));
+    const double latency = 1.5e-6 + 4.0e-7 * hops;          // per message stage
+    const double node_bandwidth = 1.2e10;                   // OPA ~ 100 Gb/s
+    const double shared = node_bandwidth / std::max(1.0, std::min(ppn, 8.0));
+    const double intra_penalty = 1.0 + 0.05 * std::log2(std::max(1.0, ppn));
+
+    const double stages = std::ceil(std::log2(std::max(2.0, ranks)));
+    const double binomial = stages * (latency + bytes / shared);
+    // van de Geijn scatter + ring allgather (bandwidth optimal).
+    const double scatter_allgather =
+        2.0 * (ranks - 1.0) / ranks * bytes / shared + (stages + ranks * 0.01) * latency;
+    return std::min(binomial, scatter_allgather) * intra_penalty;
+  }
+
+ private:
+  std::vector<grid::ParameterSpec> params_;
+  std::vector<SampleRule> rules_;
+};
+
+}  // namespace
+
+std::unique_ptr<BenchmarkApp> make_broadcast() { return std::make_unique<BroadcastApp>(); }
+
+}  // namespace cpr::apps

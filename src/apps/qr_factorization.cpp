@@ -1,0 +1,60 @@
+// Single-threaded Householder QR kernel simulator (Intel MKL DGEQRF in the
+// paper): A_{m x n} -> QR with 32 <= n <= m <= 262144 (m >= n so R is upper
+// triangular; sampling rejects m < n).
+//
+// Cost structure: 2mn^2 - (2/3)n^3 flops with a panel-width efficiency term
+// (tall-skinny panels are memory-bound; square-ish trailing updates run near
+// GEMM speed) plus repeated-panel memory traffic.
+
+#include <cmath>
+
+#include "apps/benchmark_app.hpp"
+
+namespace cpr::apps {
+
+namespace {
+
+class QrApp final : public BenchmarkApp {
+ public:
+  QrApp() {
+    params_ = {
+        grid::ParameterSpec::numerical_log("m", 32, 262144, /*integral=*/true),
+        grid::ParameterSpec::numerical_log("n", 32, 4096, /*integral=*/true),
+    };
+    rules_ = {SampleRule::LogUniform, SampleRule::LogUniform};
+  }
+
+  std::string name() const override { return "QR"; }
+  const std::vector<grid::ParameterSpec>& parameters() const override { return params_; }
+  const std::vector<SampleRule>& sample_rules() const override { return rules_; }
+  int runs_per_configuration() const override { return 50; }
+  double noise_cv() const override { return 0.05; }
+
+  bool satisfies_constraints(const grid::Config& x) const override {
+    return x[0] >= x[1];  // m >= n
+  }
+
+  double base_time(const grid::Config& x) const override {
+    const double m = x[0], n = std::min(x[0], x[1]);
+    const double flops = 2.0 * m * n * n - (2.0 / 3.0) * n * n * n;
+    // Panel factorization is level-2 BLAS: effective rate interpolates
+    // between memory-bound (narrow n) and near-peak (wide trailing matrix).
+    const double blas3_fraction = n / (n + 128.0);
+    const double rate = 2.5e9 + 2.6e10 * blas3_fraction * (m / (m + 256.0));
+    // Panel passes re-read the trailing matrix ~ n / block times.
+    const double block = 64.0;
+    const double traffic = 8.0 * m * n * (1.0 + n / (2.0 * block) * 0.08);
+    const double bandwidth = 6.0e9;
+    return flops / rate + traffic / bandwidth;
+  }
+
+ private:
+  std::vector<grid::ParameterSpec> params_;
+  std::vector<SampleRule> rules_;
+};
+
+}  // namespace
+
+std::unique_ptr<BenchmarkApp> make_qr_factorization() { return std::make_unique<QrApp>(); }
+
+}  // namespace cpr::apps

@@ -1,0 +1,185 @@
+#include "apps/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpr::apps {
+
+const char* sampling_strategy_name(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::IidRandom: return "iid";
+    case SamplingStrategy::LatinHypercube: return "lhs";
+    case SamplingStrategy::GridAligned: return "grid";
+    case SamplingStrategy::Exploitative: return "exploit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Maps a stratified unit draw u in [0,1) to a parameter value under the
+/// app's sampling rule.
+double from_unit(const grid::ParameterSpec& p, SampleRule rule, double u) {
+  double value = 0.0;
+  switch (rule) {
+    case SampleRule::LogUniform:
+      value = std::exp(std::log(p.lo) + u * (std::log(p.hi) - std::log(p.lo)));
+      break;
+    case SampleRule::Uniform:
+      value = p.lo + u * (p.hi - p.lo);
+      break;
+    case SampleRule::UniformChoice:
+      return std::floor(u * static_cast<double>(p.categories));
+  }
+  if (p.integral) value = std::clamp(std::round(value), p.lo, p.hi);
+  return value;
+}
+
+common::Dataset latin_hypercube(const BenchmarkApp& app, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& params = app.parameters();
+  const auto& rules = app.sample_rules();
+  const std::size_t d = params.size();
+
+  // One stratum permutation per dimension; rejected (constraint-violating)
+  // rows are re-drawn with fresh jitter inside a random stratum.
+  std::vector<std::vector<std::size_t>> strata(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    strata[j].resize(n);
+    for (std::size_t i = 0; i < n; ++i) strata[j][i] = i;
+    rng.shuffle(strata[j]);
+  }
+
+  common::Dataset data;
+  data.x = linalg::Matrix(n, d);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid::Config x(d);
+    bool ok = false;
+    for (int attempt = 0; attempt < 1000 && !ok; ++attempt) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const std::size_t stratum =
+            attempt == 0 ? strata[j][i]
+                         : static_cast<std::size_t>(
+                               rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const double u = (static_cast<double>(stratum) + rng.uniform()) /
+                         static_cast<double>(n);
+        x[j] = from_unit(params[j], rules[j], u);
+      }
+      ok = app.satisfies_constraints(x);
+    }
+    CPR_CHECK_MSG(ok, "LHS could not satisfy the app's constraints");
+    for (std::size_t j = 0; j < d; ++j) data.x(i, j) = x[j];
+    data.y[i] = app.measure(x, seed * 2654435761ull + i);
+  }
+  return data;
+}
+
+common::Dataset grid_aligned(const BenchmarkApp& app, std::size_t n, std::uint64_t seed,
+                             const grid::Discretization& reference) {
+  Rng rng(seed);
+  const auto& dims = reference.dims();
+  const std::size_t total = reference.cell_count();
+  common::Dataset data;
+  data.x = linalg::Matrix(n, app.dimensions());
+  data.y.resize(n);
+  // Round-robin over a random permutation of cells; configurations sit at
+  // cell mid-points (categoricals at the cell's category).
+  std::vector<std::size_t> order(total);
+  for (std::size_t c = 0; c < total; ++c) order[c] = c;
+  rng.shuffle(order);
+  std::size_t produced = 0, cursor = 0;
+  int wraps = 0;
+  while (produced < n) {
+    if (cursor == total) {
+      cursor = 0;
+      if (++wraps > 1000) CPR_CHECK_MSG(false, "grid sampling cannot satisfy constraints");
+    }
+    const auto idx = tensor::delinearize(order[cursor++], dims);
+    grid::Config x(app.dimensions());
+    for (std::size_t j = 0; j < x.size(); ++j) x[j] = reference.midpoint(j, idx[j]);
+    if (!app.satisfies_constraints(x)) continue;
+    for (std::size_t j = 0; j < x.size(); ++j) data.x(produced, j) = x[j];
+    data.y[produced] = app.measure(x, seed * 2654435761ull + produced);
+    ++produced;
+  }
+  return data;
+}
+
+common::Dataset exploitative(const BenchmarkApp& app, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t explore = n / 2;
+  common::Dataset data;
+  data.x = linalg::Matrix(n, app.dimensions());
+  data.y.resize(n);
+
+  // Exploration phase: iid.
+  std::vector<std::pair<double, grid::Config>> scored;
+  for (std::size_t i = 0; i < explore; ++i) {
+    const auto x = app.sample_config(rng);
+    const double y = app.measure(x, seed * 2654435761ull + i);
+    for (std::size_t j = 0; j < x.size(); ++j) data.x(i, j) = x[j];
+    data.y[i] = y;
+    scored.emplace_back(y, x);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t elites = std::max<std::size_t>(1, scored.size() / 10);
+
+  // Exploitation phase: perturb elite configurations dimension-wise.
+  const auto& params = app.parameters();
+  for (std::size_t i = explore; i < n; ++i) {
+    grid::Config x;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      x = scored[static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<std::int64_t>(elites) - 1))]
+              .second;
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        const auto& p = params[j];
+        if (p.kind == grid::ParameterKind::Categorical) {
+          if (rng.uniform() < 0.2) {
+            x[j] = static_cast<double>(
+                rng.uniform_int(0, static_cast<std::int64_t>(p.categories) - 1));
+          }
+          continue;
+        }
+        // Multiplicative jitter within +-25% (additive for lo <= 0 ranges).
+        if (p.lo > 0.0) {
+          x[j] = std::clamp(x[j] * std::exp(rng.normal(0.0, 0.25)), p.lo, p.hi);
+        } else {
+          x[j] = std::clamp(x[j] + rng.normal(0.0, 0.1 * (p.hi - p.lo)), p.lo, p.hi);
+        }
+        if (p.integral) x[j] = std::round(x[j]);
+      }
+      if (app.satisfies_constraints(x)) break;
+    }
+    for (std::size_t j = 0; j < x.size(); ++j) data.x(i, j) = x[j];
+    data.y[i] = app.measure(x, seed * 2654435761ull + i);
+  }
+  return data;
+}
+
+}  // namespace
+
+common::Dataset generate_with_strategy(const BenchmarkApp& app, std::size_t n,
+                                       std::uint64_t seed, SamplingStrategy strategy,
+                                       const grid::Discretization* reference_grid) {
+  CPR_CHECK_MSG(n > 0, "dataset size must be positive");
+  switch (strategy) {
+    case SamplingStrategy::IidRandom:
+      return app.generate_dataset(n, seed);
+    case SamplingStrategy::LatinHypercube:
+      return latin_hypercube(app, n, seed);
+    case SamplingStrategy::GridAligned:
+      CPR_CHECK_MSG(reference_grid != nullptr,
+                    "GridAligned sampling needs a reference discretization");
+      return grid_aligned(app, n, seed, *reference_grid);
+    case SamplingStrategy::Exploitative:
+      return exploitative(app, n, seed);
+  }
+  CPR_CHECK_MSG(false, "unknown sampling strategy");
+  return {};
+}
+
+}  // namespace cpr::apps

@@ -1,0 +1,35 @@
+#pragma once
+// Alternative dataset-sampling strategies — the paper's future-work item on
+// "performance observation datasets with different (non-random) structure
+// that reflects exploration and exploitation sampling methods".
+//
+// Strategies:
+//   IidRandom       the paper's protocol (log-uniform inputs/arch, uniform
+//                   configs) — BenchmarkApp::generate_dataset.
+//   LatinHypercube  stratified: each parameter's range is split into n
+//                   strata (in sampling space) and each stratum is used
+//                   exactly once — better marginal coverage per sample.
+//   GridAligned     configurations drawn at the mid-points of a reference
+//                   discretization (round-robin over cells) — the fully
+//                   "designed experiment" extreme with zero within-cell
+//                   dispersion.
+//   Exploitative    half the budget iid, half concentrated around the
+//                   fastest configurations seen so far — mimics an
+//                   autotuner's biased trace.
+
+#include "apps/benchmark_app.hpp"
+#include "grid/discretization.hpp"
+
+namespace cpr::apps {
+
+enum class SamplingStrategy { IidRandom, LatinHypercube, GridAligned, Exploitative };
+
+const char* sampling_strategy_name(SamplingStrategy strategy);
+
+/// Generates an n-sample dataset from `app` under the given strategy.
+/// `reference_grid` is required for GridAligned (ignored otherwise).
+common::Dataset generate_with_strategy(const BenchmarkApp& app, std::size_t n,
+                                       std::uint64_t seed, SamplingStrategy strategy,
+                                       const grid::Discretization* reference_grid = nullptr);
+
+}  // namespace cpr::apps

@@ -1,0 +1,178 @@
+#include "baselines/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cpr::baselines {
+
+namespace {
+
+struct SplitChoice {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  ///< summed child SSE
+  bool valid = false;
+};
+
+/// Best exact split of rows[begin, end) on one feature by SSE reduction,
+/// via a single sorted sweep with running sums.
+SplitChoice best_split_exact(const common::Dataset& data, std::vector<std::size_t>& rows,
+                             std::size_t begin, std::size_t end, std::size_t feature,
+                             std::size_t min_leaf) {
+  std::sort(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+            rows.begin() + static_cast<std::ptrdiff_t>(end),
+            [&](std::size_t a, std::size_t b) {
+              return data.x(a, feature) < data.x(b, feature);
+            });
+  const std::size_t n = end - begin;
+  double total_sum = 0.0, total_sq = 0.0;
+  for (std::size_t k = begin; k < end; ++k) {
+    total_sum += data.y[rows[k]];
+    total_sq += data.y[rows[k]] * data.y[rows[k]];
+  }
+  SplitChoice best;
+  best.feature = feature;
+  double left_sum = 0.0, left_sq = 0.0;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const double y = data.y[rows[begin + k]];
+    left_sum += y;
+    left_sq += y * y;
+    const double x_here = data.x(rows[begin + k], feature);
+    const double x_next = data.x(rows[begin + k + 1], feature);
+    if (x_here == x_next) continue;  // can't split between equal values
+    const std::size_t left_n = k + 1, right_n = n - left_n;
+    if (left_n < min_leaf || right_n < min_leaf) continue;
+    const double right_sum = total_sum - left_sum;
+    const double right_sq = total_sq - left_sq;
+    const double sse = (left_sq - left_sum * left_sum / static_cast<double>(left_n)) +
+                       (right_sq - right_sum * right_sum / static_cast<double>(right_n));
+    if (sse < best.score) {
+      best.score = sse;
+      best.threshold = 0.5 * (x_here + x_next);
+      best.valid = true;
+    }
+  }
+  return best;
+}
+
+/// Extra-trees split: a single uniform-random threshold per feature.
+SplitChoice best_split_random(const common::Dataset& data,
+                              const std::vector<std::size_t>& rows, std::size_t begin,
+                              std::size_t end, std::size_t feature, std::size_t min_leaf,
+                              Rng& rng) {
+  double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+  for (std::size_t k = begin; k < end; ++k) {
+    lo = std::min(lo, data.x(rows[k], feature));
+    hi = std::max(hi, data.x(rows[k], feature));
+  }
+  SplitChoice best;
+  best.feature = feature;
+  if (!(hi > lo)) return best;
+  best.threshold = rng.uniform(lo, hi);
+  double left_sum = 0.0, left_sq = 0.0, right_sum = 0.0, right_sq = 0.0;
+  std::size_t left_n = 0, right_n = 0;
+  for (std::size_t k = begin; k < end; ++k) {
+    const double y = data.y[rows[k]];
+    if (data.x(rows[k], feature) <= best.threshold) {
+      left_sum += y;
+      left_sq += y * y;
+      ++left_n;
+    } else {
+      right_sum += y;
+      right_sq += y * y;
+      ++right_n;
+    }
+  }
+  if (left_n < min_leaf || right_n < min_leaf) return best;
+  best.score = (left_sq - left_sum * left_sum / static_cast<double>(left_n)) +
+               (right_sq - right_sum * right_sum / static_cast<double>(right_n));
+  best.valid = true;
+  return best;
+}
+
+}  // namespace
+
+std::int32_t DecisionTree::build(const common::Dataset& data,
+                                 std::vector<std::size_t>& rows, std::size_t begin,
+                                 std::size_t end, int depth, const TreeOptions& options,
+                                 Rng& rng) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t k = begin; k < end; ++k) sum += data.y[rows[k]];
+  const double mean = sum / static_cast<double>(n);
+
+  Node node;
+  node.value = mean;
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (depth >= options.max_depth || n < 2 * options.min_samples_leaf || n < 2) {
+    return node_id;
+  }
+
+  // Feature subset (random forest style) or all features.
+  const std::size_t d = data.dimensions();
+  std::vector<std::size_t> features(d);
+  for (std::size_t j = 0; j < d; ++j) features[j] = j;
+  std::size_t feature_count = d;
+  if (options.max_features > 0 && options.max_features < d) {
+    rng.shuffle(features);
+    feature_count = options.max_features;
+  }
+
+  SplitChoice best;
+  for (std::size_t f = 0; f < feature_count; ++f) {
+    const SplitChoice choice =
+        options.random_thresholds
+            ? best_split_random(data, rows, begin, end, features[f],
+                                options.min_samples_leaf, rng)
+            : best_split_exact(data, rows, begin, end, features[f],
+                               options.min_samples_leaf);
+    if (choice.valid && choice.score < best.score) best = choice;
+  }
+  if (!best.valid) return node_id;
+
+  // Partition rows in place around the chosen threshold.
+  const auto middle = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t row) {
+        return data.x(row, best.feature) <= best.threshold;
+      });
+  const auto split = static_cast<std::size_t>(middle - rows.begin());
+  if (split == begin || split == end) return node_id;  // degenerate partition
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  const std::int32_t left = build(data, rows, begin, split, depth + 1, options, rng);
+  const std::int32_t right = build(data, rows, split, end, depth + 1, options, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void DecisionTree::fit(const common::Dataset& data, const std::vector<std::size_t>& rows,
+                       const TreeOptions& options, Rng& rng) {
+  CPR_CHECK_MSG(!rows.empty(), "decision tree needs at least one sample");
+  nodes_.clear();
+  std::vector<std::size_t> working = rows;
+  build(data, working, 0, working.size(), 0, options, rng);
+}
+
+double DecisionTree::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!nodes_.empty(), "decision tree not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].left >= 0) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? static_cast<std::size_t>(nodes_[node].left)
+               : static_cast<std::size_t>(nodes_[node].right);
+  }
+  return nodes_[node].value;
+}
+
+std::size_t DecisionTree::size_bytes() const {
+  // feature id (4) + threshold (8) + children (8) + value (8) per node.
+  return nodes_.size() * 28 + sizeof(std::uint64_t);
+}
+
+}  // namespace cpr::baselines

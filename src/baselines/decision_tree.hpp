@@ -1,0 +1,49 @@
+#pragma once
+// CART-style regression tree — the building block of the recursive
+// partitioning baselines (Section 3.5): random forests, extremely-randomized
+// trees, and gradient boosting.
+
+#include <cstdint>
+
+#include "common/regressor.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::baselines {
+
+struct TreeOptions {
+  int max_depth = 8;                 ///< paper sweeps 2..16
+  std::size_t min_samples_leaf = 1;
+  std::size_t max_features = 0;      ///< features tried per split; 0 = all
+  bool random_thresholds = false;    ///< extra-trees: one uniform threshold per feature
+};
+
+/// A single fitted regression tree (flat node array).
+class DecisionTree {
+ public:
+  /// Fits to the rows of `data` listed in `rows` (duplicates allowed —
+  /// bootstrap sampling passes repeated indices).
+  void fit(const common::Dataset& data, const std::vector<std::size_t>& rows,
+           const TreeOptions& options, Rng& rng);
+
+  double predict(const grid::Config& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t size_bytes() const;
+
+ private:
+  struct Node {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;   ///< child node ids; -1 marks a leaf
+    std::int32_t right = -1;
+    double value = 0.0;       ///< leaf prediction (mean of samples)
+  };
+
+  std::int32_t build(const common::Dataset& data, std::vector<std::size_t>& rows,
+                     std::size_t begin, std::size_t end, int depth,
+                     const TreeOptions& options, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cpr::baselines

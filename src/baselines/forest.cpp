@@ -1,0 +1,119 @@
+#include "baselines/forest.hpp"
+
+#include <cmath>
+
+namespace cpr::baselines {
+
+namespace {
+std::vector<std::size_t> identity_rows(std::size_t n) {
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+}  // namespace
+
+void RandomForestRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  Rng rng(options_.seed);
+  TreeOptions tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+  tree_options.max_features = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(train.dimensions()))));
+  tree_options.random_thresholds = false;
+
+  trees_.assign(options_.n_trees, {});
+  for (auto& tree : trees_) {
+    // Bootstrap sample (with replacement).
+    std::vector<std::size_t> rows(train.size());
+    for (auto& row : rows) {
+      row = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(train.size()) - 1));
+    }
+    tree.fit(train, rows, tree_options, rng);
+  }
+}
+
+double RandomForestRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!trees_.empty(), "random forest not fitted");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::size_t RandomForestRegressor::model_size_bytes() const {
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (const auto& tree : trees_) bytes += tree.size_bytes();
+  return bytes;
+}
+
+void ExtraTreesRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  Rng rng(options_.seed);
+  TreeOptions tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+  tree_options.max_features = 0;  // all features, random thresholds
+  tree_options.random_thresholds = true;
+
+  const auto rows = identity_rows(train.size());
+  trees_.assign(options_.n_trees, {});
+  for (auto& tree : trees_) tree.fit(train, rows, tree_options, rng);
+}
+
+double ExtraTreesRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!trees_.empty(), "extra-trees model not fitted");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::size_t ExtraTreesRegressor::model_size_bytes() const {
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (const auto& tree : trees_) bytes += tree.size_bytes();
+  return bytes;
+}
+
+void GradientBoostingRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  Rng rng(options_.seed);
+  TreeOptions tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+  tree_options.max_features = 0;
+  tree_options.random_thresholds = false;
+
+  double sum = 0.0;
+  for (const double y : train.y) sum += y;
+  base_prediction_ = sum / static_cast<double>(train.size());
+
+  common::Dataset residuals = train;
+  for (std::size_t i = 0; i < train.size(); ++i) residuals.y[i] -= base_prediction_;
+
+  const auto rows = identity_rows(train.size());
+  trees_.assign(options_.n_trees, {});
+  for (auto& tree : trees_) {
+    tree.fit(residuals, rows, tree_options, rng);
+    // Shrink the new tree's contribution and update residuals.
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      residuals.y[i] -= options_.learning_rate * tree.predict(residuals.config(i));
+    }
+  }
+}
+
+double GradientBoostingRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!trees_.empty(), "gradient boosting model not fitted");
+  double prediction = base_prediction_;
+  for (const auto& tree : trees_) {
+    prediction += options_.learning_rate * tree.predict(x);
+  }
+  return prediction;
+}
+
+std::size_t GradientBoostingRegressor::model_size_bytes() const {
+  std::size_t bytes = sizeof(std::uint64_t) + sizeof(double) * 2;
+  for (const auto& tree : trees_) bytes += tree.size_bytes();
+  return bytes;
+}
+
+}  // namespace cpr::baselines

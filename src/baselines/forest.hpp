@@ -1,0 +1,73 @@
+#pragma once
+// Ensemble tree regressors (Section 3.5): random forests (bootstrap + best
+// splits on feature subsets), extremely-randomized trees (full sample +
+// random thresholds), and least-squares gradient boosting (sequential trees
+// on residuals).
+
+#include "baselines/decision_tree.hpp"
+
+namespace cpr::baselines {
+
+struct ForestOptions {
+  std::size_t n_trees = 16;   ///< paper sweeps 1..64
+  int max_depth = 8;          ///< paper sweeps 2..16
+  std::size_t min_samples_leaf = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Random forest: bootstrap aggregation of best-split trees, each split
+/// considering a random sqrt(d)-sized feature subset.
+class RandomForestRegressor final : public common::Regressor {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "RF"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+/// Extremely-randomized trees: full training sample, random split
+/// thresholds — "among the most accurate methods for performance modeling"
+/// per the paper's survey.
+class ExtraTreesRegressor final : public common::Regressor {
+ public:
+  explicit ExtraTreesRegressor(ForestOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ET"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+struct BoostingOptions : ForestOptions {
+  double learning_rate = 0.1;
+  BoostingOptions() { max_depth = 4; }
+};
+
+/// Gradient boosting with least-squares loss: each tree fits the current
+/// residuals (= negative gradient of squared error).
+class GradientBoostingRegressor final : public common::Regressor {
+ public:
+  explicit GradientBoostingRegressor(BoostingOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "GB"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  BoostingOptions options_;
+  double base_prediction_ = 0.0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace cpr::baselines

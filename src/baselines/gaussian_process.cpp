@@ -1,0 +1,141 @@
+#include "baselines/gaussian_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::baselines {
+
+namespace {
+double sq_dist(const double* a, const double* b, std::size_t d) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+}  // namespace
+
+double GaussianProcess::kernel(const double* a, const double* b, std::size_t d) const {
+  const double ls_sq = length_scale_ * length_scale_;
+  switch (options_.kernel) {
+    case GpKernel::Rbf:
+      return std::exp(-0.5 * sq_dist(a, b, d) / ls_sq);
+    case GpKernel::RationalQuadratic: {
+      const double term = sq_dist(a, b, d) / (2.0 * options_.alpha * ls_sq);
+      return std::pow(1.0 + term, -options_.alpha);
+    }
+    case GpKernel::DotProductWhite: {
+      double dot = 1.0;  // sigma_0^2 = 1
+      for (std::size_t j = 0; j < d; ++j) dot += a[j] * b[j];
+      return dot;  // white-noise part lives on the diagonal via options_.noise
+    }
+    case GpKernel::Matern: {
+      // nu = 2.5: (1 + sqrt(5) r / l + 5 r^2 / (3 l^2)) exp(-sqrt(5) r / l)
+      const double r = std::sqrt(sq_dist(a, b, d));
+      const double s = std::sqrt(5.0) * r / length_scale_;
+      return (1.0 + s + s * s / 3.0) * std::exp(-s);
+    }
+    case GpKernel::Constant:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+void GaussianProcess::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  const std::size_t d = train.dimensions();
+
+  // Optional subsampling to bound the cubic solve.
+  common::Dataset data = train;
+  if (train.size() > options_.max_samples) {
+    Rng rng(options_.seed);
+    auto rows = rng.sample_without_replacement(train.size(), options_.max_samples);
+    std::sort(rows.begin(), rows.end());
+    data = train.subset(rows);
+  }
+  const std::size_t n = data.size();
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += data.x(i, j);
+      sum_sq += data.x(i, j) * data.x(i, j);
+    }
+    mean_[j] = sum / static_cast<double>(n);
+    const double var =
+        std::max(1e-12, sum_sq / static_cast<double>(n) - mean_[j] * mean_[j]);
+    inv_std_[j] = 1.0 / std::sqrt(var);
+  }
+  support_ = linalg::Matrix(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      support_(i, j) = (data.x(i, j) - mean_[j]) * inv_std_[j];
+    }
+  }
+
+  // Median-distance heuristic on a bounded pair sample.
+  {
+    Rng rng(options_.seed + 1);
+    std::vector<double> pair_distances;
+    const std::size_t pairs = std::min<std::size_t>(2048, n * (n - 1) / 2 + 1);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto k = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (i == k) continue;
+      pair_distances.push_back(
+          std::sqrt(sq_dist(support_.row_ptr(i), support_.row_ptr(k), d)));
+    }
+    if (!pair_distances.empty()) {
+      std::nth_element(pair_distances.begin(),
+                       pair_distances.begin() +
+                           static_cast<std::ptrdiff_t>(pair_distances.size() / 2),
+                       pair_distances.end());
+      length_scale_ = std::max(1e-6, pair_distances[pair_distances.size() / 2]);
+    }
+  }
+
+  double target_sum = 0.0;
+  for (const double y : data.y) target_sum += y;
+  target_mean_ = target_sum / static_cast<double>(n);
+
+  linalg::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i; k < n; ++k) {
+      const double value = kernel(support_.row_ptr(i), support_.row_ptr(k), d);
+      gram(i, k) = value;
+      gram(k, i) = value;
+    }
+    gram(i, i) += options_.noise;
+  }
+  linalg::Vector centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = data.y[i] - target_mean_;
+  auto solution = linalg::solve_spd(std::move(gram), std::move(centered));
+  CPR_CHECK_MSG(solution.has_value(), "GP kernel matrix not positive definite");
+  alpha_.assign(solution->begin(), solution->end());
+}
+
+double GaussianProcess::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!alpha_.empty(), "GP not fitted");
+  const std::size_t d = support_.cols();
+  std::vector<double> z(d);
+  for (std::size_t j = 0; j < d; ++j) z[j] = (x[j] - mean_[j]) * inv_std_[j];
+  double prediction = target_mean_;
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    prediction += alpha_[i] * kernel(support_.row_ptr(i), z.data(), d);
+  }
+  return prediction;
+}
+
+std::size_t GaussianProcess::model_size_bytes() const {
+  // Persisting a GP requires the support set plus the alpha vector.
+  return support_.size() * sizeof(double) + alpha_.size() * sizeof(double) +
+         (mean_.size() * 2 + 2) * sizeof(double);
+}
+
+}  // namespace cpr::baselines

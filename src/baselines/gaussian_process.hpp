@@ -1,0 +1,52 @@
+#pragma once
+// Gaussian-process regression (Section 3.4).
+//
+// Exact GP regression with the five covariance kernels the paper sweeps:
+// RationalQuadratic, RBF, DotProduct+WhiteKernel, Matern(nu=2.5) and
+// ConstantKernel. Length scales use the median-distance heuristic on
+// standardized features; the posterior mean is k_*^T (K + sigma_n^2 I)^{-1} y
+// via Cholesky. Training cost is O(n^3), so harnesses cap the sample count
+// (the paper likewise drops models that take >= 1000 s to optimize).
+
+#include "common/regressor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpr::baselines {
+
+enum class GpKernel {
+  RationalQuadratic,
+  Rbf,
+  DotProductWhite,
+  Matern,   ///< nu = 2.5
+  Constant,
+};
+
+struct GpOptions {
+  GpKernel kernel = GpKernel::Rbf;
+  double noise = 1e-4;         ///< sigma_n^2 added to the diagonal
+  double alpha = 1.0;          ///< RationalQuadratic shape parameter
+  std::size_t max_samples = 2048;  ///< subsample cap to bound the O(n^3) solve
+  std::uint64_t seed = 42;
+};
+
+class GaussianProcess final : public common::Regressor {
+ public:
+  explicit GaussianProcess(GpOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "GP"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  double kernel(const double* a, const double* b, std::size_t d) const;
+
+  GpOptions options_;
+  linalg::Matrix support_;        ///< standardized retained training inputs
+  std::vector<double> alpha_;     ///< (K + noise I)^{-1} (y - mean)
+  std::vector<double> mean_, inv_std_;
+  double target_mean_ = 0.0;
+  double length_scale_ = 1.0;
+};
+
+}  // namespace cpr::baselines

@@ -1,0 +1,153 @@
+#include "baselines/global_models.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/qr.hpp"
+
+namespace cpr::baselines {
+
+std::vector<double> OlsRegressor::expand(const grid::Config& x) const {
+  std::vector<double> features{1.0};
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    double power = 1.0;
+    for (int p = 1; p <= options_.degree; ++p) {
+      power *= x[j];
+      features.push_back(power);
+    }
+  }
+  if (options_.interactions) {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      for (std::size_t k = j + 1; k < x.size(); ++k) {
+        features.push_back(x[j] * x[k]);
+      }
+    }
+  }
+  return features;
+}
+
+void OlsRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  dims_ = train.dimensions();
+  const auto probe = expand(train.config(0));
+  const std::size_t p = probe.size();
+  CPR_CHECK_MSG(train.size() >= p,
+                "OLS needs at least as many samples (" << train.size()
+                                                       << ") as predictors (" << p << ")");
+  linalg::Matrix design(train.size(), p);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto row = expand(train.config(i));
+    for (std::size_t c = 0; c < p; ++c) design(i, c) = row[c];
+  }
+  coefficients_ = linalg::solve_ridge(design, train.y, options_.ridge);
+}
+
+double OlsRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!coefficients_.empty(), "OLS model not fitted");
+  const auto features = expand(x);
+  double prediction = 0.0;
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    prediction += coefficients_[c] * features[c];
+  }
+  return prediction;
+}
+
+std::size_t OlsRegressor::model_size_bytes() const {
+  return coefficients_.size() * sizeof(double) + sizeof(std::uint64_t);
+}
+
+double PmnfRegressor::Term::evaluate(const grid::Config& x) const {
+  double product = 1.0;
+  for (const auto& f : factors) {
+    const double v = std::max(x[f.dim], 1e-12);  // PMNF terms need positive inputs
+    if (f.exponent != 0.0) product *= std::pow(v, f.exponent);
+    if (f.log_exponent != 0) product *= std::pow(std::log(v), f.log_exponent);
+  }
+  return product;
+}
+
+void PmnfRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 1, "PMNF needs at least two samples");
+  const std::size_t d = train.dimensions();
+
+  // Candidate single-parameter terms over the exponent sets.
+  std::vector<Term> candidates;
+  for (std::size_t j = 0; j < d; ++j) {
+    for (const double v : options_.exponents) {
+      for (const int w : options_.log_exponents) {
+        if (v == 0.0 && w == 0) continue;  // that's the constant term
+        candidates.push_back(Term{{Term::Factor{j, v, w}}});
+      }
+    }
+  }
+
+  terms_.clear();
+  terms_.push_back(Term{});  // constant
+  std::vector<std::vector<double>> columns{std::vector<double>(train.size(), 1.0)};
+
+  const auto refit_rss = [&](const std::vector<std::vector<double>>& cols,
+                             std::vector<double>* coefficients) {
+    linalg::Matrix design(train.size(), cols.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      for (std::size_t c = 0; c < cols.size(); ++c) design(i, c) = cols[c][i];
+    }
+    const auto beta = linalg::solve_ridge(design, train.y, options_.ridge);
+    double rss = 0.0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      double prediction = 0.0;
+      for (std::size_t c = 0; c < cols.size(); ++c) prediction += beta[c] * cols[c][i];
+      const double r = train.y[i] - prediction;
+      rss += r * r;
+    }
+    if (coefficients != nullptr) *coefficients = beta;
+    return rss;
+  };
+
+  double current_rss = refit_rss(columns, &coefficients_);
+  while (terms_.size() < options_.max_terms + 1) {  // +1 for the constant
+    double best_rss = current_rss;
+    std::size_t best_candidate = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      std::vector<double> column(train.size());
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        column[i] = candidates[c].evaluate(train.config(i));
+      }
+      columns.push_back(std::move(column));
+      const double rss = refit_rss(columns, nullptr);
+      columns.pop_back();
+      if (rss < best_rss * (1.0 - 1e-6)) {
+        best_rss = rss;
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == candidates.size()) break;
+    terms_.push_back(candidates[best_candidate]);
+    std::vector<double> column(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      column[i] = candidates[best_candidate].evaluate(train.config(i));
+    }
+    columns.push_back(std::move(column));
+    current_rss = refit_rss(columns, &coefficients_);
+  }
+}
+
+double PmnfRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!terms_.empty(), "PMNF model not fitted");
+  double prediction = 0.0;
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    prediction += coefficients_[t] * terms_[t].evaluate(x);
+  }
+  return prediction;
+}
+
+std::size_t PmnfRegressor::model_size_bytes() const {
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (const auto& term : terms_) {
+    bytes += sizeof(std::uint64_t) +
+             term.factors.size() * (sizeof(std::uint64_t) + sizeof(double) + sizeof(int)) +
+             sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace cpr::baselines

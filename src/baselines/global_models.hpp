@@ -1,0 +1,76 @@
+#pragma once
+// Global (non-piecewise) models — Section 3.1.
+//
+// OlsRegressor: ordinary/ridge least squares on a polynomial expansion of
+// the (already log-transformed, per the harness) features — the classic
+// first-generation empirical model.
+//
+// PmnfRegressor: performance-model-normal-form search (Calotoiu et al.,
+// Eq. 1): m(x) = sum_r alpha_r * prod_j x_j^{v_{r,j}} log^{w_{r,j}}(x_j).
+// Candidate single-parameter terms over user exponent sets are grown
+// greedily (with optional pairwise products) by OLS refits.
+
+#include "common/regressor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpr::baselines {
+
+struct OlsOptions {
+  int degree = 2;             ///< polynomial degree of the expansion
+  bool interactions = true;   ///< include pairwise product terms
+  double ridge = 1e-8;
+};
+
+class OlsRegressor final : public common::Regressor {
+ public:
+  explicit OlsRegressor(OlsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "OLS"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  std::vector<double> expand(const grid::Config& x) const;
+
+  OlsOptions options_;
+  std::size_t dims_ = 0;
+  std::vector<double> coefficients_;
+};
+
+struct PmnfOptions {
+  std::vector<double> exponents = {0.0, 0.5, 1.0, 1.5, 2.0, 3.0};  ///< v set
+  std::vector<int> log_exponents = {0, 1, 2};                      ///< w set
+  std::size_t max_terms = 5;   ///< R of Eq. 1 (greedy growth)
+  double ridge = 1e-8;
+};
+
+class PmnfRegressor final : public common::Regressor {
+ public:
+  explicit PmnfRegressor(PmnfOptions options = {}) : options_(std::move(options)) {}
+
+  std::string name() const override { return "PMNF"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+  /// One term: prod over involved parameters of x^v log^w(x).
+  struct Term {
+    struct Factor {
+      std::size_t dim;
+      double exponent;
+      int log_exponent;
+    };
+    std::vector<Factor> factors;  ///< empty = constant term
+    double evaluate(const grid::Config& x) const;
+  };
+
+  const std::vector<Term>& terms() const { return terms_; }
+
+ private:
+  PmnfOptions options_;
+  std::vector<Term> terms_;
+  std::vector<double> coefficients_;
+};
+
+}  // namespace cpr::baselines

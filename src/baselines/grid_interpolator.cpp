@@ -1,0 +1,62 @@
+#include "baselines/grid_interpolator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/multi_index.hpp"
+
+namespace cpr::baselines {
+
+void GridInterpolator::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  CPR_CHECK_MSG(train.dimensions() == discretization_.order(),
+                "dataset dimensionality does not match the discretization");
+
+  const auto total_cells = discretization_.cell_count();
+  std::vector<double> sums(total_cells, 0.0);
+  std::vector<std::size_t> counts(total_cells, 0);
+  double global_sum = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    CPR_CHECK_MSG(train.y[i] > 0.0, "execution times must be positive");
+    const auto flat =
+        tensor::linearize(discretization_.cell_of(train.config(i)), discretization_.dims());
+    const double log_value = std::log(train.y[i]);
+    sums[flat] += log_value;
+    counts[flat] += 1;
+    global_sum += log_value;
+  }
+  global_log_mean_ = global_sum / static_cast<double>(train.size());
+
+  cell_log_means_.assign(total_cells, global_log_mean_);
+  std::size_t observed = 0;
+  for (std::size_t c = 0; c < total_cells; ++c) {
+    if (counts[c] > 0) {
+      cell_log_means_[c] = sums[c] / static_cast<double>(counts[c]);
+      ++observed;
+    }
+  }
+  density_ = static_cast<double>(observed) / static_cast<double>(total_cells);
+  fitted_ = true;
+}
+
+double GridInterpolator::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(fitted_, "GridInterpolator::predict before fit");
+  grid::Config clamped = x;
+  for (std::size_t j = 0; j < clamped.size(); ++j) {
+    const auto& p = discretization_.params()[j];
+    if (p.is_numerical()) clamped[j] = std::clamp(clamped[j], p.lo, p.hi);
+  }
+  const double log_prediction = discretization_.interpolate(
+      clamped, [this](const tensor::Index& idx) {
+        return cell_log_means_[tensor::linearize(idx, discretization_.dims())];
+      });
+  return std::exp(log_prediction);
+}
+
+std::size_t GridInterpolator::model_size_bytes() const {
+  // The whole grid must be persisted — the footprint CPR compresses away.
+  return cell_log_means_.size() * sizeof(double) + sizeof(double) +
+         discretization_.order() * 2 * sizeof(double);
+}
+
+}  // namespace cpr::baselines

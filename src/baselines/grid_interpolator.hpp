@@ -1,0 +1,43 @@
+#pragma once
+// Uncompressed regular-grid multilinear interpolation (Section 3.2).
+//
+// The straw-man CPR compresses: every grid cell stores its observed mean
+// log execution time explicitly, unobserved cells fall back to the nearest
+// observed ancestor mean (global mean at worst), and inference uses the
+// same Eq.-5 interpolation as CPR. Its accuracy matches CPR when the grid
+// is densely observed — but the model size is the *full* cell count
+// (O(2^{nd}) in the paper's notation), which is exactly the scaling CPR's
+// rank-R factorization avoids (O(2^n d R)). Included so Figure-7-style
+// comparisons can show the compression trade-off directly.
+
+#include <unordered_map>
+
+#include "common/regressor.hpp"
+#include "grid/discretization.hpp"
+
+namespace cpr::baselines {
+
+class GridInterpolator final : public common::Regressor {
+ public:
+  explicit GridInterpolator(grid::Discretization discretization)
+      : discretization_(std::move(discretization)) {}
+
+  std::string name() const override { return "GRID"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+
+  /// Full dense grid of doubles — the uncompressed footprint.
+  std::size_t model_size_bytes() const override;
+
+  double observed_density() const { return density_; }
+  const grid::Discretization& discretization() const { return discretization_; }
+
+ private:
+  grid::Discretization discretization_;
+  std::vector<double> cell_log_means_;  ///< dense, one per grid cell
+  double global_log_mean_ = 0.0;
+  double density_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace cpr::baselines

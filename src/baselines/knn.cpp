@@ -1,0 +1,64 @@
+#include "baselines/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpr::baselines {
+
+void KnnRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  train_ = train;
+  const std::size_t d = train.dimensions();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      sum += train.x(i, j);
+      sum_sq += train.x(i, j) * train.x(i, j);
+    }
+    const double n = static_cast<double>(train.size());
+    mean_[j] = sum / n;
+    const double variance = std::max(0.0, sum_sq / n - mean_[j] * mean_[j]);
+    inv_std_[j] = variance > 0.0 ? 1.0 / std::sqrt(variance) : 0.0;
+  }
+}
+
+double KnnRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(train_.size() > 0, "KNN model not fitted");
+  const std::size_t k = std::min(options_.k, train_.size());
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, std::size_t>> distances(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double dist_sq = 0.0;
+    for (std::size_t j = 0; j < train_.dimensions(); ++j) {
+      const double diff = (x[j] - train_.x(i, j)) * inv_std_[j];
+      dist_sq += diff * diff;
+    }
+    distances[i] = {dist_sq, i};
+  }
+  std::nth_element(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   distances.end());
+  double weight_sum = 0.0, weighted_value = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto [dist_sq, i] = distances[t];
+    if (options_.distance_weighted) {
+      if (dist_sq == 0.0) return train_.y[i];  // exact hit
+      const double w = 1.0 / std::sqrt(dist_sq);
+      weight_sum += w;
+      weighted_value += w * train_.y[i];
+    } else {
+      weight_sum += 1.0;
+      weighted_value += train_.y[i];
+    }
+  }
+  return weighted_value / weight_sum;
+}
+
+std::size_t KnnRegressor::model_size_bytes() const {
+  // The fitted model must persist the full training set plus scalers.
+  return train_.size() * (train_.dimensions() + 1) * sizeof(double) +
+         2 * mean_.size() * sizeof(double);
+}
+
+}  // namespace cpr::baselines

@@ -1,0 +1,33 @@
+#pragma once
+// k-nearest-neighbors regression (Section 3.6).
+//
+// Predicts by inverse-distance-weighted averaging of the k nearest training
+// configurations under the Euclidean metric on standardized features.
+// Instance-based: the "model" is the training set itself, which is why its
+// size scales poorly in Figure 7.
+
+#include "common/regressor.hpp"
+
+namespace cpr::baselines {
+
+struct KnnOptions {
+  std::size_t k = 3;  ///< paper sweeps 1..6
+  bool distance_weighted = true;
+};
+
+class KnnRegressor final : public common::Regressor {
+ public:
+  explicit KnnRegressor(KnnOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "KNN"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  KnnOptions options_;
+  common::Dataset train_;
+  std::vector<double> mean_, inv_std_;  ///< per-feature standardization
+};
+
+}  // namespace cpr::baselines

@@ -1,0 +1,235 @@
+#include "baselines/mars.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::baselines {
+
+double Mars::BasisFunction::evaluate(const grid::Config& x) const {
+  double product = 1.0;
+  for (const auto& h : hinges) {
+    const double v = static_cast<double>(h.sign) * (x[h.dim] - h.knot);
+    if (v <= 0.0) return 0.0;
+    product *= v;
+  }
+  return product;
+}
+
+bool Mars::BasisFunction::uses_dim(std::size_t dim) const {
+  for (const auto& h : hinges) {
+    if (h.dim == dim) return true;
+  }
+  return false;
+}
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Column of basis-function values over a set of rows.
+Vector basis_column(const Mars::BasisFunction& basis, const common::Dataset& data,
+                    const std::vector<std::size_t>& rows) {
+  Vector column(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    column[k] = basis.evaluate(data.config(rows[k]));
+  }
+  return column;
+}
+
+/// Least-squares fit of `columns` (as a design matrix) to y over `rows`;
+/// returns (coefficients, rss). Ridge-stabilized normal equations.
+std::pair<Vector, double> fit_columns(const std::vector<Vector>& columns,
+                                      const common::Dataset& data,
+                                      const std::vector<std::size_t>& rows) {
+  const std::size_t p = columns.size(), n = rows.size();
+  Matrix gram(p, p, 0.0);
+  Vector rhs(p, 0.0);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      gram(a, b) = linalg::dot(columns[a], columns[b]);
+      gram(b, a) = gram(a, b);
+    }
+    double dot_y = 0.0;
+    for (std::size_t k = 0; k < n; ++k) dot_y += columns[a][k] * data.y[rows[k]];
+    rhs[a] = dot_y;
+  }
+  for (std::size_t a = 0; a < p; ++a) gram(a, a) += 1e-10 * (gram(a, a) + 1.0);
+  auto solution = linalg::solve_spd(gram, rhs);
+  if (!solution.has_value()) {
+    return {Vector(p, 0.0), std::numeric_limits<double>::infinity()};
+  }
+  double rss = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double prediction = 0.0;
+    for (std::size_t a = 0; a < p; ++a) prediction += (*solution)[a] * columns[a][k];
+    const double residual = data.y[rows[k]] - prediction;
+    rss += residual * residual;
+  }
+  return {std::move(*solution), rss};
+}
+
+/// Friedman's generalized cross-validation score.
+double gcv(double rss, std::size_t n, std::size_t terms, double penalty) {
+  const double c = static_cast<double>(terms) +
+                   penalty * 0.5 * static_cast<double>(terms > 0 ? terms - 1 : 0);
+  const double denom = 1.0 - c / static_cast<double>(n);
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return (rss / static_cast<double>(n)) / (denom * denom);
+}
+
+}  // namespace
+
+void Mars::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() >= 2, "MARS needs at least two observations");
+  const std::size_t n = train.size();
+  const std::size_t d = train.dimensions();
+  Rng rng(options_.seed);
+
+  // Knot candidates: quantiles of the observed values per dimension.
+  std::vector<std::vector<double>> knots(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = train.x(i, j);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() <= 1) continue;  // constant feature: no knots
+    const std::size_t count = std::min(options_.knots_per_dim, values.size() - 1);
+    for (std::size_t q = 0; q < count; ++q) {
+      // Interior quantiles (skip the extremes so hinges split the data).
+      const double frac = static_cast<double>(q + 1) / static_cast<double>(count + 1);
+      knots[j].push_back(values[static_cast<std::size_t>(frac * (values.size() - 1))]);
+    }
+    std::sort(knots[j].begin(), knots[j].end());
+    knots[j].erase(std::unique(knots[j].begin(), knots[j].end()), knots[j].end());
+  }
+
+  // Scoring subsample (forward-pass candidate search only).
+  std::vector<std::size_t> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
+  std::vector<std::size_t> score_rows = all_rows;
+  if (n > options_.score_subsample) {
+    score_rows = rng.sample_without_replacement(n, options_.score_subsample);
+    std::sort(score_rows.begin(), score_rows.end());
+  }
+
+  // Forward pass.
+  basis_.clear();
+  basis_.push_back(BasisFunction{});  // intercept
+  std::vector<Vector> score_columns{basis_column(basis_[0], train, score_rows)};
+  double current_rss = fit_columns(score_columns, train, score_rows).second;
+
+  while (basis_.size() + 2 <= options_.max_terms) {
+    double best_rss = current_rss;
+    std::size_t best_parent = 0, best_dim = 0;
+    double best_knot = 0.0;
+    bool found = false;
+
+    for (std::size_t parent = 0; parent < basis_.size(); ++parent) {
+      if (basis_[parent].degree() >= static_cast<std::size_t>(options_.max_degree)) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        if (basis_[parent].uses_dim(j)) continue;
+        for (const double c : knots[j]) {
+          auto candidate = score_columns;
+          BasisFunction plus = basis_[parent], minus = basis_[parent];
+          plus.hinges.push_back(Hinge{j, c, +1});
+          minus.hinges.push_back(Hinge{j, c, -1});
+          candidate.push_back(basis_column(plus, train, score_rows));
+          candidate.push_back(basis_column(minus, train, score_rows));
+          const double rss = fit_columns(candidate, train, score_rows).second;
+          if (rss < best_rss - options_.min_rss_decrease) {
+            best_rss = rss;
+            best_parent = parent;
+            best_dim = j;
+            best_knot = c;
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;
+
+    BasisFunction plus = basis_[best_parent], minus = basis_[best_parent];
+    plus.hinges.push_back(Hinge{best_dim, best_knot, +1});
+    minus.hinges.push_back(Hinge{best_dim, best_knot, -1});
+    basis_.push_back(plus);
+    basis_.push_back(minus);
+    score_columns.push_back(basis_column(plus, train, score_rows));
+    score_columns.push_back(basis_column(minus, train, score_rows));
+    current_rss = best_rss;
+    CPR_LOG_DEBUG("MARS forward: " << basis_.size() << " terms, subsample RSS "
+                                   << current_rss);
+  }
+
+  // Backward pruning by GCV on the full data.
+  std::vector<Vector> full_columns;
+  full_columns.reserve(basis_.size());
+  for (const auto& b : basis_) full_columns.push_back(basis_column(b, train, all_rows));
+
+  auto [coefficients, rss] = fit_columns(full_columns, train, all_rows);
+  std::vector<BasisFunction> best_basis = basis_;
+  Vector best_coefficients = coefficients;
+  double best_gcv = gcv(rss, n, basis_.size(), options_.gcv_penalty);
+
+  std::vector<BasisFunction> working_basis = basis_;
+  std::vector<Vector> working_columns = full_columns;
+  while (working_basis.size() > 1) {
+    // Remove the term (never the intercept) whose removal gives lowest GCV.
+    double round_best_gcv = std::numeric_limits<double>::infinity();
+    std::size_t drop = 0;
+    Vector round_best_coefficients;
+    for (std::size_t t = 1; t < working_basis.size(); ++t) {
+      std::vector<Vector> reduced;
+      reduced.reserve(working_columns.size() - 1);
+      for (std::size_t s = 0; s < working_columns.size(); ++s) {
+        if (s != t) reduced.push_back(working_columns[s]);
+      }
+      auto [cand_coeffs, cand_rss] = fit_columns(reduced, train, all_rows);
+      const double cand_gcv = gcv(cand_rss, n, reduced.size(), options_.gcv_penalty);
+      if (cand_gcv < round_best_gcv) {
+        round_best_gcv = cand_gcv;
+        drop = t;
+        round_best_coefficients = std::move(cand_coeffs);
+      }
+    }
+    working_basis.erase(working_basis.begin() + static_cast<std::ptrdiff_t>(drop));
+    working_columns.erase(working_columns.begin() + static_cast<std::ptrdiff_t>(drop));
+    if (round_best_gcv <= best_gcv) {
+      best_gcv = round_best_gcv;
+      best_basis = working_basis;
+      best_coefficients = std::move(round_best_coefficients);
+    }
+  }
+
+  basis_ = std::move(best_basis);
+  coefficients_.assign(best_coefficients.begin(), best_coefficients.end());
+}
+
+double Mars::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!basis_.empty(), "MARS model not fitted");
+  double prediction = 0.0;
+  for (std::size_t t = 0; t < basis_.size(); ++t) {
+    prediction += coefficients_[t] * basis_[t].evaluate(x);
+  }
+  return prediction;
+}
+
+std::size_t Mars::model_size_bytes() const {
+  // Per basis function: hinge list (dim, knot, sign) + coefficient.
+  std::size_t bytes = sizeof(std::uint64_t);  // term count
+  for (const auto& b : basis_) {
+    bytes += sizeof(std::uint64_t);  // hinge count
+    bytes += b.hinges.size() * (sizeof(std::uint64_t) + sizeof(double) + sizeof(std::int8_t));
+    bytes += sizeof(double);  // coefficient
+  }
+  return bytes;
+}
+
+}  // namespace cpr::baselines

@@ -1,0 +1,60 @@
+#pragma once
+// Multivariate adaptive regression splines (Friedman, 1991) — Section 3.2.
+//
+// MARS builds a linear model over products of univariate hinge functions
+// max(0, ±(x_j - c)). The forward pass greedily adds mirrored hinge pairs
+// (scored by squared error on a row subsample for speed, then refit on the
+// full data); the backward pass prunes terms by generalized cross-validation.
+//
+// Used (a) as the adaptive-spline baseline of the evaluation and (b) inside
+// the CPR extrapolation model, which fits a 1-D MARS spline to the log of
+// each factor matrix's leading singular vector (Section 5.3).
+
+#include "common/regressor.hpp"
+
+namespace cpr::baselines {
+
+struct MarsOptions {
+  int max_degree = 1;          ///< max interaction order (paper sweeps 1..6)
+  std::size_t max_terms = 21;  ///< basis-function budget incl. intercept
+  std::size_t knots_per_dim = 16;   ///< candidate knots (quantiles of observed values)
+  std::size_t score_subsample = 2048;  ///< rows used to score candidates
+  double gcv_penalty = 3.0;    ///< Friedman's d penalty per knot
+  double min_rss_decrease = 1e-12;  ///< forward-pass stopping threshold
+  std::uint64_t seed = 42;
+};
+
+class Mars final : public common::Regressor {
+ public:
+  explicit Mars(MarsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "MARS"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+  /// One hinge factor: sign * (x[dim] - knot), clipped at zero.
+  struct Hinge {
+    std::size_t dim = 0;
+    double knot = 0.0;
+    int sign = +1;  ///< +1: max(0, x - c); -1: max(0, c - x)
+  };
+
+  /// A basis function is a product of hinges (empty = intercept).
+  struct BasisFunction {
+    std::vector<Hinge> hinges;
+    double evaluate(const grid::Config& x) const;
+    bool uses_dim(std::size_t dim) const;
+    std::size_t degree() const { return hinges.size(); }
+  };
+
+  const std::vector<BasisFunction>& basis() const { return basis_; }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  MarsOptions options_;
+  std::vector<BasisFunction> basis_;
+  std::vector<double> coefficients_;
+};
+
+}  // namespace cpr::baselines

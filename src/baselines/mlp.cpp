@@ -1,0 +1,222 @@
+#include "baselines/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace cpr::baselines {
+
+namespace {
+
+double activate(double v, Activation activation) {
+  return activation == Activation::Relu ? std::max(0.0, v) : std::tanh(v);
+}
+
+double activate_grad(double pre, Activation activation) {
+  if (activation == Activation::Relu) return pre > 0.0 ? 1.0 : 0.0;
+  const double t = std::tanh(pre);
+  return 1.0 - t * t;
+}
+
+}  // namespace
+
+void Mlp::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  const std::size_t n = train.size();
+  const std::size_t d = train.dimensions();
+  Rng rng(options_.seed);
+
+  // Standardize features and target.
+  feature_mean_.assign(d, 0.0);
+  feature_inv_std_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += train.x(i, j);
+      sum_sq += train.x(i, j) * train.x(i, j);
+    }
+    feature_mean_[j] = sum / static_cast<double>(n);
+    const double var =
+        std::max(1e-12, sum_sq / static_cast<double>(n) - feature_mean_[j] * feature_mean_[j]);
+    feature_inv_std_[j] = 1.0 / std::sqrt(var);
+  }
+  {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const double y : train.y) {
+      sum += y;
+      sum_sq += y * y;
+    }
+    target_mean_ = sum / static_cast<double>(n);
+    target_std_ = std::sqrt(
+        std::max(1e-12, sum_sq / static_cast<double>(n) - target_mean_ * target_mean_));
+  }
+
+  // He/Xavier-style initialization.
+  std::vector<std::size_t> widths;
+  widths.push_back(d);
+  for (const std::size_t w : options_.hidden_layers) widths.push_back(w);
+  widths.push_back(1);
+  layers_.clear();
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+    Layer layer;
+    layer.weight = linalg::Matrix(widths[l + 1], widths[l]);
+    layer.bias.assign(widths[l + 1], 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(widths[l]));
+    for (std::size_t i = 0; i < layer.weight.rows(); ++i) {
+      for (std::size_t j = 0; j < layer.weight.cols(); ++j) {
+        layer.weight(i, j) = rng.normal(0.0, scale);
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  // Adam state.
+  struct AdamState {
+    linalg::Matrix mw, vw;
+    linalg::Vector mb, vb;
+  };
+  std::vector<AdamState> adam(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].mw = linalg::Matrix(layers_[l].weight.rows(), layers_[l].weight.cols());
+    adam[l].vw = linalg::Matrix(layers_[l].weight.rows(), layers_[l].weight.cols());
+    adam[l].mb.assign(layers_[l].bias.size(), 0.0);
+    adam[l].vb.assign(layers_[l].bias.size(), 0.0);
+  }
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  std::size_t step = 0;
+
+  std::vector<std::size_t> schedule(n);
+  std::iota(schedule.begin(), schedule.end(), 0);
+
+  // Per-sample activations: pre[l] (pre-activation), act[l] (post).
+  const std::size_t depth = layers_.size();
+  std::vector<std::vector<double>> act(depth + 1), pre(depth);
+  std::vector<std::vector<double>> delta(depth);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(schedule);
+    for (std::size_t start = 0; start < n; start += options_.batch_size) {
+      const std::size_t stop = std::min(n, start + options_.batch_size);
+      // Accumulate gradients over the batch.
+      std::vector<linalg::Matrix> grad_w(depth);
+      std::vector<linalg::Vector> grad_b(depth);
+      for (std::size_t l = 0; l < depth; ++l) {
+        grad_w[l] = linalg::Matrix(layers_[l].weight.rows(), layers_[l].weight.cols());
+        grad_b[l].assign(layers_[l].bias.size(), 0.0);
+      }
+      for (std::size_t s = start; s < stop; ++s) {
+        const std::size_t row = schedule[s];
+        act[0].assign(d, 0.0);
+        for (std::size_t j = 0; j < d; ++j) {
+          act[0][j] = (train.x(row, j) - feature_mean_[j]) * feature_inv_std_[j];
+        }
+        for (std::size_t l = 0; l < depth; ++l) {
+          const auto& layer = layers_[l];
+          pre[l].assign(layer.bias.size(), 0.0);
+          for (std::size_t i = 0; i < layer.weight.rows(); ++i) {
+            double z = layer.bias[i];
+            const double* wi = layer.weight.row_ptr(i);
+            for (std::size_t j = 0; j < layer.weight.cols(); ++j) z += wi[j] * act[l][j];
+            pre[l][i] = z;
+          }
+          act[l + 1].assign(pre[l].size(), 0.0);
+          const bool output_layer = (l + 1 == depth);
+          for (std::size_t i = 0; i < pre[l].size(); ++i) {
+            act[l + 1][i] =
+                output_layer ? pre[l][i] : activate(pre[l][i], options_.activation);
+          }
+        }
+        const double target = (train.y[row] - target_mean_) / target_std_;
+        const double error = act[depth][0] - target;
+        // Backward pass.
+        delta[depth - 1].assign(1, 2.0 * error);
+        for (std::size_t l = depth; l-- > 0;) {
+          if (l + 1 < depth) {
+            delta[l].assign(pre[l].size(), 0.0);
+            const auto& next = layers_[l + 1];
+            for (std::size_t j = 0; j < pre[l].size(); ++j) {
+              double back = 0.0;
+              for (std::size_t i = 0; i < next.weight.rows(); ++i) {
+                back += next.weight(i, j) * delta[l + 1][i];
+              }
+              delta[l][j] = back * activate_grad(pre[l][j], options_.activation);
+            }
+          }
+          for (std::size_t i = 0; i < layers_[l].weight.rows(); ++i) {
+            const double di = delta[l][i];
+            double* gw = grad_w[l].row_ptr(i);
+            for (std::size_t j = 0; j < layers_[l].weight.cols(); ++j) {
+              gw[j] += di * act[l][j];
+            }
+            grad_b[l][i] += di;
+          }
+        }
+      }
+      // Adam update with the batch-mean gradient.
+      ++step;
+      const double batch_inv = 1.0 / static_cast<double>(stop - start);
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+      for (std::size_t l = 0; l < depth; ++l) {
+        auto& layer = layers_[l];
+        for (std::size_t i = 0; i < layer.weight.rows(); ++i) {
+          for (std::size_t j = 0; j < layer.weight.cols(); ++j) {
+            const double g = grad_w[l](i, j) * batch_inv +
+                             options_.weight_decay * layer.weight(i, j);
+            auto& m = adam[l].mw(i, j);
+            auto& v = adam[l].vw(i, j);
+            m = beta1 * m + (1.0 - beta1) * g;
+            v = beta2 * v + (1.0 - beta2) * g * g;
+            layer.weight(i, j) -=
+                options_.learning_rate * (m / bc1) / (std::sqrt(v / bc2) + eps);
+          }
+          const double g = grad_b[l][i] * batch_inv;
+          auto& m = adam[l].mb[i];
+          auto& v = adam[l].vb[i];
+          m = beta1 * m + (1.0 - beta1) * g;
+          v = beta2 * v + (1.0 - beta2) * g * g;
+          layer.bias[i] -= options_.learning_rate * (m / bc1) / (std::sqrt(v / bc2) + eps);
+        }
+      }
+    }
+  }
+}
+
+double Mlp::forward(const std::vector<double>& input) const {
+  std::vector<double> current = input, next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    next.assign(layer.bias.size(), 0.0);
+    const bool output_layer = (l + 1 == layers_.size());
+    for (std::size_t i = 0; i < layer.weight.rows(); ++i) {
+      double z = layer.bias[i];
+      const double* wi = layer.weight.row_ptr(i);
+      for (std::size_t j = 0; j < layer.weight.cols(); ++j) z += wi[j] * current[j];
+      next[i] = output_layer ? z : activate(z, options_.activation);
+    }
+    current.swap(next);
+  }
+  return current[0];
+}
+
+double Mlp::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!layers_.empty(), "MLP not fitted");
+  std::vector<double> input(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    input[j] = (x[j] - feature_mean_[j]) * feature_inv_std_[j];
+  }
+  return forward(input) * target_std_ + target_mean_;
+}
+
+std::size_t Mlp::model_size_bytes() const {
+  std::size_t parameters = 0;
+  for (const auto& layer : layers_) {
+    parameters += layer.weight.size() + layer.bias.size();
+  }
+  parameters += feature_mean_.size() * 2 + 2;
+  return parameters * sizeof(double) + sizeof(std::uint64_t) * (layers_.size() + 1);
+}
+
+}  // namespace cpr::baselines

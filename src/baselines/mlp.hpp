@@ -1,0 +1,52 @@
+#pragma once
+// Feed-forward multi-layer perceptron (Section 3.3).
+//
+// Fully-connected layers with ReLU or tanh activations, trained with Adam on
+// mini-batch MSE over standardized features and targets. The paper sweeps
+// 1..8 hidden layers of width 2..2048 with {relu, tanh}; bench harnesses
+// sweep a scaled-down version of that grid.
+
+#include <cstdint>
+
+#include "common/regressor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpr::baselines {
+
+enum class Activation { Relu, Tanh };
+
+struct MlpOptions {
+  std::vector<std::size_t> hidden_layers = {64, 64};
+  Activation activation = Activation::Relu;
+  int epochs = 200;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+class Mlp final : public common::Regressor {
+ public:
+  explicit Mlp(MlpOptions options = {}) : options_(std::move(options)) {}
+
+  std::string name() const override { return "NN"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+ private:
+  struct Layer {
+    linalg::Matrix weight;  ///< out x in
+    linalg::Vector bias;    ///< out
+  };
+
+  /// Forward pass on standardized input; returns standardized output.
+  double forward(const std::vector<double>& input) const;
+
+  MlpOptions options_;
+  std::vector<Layer> layers_;
+  std::vector<double> feature_mean_, feature_inv_std_;
+  double target_mean_ = 0.0, target_std_ = 1.0;
+};
+
+}  // namespace cpr::baselines

@@ -1,0 +1,234 @@
+#include "baselines/sparse_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "linalg/cg.hpp"
+#include "util/log.hpp"
+
+namespace cpr::baselines {
+
+double SparseGridRegressor::basis_1d(std::uint8_t level, std::uint32_t index, double x) {
+  if (level == 1) return 1.0;  // single constant basis at level 1
+  const double scale = static_cast<double>(1u << level);  // 2^l
+  const double position = x * scale;                      // x in units of h = 2^-l
+  const std::uint32_t last = (1u << level) - 1;
+  if (index == 1) {
+    // Left-boundary modified basis: 2 - x/h on [0, 2h).
+    return position < 2.0 ? 2.0 - position : 0.0;
+  }
+  if (index == last) {
+    // Right-boundary modified basis: mirrored.
+    const double from_right = scale - position;
+    return from_right < 2.0 ? 2.0 - from_right : 0.0;
+  }
+  return std::max(0.0, 1.0 - std::abs(position - static_cast<double>(index)));
+}
+
+std::uint32_t SparseGridRegressor::candidate_index(std::uint8_t level, double x) {
+  if (level == 1) return 1;
+  const double half_scale = static_cast<double>(1u << (level - 1));
+  auto i = static_cast<std::uint32_t>(2.0 * std::floor(x * half_scale) + 1.0);
+  const std::uint32_t last = (1u << level) - 1;
+  if (i < 1) i = 1;
+  if (i > last) i = last;
+  return i;
+}
+
+double SparseGridRegressor::normalized(std::size_t j, double x) const {
+  const double span = hi_[j] - lo_[j];
+  if (span <= 0.0) return 0.5;  // constant feature
+  return std::clamp((x - lo_[j]) / span, 0.0, 1.0);
+}
+
+double SparseGridRegressor::basis_nd(const LevelVec& levels, const IndexVec& indices,
+                                     const std::vector<double>& z) {
+  double product = 1.0;
+  for (std::size_t j = 0; j < levels.size(); ++j) {
+    product *= basis_1d(levels[j], indices[j], z[j]);
+    if (product == 0.0) return 0.0;
+  }
+  return product;
+}
+
+void SparseGridRegressor::add_point(const LevelVec& levels, const IndexVec& indices) {
+  auto& group = level_groups_[levels];
+  if (group.count(indices)) return;
+  group[indices] = point_levels_.size();
+  point_levels_.push_back(levels);
+  point_indices_.push_back(indices);
+  weights_.push_back(0.0);
+}
+
+void SparseGridRegressor::build_regular_grid(std::size_t dims) {
+  level_groups_.clear();
+  point_levels_.clear();
+  point_indices_.clear();
+  weights_.clear();
+
+  // Enumerate level vectors l >= 1 with |l|_1 <= level + d - 1.
+  const std::size_t budget = options_.level + dims - 1;
+  LevelVec levels(dims, 1);
+  const std::function<void(std::size_t, std::size_t)> recurse =
+      [&](std::size_t dim, std::size_t used) {
+        if (dim == dims) {
+          // All odd indices per level.
+          IndexVec indices(dims, 1);
+          const std::function<void(std::size_t)> emit = [&](std::size_t d2) {
+            if (d2 == dims) {
+              add_point(levels, indices);
+              return;
+            }
+            const std::uint32_t last = (1u << levels[d2]) - 1;
+            for (std::uint32_t i = 1; i <= last; i += 2) {
+              indices[d2] = i;
+              emit(d2 + 1);
+            }
+          };
+          emit(0);
+          return;
+        }
+        for (std::size_t l = 1; used + l + (dims - dim - 1) <= budget; ++l) {
+          levels[dim] = static_cast<std::uint8_t>(l);
+          recurse(dim + 1, used + l);
+        }
+      };
+  recurse(0, 0);
+}
+
+void SparseGridRegressor::refit(const common::Dataset& train) {
+  const std::size_t n = train.size();
+  const std::size_t m = weights_.size();
+  CPR_CHECK(m > 0);
+
+  // Sparse design in CSR: each sample touches at most one basis per level
+  // vector (the candidate index).
+  std::vector<std::size_t> row_start(n + 1, 0);
+  std::vector<std::pair<std::size_t, double>> entries;
+  entries.reserve(n * level_groups_.size());
+  std::vector<double> z(train.dimensions());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < z.size(); ++j) z[j] = normalized(j, train.x(i, j));
+    for (const auto& [levels, group] : level_groups_) {
+      IndexVec candidate(levels.size());
+      for (std::size_t j = 0; j < levels.size(); ++j) {
+        candidate[j] = candidate_index(levels[j], z[j]);
+      }
+      const auto it = group.find(candidate);
+      if (it == group.end()) continue;
+      const double value = basis_nd(levels, candidate, z);
+      if (value != 0.0) entries.emplace_back(it->second, value);
+    }
+    row_start[i + 1] = entries.size();
+  }
+
+  // Normal equations (A^T A + lambda n I) w = A^T y, matrix-free.
+  const double ridge = options_.regularization * static_cast<double>(n);
+  const auto apply_normal = [&](const linalg::Vector& w, linalg::Vector& out) {
+    out.assign(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double aw = 0.0;
+      for (std::size_t e = row_start[i]; e < row_start[i + 1]; ++e) {
+        aw += entries[e].second * w[entries[e].first];
+      }
+      for (std::size_t e = row_start[i]; e < row_start[i + 1]; ++e) {
+        out[entries[e].first] += entries[e].second * aw;
+      }
+    }
+    for (std::size_t c = 0; c < m; ++c) out[c] += ridge * w[c];
+  };
+  linalg::Vector rhs(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t e = row_start[i]; e < row_start[i + 1]; ++e) {
+      rhs[entries[e].first] += entries[e].second * train.y[i];
+    }
+  }
+
+  linalg::Vector warm_start(weights_.begin(), weights_.end());
+  const auto result = linalg::conjugate_gradient(apply_normal, rhs, options_.cg_max_iters,
+                                                 options_.cg_tol, &warm_start);
+  weights_.assign(result.x.begin(), result.x.end());
+  CPR_LOG_DEBUG("SGR refit: " << m << " points, CG " << result.iterations
+                              << " iters, residual " << result.residual_norm);
+}
+
+void SparseGridRegressor::refine_once() {
+  // Rank grid points by |surplus| and add the hierarchical children of the
+  // top refine_points along every dimension.
+  std::vector<std::size_t> order(weights_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(weights_[a]) > std::abs(weights_[b]);
+  });
+  const std::size_t count = std::min(options_.refine_points, order.size());
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t p = order[k];
+    const LevelVec levels = point_levels_[p];
+    const IndexVec indices = point_indices_[p];
+    for (std::size_t j = 0; j < levels.size(); ++j) {
+      if (levels[j] >= 20) continue;  // guard against degenerate deep refinement
+      LevelVec child_levels = levels;
+      child_levels[j] = static_cast<std::uint8_t>(levels[j] + 1);
+      IndexVec left = indices, right = indices;
+      left[j] = 2 * indices[j] - 1;
+      right[j] = 2 * indices[j] + 1;
+      add_point(child_levels, left);
+      add_point(child_levels, right);
+    }
+  }
+}
+
+void SparseGridRegressor::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  const std::size_t d = train.dimensions();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lo_[j] = std::min(lo_[j], train.x(i, j));
+      hi_[j] = std::max(hi_[j], train.x(i, j));
+    }
+  }
+
+  build_regular_grid(d);
+  refit(train);
+  for (int round = 0; round < options_.refinements; ++round) {
+    const std::size_t before = weights_.size();
+    refine_once();
+    if (weights_.size() == before) break;  // nothing new to add
+    refit(train);
+  }
+}
+
+double SparseGridRegressor::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!weights_.empty(), "SGR model not fitted");
+  std::vector<double> z(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) z[j] = normalized(j, x[j]);
+  double prediction = 0.0;
+  for (const auto& [levels, group] : level_groups_) {
+    IndexVec candidate(levels.size());
+    for (std::size_t j = 0; j < levels.size(); ++j) {
+      candidate[j] = candidate_index(levels[j], z[j]);
+    }
+    const auto it = group.find(candidate);
+    if (it == group.end()) continue;
+    prediction += weights_[it->second] * basis_nd(levels, candidate, z);
+  }
+  return prediction;
+}
+
+std::size_t SparseGridRegressor::model_size_bytes() const {
+  // Per grid point: level byte + index (4 bytes) per dim, plus the surplus.
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (std::size_t p = 0; p < weights_.size(); ++p) {
+    bytes += point_levels_[p].size() * (sizeof(std::uint8_t) + sizeof(std::uint32_t));
+    bytes += sizeof(double);
+  }
+  bytes += lo_.size() * 2 * sizeof(double);
+  return bytes;
+}
+
+}  // namespace cpr::baselines

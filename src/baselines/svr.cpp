@@ -1,0 +1,158 @@
+#include "baselines/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cpr::baselines {
+
+namespace {
+double sq_dist(const double* a, const double* b, std::size_t d) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+}  // namespace
+
+double Svr::kernel(const double* a, const double* b, std::size_t d) const {
+  if (options_.kernel == SvrKernel::Rbf) {
+    return std::exp(-0.5 * sq_dist(a, b, d) / (length_scale_ * length_scale_));
+  }
+  double dot = 1.0;
+  for (std::size_t j = 0; j < d; ++j) dot += a[j] * b[j];
+  return std::pow(dot, options_.poly_degree);
+}
+
+void Svr::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  const std::size_t d = train.dimensions();
+
+  common::Dataset data = train;
+  if (train.size() > options_.max_samples) {
+    Rng rng(options_.seed);
+    auto rows = rng.sample_without_replacement(train.size(), options_.max_samples);
+    std::sort(rows.begin(), rows.end());
+    data = train.subset(rows);
+  }
+  const std::size_t n = data.size();
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += data.x(i, j);
+      sum_sq += data.x(i, j) * data.x(i, j);
+    }
+    mean_[j] = sum / static_cast<double>(n);
+    const double var =
+        std::max(1e-12, sum_sq / static_cast<double>(n) - mean_[j] * mean_[j]);
+    inv_std_[j] = 1.0 / std::sqrt(var);
+  }
+  support_ = linalg::Matrix(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      support_(i, j) = (data.x(i, j) - mean_[j]) * inv_std_[j];
+    }
+  }
+
+  // Median heuristic for the RBF scale.
+  if (options_.kernel == SvrKernel::Rbf) {
+    Rng rng(options_.seed + 1);
+    std::vector<double> pair_distances;
+    for (std::size_t p = 0; p < std::min<std::size_t>(2048, n * n); ++p) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto k = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (i == k) continue;
+      pair_distances.push_back(
+          std::sqrt(sq_dist(support_.row_ptr(i), support_.row_ptr(k), d)));
+    }
+    if (!pair_distances.empty()) {
+      std::nth_element(pair_distances.begin(),
+                       pair_distances.begin() +
+                           static_cast<std::ptrdiff_t>(pair_distances.size() / 2),
+                       pair_distances.end());
+      length_scale_ = std::max(1e-6, pair_distances[pair_distances.size() / 2]);
+    }
+  }
+
+  // Precompute the augmented kernel K' = K + 1 (the constant absorbs the
+  // bias term, removing the sum(beta) = 0 equality constraint).
+  linalg::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i; k < n; ++k) {
+      const double value = kernel(support_.row_ptr(i), support_.row_ptr(k), d) + 1.0;
+      gram(i, k) = value;
+      gram(k, i) = value;
+    }
+  }
+
+  // Dual coordinate descent in beta = alpha - alpha*:
+  //   maximize  -1/2 beta^T K' beta + y^T beta - epsilon ||beta||_1,
+  //   s.t. |beta_i| <= C.
+  // Each coordinate has the closed-form soft-threshold solution; f = K'beta
+  // is maintained incrementally so one epoch costs O(n * #changed).
+  beta_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);
+  for (int epoch = 0; epoch < options_.max_iters; ++epoch) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kii = gram(i, i);
+      if (kii <= 0.0) continue;
+      // Residual with coordinate i removed from the model.
+      const double target = data.y[i] - (f[i] - kii * beta_[i]);
+      double updated;
+      if (target > options_.epsilon) {
+        updated = (target - options_.epsilon) / kii;
+      } else if (target < -options_.epsilon) {
+        updated = (target + options_.epsilon) / kii;
+      } else {
+        updated = 0.0;
+      }
+      updated = std::clamp(updated, -options_.c, options_.c);
+      const double delta = updated - beta_[i];
+      if (delta == 0.0) continue;
+      beta_[i] = updated;
+      const double* gi = gram.row_ptr(i);
+      for (std::size_t k = 0; k < n; ++k) f[k] += delta * gi[k];
+      max_change = std::max(max_change, std::abs(delta));
+    }
+    if (max_change < 1e-8) break;
+  }
+
+  // The +1 kernel augmentation makes the bias sum(beta_i).
+  bias_ = 0.0;
+  for (const double b : beta_) bias_ += b;
+}
+
+double Svr::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(!beta_.empty(), "SVR not fitted");
+  const std::size_t d = support_.cols();
+  std::vector<double> z(d);
+  for (std::size_t j = 0; j < d; ++j) z[j] = (x[j] - mean_[j]) * inv_std_[j];
+  double prediction = bias_;
+  for (std::size_t i = 0; i < beta_.size(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    prediction += beta_[i] * kernel(support_.row_ptr(i), z.data(), d);
+  }
+  return prediction;
+}
+
+std::size_t Svr::support_vector_count() const {
+  std::size_t count = 0;
+  for (const double b : beta_) count += b != 0.0;
+  return count;
+}
+
+std::size_t Svr::model_size_bytes() const {
+  // Support vectors with nonzero beta plus their coefficients and scalers.
+  const std::size_t sv = support_vector_count();
+  return sv * (support_.cols() + 1) * sizeof(double) +
+         (mean_.size() * 2 + 2) * sizeof(double);
+}
+
+}  // namespace cpr::baselines

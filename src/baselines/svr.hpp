@@ -1,0 +1,50 @@
+#pragma once
+// Epsilon-insensitive support vector regression (Section 3.4).
+//
+// Dual problem solved by projected gradient ascent with the equality
+// constraint sum(alpha - alpha*) = 0 maintained by gradient centering.
+// Kernels: RBF and polynomial of degree 1..3 (the paper's SVM sweep).
+// Training is O(iters * n^2) on the kernel matrix, so the sample count is
+// capped like the GP baseline.
+
+#include "common/regressor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpr::baselines {
+
+enum class SvrKernel { Rbf, Poly };
+
+struct SvrOptions {
+  SvrKernel kernel = SvrKernel::Rbf;
+  int poly_degree = 2;        ///< paper sweeps 1..3
+  double c = 10.0;            ///< box constraint
+  double epsilon = 0.05;      ///< insensitive-tube half-width
+  int max_iters = 500;
+  double learning_rate = 0.1;
+  std::size_t max_samples = 2048;
+  std::uint64_t seed = 42;
+};
+
+class Svr final : public common::Regressor {
+ public:
+  explicit Svr(SvrOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "SVM"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+  std::size_t support_vector_count() const;
+
+ private:
+  double kernel(const double* a, const double* b, std::size_t d) const;
+
+  SvrOptions options_;
+  linalg::Matrix support_;
+  std::vector<double> beta_;  ///< alpha - alpha* per retained sample
+  double bias_ = 0.0;
+  std::vector<double> mean_, inv_std_;
+  double length_scale_ = 1.0;
+};
+
+}  // namespace cpr::baselines

@@ -1,0 +1,17 @@
+#include "common/dataset.hpp"
+
+namespace cpr::common {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.x = linalg::Matrix(rows.size(), x.cols());
+  out.y.resize(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    CPR_CHECK(rows[k] < size());
+    for (std::size_t j = 0; j < x.cols(); ++j) out.x(k, j) = x(rows[k], j);
+    out.y[k] = y[rows[k]];
+  }
+  return out;
+}
+
+}  // namespace cpr::common

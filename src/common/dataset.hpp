@@ -1,0 +1,28 @@
+#pragma once
+// Training / test data containers shared by every model family.
+
+#include <vector>
+
+#include "grid/parameter.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpr::common {
+
+/// A supervised dataset: n configurations (rows of x) with positive
+/// execution times y.
+struct Dataset {
+  linalg::Matrix x;        ///< n-by-d configurations
+  std::vector<double> y;   ///< n execution times (seconds)
+
+  std::size_t size() const { return y.size(); }
+  std::size_t dimensions() const { return x.cols(); }
+
+  grid::Config config(std::size_t i) const {
+    return grid::Config(x.row_ptr(i), x.row_ptr(i) + x.cols());
+  }
+
+  /// Returns the subset at the given row indices.
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+};
+
+}  // namespace cpr::common

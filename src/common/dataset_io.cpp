@@ -1,0 +1,84 @@
+#include "common/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace cpr::common {
+
+void save_dataset_csv(const Dataset& data, const std::vector<std::string>& parameter_names,
+                      const std::string& path) {
+  CPR_CHECK_MSG(parameter_names.size() == data.dimensions(),
+                "need one name per parameter");
+  std::ofstream out(path);
+  CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  for (const auto& name : parameter_names) out << name << ',';
+  out << "seconds\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = 0; j < data.dimensions(); ++j) out << data.x(i, j) << ',';
+    out << data.y[i] << '\n';
+  }
+  CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+LoadedDataset load_dataset_csv(const std::string& path) {
+  std::ifstream in(path);
+  CPR_CHECK_MSG(in.good(), "cannot open " << path);
+
+  std::string line;
+  CPR_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty file: " << path);
+
+  LoadedDataset loaded;
+  {
+    std::stringstream header(line);
+    std::string field;
+    while (std::getline(header, field, ',')) loaded.parameter_names.push_back(field);
+    CPR_CHECK_MSG(loaded.parameter_names.size() >= 2,
+                  "header needs at least one parameter plus the time column");
+    CPR_CHECK_MSG(loaded.parameter_names.back() == "seconds",
+                  "last column must be named 'seconds', got '"
+                      << loaded.parameter_names.back() << "'");
+    loaded.parameter_names.pop_back();
+  }
+  const std::size_t d = loaded.parameter_names.size();
+
+  std::vector<double> values;
+  std::vector<double> times;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string field;
+    std::vector<double> fields;
+    while (std::getline(row, field, ',')) {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(field, &consumed);
+      } catch (const std::exception&) {
+        CPR_CHECK_MSG(false, path << ":" << line_number << ": non-numeric field '"
+                                  << field << "'");
+      }
+      CPR_CHECK_MSG(consumed == field.size(),
+                    path << ":" << line_number << ": trailing junk in '" << field << "'");
+      fields.push_back(value);
+    }
+    CPR_CHECK_MSG(fields.size() == d + 1, path << ":" << line_number << ": expected "
+                                               << d + 1 << " fields, got "
+                                               << fields.size());
+    CPR_CHECK_MSG(fields.back() > 0.0,
+                  path << ":" << line_number << ": non-positive execution time");
+    times.push_back(fields.back());
+    fields.pop_back();
+    values.insert(values.end(), fields.begin(), fields.end());
+  }
+  CPR_CHECK_MSG(!times.empty(), path << ": no data rows");
+
+  loaded.data.x = linalg::Matrix(times.size(), d);
+  std::copy(values.begin(), values.end(), loaded.data.x.data());
+  loaded.data.y = std::move(times);
+  return loaded;
+}
+
+}  // namespace cpr::common

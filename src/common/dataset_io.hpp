@@ -1,0 +1,27 @@
+#pragma once
+// CSV persistence for datasets, so real measurements can be fed to the
+// models: one header row naming the d parameters plus a final time column,
+// then one row per observed configuration.
+
+#include <string>
+
+#include "common/dataset.hpp"
+
+namespace cpr::common {
+
+/// Writes `data` as CSV; `parameter_names` must have d entries (the time
+/// column is always named "seconds").
+void save_dataset_csv(const Dataset& data, const std::vector<std::string>& parameter_names,
+                      const std::string& path);
+
+struct LoadedDataset {
+  Dataset data;
+  std::vector<std::string> parameter_names;
+};
+
+/// Reads a CSV written by save_dataset_csv (or hand-made with the same
+/// layout). Throws CheckError on malformed content (ragged rows,
+/// non-numeric fields, non-positive times).
+LoadedDataset load_dataset_csv(const std::string& path);
+
+}  // namespace cpr::common

@@ -1,0 +1,19 @@
+#include "common/evaluation.hpp"
+
+#include "metrics/metrics.hpp"
+
+namespace cpr::common {
+
+double evaluate_mlogq(const Regressor& model, const Dataset& test) {
+  return metrics::mlogq(model.predict_all(test.x), test.y);
+}
+
+double evaluate_mlogq2(const Regressor& model, const Dataset& test) {
+  return metrics::mlogq2(model.predict_all(test.x), test.y);
+}
+
+double evaluate_mape(const Regressor& model, const Dataset& test) {
+  return metrics::mape(model.predict_all(test.x), test.y);
+}
+
+}  // namespace cpr::common

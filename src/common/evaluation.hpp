@@ -1,0 +1,18 @@
+#pragma once
+// Model-evaluation helpers shared by benches and tests.
+
+#include "common/dataset.hpp"
+#include "common/regressor.hpp"
+
+namespace cpr::common {
+
+/// MLogQ prediction error of a fitted model on a test set (Section 2.2).
+double evaluate_mlogq(const Regressor& model, const Dataset& test);
+
+/// MLogQ2 (mean squared log accuracy ratio) on a test set.
+double evaluate_mlogq2(const Regressor& model, const Dataset& test);
+
+/// MAPE on a test set (for bias diagnostics).
+double evaluate_mape(const Regressor& model, const Dataset& test);
+
+}  // namespace cpr::common

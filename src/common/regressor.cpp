@@ -1,0 +1,16 @@
+#include "common/regressor.hpp"
+
+namespace cpr::common {
+
+std::vector<double> Regressor::predict_all(const linalg::Matrix& x) const {
+  std::vector<double> out(x.rows());
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 16)
+#endif
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = predict(grid::Config(x.row_ptr(i), x.row_ptr(i) + x.cols()));
+  }
+  return out;
+}
+
+}  // namespace cpr::common

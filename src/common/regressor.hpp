@@ -1,0 +1,37 @@
+#pragma once
+// The common model interface every family implements (CPR and the nine
+// alternatives of Section 6.0.4), so benches can sweep them uniformly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace cpr::common {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Short identifier used in bench output (e.g. "CPR", "SGR", "NN").
+  virtual std::string name() const = 0;
+
+  /// Fits the model to the training set. May be called more than once
+  /// (refits from scratch).
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicted execution time (seconds) for one configuration.
+  virtual double predict(const grid::Config& x) const = 0;
+
+  /// Bytes needed to persist the fitted parameters — the paper's
+  /// "model size" axis (Figure 7).
+  virtual std::size_t model_size_bytes() const = 0;
+
+  /// Predicts every row of `x`.
+  std::vector<double> predict_all(const linalg::Matrix& x) const;
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+}  // namespace cpr::common

@@ -1,0 +1,40 @@
+#include "common/transform.hpp"
+
+#include <cmath>
+
+namespace cpr::common {
+
+Dataset FeatureTransform::apply(const Dataset& data) const {
+  CPR_CHECK(log_feature.size() == data.dimensions());
+  Dataset out = data;
+  for (std::size_t j = 0; j < data.dimensions(); ++j) {
+    if (!log_feature[j]) continue;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      CPR_CHECK_MSG(data.x(i, j) > 0.0, "log feature transform requires positive values");
+      out.x(i, j) = std::log(data.x(i, j));
+    }
+  }
+  if (log_target) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      CPR_CHECK_MSG(data.y[i] > 0.0, "log target transform requires positive values");
+      out.y[i] = std::log(data.y[i]);
+    }
+  }
+  return out;
+}
+
+grid::Config FeatureTransform::apply(const grid::Config& x) const {
+  CPR_CHECK(log_feature.size() == x.size());
+  grid::Config out = x;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (log_feature[j]) out[j] = std::log(x[j]);
+  }
+  return out;
+}
+
+double LogSpaceRegressor::predict(const grid::Config& x) const {
+  const double log_prediction = inner_->predict(transform_.apply(x));
+  return transform_.log_target ? std::exp(log_prediction) : log_prediction;
+}
+
+}  // namespace cpr::common

@@ -1,0 +1,51 @@
+#pragma once
+// Feature / target transforms.
+//
+// Section 6.0.4: "We optimize these models using a random sample from each
+// training set and log-transform execution times and application
+// parameters." LogSpaceRegressor wraps any base regressor, log-transforming
+// the chosen features and the target on fit() and exponentiating on
+// predict(), so baseline implementations stay transform-agnostic.
+
+#include <utility>
+
+#include "common/regressor.hpp"
+
+namespace cpr::common {
+
+struct FeatureTransform {
+  std::vector<bool> log_feature;  ///< per-dimension: apply log(x_j)
+  bool log_target = true;
+
+  /// log on every feature (requires positive values).
+  static FeatureTransform all_log(std::size_t dims) {
+    return FeatureTransform{std::vector<bool>(dims, true), true};
+  }
+
+  /// No feature transforms (target still logged by default).
+  static FeatureTransform none(std::size_t dims) {
+    return FeatureTransform{std::vector<bool>(dims, false), true};
+  }
+
+  Dataset apply(const Dataset& data) const;
+  grid::Config apply(const grid::Config& x) const;
+};
+
+class LogSpaceRegressor final : public Regressor {
+ public:
+  LogSpaceRegressor(RegressorPtr inner, FeatureTransform transform)
+      : inner_(std::move(inner)), transform_(std::move(transform)) {}
+
+  std::string name() const override { return inner_->name(); }
+  void fit(const Dataset& train) override { inner_->fit(transform_.apply(train)); }
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override { return inner_->model_size_bytes(); }
+
+  Regressor& inner() { return *inner_; }
+
+ private:
+  RegressorPtr inner_;
+  FeatureTransform transform_;
+};
+
+}  // namespace cpr::common

@@ -1,0 +1,30 @@
+#pragma once
+// Alternating least squares for tensor completion (Section 4.2.1).
+//
+// For each mode and each row i, ALS fixes all other factors and minimizes
+//   g(u_i) = (1/|Ω_i|) sum_{Ω_i} (t_i - z^T u_i)^2 + lambda ||u_i||^2,
+// a linear least-squares problem solved through its normal equations.
+// Rows are independent, so the sweep is parallelized over rows.
+//
+// Total arithmetic cost is O((sum_j I_j) R^3 + |Ω| d R^2) per sweep,
+// matching the complexity quoted in the paper.
+
+#include "completion/options.hpp"
+#include "tensor/cp_model.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace cpr::completion {
+
+/// Fits `model` to the observed entries of `t` (values used as-is — callers
+/// wanting the log-MSE loss of Section 5.2 log-transform `t` first).
+/// `model` must already be shaped (dims/rank) and initialized.
+CompletionReport als_complete(const tensor::SparseTensor& t, tensor::CpModel& model,
+                              const CompletionOptions& options);
+
+/// Mean squared error over observed entries plus the regularization term —
+/// the objective ALS monotonically decreases (Eq. 3 with per-row scaling
+/// folded out).
+double completion_objective(const tensor::SparseTensor& t, const tensor::CpModel& model,
+                            double regularization);
+
+}  // namespace cpr::completion

@@ -1,0 +1,75 @@
+#include "completion/ccd.hpp"
+
+#include <cmath>
+
+#include "completion/als.hpp"
+#include "tensor/mttkrp.hpp"
+#include "util/log.hpp"
+
+namespace cpr::completion {
+
+CompletionReport ccd_complete(const tensor::SparseTensor& t, tensor::CpModel& model,
+                              const CompletionOptions& options) {
+  CPR_CHECK(t.dims() == model.dims());
+  CPR_CHECK_MSG(t.nnz() > 0, "cannot complete a tensor with no observations");
+  const std::size_t rank = model.rank();
+  const std::size_t order = model.order();
+  const tensor::ModeSlices slices(t);
+
+  // residual[e] = t_e - t̂_e, maintained incrementally across scalar updates.
+  std::vector<double> residual(t.nnz());
+  for (std::size_t e = 0; e < t.nnz(); ++e) {
+    residual[e] = t.value(e) - model.eval(t.entry_index(e));
+  }
+
+  CompletionReport report;
+  double prev_objective = completion_objective(t, model, options.regularization);
+  std::vector<double> z(rank);
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    for (std::size_t mode = 0; mode < order; ++mode) {
+      auto& factor = model.factor(mode);
+      for (std::size_t i = 0; i < factor.rows(); ++i) {
+        const auto& entries = slices.entries(mode, i);
+        if (entries.empty()) continue;
+        const double inv_count = 1.0 / static_cast<double>(entries.size());
+        for (std::size_t r = 0; r < rank; ++r) {
+          // Scalar subproblem in u = u_{i,r}:
+          //   min (1/|Ω_i|) sum_e (residual_e + (u_old - u) z_{e,r})^2 + lambda u^2
+          double numerator = 0.0, denominator = 0.0;
+          const double u_old = factor(i, r);
+          for (const std::size_t e : entries) {
+            tensor::hadamard_row(model, t, e, mode, z.data());
+            const double zr = z[r];
+            numerator += (residual[e] + u_old * zr) * zr;
+            denominator += zr * zr;
+          }
+          const double u_new = (numerator * inv_count) /
+                               (denominator * inv_count + options.regularization);
+          if (!std::isfinite(u_new)) continue;
+          const double delta = u_new - u_old;
+          factor(i, r) = u_new;
+          // Incremental residual maintenance.
+          for (const std::size_t e : entries) {
+            tensor::hadamard_row(model, t, e, mode, z.data());
+            residual[e] -= delta * z[r];
+          }
+        }
+      }
+    }
+
+    const double objective = completion_objective(t, model, options.regularization);
+    report.objective_history.push_back(objective);
+    report.sweeps = sweep + 1;
+    CPR_LOG_DEBUG("CCD sweep " << sweep << " objective " << objective);
+    const double denom = std::max(std::abs(prev_objective), 1e-300);
+    if (std::abs(prev_objective - objective) / denom < options.tol) {
+      report.converged = true;
+      break;
+    }
+    prev_objective = objective;
+  }
+  return report;
+}
+
+}  // namespace cpr::completion

@@ -1,0 +1,18 @@
+#pragma once
+// Cyclic coordinate descent for tensor completion (Section 4.2.1).
+//
+// CCD optimizes one factor-matrix element u_{i,r} at a time, which reduces
+// the per-sweep arithmetic of ALS by a factor of R at the cost of slower
+// convergence (the paper notes both properties). Residuals are maintained
+// incrementally so each scalar update costs O(|Ω_i|).
+
+#include "completion/options.hpp"
+#include "tensor/cp_model.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace cpr::completion {
+
+CompletionReport ccd_complete(const tensor::SparseTensor& t, tensor::CpModel& model,
+                              const CompletionOptions& options);
+
+}  // namespace cpr::completion

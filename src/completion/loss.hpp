@@ -1,0 +1,37 @@
+#pragma once
+// Element-wise loss functions for generalized tensor completion (Section
+// 4.2.2). Exposed for tests and for composing custom optimizers; the shipped
+// completers hard-wire the two losses the paper uses (least squares on
+// log-transformed data for interpolation, MLogQ2 for extrapolation).
+
+#include <cmath>
+#include <limits>
+
+namespace cpr::completion {
+
+/// phi(t, m) = (t - m)^2 with derivatives in the model output m.
+struct LeastSquaresLoss {
+  static double value(double t, double m) {
+    const double d = m - t;
+    return d * d;
+  }
+  static double d1(double t, double m) { return 2.0 * (m - t); }
+  static double d2(double /*t*/, double /*m*/) { return 2.0; }
+  static constexpr bool requires_positive_model = false;
+};
+
+/// phi(t, m) = (log m - log t)^2 with derivatives in m (m, t > 0).
+struct LogQuadraticLoss {
+  static double value(double t, double m) {
+    if (!(m > 0.0) || !(t > 0.0)) return std::numeric_limits<double>::infinity();
+    const double d = std::log(m / t);
+    return d * d;
+  }
+  static double d1(double t, double m) { return 2.0 * std::log(m / t) / m; }
+  static double d2(double t, double m) {
+    return 2.0 * (1.0 - std::log(m / t)) / (m * m);
+  }
+  static constexpr bool requires_positive_model = true;
+};
+
+}  // namespace cpr::completion

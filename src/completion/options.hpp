@@ -1,0 +1,28 @@
+#pragma once
+// Shared option/report types for tensor-completion optimizers (Section 4.2).
+
+#include <cstdint>
+#include <vector>
+
+namespace cpr::completion {
+
+struct CompletionOptions {
+  double regularization = 1e-5;  ///< lambda of Eq. 3
+  int max_sweeps = 100;          ///< paper: 100 ALS sweeps max
+  double tol = 1e-6;             ///< relative objective-change stopping threshold
+  std::uint64_t seed = 42;       ///< factor initialization seed
+  bool rebalance = true;         ///< per-component column-norm rebalancing per sweep
+};
+
+/// Per-run convergence record (objective after each sweep).
+struct CompletionReport {
+  std::vector<double> objective_history;
+  int sweeps = 0;
+  bool converged = false;
+
+  double final_objective() const {
+    return objective_history.empty() ? 0.0 : objective_history.back();
+  }
+};
+
+}  // namespace cpr::completion

@@ -1,0 +1,87 @@
+#include "completion/sgd.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "completion/als.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::completion {
+
+namespace {
+// Product over modes k != j of rows[k][r]; fallback for when the cached
+// full product cannot be divided by a zero row entry.
+double hadamard_excluding(const std::vector<std::vector<double>>& rows, std::size_t j,
+                          std::size_t r) {
+  double product = 1.0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (k != j) product *= rows[k][r];
+  }
+  return product;
+}
+}  // namespace
+
+CompletionReport sgd_complete(const tensor::SparseTensor& t, tensor::CpModel& model,
+                              const SgdOptions& options) {
+  CPR_CHECK(t.dims() == model.dims());
+  CPR_CHECK_MSG(t.nnz() > 0, "cannot complete a tensor with no observations");
+  const std::size_t rank = model.rank();
+  const std::size_t order = model.order();
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> schedule(t.nnz());
+  std::iota(schedule.begin(), schedule.end(), 0);
+
+  CompletionReport report;
+  double prev_objective = completion_objective(t, model, options.regularization);
+
+  // Scratch: per-mode partial products so each row gradient is O(R).
+  std::vector<std::vector<double>> rows(order, std::vector<double>(rank));
+  std::vector<double> full(rank);
+
+  for (int epoch = 0; epoch < options.max_sweeps; ++epoch) {
+    const double lr = options.learning_rate / (1.0 + options.decay * epoch);
+    rng.shuffle(schedule);
+    for (const std::size_t e : schedule) {
+      // Cache all touched rows and the full Hadamard product.
+      for (std::size_t r = 0; r < rank; ++r) full[r] = 1.0;
+      for (std::size_t j = 0; j < order; ++j) {
+        const double* row = model.factor(j).row_ptr(t.index(e, j));
+        for (std::size_t r = 0; r < rank; ++r) {
+          rows[j][r] = row[r];
+          full[r] *= row[r];
+        }
+      }
+      double prediction = 0.0;
+      for (std::size_t r = 0; r < rank; ++r) prediction += full[r];
+      const double error = prediction - t.value(e);
+      if (!std::isfinite(error)) continue;
+      // Row gradients: d/dU_j(i_j,r) = error * prod_{k != j} U_k(i_k,r)
+      // plus weight decay from the ridge term.
+      for (std::size_t j = 0; j < order; ++j) {
+        double* row = model.factor(j).row_ptr(t.index(e, j));
+        for (std::size_t r = 0; r < rank; ++r) {
+          const double others =
+              rows[j][r] != 0.0 ? full[r] / rows[j][r] : hadamard_excluding(rows, j, r);
+          const double grad = error * others + options.regularization * rows[j][r];
+          row[r] -= lr * grad;
+        }
+      }
+    }
+
+    const double objective = completion_objective(t, model, options.regularization);
+    report.objective_history.push_back(objective);
+    report.sweeps = epoch + 1;
+    CPR_LOG_DEBUG("SGD epoch " << epoch << " objective " << objective);
+    const double denom = std::max(std::abs(prev_objective), 1e-300);
+    if (std::abs(prev_objective - objective) / denom < options.tol) {
+      report.converged = true;
+      break;
+    }
+    prev_objective = objective;
+  }
+  return report;
+}
+
+}  // namespace cpr::completion

@@ -1,0 +1,23 @@
+#pragma once
+// Stochastic gradient descent for tensor completion (Section 4.2.1).
+//
+// Updates all d factor rows touched by a sampled observation at once using
+// the gradient of the regularized squared loss, with an inverse-time-decay
+// learning-rate schedule. Included for completeness of the optimizer study;
+// ALS remains the default for the CPR model.
+
+#include "completion/options.hpp"
+#include "tensor/cp_model.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace cpr::completion {
+
+struct SgdOptions : CompletionOptions {
+  double learning_rate = 0.05;
+  double decay = 0.01;  ///< lr_t = lr / (1 + decay * epoch)
+};
+
+CompletionReport sgd_complete(const tensor::SparseTensor& t, tensor::CpModel& model,
+                              const SgdOptions& options);
+
+}  // namespace cpr::completion

@@ -1,0 +1,25 @@
+#pragma once
+// Tucker completion by regularized alternating least squares.
+//
+// Extends the Section-4.2.1 machinery to the Tucker format: factor rows are
+// updated exactly like CP rows (the contraction weights replace the
+// Hadamard rows), and the core tensor is refit as one ridge least-squares
+// problem in vec(G) whose design vectors are Kronecker products of the
+// selected factor rows. Keep prod_j R_j modest (<= a few hundred): the core
+// update solves a dense (prod R)^2 system.
+
+#include "completion/options.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/tucker_model.hpp"
+
+namespace cpr::completion {
+
+CompletionReport tucker_complete(const tensor::SparseTensor& t,
+                                 tensor::TuckerModel& model,
+                                 const CompletionOptions& options);
+
+/// Mean squared error over observed entries plus ridge on all parameters.
+double tucker_objective(const tensor::SparseTensor& t, const tensor::TuckerModel& model,
+                        double regularization);
+
+}  // namespace cpr::completion

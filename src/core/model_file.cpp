@@ -1,0 +1,42 @@
+#include "core/model_file.hpp"
+
+#include <fstream>
+
+namespace cpr::core {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'P', 'R', 'M', 'O', 'D', 'L', '1'};
+}
+
+void save_model_file(const CprModel& model, const std::string& path) {
+  BufferSink sink;
+  model.serialize(sink);
+  std::ofstream out(path, std::ios::binary);
+  CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t size = sink.buffer().size();
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(sink.buffer().data()),
+            static_cast<std::streamsize>(size));
+  CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+CprModel load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CPR_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  CPR_CHECK_MSG(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
+                path << " is not a CPR model file");
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  CPR_CHECK_MSG(in.good(), path << ": truncated header");
+  std::vector<std::uint8_t> buffer(size);
+  in.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(size));
+  CPR_CHECK_MSG(in.good() && static_cast<std::uint64_t>(in.gcount()) == size,
+                path << ": truncated payload");
+  BufferSource source(buffer);
+  return CprModel::deserialize(source);
+}
+
+}  // namespace cpr::core

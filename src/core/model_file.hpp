@@ -1,0 +1,20 @@
+#pragma once
+// File persistence for fitted CPR models: a small magic/version header
+// followed by the model's binary archive, so trained models can be shipped
+// to schedulers/autotuners and reloaded without the training data.
+
+#include <string>
+
+#include "core/cpr_model.hpp"
+
+namespace cpr::core {
+
+/// Writes a fitted model to `path` (overwrites). Throws CheckError on I/O
+/// failure or unfitted model.
+void save_model_file(const CprModel& model, const std::string& path);
+
+/// Loads a model written by save_model_file. Throws CheckError on missing
+/// file, bad magic, or unsupported version.
+CprModel load_model_file(const std::string& path);
+
+}  // namespace cpr::core

@@ -1,0 +1,83 @@
+#include "core/tucker_perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace cpr::core {
+
+TuckerPerfModel::TuckerPerfModel(grid::Discretization discretization,
+                                 TuckerPerfOptions options)
+    : discretization_(std::move(discretization)), options_(options) {
+  CPR_CHECK_MSG(options_.mode_rank > 0, "mode rank must be positive");
+}
+
+void TuckerPerfModel::fit(const common::Dataset& train) {
+  CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  CPR_CHECK_MSG(train.dimensions() == discretization_.order(),
+                "dataset dimensionality does not match the discretization");
+
+  tensor::SparseTensor::Accumulator accumulator(discretization_.dims());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    CPR_CHECK_MSG(train.y[i] > 0.0, "execution times must be positive");
+    accumulator.add(discretization_.cell_of(train.config(i)), train.y[i]);
+  }
+  tensor::SparseTensor observed = accumulator.build();
+  density_ = observed.density();
+
+  observed.transform_values([](double v) { return std::log(v); });
+  double log_sum = 0.0;
+  log_min_ = std::numeric_limits<double>::infinity();
+  log_max_ = -log_min_;
+  for (std::size_t e = 0; e < observed.nnz(); ++e) {
+    log_sum += observed.value(e);
+    log_min_ = std::min(log_min_, observed.value(e));
+    log_max_ = std::max(log_max_, observed.value(e));
+  }
+  log_offset_ = log_sum / static_cast<double>(observed.nnz());
+  observed.transform_values([this](double v) { return v - log_offset_; });
+
+  // Per-mode ranks capped by the mode dimension.
+  tensor::Dims core_dims(discretization_.order());
+  for (std::size_t j = 0; j < core_dims.size(); ++j) {
+    core_dims[j] = std::min<std::size_t>(options_.mode_rank, discretization_.dims()[j]);
+  }
+  tucker_ = tensor::TuckerModel(discretization_.dims(), core_dims);
+  Rng rng(options_.seed);
+  tucker_.init_ones(rng, 0.3);
+
+  completion::CompletionOptions completion_options;
+  completion_options.regularization = options_.regularization;
+  completion_options.max_sweeps = options_.max_sweeps;
+  completion_options.tol = options_.tol;
+  completion_options.seed = options_.seed;
+  report_ = completion::tucker_complete(observed, tucker_, completion_options);
+  fitted_ = true;
+}
+
+double TuckerPerfModel::predict(const grid::Config& x) const {
+  CPR_CHECK_MSG(fitted_, "TuckerPerfModel::predict before fit");
+  grid::Config clamped = x;
+  for (std::size_t j = 0; j < clamped.size(); ++j) {
+    const auto& p = discretization_.params()[j];
+    if (p.is_numerical()) clamped[j] = std::clamp(clamped[j], p.lo, p.hi);
+  }
+  double log_prediction =
+      discretization_.interpolate(
+          clamped, [this](const tensor::Index& idx) { return tucker_.eval(idx); }) +
+      log_offset_;
+  constexpr double kLogMargin = 5.0;
+  log_prediction = std::clamp(log_prediction, log_min_ - kLogMargin, log_max_ + kLogMargin);
+  return std::exp(log_prediction);
+}
+
+std::size_t TuckerPerfModel::model_size_bytes() const {
+  ByteCountSink sink;
+  discretization_.serialize(sink);
+  tucker_.serialize(sink);
+  return sink.count() + 3 * sizeof(double);
+}
+
+}  // namespace cpr::core

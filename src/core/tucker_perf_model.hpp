@@ -1,0 +1,45 @@
+#pragma once
+// Performance model backed by a Tucker decomposition — the alternative
+// factorization the paper leaves to future work. Shares CPR's pipeline
+// (cell-mean binning, log transform + centering, Eq.-5 log-space
+// inference); only the compressed representation differs.
+
+#include "common/regressor.hpp"
+#include "completion/tucker_als.hpp"
+#include "grid/discretization.hpp"
+
+namespace cpr::core {
+
+struct TuckerPerfOptions {
+  std::size_t mode_rank = 3;     ///< R_j per numerical mode (capped at I_j)
+  double regularization = 1e-4;
+  int max_sweeps = 60;
+  double tol = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+class TuckerPerfModel final : public common::Regressor {
+ public:
+  TuckerPerfModel(grid::Discretization discretization, TuckerPerfOptions options = {});
+
+  std::string name() const override { return "TUCKER"; }
+  void fit(const common::Dataset& train) override;
+  double predict(const grid::Config& x) const override;
+  std::size_t model_size_bytes() const override;
+
+  const tensor::TuckerModel& tucker() const { return tucker_; }
+  const completion::CompletionReport& report() const { return report_; }
+  double observed_density() const { return density_; }
+
+ private:
+  grid::Discretization discretization_;
+  TuckerPerfOptions options_;
+  tensor::TuckerModel tucker_;
+  completion::CompletionReport report_;
+  double log_offset_ = 0.0;
+  double log_min_ = 0.0, log_max_ = 0.0;
+  double density_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace cpr::core

@@ -1,0 +1,81 @@
+#include "core/tuning.hpp"
+
+#include <limits>
+
+#include "common/evaluation.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::core {
+
+CprTuningGrid CprTuningGrid::for_dimensions(std::size_t d) {
+  CprTuningGrid tuning_grid;
+  if (d >= 6) {
+    tuning_grid.cells = {4, 6, 8, 10};
+    tuning_grid.ranks = {4, 8, 16};
+  } else if (d >= 4) {
+    tuning_grid.cells = {4, 8, 12};
+    tuning_grid.ranks = {2, 4, 8, 16};
+  }
+  return tuning_grid;
+}
+
+std::pair<CprModel, CprTuningResult> CprTuner::tune(const common::Dataset& train,
+                                                    const common::Dataset* test,
+                                                    const CprTuningGrid& tuning_grid) const {
+  CPR_CHECK_MSG(train.size() >= 8, "too few samples to tune");
+  CPR_CHECK_MSG(mode != TuneMode::TestSetMinimum || test != nullptr,
+                "TestSetMinimum mode requires a test set");
+
+  // Build the selection split.
+  common::Dataset fit_set = train;
+  common::Dataset selection_set;
+  if (mode == TuneMode::ValidationSplit) {
+    CPR_CHECK_MSG(validation_fraction > 0.0 && validation_fraction < 1.0,
+                  "validation fraction must be in (0, 1)");
+    Rng rng(seed);
+    const auto n_validation = std::max<std::size_t>(
+        1, static_cast<std::size_t>(validation_fraction * static_cast<double>(train.size())));
+    auto permutation = rng.sample_without_replacement(train.size(), train.size());
+    std::vector<std::size_t> validation_rows(permutation.begin(),
+                                             permutation.begin() + static_cast<std::ptrdiff_t>(n_validation));
+    std::vector<std::size_t> fit_rows(permutation.begin() + static_cast<std::ptrdiff_t>(n_validation),
+                                      permutation.end());
+    selection_set = train.subset(validation_rows);
+    fit_set = train.subset(fit_rows);
+  } else {
+    selection_set = *test;
+  }
+
+  CprTuningResult result;
+  result.best_error = std::numeric_limits<double>::infinity();
+
+  for (const auto cells : tuning_grid.cells) {
+    for (const auto rank : tuning_grid.ranks) {
+      for (const double regularization : tuning_grid.regularizations) {
+        CprOptions options;
+        options.rank = rank;
+        options.regularization = regularization;
+        options.seed = seed;
+        CprModel candidate(grid::Discretization(specs, cells), options);
+        candidate.fit(fit_set);
+        const double error = common::evaluate_mlogq(candidate, selection_set);
+        const CprTuningResult::Candidate record{cells, rank, regularization, error,
+                                                candidate.model_size_bytes()};
+        result.sweep.push_back(record);
+        if (progress) progress(record);
+        if (error < result.best_error) {
+          result.best_error = error;
+          result.best_options = options;
+          result.best_cells = cells;
+        }
+      }
+    }
+  }
+
+  // Refit the winner on the full training data.
+  CprModel winner(grid::Discretization(specs, result.best_cells), result.best_options);
+  winner.fit(train);
+  return {std::move(winner), std::move(result)};
+}
+
+}  // namespace cpr::core

@@ -1,0 +1,67 @@
+#pragma once
+// Hyper-parameter selection for CPR models.
+//
+// The paper evaluates every hyper-parameter configuration against the test
+// set and reports the minimum (Section 6.0.4, "forgo training via
+// cross-validation"). Production use cannot peek at the test set, so this
+// utility supports both modes:
+//   * TuneMode::TestSetMinimum — the paper's protocol (benchmark harnesses);
+//   * TuneMode::ValidationSplit — hold out a fraction of the training set,
+//     select on it, then refit the winner on the full data (deployments).
+
+#include <functional>
+
+#include "common/dataset.hpp"
+#include "core/cpr_model.hpp"
+
+namespace cpr::core {
+
+enum class TuneMode { TestSetMinimum, ValidationSplit };
+
+struct CprTuningGrid {
+  std::vector<std::size_t> cells = {4, 8, 16};
+  std::vector<std::size_t> ranks = {2, 4, 8, 16};
+  std::vector<double> regularizations = {1e-5, 1e-4};
+
+  std::size_t configurations() const {
+    return cells.size() * ranks.size() * regularizations.size();
+  }
+
+  /// A grid scaled sensibly for the dimensionality: high-order spaces cap
+  /// the per-dimension cell count (the cell-count product explodes).
+  static CprTuningGrid for_dimensions(std::size_t d);
+};
+
+struct CprTuningResult {
+  CprOptions best_options;
+  std::size_t best_cells = 0;
+  double best_error = 0.0;  ///< MLogQ on the selection set
+  /// One record per evaluated configuration, in sweep order.
+  struct Candidate {
+    std::size_t cells;
+    std::size_t rank;
+    double regularization;
+    double error;
+    std::size_t bytes;
+  };
+  std::vector<Candidate> sweep;
+};
+
+/// Sweeps the grid and returns the fitted winner plus the full record.
+/// `specs` describes the parameter space; `mode` chooses the selection
+/// protocol (ValidationSplit holds out `validation_fraction` of `train`).
+/// `progress` (optional) is invoked after each candidate.
+struct CprTuner {
+  std::vector<grid::ParameterSpec> specs;
+  TuneMode mode = TuneMode::ValidationSplit;
+  double validation_fraction = 0.2;
+  std::uint64_t seed = 42;
+  std::function<void(const CprTuningResult::Candidate&)> progress;
+
+  /// `test` is only consulted when mode == TestSetMinimum.
+  std::pair<CprModel, CprTuningResult> tune(const common::Dataset& train,
+                                            const common::Dataset* test,
+                                            const CprTuningGrid& tuning_grid) const;
+};
+
+}  // namespace cpr::core

@@ -1,0 +1,59 @@
+#pragma once
+// Benchmark-parameter descriptions (Section 2.1 / Table 2).
+//
+// A configuration x = (x_1, ..., x_d) mixes numerical parameters (real or
+// integer, discretized uniformly or logarithmically per Section 5.1) and
+// categorical parameters (indexed directly along their tensor mode).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cpr::grid {
+
+/// How a parameter's range is discretized / interpolated.
+enum class ParameterKind {
+  NumericalUniform,  ///< uniform spacing; h(x) = x       (configuration params)
+  NumericalLog,      ///< logarithmic spacing; h(x) = log x (input/arch params)
+  Categorical,       ///< one tensor slot per choice; no interpolation
+};
+
+struct ParameterSpec {
+  std::string name;
+  ParameterKind kind = ParameterKind::NumericalUniform;
+  double lo = 0.0;   ///< numerical range lower bound (inclusive); > 0 for log
+  double hi = 1.0;   ///< numerical range upper bound (inclusive)
+  bool integral = false;       ///< integer-valued numerical parameter
+  std::size_t categories = 0;  ///< number of choices (categorical only)
+
+  bool is_numerical() const { return kind != ParameterKind::Categorical; }
+
+  static ParameterSpec numerical_uniform(std::string name, double lo, double hi,
+                                         bool integral = false) {
+    CPR_CHECK_MSG(lo < hi, "parameter '" << name << "': need lo < hi");
+    return ParameterSpec{std::move(name), ParameterKind::NumericalUniform, lo, hi,
+                         integral, 0};
+  }
+
+  static ParameterSpec numerical_log(std::string name, double lo, double hi,
+                                     bool integral = false) {
+    CPR_CHECK_MSG(lo > 0.0 && lo < hi,
+                  "parameter '" << name << "': need 0 < lo < hi for log spacing");
+    return ParameterSpec{std::move(name), ParameterKind::NumericalLog, lo, hi, integral,
+                         0};
+  }
+
+  static ParameterSpec categorical(std::string name, std::size_t categories) {
+    CPR_CHECK_MSG(categories > 0, "parameter '" << name << "': needs >= 1 category");
+    return ParameterSpec{std::move(name), ParameterKind::Categorical, 0.0,
+                         static_cast<double>(categories - 1), true, categories};
+  }
+};
+
+/// A concrete configuration: one double per parameter (categoricals hold the
+/// category index as a double).
+using Config = std::vector<double>;
+
+}  // namespace cpr::grid

@@ -1,0 +1,104 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+namespace cpr::linalg {
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha, double beta) {
+  CPR_CHECK_MSG(a.cols() == b.rows(), "gemm: inner dimensions differ");
+  CPR_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(), "gemm: bad output shape");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+#endif
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    const double* ai = a.row_ptr(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * ai[p];
+      const double* bp = b.row_ptr(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, double alpha, double beta) {
+  CPR_CHECK_MSG(a.rows() == b.rows(), "gemm_tn: inner dimensions differ");
+  CPR_CHECK_MSG(c.rows() == a.cols() && c.cols() == b.cols(), "gemm_tn: bad output shape");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+  }
+  // Accumulate rank-1 contributions row-by-row of A/B (streaming access).
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* ap = a.row_ptr(p);
+    const double* bp = b.row_ptr(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = alpha * ap[i];
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+void gemv(const Matrix& a, const Vector& x, Vector& y, double alpha, double beta) {
+  CPR_CHECK_MSG(a.cols() == x.size() && a.rows() == y.size(), "gemv: bad shapes");
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel for schedule(static) if (a.size() > 1u << 16)
+#endif
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
+    y[i] = alpha * sum + beta * y[i];
+  }
+}
+
+void gemv_t(const Matrix& a, const Vector& x, Vector& y, double alpha, double beta) {
+  CPR_CHECK_MSG(a.rows() == x.size() && a.cols() == y.size(), "gemv_t: bad shapes");
+  for (double& v : y) v *= beta;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    const double xi = alpha * x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ai[j];
+  }
+}
+
+void syrk_tn(const Matrix& a, Matrix& c) {
+  CPR_CHECK_MSG(c.rows() == a.cols() && c.cols() == a.cols(), "syrk_tn: bad output shape");
+  c.fill(0.0);
+  for (std::size_t p = 0; p < a.rows(); ++p) {
+    const double* ap = a.row_ptr(p);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double api = ap[i];
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = i; j < a.cols(); ++j) ci[j] += api * ap[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+}
+
+double dot(const Vector& x, const Vector& y) {
+  CPR_CHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double norm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  CPR_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+}  // namespace cpr::linalg

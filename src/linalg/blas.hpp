@@ -1,0 +1,39 @@
+#pragma once
+// BLAS-like dense kernels on Matrix/Vector.
+//
+// gemm uses a blocked i-k-j loop order (streaming the B panel) and OpenMP on
+// the row dimension; everything else is level-1/2 and memory-bound.
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+/// C = alpha * A * B + beta * C.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha = 1.0,
+          double beta = 0.0);
+
+/// C = alpha * A^T * B + beta * C.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, double alpha = 1.0,
+             double beta = 0.0);
+
+/// y = alpha * A * x + beta * y.
+void gemv(const Matrix& a, const Vector& x, Vector& y, double alpha = 1.0,
+          double beta = 0.0);
+
+/// y = alpha * A^T * x + beta * y.
+void gemv_t(const Matrix& a, const Vector& x, Vector& y, double alpha = 1.0,
+            double beta = 0.0);
+
+/// C = A^T * A (upper and lower filled; C must be cols(A) x cols(A)).
+void syrk_tn(const Matrix& a, Matrix& c);
+
+double dot(const Vector& x, const Vector& y);
+double norm2(const Vector& x);
+
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= alpha.
+void scal(double alpha, Vector& x);
+
+}  // namespace cpr::linalg

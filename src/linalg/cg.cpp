@@ -1,0 +1,47 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace cpr::linalg {
+
+CgResult conjugate_gradient(const std::function<void(const Vector&, Vector&)>& apply_a,
+                            const Vector& b, int max_iters, double tol, const Vector* x0) {
+  const std::size_t n = b.size();
+  CgResult result;
+  result.x = x0 ? *x0 : Vector(n, 0.0);
+  CPR_CHECK(result.x.size() == n);
+
+  Vector r(n), p(n), ap(n);
+  apply_a(result.x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  p = r;
+  double rs_old = dot(r, r);
+  const double b_norm = std::max(norm2(b), 1e-300);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    result.residual_norm = std::sqrt(rs_old);
+    if (result.residual_norm <= tol * b_norm) {
+      result.converged = true;
+      result.iterations = iter;
+      return result;
+    }
+    apply_a(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0 || !std::isfinite(pap)) break;  // loss of positive-definiteness
+    const double alpha = rs_old / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    const double rs_new = dot(r, r);
+    const double beta = rs_new / rs_old;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+    result.iterations = iter + 1;
+  }
+  result.residual_norm = std::sqrt(rs_old);
+  result.converged = result.residual_norm <= tol * b_norm;
+  return result;
+}
+
+}  // namespace cpr::linalg

@@ -1,0 +1,25 @@
+#pragma once
+// Conjugate gradient for SPD operators given in functional (matrix-free)
+// form. The sparse-grid baseline solves its regularized normal equations
+// through this interface without materializing the design matrix.
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+struct CgResult {
+  Vector x;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b where apply_a computes y = A x for SPD A.
+/// Stops when ||r|| <= tol * ||b|| or after max_iters iterations.
+CgResult conjugate_gradient(
+    const std::function<void(const Vector&, Vector&)>& apply_a, const Vector& b,
+    int max_iters = 1000, double tol = 1e-10, const Vector* x0 = nullptr);
+
+}  // namespace cpr::linalg

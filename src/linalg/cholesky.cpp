@@ -1,0 +1,111 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace cpr::linalg {
+
+bool cholesky_factor(Matrix& a) {
+  CPR_CHECK_MSG(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    const double inv_ljj = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= a(i, k) * a(j, k);
+      a(i, j) = sum * inv_ljj;
+    }
+  }
+  return true;
+}
+
+void forward_substitute(const Matrix& l, const Vector& b, Vector& y) {
+  const std::size_t n = l.rows();
+  CPR_CHECK(b.size() == n);
+  y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+}
+
+void backward_substitute_t(const Matrix& l, const Vector& y, Vector& x) {
+  const std::size_t n = l.rows();
+  CPR_CHECK(y.size() == n);
+  x.assign(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+}
+
+namespace {
+// Scale-aware jitter: proportional to the mean diagonal magnitude.
+double initial_jitter(const Matrix& a) {
+  double trace = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) trace += std::abs(a(i, i));
+  const double mean_diag = a.rows() ? trace / static_cast<double>(a.rows()) : 1.0;
+  return std::max(1e-12, 1e-10 * mean_diag);
+}
+}  // namespace
+
+std::optional<Vector> solve_spd(Matrix a, Vector b, int max_jitter_tries) {
+  CPR_CHECK(a.rows() == b.size());
+  const Matrix original = a;
+  double jitter = initial_jitter(a);
+  for (int attempt = 0; attempt <= max_jitter_tries; ++attempt) {
+    if (attempt > 0) {
+      a = original;
+      for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += jitter;
+      jitter *= 100.0;
+    }
+    if (cholesky_factor(a)) {
+      Vector y, x;
+      forward_substitute(a, b, y);
+      backward_substitute_t(a, y, x);
+      return x;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Matrix> solve_spd_multi(Matrix a, const Matrix& b, int max_jitter_tries) {
+  CPR_CHECK(a.rows() == b.rows());
+  const Matrix original = a;
+  double jitter = initial_jitter(a);
+  for (int attempt = 0; attempt <= max_jitter_tries; ++attempt) {
+    if (attempt > 0) {
+      a = original;
+      for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += jitter;
+      jitter *= 100.0;
+    }
+    if (cholesky_factor(a)) {
+      Matrix x(b.rows(), b.cols());
+      Vector column(b.rows()), y, xi;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        for (std::size_t i = 0; i < b.rows(); ++i) column[i] = b(i, j);
+        forward_substitute(a, column, y);
+        backward_substitute_t(a, y, xi);
+        for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xi[i];
+      }
+      return x;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> logdet_spd(Matrix a) {
+  if (!cholesky_factor(a)) return std::nullopt;
+  double logdet = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) logdet += std::log(a(i, i));
+  return 2.0 * logdet;
+}
+
+}  // namespace cpr::linalg

@@ -1,0 +1,35 @@
+#pragma once
+// Cholesky factorization and SPD solves.
+//
+// The ALS normal equations (G + lambda I) x = b with G = sum of outer
+// products are SPD by construction; Cholesky is the workhorse solver for
+// every per-row subproblem in completion/ and for GP regression.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+/// In-place lower Cholesky factor of SPD matrix `a` (upper triangle
+/// untouched). Returns false if a non-positive pivot is encountered.
+bool cholesky_factor(Matrix& a);
+
+/// Solves L y = b (forward substitution) given lower-triangular L.
+void forward_substitute(const Matrix& l, const Vector& b, Vector& y);
+
+/// Solves L^T x = y (back substitution) given lower-triangular L.
+void backward_substitute_t(const Matrix& l, const Vector& y, Vector& x);
+
+/// Solves A x = b for SPD A via Cholesky. If factorization fails, retries
+/// with geometrically increasing diagonal jitter (up to `max_jitter_tries`).
+/// Returns nullopt only if all retries fail.
+std::optional<Vector> solve_spd(Matrix a, Vector b, int max_jitter_tries = 6);
+
+/// Solves A X = B column-by-column for SPD A (B and X are cols-major splits).
+std::optional<Matrix> solve_spd_multi(Matrix a, const Matrix& b, int max_jitter_tries = 6);
+
+/// log(det(A)) for SPD A via Cholesky; nullopt if not positive definite.
+std::optional<double> logdet_spd(Matrix a);
+
+}  // namespace cpr::linalg

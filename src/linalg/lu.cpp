@@ -1,0 +1,51 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace cpr::linalg {
+
+std::optional<Vector> solve_lu(Matrix a, Vector b) {
+  CPR_CHECK(a.rows() == a.cols() && a.rows() == b.size());
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double max_val = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > max_val) {
+        max_val = std::abs(a(i, k));
+        pivot = i;
+      }
+    }
+    if (max_val == 0.0 || !std::isfinite(max_val)) return std::nullopt;
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    const double inv_pivot = 1.0 / a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a(i, k) * inv_pivot;
+      a(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= factor * a(k, j);
+      b[i] -= factor * b[k];
+    }
+  }
+
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a(i, j) * x[j];
+    x[i] = sum / a(i, i);
+  }
+  for (const double v : x) {
+    if (!std::isfinite(v)) return std::nullopt;
+  }
+  return x;
+}
+
+}  // namespace cpr::linalg

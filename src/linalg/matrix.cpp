@@ -1,0 +1,103 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpr::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    CPR_CHECK_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Vector Matrix::row(std::size_t i) const {
+  CPR_CHECK(i < rows_);
+  return Vector(row_ptr(i), row_ptr(i) + cols_);
+}
+
+Vector Matrix::col(std::size_t j) const {
+  CPR_CHECK(j < cols_);
+  Vector v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::set_row(std::size_t i, const Vector& v) {
+  CPR_CHECK(i < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(), row_ptr(i));
+}
+
+void Matrix::set_col(std::size_t j, const Vector& v) {
+  CPR_CHECK(j < cols_ && v.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+void Matrix::set_identity() {
+  CPR_CHECK_MSG(rows_ == cols_, "identity requires a square matrix");
+  fill(0.0);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) = 1.0;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CPR_CHECK(same_shape(other));
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CPR_CHECK(same_shape(other));
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::serialize(SerialSink& sink) const {
+  sink.write_u64(rows_);
+  sink.write_u64(cols_);
+  sink.write_doubles(data_);
+}
+
+Matrix Matrix::deserialize(BufferSource& source) {
+  Matrix m;
+  m.rows_ = source.read_u64();
+  m.cols_ = source.read_u64();
+  m.data_ = source.read_doubles();
+  CPR_CHECK(m.data_.size() == m.rows_ * m.cols_);
+  return m;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  CPR_CHECK(a.same_shape(b));
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      max_diff = std::max(max_diff, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace cpr::linalg

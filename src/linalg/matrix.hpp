@@ -1,0 +1,88 @@
+#pragma once
+// Dense row-major matrix and vector types used throughout the library.
+//
+// This is a from-scratch substrate (no Eigen/BLAS dependency): the paper's
+// completion algorithms only need small-R dense kernels (R <= 64), plus QR /
+// SVD / Cholesky on tall-skinny or R-by-R operands, so a straightforward
+// cache-friendly implementation with OpenMP on the outer loops suffices.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/serialize.hpp"
+
+namespace cpr::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows-by-cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list (row-major), e.g. {{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    CPR_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    CPR_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row_ptr(std::size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies row i into a Vector.
+  Vector row(std::size_t i) const;
+  /// Copies column j into a Vector.
+  Vector col(std::size_t j) const;
+  void set_row(std::size_t i, const Vector& v);
+  void set_col(std::size_t j, const Vector& v);
+
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Sets this to the identity (must be square).
+  void set_identity();
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Element-wise operations (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void serialize(SerialSink& sink) const;
+  static Matrix deserialize(BufferSource& source);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max |a_ij - b_ij| over all elements (shapes must match).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace cpr::linalg

@@ -1,0 +1,42 @@
+#pragma once
+// Householder QR and linear least-squares solves.
+//
+// Used by OLS/PMNF baselines, MARS's repeated refits, and tests that verify
+// the ALS normal-equation solutions against an orthogonalization-based solve.
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+/// Compact Householder QR of an m-by-n matrix (m >= n).
+/// `qr` holds R in its upper triangle and the Householder vectors below the
+/// diagonal; `tau` holds the reflector scales.
+struct QrFactorization {
+  Matrix qr;
+  Vector tau;
+
+  std::size_t rows() const { return qr.rows(); }
+  std::size_t cols() const { return qr.cols(); }
+
+  /// Applies Q^T to a vector of length m in place.
+  void apply_qt(Vector& v) const;
+
+  /// Extracts the thin Q (m-by-n).
+  Matrix thin_q() const;
+
+  /// Extracts R (n-by-n upper triangular).
+  Matrix r() const;
+};
+
+QrFactorization qr_factor(Matrix a);
+
+/// Minimum-norm-ish least squares: minimizes ||A x - b||_2 for full-rank A
+/// (m >= n). Small diagonal entries of R are regularized to keep the solve
+/// finite for nearly rank-deficient systems.
+Vector solve_least_squares(const Matrix& a, const Vector& b);
+
+/// Ridge least squares: minimizes ||A x - b||^2 + lambda ||x||^2 by solving
+/// the (n+m)-row augmented system via QR when lambda > 0.
+Vector solve_ridge(const Matrix& a, const Vector& b, double lambda);
+
+}  // namespace cpr::linalg

@@ -1,0 +1,139 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.hpp"
+
+namespace cpr::linalg {
+
+SvdResult svd(const Matrix& a, int max_sweeps, double tol) {
+  // One-sided Jacobi: orthogonalize the columns of a working copy W = A V by
+  // plane rotations accumulated into V; then sigma_j = ||w_j||, u_j = w_j/sigma_j.
+  const std::size_t m = a.rows(), n = a.cols();
+  const bool transpose_input = m < n;
+  Matrix w = transpose_input ? a.transposed() : a;
+  const std::size_t wm = w.rows(), wn = w.cols();
+  Matrix v(wn, wn);
+  v.set_identity();
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_offdiag = 0.0;
+    for (std::size_t p = 0; p + 1 < wn; ++p) {
+      for (std::size_t q = p + 1; q < wn; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < wm; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        const double denom = std::sqrt(alpha * beta);
+        if (denom > 0.0) max_offdiag = std::max(max_offdiag, std::abs(gamma) / denom);
+        if (std::abs(gamma) <= tol * denom || denom == 0.0) continue;
+        // Jacobi rotation zeroing the (p,q) entry of W^T W.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < wm; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < wn; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (max_offdiag < tol) break;
+  }
+
+  // Column norms are singular values; sort non-increasing.
+  Vector sigma(wn, 0.0);
+  for (std::size_t j = 0; j < wn; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < wm; ++i) sum += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(sum);
+  }
+  std::vector<std::size_t> order(wn);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  Matrix u_sorted(wm, wn, 0.0), v_sorted(wn, wn, 0.0);
+  Vector sigma_sorted(wn, 0.0);
+  for (std::size_t jj = 0; jj < wn; ++jj) {
+    const std::size_t j = order[jj];
+    sigma_sorted[jj] = sigma[j];
+    const double inv = sigma[j] > 0.0 ? 1.0 / sigma[j] : 0.0;
+    for (std::size_t i = 0; i < wm; ++i) u_sorted(i, jj) = w(i, j) * inv;
+    for (std::size_t i = 0; i < wn; ++i) v_sorted(i, jj) = v(i, j);
+  }
+
+  if (transpose_input) {
+    // A = (W_t)^T = V Sigma U^T: swap roles of U and V.
+    return SvdResult{std::move(v_sorted), std::move(sigma_sorted), std::move(u_sorted)};
+  }
+  return SvdResult{std::move(u_sorted), std::move(sigma_sorted), std::move(v_sorted)};
+}
+
+Matrix svd_truncate(const SvdResult& s, std::size_t rank) {
+  rank = std::min(rank, s.sigma.size());
+  Matrix out(s.u.rows(), s.v.rows(), 0.0);
+  for (std::size_t r = 0; r < rank; ++r) {
+    const double sig = s.sigma[r];
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      const double uis = s.u(i, r) * sig;
+      for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) += uis * s.v(j, r);
+    }
+  }
+  return out;
+}
+
+Rank1Svd rank1_svd(const Matrix& a, int max_iters, double tol) {
+  const std::size_t m = a.rows(), n = a.cols();
+  CPR_CHECK(m > 0 && n > 0);
+  // Power iteration on the Gram operator x -> A^T (A x), starting from a
+  // deterministic positive vector so positive matrices converge to the
+  // Perron vector immediately.
+  Vector x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  Vector ax(m, 0.0), atax(n, 0.0);
+  double sigma_prev = 0.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    gemv(a, x, ax);
+    gemv_t(a, ax, atax);
+    const double norm = norm2(atax);
+    if (norm == 0.0) break;  // A x in null space: accept current estimate
+    for (std::size_t j = 0; j < n; ++j) x[j] = atax[j] / norm;
+    gemv(a, x, ax);
+    const double sigma_now = norm2(ax);
+    if (std::abs(sigma_now - sigma_prev) <= tol * std::max(1.0, sigma_now)) {
+      sigma_prev = sigma_now;
+      break;
+    }
+    sigma_prev = sigma_now;
+  }
+  gemv(a, x, ax);
+  double sigma = norm2(ax);
+  Vector u(m, 0.0);
+  if (sigma > 0.0) {
+    for (std::size_t i = 0; i < m; ++i) u[i] = ax[i] / sigma;
+  }
+  // Sign canonicalization: make the dominant entry of u positive.
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < m; ++i) {
+    if (std::abs(u[i]) > std::abs(u[argmax])) argmax = i;
+  }
+  if (u[argmax] < 0.0) {
+    for (double& ui : u) ui = -ui;
+    for (double& vi : x) vi = -vi;
+  }
+  return Rank1Svd{std::move(u), sigma, std::move(x)};
+}
+
+}  // namespace cpr::linalg

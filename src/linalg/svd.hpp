@@ -1,0 +1,40 @@
+#pragma once
+// Singular value decomposition.
+//
+// Two entry points:
+//  * `svd` — full thin SVD via one-sided Jacobi (robust, O(mn^2) per sweep);
+//    used for the Figure 1 analysis of discretized performance functions.
+//  * `rank1_svd` — dominant singular triple via power iteration on A^T A;
+//    used by the Section 5.3 extrapolation model, where Perron–Frobenius
+//    guarantees the leading singular vectors of a positive matrix are
+//    positive (we canonicalize signs so they are).
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+struct SvdResult {
+  Matrix u;        ///< m-by-k left singular vectors (columns)
+  Vector sigma;    ///< k singular values, non-increasing
+  Matrix v;        ///< n-by-k right singular vectors (columns)
+};
+
+/// Thin SVD of an m-by-n matrix (k = min(m, n)) via one-sided Jacobi
+/// rotations applied to the columns of A.
+SvdResult svd(const Matrix& a, int max_sweeps = 60, double tol = 1e-12);
+
+/// Reconstructs U * diag(sigma[0..rank)) * V^T truncated to `rank` triples.
+Matrix svd_truncate(const SvdResult& s, std::size_t rank);
+
+struct Rank1Svd {
+  Vector u;      ///< unit left singular vector (length m)
+  double sigma;  ///< dominant singular value
+  Vector v;      ///< unit right singular vector (length n)
+};
+
+/// Dominant singular triple via power iteration; sign-canonicalized so the
+/// entry of largest magnitude in u is positive (for a strictly positive
+/// matrix this makes both u and v entrywise positive).
+Rank1Svd rank1_svd(const Matrix& a, int max_iters = 500, double tol = 1e-12);
+
+}  // namespace cpr::linalg

@@ -1,0 +1,76 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cpr::metrics {
+
+namespace {
+
+constexpr double kPredictionFloor = 1e-16;  // paper's floor for non-positive outputs
+
+template <typename F>
+double mean_over(const std::vector<double>& predictions, const std::vector<double>& truths,
+                 F&& term) {
+  CPR_CHECK_MSG(predictions.size() == truths.size(), "prediction/truth size mismatch");
+  CPR_CHECK_MSG(!predictions.empty(), "metrics need at least one sample");
+  double total = 0.0;
+  for (std::size_t k = 0; k < predictions.size(); ++k) {
+    total += term(predictions[k], truths[k]);
+  }
+  return total / static_cast<double>(predictions.size());
+}
+
+double floored(double m) { return m > kPredictionFloor ? m : kPredictionFloor; }
+
+}  // namespace
+
+double mape(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths,
+                   [](double m, double y) { return std::abs(m - y) / y; });
+}
+
+double mae(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths, [](double m, double y) { return std::abs(m - y); });
+}
+
+double mse(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths, [](double m, double y) {
+    const double d = m - y;
+    return d * d;
+  });
+}
+
+double smape(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths,
+                   [](double m, double y) { return 2.0 * std::abs(m - y) / (y + m); });
+}
+
+double lgmape(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths, [](double m, double y) {
+    return std::log(std::max(std::abs(m - y) / y, kPredictionFloor));
+  });
+}
+
+double mlogq(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths, [](double m, double y) {
+    return std::abs(std::log(floored(m) / y));
+  });
+}
+
+double mlogq2(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  return mean_over(predictions, truths, [](double m, double y) {
+    const double q = std::log(floored(m) / y);
+    return q * q;
+  });
+}
+
+double geometric_mean_ratio(const std::vector<double>& predictions,
+                            const std::vector<double>& truths) {
+  return std::exp(mean_over(predictions, truths, [](double m, double y) {
+    return std::log(floored(m) / y);
+  }));
+}
+
+}  // namespace cpr::metrics

@@ -1,0 +1,41 @@
+#pragma once
+// Aggregate error metrics of Table 1 (Section 2.2).
+//
+// The paper's headline metric is MLogQ — the arithmetic mean of the absolute
+// log accuracy ratio |log(m/y)| — because it is scale-independent: model
+// outputs a*y and y/a receive equal penalty. All seven Table-1 metrics are
+// implemented (means, i.e. the table's sums divided by M) so the table's
+// identities can be verified programmatically (bench/table1_metrics).
+
+#include <vector>
+
+namespace cpr::metrics {
+
+/// Mean absolute percentage error: mean |m - y| / y.
+double mape(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// Mean absolute error: mean |m - y|.
+double mae(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// Mean squared error: mean (m - y)^2.
+double mse(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// Symmetric MAPE: mean 2|m - y| / (y + m).
+double smape(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// Log geometric-mean relative error: mean log(|m - y| / y).
+double lgmape(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// Mean absolute log accuracy ratio: mean |log(m / y)| — the paper's
+/// primary metric. Non-positive predictions are floored at 1e-16 (the
+/// treatment the paper applies in Figure 1).
+double mlogq(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// Mean squared log accuracy ratio: mean log^2(m / y).
+double mlogq2(const std::vector<double>& predictions, const std::vector<double>& truths);
+
+/// GM of the accuracy ratio = exp(mean log(m/y)); bias diagnostic (1 = unbiased).
+double geometric_mean_ratio(const std::vector<double>& predictions,
+                            const std::vector<double>& truths);
+
+}  // namespace cpr::metrics

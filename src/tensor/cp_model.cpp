@@ -1,0 +1,139 @@
+#include "tensor/cp_model.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace cpr::tensor {
+
+CpModel::CpModel(Dims dims, std::size_t rank) : dims_(std::move(dims)), rank_(rank) {
+  CPR_CHECK_MSG(rank_ > 0, "CP rank must be positive");
+  CPR_CHECK_MSG(!dims_.empty(), "CP model needs at least one mode");
+  factors_.reserve(dims_.size());
+  for (const std::size_t dim : dims_) {
+    CPR_CHECK_MSG(dim > 0, "CP mode dimension must be positive");
+    factors_.emplace_back(dim, rank_, 0.0);
+  }
+}
+
+double CpModel::eval(const Index& idx) const {
+  CPR_DCHECK(idx.size() == order());
+  double total = 0.0;
+  for (std::size_t r = 0; r < rank_; ++r) {
+    double product = 1.0;
+    for (std::size_t j = 0; j < order(); ++j) {
+      product *= factors_[j](idx[j], r);
+    }
+    total += product;
+  }
+  return total;
+}
+
+DenseTensor CpModel::reconstruct() const {
+  DenseTensor out(dims_);
+  Index idx(order(), 0);
+  std::size_t flat = 0;
+  do {
+    out[flat++] = eval(idx);
+  } while (next_index(idx, dims_));
+  return out;
+}
+
+void CpModel::init_random(Rng& rng, double scale) {
+  for (auto& factor : factors_) {
+    for (std::size_t i = 0; i < factor.rows(); ++i) {
+      for (std::size_t r = 0; r < factor.cols(); ++r) {
+        factor(i, r) = rng.normal(0.0, scale);
+      }
+    }
+  }
+}
+
+void CpModel::init_ones(Rng& rng, double jitter) {
+  for (auto& factor : factors_) {
+    for (std::size_t i = 0; i < factor.rows(); ++i) {
+      for (std::size_t r = 0; r < factor.cols(); ++r) {
+        factor(i, r) = 1.0 + rng.normal(0.0, jitter);
+      }
+    }
+  }
+}
+
+void CpModel::init_positive(Rng& rng, double magnitude, double jitter) {
+  CPR_CHECK_MSG(magnitude > 0.0, "positive init requires positive magnitude");
+  // Spread the target magnitude across rank terms so eval() starts near it.
+  const double per_entry =
+      magnitude / std::pow(static_cast<double>(rank_), 1.0 / static_cast<double>(order()));
+  for (auto& factor : factors_) {
+    for (std::size_t i = 0; i < factor.rows(); ++i) {
+      for (std::size_t r = 0; r < factor.cols(); ++r) {
+        factor(i, r) = per_entry * std::exp(rng.normal(0.0, jitter));
+      }
+    }
+  }
+}
+
+bool CpModel::all_factors_positive() const {
+  for (const auto& factor : factors_) {
+    for (std::size_t i = 0; i < factor.rows(); ++i) {
+      for (std::size_t r = 0; r < factor.cols(); ++r) {
+        if (!(factor(i, r) > 0.0)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double CpModel::frobenius_norm() const {
+  // ||T||_F^2 = 1^T (G_1 ∘ G_2 ∘ ... ∘ G_d) 1 with G_j = U_j^T U_j.
+  linalg::Matrix hadamard(rank_, rank_, 1.0);
+  linalg::Matrix gram(rank_, rank_, 0.0);
+  for (const auto& factor : factors_) {
+    linalg::syrk_tn(factor, gram);
+    for (std::size_t r = 0; r < rank_; ++r) {
+      for (std::size_t s = 0; s < rank_; ++s) hadamard(r, s) *= gram(r, s);
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rank_; ++r) {
+    for (std::size_t s = 0; s < rank_; ++s) sum += hadamard(r, s);
+  }
+  return std::sqrt(std::max(0.0, sum));
+}
+
+double CpModel::regularization_term() const {
+  double sum = 0.0;
+  for (const auto& factor : factors_) {
+    const double norm = factor.frobenius_norm();
+    sum += norm * norm;
+  }
+  return sum;
+}
+
+std::size_t CpModel::parameter_bytes() const {
+  ByteCountSink sink;
+  serialize(sink);
+  return sink.count();
+}
+
+void CpModel::serialize(SerialSink& sink) const {
+  sink.write_u64(order());
+  sink.write_u64(rank_);
+  for (const std::size_t dim : dims_) sink.write_u64(dim);
+  for (const auto& factor : factors_) factor.serialize(sink);
+}
+
+CpModel CpModel::deserialize(BufferSource& source) {
+  const auto order = source.read_u64();
+  const auto rank = source.read_u64();
+  Dims dims(order);
+  for (auto& dim : dims) dim = source.read_u64();
+  CpModel model(dims, rank);
+  for (std::size_t j = 0; j < order; ++j) {
+    model.factors_[j] = linalg::Matrix::deserialize(source);
+    CPR_CHECK(model.factors_[j].rows() == dims[j] && model.factors_[j].cols() == rank);
+  }
+  return model;
+}
+
+}  // namespace cpr::tensor

@@ -1,0 +1,76 @@
+#pragma once
+// Canonical-polyadic (CP) decomposition model (Section 4.1, Eq. 2).
+//
+// A rank-R CP model of an order-d tensor stores d factor matrices
+// U_j in R^{I_j x R}; the modeled element is
+//   t̂_i = sum_r prod_j U_j(i_j, r).
+// Model size is linear in order and rank — the property Section 7.1.3
+// attributes CPR's memory-efficiency to.
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/multi_index.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace cpr::tensor {
+
+class CpModel {
+ public:
+  CpModel() = default;
+
+  /// Zero-initialized model with the given shape.
+  CpModel(Dims dims, std::size_t rank);
+
+  std::size_t order() const { return factors_.size(); }
+  std::size_t rank() const { return rank_; }
+  const Dims& dims() const { return dims_; }
+
+  linalg::Matrix& factor(std::size_t j) { return factors_.at(j); }
+  const linalg::Matrix& factor(std::size_t j) const { return factors_.at(j); }
+
+  /// Reconstructs element t̂_i.
+  double eval(const Index& idx) const;
+
+  /// Reconstructs the full dense tensor (tests / small analyses only).
+  DenseTensor reconstruct() const;
+
+  /// Gaussian init: entries ~ N(0, scale). Standard for least-squares ALS.
+  void init_random(Rng& rng, double scale = 1.0);
+
+  /// Ones-based init: entries = 1 + N(0, jitter). For high-order tensors of
+  /// (centered) log execution times this is far better conditioned than a
+  /// zero-mean init: the Hadamard products of the unsolved modes start near
+  /// 1 instead of near 0, so the first ALS sweep immediately captures each
+  /// mode's additive-in-log main effect instead of solving a degenerate
+  /// system dominated by the ridge term.
+  void init_ones(Rng& rng, double jitter = 0.1);
+
+  /// Strictly positive init: entries = magnitude * exp(N(0, jitter)).
+  /// Used by the interior-point (AMN) path, which must stay in the positive
+  /// orthant. `magnitude` is typically (geometric mean of data)^(1/d).
+  void init_positive(Rng& rng, double magnitude, double jitter = 0.1);
+
+  /// True if every factor entry is strictly positive.
+  bool all_factors_positive() const;
+
+  /// ||model||_F computed factorized via the Hadamard product of Gram
+  /// matrices (never materializes the dense tensor).
+  double frobenius_norm() const;
+
+  /// Sum of squared factor entries (the regularization term of Eq. 3).
+  double regularization_term() const;
+
+  /// Bytes needed to persist the factor matrices.
+  std::size_t parameter_bytes() const;
+
+  void serialize(SerialSink& sink) const;
+  static CpModel deserialize(BufferSource& source);
+
+ private:
+  Dims dims_;
+  std::size_t rank_ = 0;
+  std::vector<linalg::Matrix> factors_;
+};
+
+}  // namespace cpr::tensor

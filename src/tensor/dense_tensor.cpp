@@ -1,0 +1,23 @@
+#include "tensor/dense_tensor.hpp"
+
+#include <cmath>
+
+namespace cpr::tensor {
+
+double DenseTensor::frobenius_norm() const {
+  double sum = 0.0;
+  for (const double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double DenseTensor::frobenius_distance(const DenseTensor& other) const {
+  CPR_CHECK(dims_ == other.dims_);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    const double diff = data_[k] - other.data_[k];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace cpr::tensor

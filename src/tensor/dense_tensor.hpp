@@ -1,0 +1,46 @@
+#pragma once
+// Dense order-d tensor with row-major storage.
+//
+// Dense tensors appear in tests and in the fully-observed CP-ALS reference
+// path; the completion pipeline itself works on SparseTensor.
+
+#include "tensor/multi_index.hpp"
+
+namespace cpr::tensor {
+
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(Dims dims, double fill = 0.0)
+      : dims_(std::move(dims)), data_(element_count(dims_), fill) {}
+
+  std::size_t order() const { return dims_.size(); }
+  const Dims& dims() const { return dims_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator[](std::size_t flat) {
+    CPR_DCHECK(flat < data_.size());
+    return data_[flat];
+  }
+  double operator[](std::size_t flat) const {
+    CPR_DCHECK(flat < data_.size());
+    return data_[flat];
+  }
+
+  double& at(const Index& idx) { return data_[linearize(idx, dims_)]; }
+  double at(const Index& idx) const { return data_[linearize(idx, dims_)]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double frobenius_norm() const;
+
+  /// ||this - other||_F (shapes must match).
+  double frobenius_distance(const DenseTensor& other) const;
+
+ private:
+  Dims dims_;
+  std::vector<double> data_;
+};
+
+}  // namespace cpr::tensor

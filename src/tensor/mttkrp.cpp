@@ -1,0 +1,79 @@
+#include "tensor/mttkrp.hpp"
+
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace cpr::tensor {
+
+linalg::Matrix khatri_rao(const linalg::Matrix& a, const linalg::Matrix& b) {
+  CPR_CHECK_MSG(a.cols() == b.cols(), "khatri_rao: rank mismatch");
+  linalg::Matrix out(a.rows() * b.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < b.rows(); ++k) {
+      double* row = out.row_ptr(i * b.rows() + k);
+      const double* ai = a.row_ptr(i);
+      const double* bk = b.row_ptr(k);
+      for (std::size_t r = 0; r < a.cols(); ++r) row[r] = ai[r] * bk[r];
+    }
+  }
+  return out;
+}
+
+void hadamard_row(const CpModel& model, const SparseTensor& t, std::size_t entry,
+                  std::size_t skip_mode, double* z) {
+  const std::size_t rank = model.rank();
+  for (std::size_t r = 0; r < rank; ++r) z[r] = 1.0;
+  for (std::size_t j = 0; j < model.order(); ++j) {
+    if (j == skip_mode) continue;
+    const double* row = model.factor(j).row_ptr(t.index(entry, j));
+    for (std::size_t r = 0; r < rank; ++r) z[r] *= row[r];
+  }
+}
+
+void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
+                   linalg::Matrix& out) {
+  CPR_CHECK(mode < model.order());
+  CPR_CHECK(out.rows() == model.dims()[mode] && out.cols() == model.rank());
+  out.fill(0.0);
+  const std::size_t rank = model.rank();
+
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel
+  {
+    linalg::Matrix local(out.rows(), out.cols(), 0.0);
+    std::vector<double> z(rank);
+#pragma omp for schedule(static) nowait
+    for (std::size_t e = 0; e < t.nnz(); ++e) {
+      hadamard_row(model, t, e, mode, z.data());
+      double* row = local.row_ptr(t.index(e, mode));
+      const double value = t.value(e);
+      for (std::size_t r = 0; r < rank; ++r) row[r] += value * z[r];
+    }
+#pragma omp critical(cpr_mttkrp_reduce)
+    out += local;
+  }
+#else
+  std::vector<double> z(rank);
+  for (std::size_t e = 0; e < t.nnz(); ++e) {
+    hadamard_row(model, t, e, mode, z.data());
+    double* row = out.row_ptr(t.index(e, mode));
+    const double value = t.value(e);
+    for (std::size_t r = 0; r < rank; ++r) row[r] += value * z[r];
+  }
+#endif
+}
+
+double sq_residual_observed(const SparseTensor& t, const CpModel& model) {
+  double total = 0.0;
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+#endif
+  for (std::size_t e = 0; e < t.nnz(); ++e) {
+    const double diff = t.value(e) - model.eval(t.entry_index(e));
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace cpr::tensor

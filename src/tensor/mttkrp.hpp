@@ -1,0 +1,31 @@
+#pragma once
+// Khatri–Rao product and sparse MTTKRP.
+//
+// MTTKRP (matricized tensor times Khatri–Rao product) is the dominant kernel
+// of CP optimization: for mode m,
+//   M(i_m, :) += t_i * hadamard_{j != m} U_j(i_j, :)
+// summed over observed entries i. The sparse variant iterates Ω directly.
+
+#include "linalg/matrix.hpp"
+#include "tensor/cp_model.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace cpr::tensor {
+
+/// Column-wise Khatri–Rao product: (A ⊙ B)((i*rows(B)+k), r) = A(i,r)*B(k,r).
+linalg::Matrix khatri_rao(const linalg::Matrix& a, const linalg::Matrix& b);
+
+/// Sparse MTTKRP for the given mode; `out` must be dims[mode] x rank and is
+/// overwritten. Parallelized over entries with thread-local accumulators.
+void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
+                   linalg::Matrix& out);
+
+/// Hadamard row product of all factors except `skip_mode` at the entry's
+/// coordinates: z_r = prod_{j != skip} U_j(i_j, r). Appends into `z` (size R).
+void hadamard_row(const CpModel& model, const SparseTensor& t, std::size_t entry,
+                  std::size_t skip_mode, double* z);
+
+/// Sum of squared residuals over observed entries: sum_Ω (t_i - t̂_i)^2.
+double sq_residual_observed(const SparseTensor& t, const CpModel& model);
+
+}  // namespace cpr::tensor

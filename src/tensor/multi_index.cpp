@@ -1,0 +1,56 @@
+#include "tensor/multi_index.hpp"
+
+namespace cpr::tensor {
+
+std::size_t element_count(const Dims& dims) {
+  std::size_t count = 1;
+  for (const std::size_t d : dims) count *= d;
+  return count;
+}
+
+std::vector<std::size_t> row_major_strides(const Dims& dims) {
+  std::vector<std::size_t> strides(dims.size(), 1);
+  for (std::size_t j = dims.size(); j-- > 1;) {
+    strides[j - 1] = strides[j] * dims[j];
+  }
+  return strides;
+}
+
+std::size_t linearize(const Index& idx, const Dims& dims) {
+  CPR_DCHECK(idx.size() == dims.size());
+  std::size_t flat = 0;
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    CPR_DCHECK(idx[j] < dims[j]);
+    flat = flat * dims[j] + idx[j];
+  }
+  return flat;
+}
+
+Index delinearize(std::size_t flat, const Dims& dims) {
+  Index idx(dims.size(), 0);
+  for (std::size_t j = dims.size(); j-- > 0;) {
+    idx[j] = flat % dims[j];
+    flat /= dims[j];
+  }
+  CPR_DCHECK(flat == 0);
+  return idx;
+}
+
+bool next_index(Index& idx, const Dims& dims) {
+  CPR_DCHECK(idx.size() == dims.size());
+  for (std::size_t j = dims.size(); j-- > 0;) {
+    if (++idx[j] < dims[j]) return true;
+    idx[j] = 0;
+  }
+  return false;
+}
+
+bool in_bounds(const Index& idx, const Dims& dims) {
+  if (idx.size() != dims.size()) return false;
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    if (idx[j] >= dims[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace cpr::tensor

@@ -1,0 +1,36 @@
+#pragma once
+// Multi-index helpers shared by dense and sparse tensors.
+//
+// Indices are stored as std::vector<std::size_t>; linearization is row-major
+// (last mode fastest) to match DenseTensor's layout.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cpr::tensor {
+
+using Index = std::vector<std::size_t>;
+using Dims = std::vector<std::size_t>;
+
+/// Total number of elements (product of dims); 1 for an order-0 tensor.
+std::size_t element_count(const Dims& dims);
+
+/// Row-major strides (stride of last mode is 1).
+std::vector<std::size_t> row_major_strides(const Dims& dims);
+
+/// Flattens a multi-index (bounds-checked in debug builds).
+std::size_t linearize(const Index& idx, const Dims& dims);
+
+/// Inverse of linearize.
+Index delinearize(std::size_t flat, const Dims& dims);
+
+/// Advances idx to the next row-major multi-index; returns false after the
+/// last index wraps (so `do { } while (next_index(...))` visits every cell).
+bool next_index(Index& idx, const Dims& dims);
+
+/// True if every coordinate is within bounds.
+bool in_bounds(const Index& idx, const Dims& dims);
+
+}  // namespace cpr::tensor

@@ -1,0 +1,60 @@
+#include "tensor/sparse_tensor.hpp"
+
+#include <algorithm>
+
+namespace cpr::tensor {
+
+Index SparseTensor::entry_index(std::size_t e) const {
+  CPR_CHECK(e < nnz());
+  return Index(coords_.begin() + static_cast<std::ptrdiff_t>(e * order()),
+               coords_.begin() + static_cast<std::ptrdiff_t>((e + 1) * order()));
+}
+
+void SparseTensor::push_back(const Index& idx, double value) {
+  CPR_CHECK_MSG(in_bounds(idx, dims_), "sparse tensor entry out of bounds");
+  coords_.insert(coords_.end(), idx.begin(), idx.end());
+  values_.push_back(value);
+}
+
+DenseTensor SparseTensor::to_dense(double fill) const {
+  DenseTensor dense(dims_, fill);
+  for (std::size_t e = 0; e < nnz(); ++e) {
+    dense.at(entry_index(e)) = values_[e];
+  }
+  return dense;
+}
+
+void SparseTensor::Accumulator::add(const Index& idx, double value) {
+  CPR_CHECK_MSG(in_bounds(idx, dims_), "observation out of tensor bounds");
+  auto& slot = sums_[linearize(idx, dims_)];
+  slot.first += value;
+  slot.second += 1;
+}
+
+SparseTensor SparseTensor::Accumulator::build() const {
+  std::vector<std::size_t> flats;
+  flats.reserve(sums_.size());
+  for (const auto& [flat, unused] : sums_) flats.push_back(flat);
+  std::sort(flats.begin(), flats.end());
+
+  SparseTensor t(dims_);
+  for (const std::size_t flat : flats) {
+    const auto& [sum, count] = sums_.at(flat);
+    t.push_back(delinearize(flat, dims_), sum / static_cast<double>(count));
+  }
+  return t;
+}
+
+ModeSlices::ModeSlices(const SparseTensor& t) {
+  slices_.resize(t.order());
+  for (std::size_t j = 0; j < t.order(); ++j) {
+    slices_[j].resize(t.dims()[j]);
+  }
+  for (std::size_t e = 0; e < t.nnz(); ++e) {
+    for (std::size_t j = 0; j < t.order(); ++j) {
+      slices_[j][t.index(e, j)].push_back(e);
+    }
+  }
+}
+
+}  // namespace cpr::tensor

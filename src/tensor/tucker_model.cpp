@@ -1,0 +1,123 @@
+#include "tensor/tucker_model.hpp"
+
+namespace cpr::tensor {
+
+TuckerModel::TuckerModel(Dims dims, Dims core_dims)
+    : dims_(std::move(dims)), core_(core_dims) {
+  CPR_CHECK_MSG(!dims_.empty(), "Tucker model needs at least one mode");
+  CPR_CHECK_MSG(core_dims.size() == dims_.size(), "core order must match tensor order");
+  factors_.reserve(dims_.size());
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    CPR_CHECK_MSG(core_dims[j] >= 1 && core_dims[j] <= dims_[j],
+                  "mode-" << j << " rank must be in [1, I_j]");
+    factors_.emplace_back(dims_[j], core_dims[j], 0.0);
+  }
+}
+
+double TuckerModel::eval(const Index& idx) const {
+  CPR_DCHECK(idx.size() == order());
+  // Contract the core against each mode's selected factor row, one mode at
+  // a time (cost sum over modes of partial products, ~ prod R_j total).
+  std::vector<double> current(core_.data(), core_.data() + core_.size());
+  std::vector<double> next;
+  Dims remaining = core_.dims();
+  for (std::size_t j = 0; j < order(); ++j) {
+    const std::size_t r_j = remaining[0];
+    const std::size_t tail = current.size() / r_j;
+    const double* row = factors_[j].row_ptr(idx[j]);
+    next.assign(tail, 0.0);
+    for (std::size_t r = 0; r < r_j; ++r) {
+      const double weight = row[r];
+      const double* block = current.data() + r * tail;
+      for (std::size_t k = 0; k < tail; ++k) next[k] += weight * block[k];
+    }
+    current.swap(next);
+    remaining.erase(remaining.begin());
+  }
+  CPR_DCHECK(current.size() == 1);
+  return current[0];
+}
+
+void TuckerModel::mode_weights(const Index& idx, std::size_t mode, double* w) const {
+  CPR_DCHECK(mode < order());
+  // w_r = sum over core indices with mode-index r of g * prod_{j != mode} U_j rows.
+  const auto& core_dims = core_.dims();
+  const std::size_t r_mode = core_dims[mode];
+  for (std::size_t r = 0; r < r_mode; ++r) w[r] = 0.0;
+  Index core_idx(order(), 0);
+  std::size_t flat = 0;
+  do {
+    double product = core_[flat++];
+    for (std::size_t j = 0; j < order(); ++j) {
+      if (j == mode) continue;
+      product *= factors_[j](idx[j], core_idx[j]);
+    }
+    w[core_idx[mode]] += product;
+  } while (next_index(core_idx, core_dims));
+}
+
+void TuckerModel::design_vector(const Index& idx, double* z) const {
+  const auto& core_dims = core_.dims();
+  Index core_idx(order(), 0);
+  std::size_t flat = 0;
+  do {
+    double product = 1.0;
+    for (std::size_t j = 0; j < order(); ++j) {
+      product *= factors_[j](idx[j], core_idx[j]);
+    }
+    z[flat++] = product;
+  } while (next_index(core_idx, core_dims));
+}
+
+void TuckerModel::init_ones(Rng& rng, double jitter) {
+  for (auto& factor : factors_) {
+    for (std::size_t i = 0; i < factor.rows(); ++i) {
+      for (std::size_t r = 0; r < factor.cols(); ++r) {
+        factor(i, r) = 1.0 + rng.normal(0.0, jitter);
+      }
+    }
+  }
+  // Concentrate the core's mass on its (0, ..., 0) entry so the initial
+  // reconstruction is near 1 with mild coupling noise elsewhere.
+  for (std::size_t k = 0; k < core_.size(); ++k) {
+    core_[k] = rng.normal(0.0, jitter * 0.1);
+  }
+  core_[0] = 1.0;
+}
+
+std::size_t TuckerModel::parameter_count() const {
+  std::size_t count = core_.size();
+  for (const auto& factor : factors_) count += factor.size();
+  return count;
+}
+
+std::size_t TuckerModel::parameter_bytes() const {
+  ByteCountSink sink;
+  serialize(sink);
+  return sink.count();
+}
+
+void TuckerModel::serialize(SerialSink& sink) const {
+  sink.write_u64(order());
+  for (const auto d : dims_) sink.write_u64(d);
+  for (const auto r : core_.dims()) sink.write_u64(r);
+  sink.write_doubles(std::vector<double>(core_.data(), core_.data() + core_.size()));
+  for (const auto& factor : factors_) factor.serialize(sink);
+}
+
+TuckerModel TuckerModel::deserialize(BufferSource& source) {
+  const auto order = source.read_u64();
+  Dims dims(order), core_dims(order);
+  for (auto& d : dims) d = source.read_u64();
+  for (auto& r : core_dims) r = source.read_u64();
+  TuckerModel model(dims, core_dims);
+  const auto core_values = source.read_doubles();
+  CPR_CHECK(core_values.size() == model.core_.size());
+  std::copy(core_values.begin(), core_values.end(), model.core_.data());
+  for (std::size_t j = 0; j < order; ++j) {
+    model.factors_[j] = linalg::Matrix::deserialize(source);
+  }
+  return model;
+}
+
+}  // namespace cpr::tensor

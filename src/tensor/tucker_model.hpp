@@ -1,0 +1,62 @@
+#pragma once
+// Tucker decomposition model — the "alternative tensor factorization" the
+// paper defers to future work (Section 4.1 cites Tucker alongside CP).
+//
+// A Tucker model stores a dense core tensor G of shape R_1 x ... x R_d and
+// per-mode factor matrices U_j in R^{I_j x R_j}:
+//   t̂_i = sum_{r} g_r * prod_j U_j(i_j, r_j).
+// Unlike CP, the core couples the modes, so model size carries a
+// prod_j R_j term — the trade-off the ext_tucker_vs_cp bench quantifies.
+
+#include "linalg/matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/multi_index.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace cpr::tensor {
+
+class TuckerModel {
+ public:
+  TuckerModel() = default;
+
+  /// Zero-initialized model; `core_dims[j]` is the mode-j rank R_j <= dims[j].
+  TuckerModel(Dims dims, Dims core_dims);
+
+  std::size_t order() const { return factors_.size(); }
+  const Dims& dims() const { return dims_; }
+  const Dims& core_dims() const { return core_.dims(); }
+
+  DenseTensor& core() { return core_; }
+  const DenseTensor& core() const { return core_; }
+  linalg::Matrix& factor(std::size_t j) { return factors_.at(j); }
+  const linalg::Matrix& factor(std::size_t j) const { return factors_.at(j); }
+
+  /// Reconstructs element t̂_i (cost prod_j R_j).
+  double eval(const Index& idx) const;
+
+  /// Contraction weight vector for mode `mode` at entry index `idx`:
+  /// w in R^{R_mode} with t̂ = U_mode(i_mode, :) · w. Used by the row-wise
+  /// least-squares updates in tucker_complete.
+  void mode_weights(const Index& idx, std::size_t mode, double* w) const;
+
+  /// Kronecker design vector z = kron_j U_j(i_j, :) (length prod R_j) with
+  /// t̂ = <vec(G), z>. Used by the core update.
+  void design_vector(const Index& idx, double* z) const;
+
+  /// Ones + jitter init (same rationale as CpModel::init_ones).
+  void init_ones(Rng& rng, double jitter = 0.1);
+
+  std::size_t parameter_count() const;
+  std::size_t parameter_bytes() const;
+
+  void serialize(SerialSink& sink) const;
+  static TuckerModel deserialize(BufferSource& source);
+
+ private:
+  Dims dims_;
+  DenseTensor core_;
+  std::vector<linalg::Matrix> factors_;
+};
+
+}  // namespace cpr::tensor

@@ -1,0 +1,50 @@
+#pragma once
+// Lightweight precondition / invariant checking used across the library.
+//
+// CPR_CHECK is always on (cheap argument validation at API boundaries);
+// CPR_DCHECK compiles away in release builds (hot inner loops).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cpr {
+
+/// Thrown when a CPR_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "CPR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace cpr
+
+#define CPR_CHECK(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) ::cpr::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CPR_CHECK_MSG(expr, msg)                                   \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      std::ostringstream cpr_check_os;                             \
+      cpr_check_os << msg;                                         \
+      ::cpr::detail::check_failed(#expr, __FILE__, __LINE__,       \
+                                  cpr_check_os.str());             \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define CPR_DCHECK(expr) ((void)0)
+#else
+#define CPR_DCHECK(expr) CPR_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms. Unknown
+// google-benchmark flags (--benchmark_*) are ignored so bench binaries can
+// mix our flags with theirs.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if the flag appeared (with or without a value).
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cpr

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace cpr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::cerr << "[cpr " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace cpr

@@ -1,0 +1,38 @@
+#pragma once
+// Leveled stderr logging with a global verbosity switch.
+//
+// Training loops log per-sweep residuals at Debug; benches log progress at
+// Info. Default level is Warn so test output stays clean.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cpr {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold (messages below it are dropped).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace cpr
+
+#define CPR_LOG(level, expr)                                   \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::cpr::log_level())) {                \
+      std::ostringstream cpr_log_os;                           \
+      cpr_log_os << expr;                                      \
+      ::cpr::detail::log_emit(level, cpr_log_os.str());        \
+    }                                                          \
+  } while (0)
+
+#define CPR_LOG_DEBUG(expr) CPR_LOG(::cpr::LogLevel::Debug, expr)
+#define CPR_LOG_INFO(expr) CPR_LOG(::cpr::LogLevel::Info, expr)
+#define CPR_LOG_WARN(expr) CPR_LOG(::cpr::LogLevel::Warn, expr)
+#define CPR_LOG_ERROR(expr) CPR_LOG(::cpr::LogLevel::Error, expr)

@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace cpr {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  // Boost-style combine on top of splitmix-mixed input.
+  return seed ^ (hash64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : s_) word = splitmix64(s);
+  has_cached_normal_ = false;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CPR_CHECK_MSG(lo <= hi, "uniform_int requires lo <= hi, got " << lo << " > " << hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(operator()());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t draw;
+  do {
+    draw = operator()();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  CPR_CHECK_MSG(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+std::int64_t Rng::log_uniform_int(std::int64_t lo, std::int64_t hi) {
+  CPR_CHECK_MSG(lo > 0 && hi >= lo, "log_uniform_int requires 0 < lo <= hi");
+  const double draw = log_uniform(static_cast<double>(lo), static_cast<double>(hi));
+  auto rounded = static_cast<std::int64_t>(std::llround(draw));
+  if (rounded < lo) rounded = lo;
+  if (rounded > hi) rounded = hi;
+  return rounded;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  CPR_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n << " without replacement");
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  // Partial Fisher–Yates: only the first k positions are needed.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace cpr

@@ -1,0 +1,99 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded via splitmix64 so that
+// every experiment in the repository is reproducible across platforms and
+// standard-library versions (std::mt19937 distributions are not portable).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cpr {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(operator()() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    CPR_DCHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Log-uniform: exp(U(log lo, log hi)); requires lo, hi > 0.
+  double log_uniform(double lo, double hi);
+
+  /// Log-uniform over integers: round(exp(U(log lo, log hi))) clamped to [lo,hi].
+  std::int64_t log_uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with mean mu and standard deviation sigma.
+  double normal(double mu, double sigma) { return mu + sigma * normal(); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// splitmix64 step — also useful for stateless hashing of indices into
+/// deterministic "noise" (see apps/ simulators).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless hash of a 64-bit value to a 64-bit value (one splitmix64 round).
+std::uint64_t hash64(std::uint64_t x);
+
+/// Hash-combine for building deterministic per-configuration noise seeds.
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+}  // namespace cpr

@@ -1,0 +1,111 @@
+#pragma once
+// Binary serialization of model parameters.
+//
+// The paper measures model size by persisting fitted models to disk
+// (Section 6.0.4, joblib). We measure the same quantity — bytes needed to
+// reconstruct the fitted model — through a small archive abstraction every
+// Regressor implements. ByteCountSink computes size without allocating.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cpr {
+
+/// Write-only archive interface.
+class SerialSink {
+ public:
+  virtual ~SerialSink() = default;
+  virtual void write_bytes(const void* data, std::size_t n) = 0;
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_bytes(&value, sizeof(T));
+  }
+
+  void write_u64(std::uint64_t v) { write_pod(v); }
+  void write_f64(double v) { write_pod(v); }
+
+  void write_doubles(const std::vector<double>& v) {
+    write_u64(v.size());
+    if (!v.empty()) write_bytes(v.data(), v.size() * sizeof(double));
+  }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    if (!s.empty()) write_bytes(s.data(), s.size());
+  }
+};
+
+/// Counts bytes only — used for model_size_bytes().
+class ByteCountSink final : public SerialSink {
+ public:
+  void write_bytes(const void*, std::size_t n) override { count_ += n; }
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+/// Accumulates bytes into a buffer — used for save/load round-trips.
+class BufferSink final : public SerialSink {
+ public:
+  void write_bytes(const void* data, std::size_t n) override {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + n);
+  }
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Read-side archive over a byte buffer.
+class BufferSource {
+ public:
+  explicit BufferSource(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
+
+  void read_bytes(void* out, std::size_t n) {
+    CPR_CHECK_MSG(pos_ + n <= buffer_.size(), "serialized buffer underrun");
+    std::memcpy(out, buffer_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read_bytes(&value, sizeof(T));
+    return value;
+  }
+
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::vector<double> read_doubles() {
+    const auto n = read_u64();
+    std::vector<double> v(n);
+    if (n) read_bytes(v.data(), n * sizeof(double));
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = read_u64();
+    std::string s(n, '\0');
+    if (n) read_bytes(s.data(), n);
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cpr

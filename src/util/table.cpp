@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cpr {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CPR_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CPR_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
+    os << std::scientific;
+  } else {
+    os << std::fixed;
+  }
+  os << v;
+  return os.str();
+}
+
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+std::string Table::fmt(std::size_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_sep = [&] {
+    os << '+';
+    for (const auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << row[c] << " |";
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      // Quote fields containing commas.
+      if (row[c].find(',') != std::string::npos) {
+        out << '"' << row[c] << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace cpr

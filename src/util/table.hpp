@@ -1,0 +1,41 @@
+#pragma once
+// Aligned console tables + CSV output for bench binaries.
+//
+// Every bench prints the paper's rows/series through this class so output
+// formatting is uniform and machine-readable CSV can be produced with --csv.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision, integers exactly.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::size_t v);
+
+  /// Prints an aligned, boxed table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes comma-separated values (header + rows) to `path`.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cpr

@@ -1,0 +1,309 @@
+// Tests for the synthetic benchmark apps: Table-2 parameter spaces,
+// sampling rules, constraints, determinism, noise statistics, and the
+// scaling properties the cost models must exhibit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmark_app.hpp"
+
+namespace cpr::apps {
+namespace {
+
+TEST(Registry, AllSixAppsPresent) {
+  const auto apps = make_all_apps();
+  ASSERT_EQ(apps.size(), 6u);
+  EXPECT_EQ(apps[0]->name(), "MM");
+  EXPECT_EQ(apps[1]->name(), "QR");
+  EXPECT_EQ(apps[2]->name(), "BC");
+  EXPECT_EQ(apps[3]->name(), "FMM");
+  EXPECT_EQ(apps[4]->name(), "AMG");
+  EXPECT_EQ(apps[5]->name(), "KRIPKE");
+}
+
+TEST(Registry, Table2Dimensionality) {
+  const auto apps = make_all_apps();
+  EXPECT_EQ(apps[0]->dimensions(), 3u);  // MM: m, n, k
+  EXPECT_EQ(apps[1]->dimensions(), 2u);  // QR: m, n
+  EXPECT_EQ(apps[2]->dimensions(), 3u);  // BC: nodes, ppn, msg
+  EXPECT_EQ(apps[3]->dimensions(), 6u);  // FMM
+  EXPECT_EQ(apps[4]->dimensions(), 8u);  // AMG
+  EXPECT_EQ(apps[5]->dimensions(), 9u);  // KRIPKE
+}
+
+TEST(Registry, SampleRulesMatchParameterArity) {
+  for (const auto& app : make_all_apps()) {
+    EXPECT_EQ(app->sample_rules().size(), app->parameters().size()) << app->name();
+  }
+}
+
+TEST(Registry, AmgCategoricalSpaces) {
+  const auto amg = make_amg();
+  const auto& params = amg->parameters();
+  EXPECT_EQ(params[5].categories, 7u);   // coarsening
+  EXPECT_EQ(params[6].categories, 10u);  // relaxation
+  EXPECT_EQ(params[7].categories, 14u);  // interpolation
+}
+
+TEST(Registry, KripkeCategoricalSpaces) {
+  const auto kripke = make_kripke();
+  const auto& params = kripke->parameters();
+  EXPECT_EQ(params[5].categories, 6u);  // layouts
+  EXPECT_EQ(params[6].categories, 2u);  // solvers
+}
+
+class AllApps : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::unique_ptr<BenchmarkApp> app_ = [] {
+    auto apps = make_all_apps();
+    return std::move(apps[0]);
+  }();
+
+  void SetUp() override {
+    auto apps = make_all_apps();
+    app_ = std::move(apps[GetParam()]);
+  }
+};
+
+TEST_P(AllApps, SamplesStayInBoundsAndSatisfyConstraints) {
+  Rng rng(1);
+  const auto& params = app_->parameters();
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto x = app_->sample_config(rng);
+    ASSERT_EQ(x.size(), params.size());
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      if (params[j].kind == grid::ParameterKind::Categorical) {
+        EXPECT_GE(x[j], 0.0);
+        EXPECT_LT(x[j], static_cast<double>(params[j].categories));
+      } else {
+        EXPECT_GE(x[j], params[j].lo);
+        EXPECT_LE(x[j], params[j].hi);
+        if (params[j].integral) EXPECT_DOUBLE_EQ(x[j], std::round(x[j]));
+      }
+    }
+    EXPECT_TRUE(app_->satisfies_constraints(x));
+  }
+}
+
+TEST_P(AllApps, BaseTimePositiveAndFinite) {
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto x = app_->sample_config(rng);
+    const double t = app_->base_time(x);
+    EXPECT_GT(t, 0.0);
+    EXPECT_TRUE(std::isfinite(t));
+    // Sanity: single-node benchmark times should land between 100 ns and 1 hour.
+    EXPECT_GT(t, 1e-7);
+    EXPECT_LT(t, 3600.0);
+  }
+}
+
+TEST_P(AllApps, ExecuteDeterministicPerRunId) {
+  Rng rng(3);
+  const auto x = app_->sample_config(rng);
+  EXPECT_DOUBLE_EQ(app_->execute(x, 5), app_->execute(x, 5));
+  EXPECT_NE(app_->execute(x, 5), app_->execute(x, 6));
+}
+
+TEST_P(AllApps, NoiseIsUnbiasedMultiplicative) {
+  Rng rng(4);
+  const auto x = app_->sample_config(rng);
+  const double base = app_->base_time(x);
+  double sum = 0.0;
+  const int runs = 4000;
+  for (int r = 0; r < runs; ++r) sum += app_->execute(x, static_cast<std::uint64_t>(r));
+  EXPECT_NEAR(sum / runs / base, 1.0, 0.05);
+}
+
+TEST_P(AllApps, DatasetGenerationDeterministic) {
+  const auto a = app_->generate_dataset(64, 99);
+  const auto b = app_->generate_dataset(64, 99);
+  EXPECT_EQ(linalg::max_abs_diff(a.x, b.x), 0.0);
+  EXPECT_EQ(a.y, b.y);
+  const auto c = app_->generate_dataset(64, 100);
+  EXPECT_NE(a.y, c.y);
+}
+
+TEST_P(AllApps, DatasetValuesPositive) {
+  const auto data = app_->generate_dataset(128, 5);
+  EXPECT_EQ(data.size(), 128u);
+  for (const double y : data.y) EXPECT_GT(y, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AllApps, ::testing::Range<std::size_t>(0, 6));
+
+TEST(MatMul, CubicFlopScaling) {
+  const auto mm = make_matmul();
+  // Doubling all three dimensions at large sizes ~ 8x time.
+  const double t1 = mm->base_time({1024, 1024, 1024});
+  const double t2 = mm->base_time({2048, 2048, 2048});
+  EXPECT_NEAR(t2 / t1, 8.0, 1.6);
+}
+
+TEST(MatMul, MonotoneInEachDimension) {
+  const auto mm = make_matmul();
+  for (const std::size_t dim : {0u, 1u, 2u}) {
+    grid::Config x{256, 256, 256};
+    const double before = mm->base_time(x);
+    x[dim] = 512;
+    EXPECT_GT(mm->base_time(x), before);
+  }
+}
+
+TEST(Qr, ConstraintEnforcesTallMatrices) {
+  const auto qr = make_qr_factorization();
+  EXPECT_TRUE(qr->satisfies_constraints({1000, 100}));
+  EXPECT_FALSE(qr->satisfies_constraints({100, 1000}));
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = qr->sample_config(rng);
+    EXPECT_GE(x[0], x[1]);
+  }
+}
+
+TEST(Qr, FlopScalingQuadraticInN) {
+  const auto qr = make_qr_factorization();
+  const double t1 = qr->base_time({100000, 512});
+  const double t2 = qr->base_time({100000, 1024});
+  EXPECT_GT(t2 / t1, 2.5);  // ~ n^2 with bandwidth terms
+}
+
+TEST(Broadcast, LatencyVsBandwidthRegimes) {
+  const auto bc = make_broadcast();
+  // Small message: near latency bound; scaling with nodes only logarithmic.
+  const double small_8 = bc->base_time({8, 1, 65536});
+  const double small_64 = bc->base_time({64, 1, 65536});
+  EXPECT_LT(small_64 / small_8, 3.0);
+  // Large message: bandwidth bound; nearly independent of node count.
+  const double large_8 = bc->base_time({8, 1, 1 << 26});
+  const double large_64 = bc->base_time({64, 1, 1 << 26});
+  EXPECT_LT(large_64 / large_8, 2.0);
+  EXPECT_GT(large_8, small_8);
+}
+
+TEST(Broadcast, MessageSizeMonotone) {
+  const auto bc = make_broadcast();
+  double previous = 0.0;
+  for (double bytes = 65536; bytes <= (1 << 26); bytes *= 4) {
+    const double t = bc->base_time({16, 16, bytes});
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(ExaFmm, PplTradeoffIsNonMonotone) {
+  // P2P grows and M2L shrinks with ppl: the total must have an interior
+  // minimum for some configuration (the classic FMM U-curve).
+  const auto fmm = make_exafmm();
+  const grid::Config base{32768, 10, 2, 48, 0, 2};  // n, ord, tpp, ppn, ppl, tl
+  std::vector<double> times;
+  for (const double ppl : {32.0, 64.0, 128.0, 256.0}) {
+    grid::Config x = base;
+    x[4] = ppl;
+    times.push_back(fmm->base_time(x));
+  }
+  const double min_time = *std::min_element(times.begin(), times.end());
+  EXPECT_LT(min_time, times.front());
+  EXPECT_LT(min_time, times.back());
+}
+
+TEST(ExaFmm, CoreConstraintHolds) {
+  const auto fmm = make_exafmm();
+  EXPECT_FALSE(fmm->satisfies_constraints({8192, 6, 1, 1, 64, 1}));   // 1 core
+  EXPECT_TRUE(fmm->satisfies_constraints({8192, 6, 2, 48, 64, 1}));   // 96
+  EXPECT_FALSE(fmm->satisfies_constraints({8192, 6, 64, 64, 64, 1})); // 4096
+}
+
+TEST(ExaFmm, OrderIncreasesM2lCost) {
+  const auto fmm = make_exafmm();
+  const double low = fmm->base_time({32768, 4, 2, 48, 64, 2});
+  const double high = fmm->base_time({32768, 15, 2, 48, 64, 2});
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(Amg, CategoricalChoicesChangeRuntime) {
+  const auto amg = make_amg();
+  const grid::Config base{64, 64, 64, 2, 48, 0, 0, 0};
+  std::set<double> distinct;
+  for (std::size_t ct = 0; ct < 7; ++ct) {
+    grid::Config x = base;
+    x[5] = static_cast<double>(ct);
+    distinct.insert(amg->base_time(x));
+  }
+  EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(Amg, ProblemSizeScaling) {
+  const auto amg = make_amg();
+  const double t1 = amg->base_time({32, 32, 32, 2, 48, 0, 0, 0});
+  const double t2 = amg->base_time({64, 64, 64, 2, 48, 0, 0, 0});
+  // ~ linear in grid points (8x), modulated by the per-octave texture bands.
+  EXPECT_GT(t2 / t1, 4.0);
+  EXPECT_LT(t2 / t1, 16.0);
+}
+
+TEST(Kripke, SolverChoiceTradesBaseCostForScaling) {
+  const auto kripke = make_kripke();
+  // groups, legendre, quad, tpp, ppn, layout, solver, dset, gset
+  const grid::Config sweep{64, 2, 64, 2, 48, 0, 0, 16, 4};
+  grid::Config bj = sweep;
+  bj[6] = 1;
+  // Block-Jacobi costs more per iteration at this core count...
+  EXPECT_GT(kripke->base_time(bj), kripke->base_time(sweep) * 0.7);
+  // ...but its advantage grows relative to sweep as cores grow.
+  grid::Config sweep_hi = sweep, bj_hi = bj;
+  sweep_hi[3] = 2;  sweep_hi[4] = 64;  // 128 cores
+  bj_hi[3] = 2;     bj_hi[4] = 64;
+  const double ratio_lo = kripke->base_time(bj) / kripke->base_time(sweep);
+  const double ratio_hi = kripke->base_time(bj_hi) / kripke->base_time(sweep_hi);
+  EXPECT_LT(ratio_hi, ratio_lo);
+}
+
+TEST(Kripke, BlockingUShape) {
+  const auto kripke = make_kripke();
+  grid::Config x{64, 2, 64, 2, 48, 0, 0, 16, 4};
+  const double at_16 = kripke->base_time(x);
+  x[7] = 8;
+  const double at_8 = kripke->base_time(x);
+  x[7] = 64;
+  const double at_64 = kripke->base_time(x);
+  EXPECT_LT(at_16, at_8);
+  EXPECT_LT(at_16, at_64);
+}
+
+TEST(DatasetGen, BoundsOverrideRestrictsRange) {
+  const auto mm = make_matmul();
+  std::vector<std::optional<std::pair<double, double>>> bounds(3);
+  bounds[0] = {32.0, 256.0};
+  const auto data = mm->generate_dataset(200, 7, &bounds);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(data.x(i, 0), 256.0);
+    EXPECT_GE(data.x(i, 0), 32.0);
+    EXPECT_LE(data.x(i, 1), 4096.0);  // other dims keep full range
+  }
+}
+
+TEST(DatasetGen, KernelAveragingReducesVariance) {
+  // MM averages 50 runs; its measured value should be much closer to base
+  // time than a single noisy run.
+  const auto mm = make_matmul();
+  Rng rng(8);
+  const auto x = mm->sample_config(rng);
+  const double base = mm->base_time(x);
+  const double measured = mm->measure(x, 1);
+  EXPECT_NEAR(measured / base, 1.0, 0.05);
+}
+
+TEST(DatasetGen, LogUniformSamplingCoversDecades) {
+  // With log-uniform sampling of m in [32, 4096], about half the samples
+  // fall below the geometric mean 362.
+  const auto mm = make_matmul();
+  const auto data = mm->generate_dataset(2000, 9);
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) below += data.x(i, 0) < 362.0;
+  EXPECT_NEAR(static_cast<double>(below) / 2000.0, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace cpr::apps

@@ -1,0 +1,556 @@
+// Tests for the nine baseline model families (Section 6.0.4): each must fit
+// canonical functions it is suited for, expose a sane model size, and behave
+// deterministically under a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/decision_tree.hpp"
+#include "baselines/forest.hpp"
+#include "baselines/gaussian_process.hpp"
+#include "baselines/global_models.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/mars.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/sparse_grid.hpp"
+#include "baselines/svr.hpp"
+#include "common/evaluation.hpp"
+#include "common/transform.hpp"
+#include "metrics/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::baselines {
+namespace {
+
+using common::Dataset;
+using grid::Config;
+
+/// y = 1 + 2 x0 - 3 x1 on [0,1]^2 (affine; easy for most families).
+Dataset affine_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.uniform();
+    data.x(i, 1) = rng.uniform();
+    data.y[i] = 1.0 + 2.0 * data.x(i, 0) - 3.0 * data.x(i, 1);
+  }
+  return data;
+}
+
+/// y = sin(2 pi x0) + 0.5 cos(pi x1): smooth and nonlinear.
+Dataset wavy_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.uniform();
+    data.x(i, 1) = rng.uniform();
+    data.y[i] = std::sin(2 * 3.14159265 * data.x(i, 0)) +
+                0.5 * std::cos(3.14159265 * data.x(i, 1));
+  }
+  return data;
+}
+
+double rmse_on(const common::Regressor& model, const Dataset& test) {
+  const auto predictions = model.predict_all(test.x);
+  return std::sqrt(metrics::mse(predictions, test.y));
+}
+
+// ---------- MARS ----------
+
+TEST(Mars, FitsAffineExactly) {
+  Mars model;
+  model.fit(affine_data(500, 1));
+  EXPECT_LT(rmse_on(model, affine_data(200, 2)), 1e-6);
+}
+
+TEST(Mars, FitsHingeFunction) {
+  // y = max(0, x - 0.5): exactly one MARS basis function.
+  Rng rng(3);
+  Dataset data;
+  data.x = linalg::Matrix(600, 1);
+  data.y.resize(600);
+  for (std::size_t i = 0; i < 600; ++i) {
+    data.x(i, 0) = rng.uniform();
+    data.y[i] = std::max(0.0, data.x(i, 0) - 0.5);
+  }
+  MarsOptions options;
+  options.knots_per_dim = 32;
+  Mars model(options);
+  model.fit(data);
+  EXPECT_LT(rmse_on(model, data), 0.02);
+}
+
+TEST(Mars, ExtrapolatesLinearly) {
+  // Hinge bases are linear beyond the data: y = 2x keeps slope outside [0,1].
+  Rng rng(4);
+  Dataset data;
+  data.x = linalg::Matrix(300, 1);
+  data.y.resize(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    data.x(i, 0) = rng.uniform();
+    data.y[i] = 2.0 * data.x(i, 0);
+  }
+  Mars model;
+  model.fit(data);
+  EXPECT_NEAR(model.predict({2.0}), 4.0, 0.3);
+  EXPECT_NEAR(model.predict({-1.0}), -2.0, 0.3);
+}
+
+TEST(Mars, InteractionRequiresDegreeTwo) {
+  // y = x0 * x1 needs a degree-2 product of hinges.
+  Rng rng(5);
+  Dataset data;
+  data.x = linalg::Matrix(800, 2);
+  data.y.resize(800);
+  for (std::size_t i = 0; i < 800; ++i) {
+    data.x(i, 0) = rng.uniform(-1.0, 1.0);
+    data.x(i, 1) = rng.uniform(-1.0, 1.0);
+    data.y[i] = data.x(i, 0) * data.x(i, 1);
+  }
+  MarsOptions deg1, deg2;
+  deg1.max_degree = 1;
+  deg2.max_degree = 2;
+  Mars m1(deg1), m2(deg2);
+  m1.fit(data);
+  m2.fit(data);
+  EXPECT_LT(rmse_on(m2, data), rmse_on(m1, data));
+}
+
+TEST(Mars, ModelSizeReflectsTermCount) {
+  Mars model;
+  model.fit(affine_data(200, 6));
+  EXPECT_GT(model.model_size_bytes(), 0u);
+  EXPECT_LT(model.model_size_bytes(), 10000u);
+}
+
+TEST(Mars, PredictBeforeFitThrows) {
+  Mars model;
+  EXPECT_THROW(model.predict({0.5}), CheckError);
+}
+
+// ---------- Sparse grid regression ----------
+
+TEST(Sgr, FitsAffine) {
+  SgrOptions options;
+  options.level = 3;
+  SparseGridRegressor model(options);
+  model.fit(affine_data(800, 7));
+  EXPECT_LT(rmse_on(model, affine_data(200, 8)), 0.05);
+}
+
+TEST(Sgr, FitsWavyWithEnoughLevels) {
+  SgrOptions coarse, fine;
+  coarse.level = 2;
+  fine.level = 5;
+  SparseGridRegressor m_coarse(coarse), m_fine(fine);
+  const Dataset train = wavy_data(3000, 9);
+  const Dataset test = wavy_data(500, 10);
+  m_coarse.fit(train);
+  m_fine.fit(train);
+  EXPECT_LT(rmse_on(m_fine, test), rmse_on(m_coarse, test));
+  EXPECT_LT(rmse_on(m_fine, test), 0.05);
+}
+
+TEST(Sgr, GridGrowsWithLevel) {
+  SgrOptions l2, l4;
+  l2.level = 2;
+  l4.level = 4;
+  SparseGridRegressor a(l2), b(l4);
+  const Dataset train = affine_data(200, 11);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_GT(b.grid_point_count(), a.grid_point_count());
+  EXPECT_GT(b.model_size_bytes(), a.model_size_bytes());
+}
+
+TEST(Sgr, RefinementAddsPointsAndImprovesFit) {
+  SgrOptions base, refined;
+  base.level = 2;
+  refined.level = 2;
+  refined.refinements = 4;
+  refined.refine_points = 8;
+  SparseGridRegressor a(base), b(refined);
+  const Dataset train = wavy_data(2000, 12);
+  const Dataset test = wavy_data(400, 13);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_GT(b.grid_point_count(), a.grid_point_count());
+  EXPECT_LE(rmse_on(b, test), rmse_on(a, test) * 1.05);
+}
+
+TEST(Sgr, HandlesConstantFeature) {
+  Rng rng(14);
+  Dataset data;
+  data.x = linalg::Matrix(100, 2);
+  data.y.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    data.x(i, 0) = 5.0;  // constant
+    data.x(i, 1) = rng.uniform();
+    data.y[i] = data.x(i, 1);
+  }
+  SgrOptions options;
+  options.level = 3;
+  SparseGridRegressor model(options);
+  model.fit(data);
+  EXPECT_LT(rmse_on(model, data), 0.1);
+}
+
+// ---------- KNN ----------
+
+TEST(Knn, ExactHitReturnsStoredValue) {
+  KnnRegressor model(KnnOptions{3, true});
+  const Dataset data = affine_data(100, 15);
+  model.fit(data);
+  EXPECT_DOUBLE_EQ(model.predict(data.config(7)), data.y[7]);
+}
+
+TEST(Knn, OneNeighborIsNearest) {
+  Dataset data;
+  data.x = linalg::Matrix(3, 1);
+  data.x(0, 0) = 0.0;
+  data.x(1, 0) = 1.0;
+  data.x(2, 0) = 2.0;
+  data.y = {10.0, 20.0, 30.0};
+  KnnRegressor model(KnnOptions{1, false});
+  model.fit(data);
+  EXPECT_DOUBLE_EQ(model.predict({0.9}), 20.0);
+}
+
+TEST(Knn, InterpolatesSmoothFunctions) {
+  KnnRegressor model(KnnOptions{4, true});
+  model.fit(wavy_data(4000, 16));
+  EXPECT_LT(rmse_on(model, wavy_data(300, 17)), 0.08);
+}
+
+TEST(Knn, ModelSizeScalesWithTrainingSet) {
+  KnnRegressor a, b;
+  a.fit(affine_data(100, 18));
+  b.fit(affine_data(1000, 18));
+  EXPECT_NEAR(static_cast<double>(b.model_size_bytes()) /
+                  static_cast<double>(a.model_size_bytes()),
+              10.0, 1.0);
+}
+
+// ---------- Trees ----------
+
+TEST(DecisionTree, FitsStepFunction) {
+  Rng rng(19);
+  Dataset data;
+  data.x = linalg::Matrix(500, 1);
+  data.y.resize(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    data.x(i, 0) = rng.uniform();
+    data.y[i] = data.x(i, 0) < 0.5 ? 1.0 : 5.0;
+  }
+  DecisionTree tree;
+  std::vector<std::size_t> rows(500);
+  for (std::size_t i = 0; i < 500; ++i) rows[i] = i;
+  TreeOptions options;
+  options.max_depth = 3;
+  Rng tree_rng(20);
+  tree.fit(data, rows, options, tree_rng);
+  EXPECT_NEAR(tree.predict({0.2}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict({0.8}), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, DepthZeroIsMean) {
+  const Dataset data = affine_data(100, 21);
+  DecisionTree tree;
+  std::vector<std::size_t> rows(100);
+  for (std::size_t i = 0; i < 100; ++i) rows[i] = i;
+  TreeOptions options;
+  options.max_depth = 0;
+  Rng rng(22);
+  tree.fit(data, rows, options, rng);
+  double mean = 0.0;
+  for (const double y : data.y) mean += y;
+  mean /= 100.0;
+  EXPECT_NEAR(tree.predict({0.5, 0.5}), mean, 1e-12);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(RandomForest, ReducesVarianceVsSingleTree) {
+  const Dataset train = wavy_data(1500, 23);
+  const Dataset test = wavy_data(400, 24);
+  ForestOptions single, many;
+  single.n_trees = 1;
+  many.n_trees = 32;
+  single.max_depth = many.max_depth = 8;
+  RandomForestRegressor a(single), b(many);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_LT(rmse_on(b, test), rmse_on(a, test) * 1.02);
+}
+
+TEST(ExtraTrees, FitsWavyData) {
+  ForestOptions options;
+  options.n_trees = 32;
+  options.max_depth = 10;
+  ExtraTreesRegressor model(options);
+  model.fit(wavy_data(3000, 25));
+  EXPECT_LT(rmse_on(model, wavy_data(400, 26)), 0.1);
+}
+
+TEST(ExtraTrees, DeterministicForSeed) {
+  ForestOptions options;
+  options.n_trees = 4;
+  options.seed = 55;
+  ExtraTreesRegressor a(options), b(options);
+  const Dataset train = wavy_data(300, 27);
+  a.fit(train);
+  b.fit(train);
+  Rng rng(28);
+  for (int t = 0; t < 20; ++t) {
+    const Config x{rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(GradientBoosting, ImprovesWithMoreTrees) {
+  const Dataset train = wavy_data(1500, 29);
+  const Dataset test = wavy_data(400, 30);
+  BoostingOptions few, many;
+  few.n_trees = 4;
+  many.n_trees = 64;
+  GradientBoostingRegressor a(few), b(many);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_LT(rmse_on(b, test), rmse_on(a, test));
+}
+
+TEST(Forests, ModelSizeGrowsWithTreeCount) {
+  ForestOptions small, large;
+  small.n_trees = 2;
+  large.n_trees = 16;
+  RandomForestRegressor a(small), b(large);
+  const Dataset train = affine_data(400, 31);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_GT(b.model_size_bytes(), 4 * a.model_size_bytes());
+}
+
+// ---------- MLP ----------
+
+TEST(Mlp, FitsAffine) {
+  MlpOptions options;
+  options.hidden_layers = {16};
+  options.epochs = 300;
+  Mlp model(options);
+  model.fit(affine_data(800, 32));
+  EXPECT_LT(rmse_on(model, affine_data(200, 33)), 0.08);
+}
+
+TEST(Mlp, FitsWavyWithTanh) {
+  MlpOptions options;
+  options.hidden_layers = {32, 32};
+  options.activation = Activation::Tanh;
+  options.epochs = 400;
+  Mlp model(options);
+  model.fit(wavy_data(2000, 34));
+  EXPECT_LT(rmse_on(model, wavy_data(300, 35)), 0.12);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  MlpOptions options;
+  options.hidden_layers = {8};
+  options.epochs = 20;
+  options.seed = 77;
+  Mlp a(options), b(options);
+  const Dataset train = affine_data(200, 36);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_DOUBLE_EQ(a.predict({0.3, 0.7}), b.predict({0.3, 0.7}));
+}
+
+TEST(Mlp, ModelSizeMatchesArchitecture) {
+  MlpOptions options;
+  options.hidden_layers = {10};
+  Mlp model(options);
+  model.fit(affine_data(100, 37));
+  // 2*10 + 10 (layer 1) + 10*1 + 1 (layer 2) + 6 scaler doubles = 47 params.
+  EXPECT_GE(model.model_size_bytes(), 47 * sizeof(double));
+}
+
+// ---------- GP ----------
+
+class GpKernels : public ::testing::TestWithParam<GpKernel> {};
+
+TEST_P(GpKernels, FitsAffineReasonably) {
+  GpOptions options;
+  options.kernel = GetParam();
+  options.noise = 1e-6;
+  GaussianProcess model(options);
+  const Dataset train = affine_data(400, 38);
+  model.fit(train);
+  const double tolerance = GetParam() == GpKernel::Constant ? 2.0 : 0.15;
+  EXPECT_LT(rmse_on(model, affine_data(100, 39)), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, GpKernels,
+                         ::testing::Values(GpKernel::Rbf, GpKernel::RationalQuadratic,
+                                           GpKernel::DotProductWhite, GpKernel::Matern,
+                                           GpKernel::Constant));
+
+TEST(Gp, InterpolatesTrainingPointsWithLowNoise) {
+  GpOptions options;
+  options.kernel = GpKernel::Rbf;
+  options.noise = 1e-8;
+  GaussianProcess model(options);
+  const Dataset train = wavy_data(200, 40);
+  model.fit(train);
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    max_error = std::max(max_error, std::abs(model.predict(train.config(i)) - train.y[i]));
+  }
+  EXPECT_LT(max_error, 1e-3);
+}
+
+TEST(Gp, SubsamplesLargeTrainingSets) {
+  GpOptions options;
+  options.max_samples = 128;
+  GaussianProcess model(options);
+  model.fit(affine_data(1000, 41));
+  // Model size reflects the capped support set.
+  EXPECT_LE(model.model_size_bytes(), 128 * 4 * sizeof(double) + 64);
+}
+
+// ---------- SVR ----------
+
+TEST(Svr, FitsAffineWithinTube) {
+  SvrOptions options;
+  options.kernel = SvrKernel::Rbf;
+  options.epsilon = 0.02;
+  options.c = 50.0;
+  options.max_iters = 800;
+  Svr model(options);
+  model.fit(affine_data(400, 42));
+  EXPECT_LT(rmse_on(model, affine_data(100, 43)), 0.25);
+}
+
+TEST(Svr, PolyKernelFitsQuadratic) {
+  Rng rng(44);
+  Dataset data;
+  data.x = linalg::Matrix(300, 1);
+  data.y.resize(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    data.x(i, 0) = rng.uniform(-1.0, 1.0);
+    data.y[i] = data.x(i, 0) * data.x(i, 0);
+  }
+  SvrOptions options;
+  options.kernel = SvrKernel::Poly;
+  options.poly_degree = 2;
+  options.epsilon = 0.01;
+  Svr model(options);
+  model.fit(data);
+  EXPECT_LT(rmse_on(model, data), 0.2);
+}
+
+TEST(Svr, SupportVectorsSubsetOfSamples) {
+  Svr model;
+  const Dataset train = affine_data(300, 45);
+  model.fit(train);
+  EXPECT_LE(model.support_vector_count(), train.size());
+}
+
+// ---------- Global models ----------
+
+TEST(Ols, ExactOnPolynomial) {
+  Rng rng(46);
+  Dataset data;
+  data.x = linalg::Matrix(200, 2);
+  data.y.resize(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    data.x(i, 0) = rng.uniform(-1.0, 1.0);
+    data.x(i, 1) = rng.uniform(-1.0, 1.0);
+    data.y[i] = 1.0 + 2.0 * data.x(i, 0) + 0.5 * data.x(i, 1) * data.x(i, 1) -
+                data.x(i, 0) * data.x(i, 1);
+  }
+  OlsOptions options;
+  options.degree = 2;
+  options.interactions = true;
+  OlsRegressor model(options);
+  model.fit(data);
+  EXPECT_LT(rmse_on(model, data), 1e-8);
+}
+
+TEST(Ols, RejectsUnderdeterminedFit) {
+  OlsRegressor model;
+  Dataset tiny;
+  tiny.x = linalg::Matrix(2, 2);
+  tiny.y = {1.0, 2.0};
+  EXPECT_THROW(model.fit(tiny), CheckError);
+}
+
+TEST(Pmnf, RecoversPowerLawTerm) {
+  // t = 3 * x^2 log(x): a single PMNF term.
+  Rng rng(47);
+  Dataset data;
+  data.x = linalg::Matrix(300, 1);
+  data.y.resize(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    data.x(i, 0) = rng.log_uniform(2.0, 1000.0);
+    data.y[i] = 3.0 * data.x(i, 0) * data.x(i, 0) * std::log(data.x(i, 0));
+  }
+  PmnfRegressor model;
+  model.fit(data);
+  EXPECT_LT(metrics::mlogq(model.predict_all(data.x), data.y), 0.05);
+}
+
+TEST(Pmnf, TermBudgetRespected) {
+  PmnfOptions options;
+  options.max_terms = 2;
+  PmnfRegressor model(options);
+  model.fit(affine_data(300, 48));
+  EXPECT_LE(model.terms().size(), 3u);  // constant + 2
+}
+
+// ---------- Transform wrapper ----------
+
+TEST(LogSpaceRegressor, MakesPowerLawLinear) {
+  // t = c * x^a is affine in log space: wrapped OLS degree-1 fits exactly.
+  Rng rng(49);
+  Dataset data;
+  data.x = linalg::Matrix(300, 1);
+  data.y.resize(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    data.x(i, 0) = rng.log_uniform(1.0, 10000.0);
+    data.y[i] = 2.5e-7 * std::pow(data.x(i, 0), 1.7);
+  }
+  OlsOptions ols_options;
+  ols_options.degree = 1;
+  ols_options.interactions = false;
+  common::LogSpaceRegressor model(std::make_unique<OlsRegressor>(ols_options),
+                                  common::FeatureTransform::all_log(1));
+  model.fit(data);
+  EXPECT_LT(common::evaluate_mlogq(model, data), 1e-6);
+}
+
+TEST(FeatureTransform, SelectiveLog) {
+  common::FeatureTransform transform{{true, false}, false};
+  Dataset data;
+  data.x = linalg::Matrix(1, 2);
+  data.x(0, 0) = std::exp(2.0);
+  data.x(0, 1) = 5.0;
+  data.y = {1.0};
+  const Dataset out = transform.apply(data);
+  EXPECT_NEAR(out.x(0, 0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out.x(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(out.y[0], 1.0);
+}
+
+TEST(FeatureTransform, RejectsNonPositiveForLog) {
+  common::FeatureTransform transform = common::FeatureTransform::all_log(1);
+  Dataset data;
+  data.x = linalg::Matrix(1, 1);
+  data.x(0, 0) = -1.0;
+  data.y = {1.0};
+  EXPECT_THROW(transform.apply(data), CheckError);
+}
+
+}  // namespace
+}  // namespace cpr::baselines

@@ -1,0 +1,388 @@
+// Tests for the CPR models: the Section-5.2 interpolation model (log ALS +
+// Eq.-5 inference) and the Section-5.3 extrapolation model (AMN positive
+// factors + rank-1 SVD + MARS spline).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/evaluation.hpp"
+#include "core/cpr_extrapolation.hpp"
+#include "core/cpr_model.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::core {
+namespace {
+
+using common::Dataset;
+using grid::Config;
+using grid::Discretization;
+using grid::ParameterSpec;
+
+/// Separable power-law runtime: t = c * x^a * y^b — rank-1 in log space.
+double power_law(const Config& x) {
+  return 1e-6 * std::pow(x[0], 1.5) * std::pow(x[1], 0.8);
+}
+
+Dataset sample_power_law(std::size_t n, std::uint64_t seed, double noise_cv = 0.0) {
+  Rng rng(seed);
+  Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  const double sigma = noise_cv > 0.0 ? std::sqrt(std::log(1.0 + noise_cv * noise_cv)) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    data.y[i] = power_law(data.config(i));
+    if (sigma > 0.0) data.y[i] *= std::exp(rng.normal(0.0, sigma));
+  }
+  return data;
+}
+
+Discretization power_law_grid(std::size_t cells) {
+  return Discretization({ParameterSpec::numerical_log("x", 32.0, 4096.0),
+                         ParameterSpec::numerical_log("y", 32.0, 4096.0)},
+                        cells);
+}
+
+TEST(CprModel, FitsSeparablePowerLawAccurately) {
+  CprOptions options;
+  options.rank = 2;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(4096, 1));
+  const Dataset test = sample_power_law(500, 2);
+  EXPECT_LT(common::evaluate_mlogq(model, test), 0.05);
+}
+
+TEST(CprModel, PredictBeforeFitThrows) {
+  CprModel model(power_law_grid(4));
+  EXPECT_THROW(model.predict({100.0, 100.0}), CheckError);
+}
+
+TEST(CprModel, RejectsNonPositiveTimes) {
+  CprModel model(power_law_grid(4));
+  Dataset bad = sample_power_law(10, 3);
+  bad.y[5] = 0.0;
+  EXPECT_THROW(model.fit(bad), CheckError);
+}
+
+TEST(CprModel, RejectsDimensionMismatch) {
+  CprModel model(power_law_grid(4));
+  Dataset data;
+  data.x = linalg::Matrix(4, 3);
+  data.y = {1, 1, 1, 1};
+  EXPECT_THROW(model.fit(data), CheckError);
+}
+
+TEST(CprModel, PredictionsArePositive) {
+  CprOptions options;
+  options.rank = 4;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(2048, 4, 0.2));
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Config x{rng.log_uniform(32.0, 4096.0), rng.log_uniform(32.0, 4096.0)};
+    EXPECT_GT(model.predict(x), 0.0);
+  }
+}
+
+TEST(CprModel, ClampsOutOfDomainQueries) {
+  CprOptions options;
+  options.rank = 2;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(2048, 6));
+  // Out-of-domain queries are clamped to the nearest in-domain point.
+  const double at_edge = model.predict({4096.0, 4096.0});
+  const double beyond = model.predict({100000.0, 100000.0});
+  EXPECT_NEAR(beyond, at_edge, 1e-9 * at_edge);
+}
+
+TEST(CprModel, DensityReported) {
+  CprOptions options;
+  options.rank = 1;
+  CprModel model(power_law_grid(16), options);
+  model.fit(sample_power_law(64, 7));
+  EXPECT_GT(model.observed_density(), 0.0);
+  EXPECT_LE(model.observed_density(), 64.0 / 256.0 + 1e-12);
+}
+
+TEST(CprModel, HigherRankFitsNonSeparableBetter) {
+  // f has an interaction ridge that rank 1 cannot capture in log space.
+  Rng rng(8);
+  Dataset data;
+  const std::size_t n = 4096;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    const double ratio_penalty =
+        1.0 + 2.0 * std::pow(std::sin(std::log(data.x(i, 0) / data.x(i, 1))), 2);
+    data.y[i] = power_law(data.config(i)) * ratio_penalty;
+  }
+  const Dataset test = data.subset([&] {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < 512; ++i) rows.push_back(i);
+    return rows;
+  }());
+
+  double previous_error = 1e9;
+  for (const std::size_t rank : {1u, 4u, 16u}) {
+    CprOptions options;
+    options.rank = rank;
+    options.seed = 99;
+    CprModel model(power_law_grid(16), options);
+    model.fit(data);
+    const double error = common::evaluate_mlogq(model, test);
+    EXPECT_LT(error, previous_error + 0.02);
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.15);
+}
+
+TEST(CprModel, SerializationRoundTripPreservesPredictions) {
+  CprOptions options;
+  options.rank = 3;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(2048, 9));
+  BufferSink sink;
+  model.serialize(sink);
+  EXPECT_EQ(model.model_size_bytes(), sink.buffer().size());
+  BufferSource source(sink.buffer());
+  const CprModel restored = CprModel::deserialize(source);
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Config x{rng.log_uniform(32.0, 4096.0), rng.log_uniform(32.0, 4096.0)};
+    EXPECT_DOUBLE_EQ(restored.predict(x), model.predict(x));
+  }
+}
+
+TEST(CprModel, ModelSizeLinearInRank) {
+  CprOptions small, large;
+  small.rank = 4;
+  large.rank = 8;
+  CprModel a(power_law_grid(16), small), b(power_law_grid(16), large);
+  a.fit(sample_power_law(512, 11));
+  b.fit(sample_power_law(512, 11));
+  const double ratio =
+      static_cast<double>(b.model_size_bytes()) / static_cast<double>(a.model_size_bytes());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(CprModel, CategoricalModesSupported) {
+  // Runtime multiplies by a per-category factor; CPR should learn it.
+  Rng rng(12);
+  const double factors[3] = {1.0, 2.5, 0.6};
+  Dataset data;
+  const std::size_t n = 3000;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = static_cast<double>(rng.uniform_int(0, 2));
+    data.y[i] = 1e-5 * std::pow(data.x(i, 0), 1.2) *
+                factors[static_cast<std::size_t>(data.x(i, 1))];
+  }
+  Discretization disc({ParameterSpec::numerical_log("x", 32.0, 4096.0),
+                       ParameterSpec::categorical("solver", 3)},
+                      8);
+  CprOptions options;
+  options.rank = 2;
+  CprModel model(disc, options);
+  model.fit(data);
+  const double t0 = model.predict({512.0, 0.0});
+  const double t1 = model.predict({512.0, 1.0});
+  const double t2 = model.predict({512.0, 2.0});
+  EXPECT_NEAR(t1 / t0, 2.5, 0.3);
+  EXPECT_NEAR(t2 / t0, 0.6, 0.1);
+}
+
+TEST(CprExtrapolation, InterpolatesInsideDomain) {
+  CprExtrapolationOptions options;
+  options.rank = 2;
+  CprExtrapolationModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(4096, 13));
+  const Dataset test = sample_power_law(300, 14);
+  EXPECT_LT(common::evaluate_mlogq(model, test), 0.15);
+}
+
+TEST(CprExtrapolation, ExtrapolatesPowerLawBeyondDomain) {
+  // Train on x in [32, 1024]; test at x in [2048, 4096]. The rank-1 + spline
+  // path must continue the power law.
+  Rng rng(15);
+  Dataset train;
+  const std::size_t n = 4096;
+  train.x = linalg::Matrix(n, 2);
+  train.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    train.x(i, 0) = rng.log_uniform(32.0, 1024.0);
+    train.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    train.y[i] = power_law(train.config(i));
+  }
+  Discretization disc({ParameterSpec::numerical_log("x", 32.0, 1024.0),
+                       ParameterSpec::numerical_log("y", 32.0, 4096.0)},
+                      8);
+  CprExtrapolationOptions options;
+  options.rank = 2;
+  CprExtrapolationModel model(disc, options);
+  model.fit(train);
+
+  double max_log_q = 0.0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Config x{rng.log_uniform(2048.0, 4096.0), rng.log_uniform(32.0, 4096.0)};
+    const double predicted = model.predict(x);
+    ASSERT_GT(predicted, 0.0);
+    max_log_q = std::max(max_log_q, std::abs(std::log(predicted / power_law(x))));
+  }
+  EXPECT_LT(max_log_q, 0.35);
+}
+
+TEST(CprExtrapolation, PredictionsPositiveEverywhere) {
+  CprExtrapolationOptions options;
+  options.rank = 3;
+  CprExtrapolationModel model(power_law_grid(6), options);
+  model.fit(sample_power_law(2048, 16, 0.3));
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Mix of in-domain and far out-of-domain queries.
+    const Config x{rng.log_uniform(1.0, 100000.0), rng.log_uniform(1.0, 100000.0)};
+    EXPECT_GT(model.predict(x), 0.0) << "at x=" << x[0] << ", y=" << x[1];
+  }
+}
+
+TEST(CprExtrapolation, SigmaAndVhatExposed) {
+  CprExtrapolationOptions options;
+  options.rank = 2;
+  CprExtrapolationModel model(power_law_grid(6), options);
+  model.fit(sample_power_law(1024, 18));
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_GT(model.sigma(j), 0.0);
+    ASSERT_EQ(model.v_hat(j).size(), 2u);
+    for (const double v : model.v_hat(j)) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(CprExtrapolation, MixedInterpolationExtrapolation) {
+  // Extrapolate mode 0 while mode 1 stays in-domain: Section 5.3's mixed
+  // rule (freeze extrapolated, interpolate the rest).
+  Rng rng(19);
+  Dataset train;
+  const std::size_t n = 4096;
+  train.x = linalg::Matrix(n, 2);
+  train.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    train.x(i, 0) = rng.log_uniform(32.0, 512.0);
+    train.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    train.y[i] = power_law(train.config(i));
+  }
+  Discretization disc({ParameterSpec::numerical_log("x", 32.0, 512.0),
+                       ParameterSpec::numerical_log("y", 32.0, 4096.0)},
+                      8);
+  CprExtrapolationOptions options;
+  options.rank = 2;
+  CprExtrapolationModel model(disc, options);
+  model.fit(train);
+  // Prediction should still vary correctly with the in-domain coordinate.
+  const double t_small = model.predict({2048.0, 64.0});
+  const double t_large = model.predict({2048.0, 2048.0});
+  const double expected_ratio = std::pow(2048.0 / 64.0, 0.8);
+  EXPECT_NEAR(std::log(t_large / t_small), std::log(expected_ratio), 0.4);
+}
+
+TEST(CprExtrapolation, ModelSizeIncludesSplines) {
+  CprExtrapolationOptions options;
+  options.rank = 2;
+  CprExtrapolationModel model(power_law_grid(6), options);
+  model.fit(sample_power_law(1024, 20));
+  // Must be at least as large as the bare CP factors.
+  EXPECT_GT(model.model_size_bytes(), model.cp().parameter_bytes());
+}
+
+}  // namespace
+}  // namespace cpr::core
+
+// Appended: tests for the ablation/optimizer switches of CprOptions.
+namespace cpr::core {
+namespace {
+
+TEST(CprOptions, ExpSpaceInterpolationFloorsNonPositive) {
+  CprOptions options;
+  options.rank = 2;
+  options.interpolation = CprInterpolation::ExpSpace;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(2048, 30));
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Config x{rng.log_uniform(32.0, 4096.0), rng.log_uniform(32.0, 4096.0)};
+    EXPECT_GE(model.predict(x), 1e-16);
+  }
+}
+
+TEST(CprOptions, ExpAndLogInterpolationAgreeInInterior) {
+  // Away from cell edges and with a smooth model, the two inference rules
+  // should nearly coincide.
+  CprOptions log_options, exp_options;
+  log_options.rank = exp_options.rank = 2;
+  exp_options.interpolation = CprInterpolation::ExpSpace;
+  CprModel log_model(power_law_grid(8), log_options);
+  CprModel exp_model(power_law_grid(8), exp_options);
+  const Dataset train = sample_power_law(4096, 32);
+  log_model.fit(train);
+  exp_model.fit(train);
+  const Config interior{500.0, 500.0};
+  EXPECT_NEAR(std::log(log_model.predict(interior) / exp_model.predict(interior)), 0.0,
+              0.05);
+}
+
+TEST(CprOptions, GaussianInitWorksOnLowOrder) {
+  CprOptions options;
+  options.rank = 2;
+  options.init = CprInit::Gaussian;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(4096, 33));
+  EXPECT_LT(common::evaluate_mlogq(model, sample_power_law(300, 34)), 0.1);
+}
+
+TEST(CprOptions, CcdOptimizerFitsPowerLaw) {
+  CprOptions options;
+  options.rank = 2;
+  options.optimizer = CprOptimizer::Ccd;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(4096, 35));
+  EXPECT_LT(common::evaluate_mlogq(model, sample_power_law(300, 36)), 0.1);
+}
+
+TEST(CprOptions, SgdOptimizerFitsPowerLaw) {
+  CprOptions options;
+  options.rank = 2;
+  options.optimizer = CprOptimizer::Sgd;
+  options.max_sweeps = 200;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(4096, 37));
+  EXPECT_LT(common::evaluate_mlogq(model, sample_power_law(300, 38)), 0.2);
+}
+
+TEST(CprOptions, NoCenteringStillWorksOnModerateScale) {
+  CprOptions options;
+  options.rank = 2;
+  options.center_log_values = false;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(4096, 39));
+  EXPECT_LT(common::evaluate_mlogq(model, sample_power_law(300, 40)), 0.2);
+}
+
+TEST(CprOptions, MoreRestartsNeverHurtTrainingObjective) {
+  const Dataset train = sample_power_law(2048, 41, 0.3);
+  CprOptions one, three;
+  one.rank = three.rank = 4;
+  one.restarts = 1;
+  three.restarts = 3;
+  CprModel a(power_law_grid(8), one), b(power_law_grid(8), three);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_LE(b.report().final_objective(), a.report().final_objective() + 1e-12);
+}
+
+}  // namespace
+}  // namespace cpr::core

@@ -1,0 +1,217 @@
+// End-to-end integration tests: train CPR and baselines on the synthetic
+// benchmark apps and check the paper's qualitative claims on small scales —
+// CPR beats trivial predictors, error decreases with training size and rank,
+// CPR-E extrapolates where interpolating models fail.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmark_app.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/mars.hpp"
+#include "common/evaluation.hpp"
+#include "common/transform.hpp"
+#include "core/cpr_extrapolation.hpp"
+#include "core/cpr_model.hpp"
+#include "metrics/metrics.hpp"
+
+namespace cpr {
+namespace {
+
+using apps::BenchmarkApp;
+using common::Dataset;
+using core::CprModel;
+using core::CprOptions;
+
+grid::Discretization make_grid(const BenchmarkApp& app, std::size_t cells) {
+  return grid::Discretization(app.parameters(), cells);
+}
+
+/// Baseline "model": always predict the training geometric mean.
+double geometric_mean_error(const Dataset& train, const Dataset& test) {
+  double log_sum = 0.0;
+  for (const double y : train.y) log_sum += std::log(y);
+  const double gm = std::exp(log_sum / static_cast<double>(train.size()));
+  std::vector<double> predictions(test.size(), gm);
+  return metrics::mlogq(predictions, test.y);
+}
+
+TEST(EndToEnd, CprBeatsGeometricMeanOnEveryApp) {
+  for (const auto& app : apps::make_all_apps()) {
+    const Dataset train = app->generate_dataset(2048, 21);
+    const Dataset test = app->generate_dataset(256, 22);
+    const bool high_dim = app->dimensions() >= 6;
+    CprOptions options;
+    options.rank = high_dim ? 8 : 4;
+    CprModel model(make_grid(*app, high_dim ? 8 : 6), options);
+    model.fit(train);
+    const double cpr_error = common::evaluate_mlogq(model, test);
+    const double trivial_error = geometric_mean_error(train, test);
+    EXPECT_LT(cpr_error, 0.6 * trivial_error) << app->name();
+  }
+}
+
+TEST(EndToEnd, CprErrorDecreasesWithTrainingSize) {
+  const auto mm = apps::make_matmul();
+  const Dataset test = mm->generate_dataset(300, 31);
+  double previous_error = 1e9;
+  for (const std::size_t n : {256u, 2048u, 16384u}) {
+    const Dataset train = mm->generate_dataset(n, 32);
+    CprOptions options;
+    options.rank = 4;
+    CprModel model(make_grid(*mm, 12), options);
+    model.fit(train);
+    const double error = common::evaluate_mlogq(model, test);
+    EXPECT_LT(error, previous_error * 1.15) << "n=" << n;
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.08);
+}
+
+TEST(EndToEnd, FinerGridsHelpGivenEnoughData) {
+  const auto mm = apps::make_matmul();
+  const Dataset train = mm->generate_dataset(16384, 41);
+  const Dataset test = mm->generate_dataset(300, 42);
+  CprOptions options;
+  options.rank = 8;
+  CprModel coarse(make_grid(*mm, 4), options);
+  CprModel fine(make_grid(*mm, 16), options);
+  coarse.fit(train);
+  fine.fit(train);
+  EXPECT_LT(common::evaluate_mlogq(fine, test),
+            common::evaluate_mlogq(coarse, test));
+}
+
+TEST(EndToEnd, HighDimensionalAppWorksAtLowDensity) {
+  // AMG has an 8-order tensor: even a few thousand samples observe well
+  // under 1% of cells, yet CPR must still produce a usable model
+  // (Section 7.1.2's density observation).
+  const auto amg = apps::make_amg();
+  const Dataset train = amg->generate_dataset(4096, 51);
+  const Dataset test = amg->generate_dataset(256, 52);
+  CprOptions options;
+  options.rank = 4;
+  CprModel model(make_grid(*amg, 5), options);
+  model.fit(train);
+  EXPECT_LT(model.observed_density(), 0.05);
+  const double cpr_error = common::evaluate_mlogq(model, test);
+  EXPECT_LT(cpr_error, 0.5 * geometric_mean_error(train, test));
+}
+
+TEST(EndToEnd, CprCompetitiveWithKnnOnLowDim) {
+  const auto mm = apps::make_matmul();
+  const Dataset train = mm->generate_dataset(8192, 61);
+  const Dataset test = mm->generate_dataset(300, 62);
+
+  CprOptions options;
+  options.rank = 6;
+  CprModel cpr_model(make_grid(*mm, 16), options);
+  cpr_model.fit(train);
+
+  common::LogSpaceRegressor knn(std::make_unique<baselines::KnnRegressor>(),
+                                common::FeatureTransform::all_log(3));
+  knn.fit(train);
+
+  const double cpr_error = common::evaluate_mlogq(cpr_model, test);
+  const double knn_error = common::evaluate_mlogq(knn, test);
+  EXPECT_LT(cpr_error, knn_error * 1.5);
+  // ...while being orders of magnitude smaller (Figure 7's claim).
+  EXPECT_LT(cpr_model.model_size_bytes() * 20, knn.model_size_bytes());
+}
+
+TEST(EndToEnd, ExtrapolationCprBeatsInterpolatingBaseline) {
+  // Figure-8 style split on MM: train with m in [32, 512], test m in
+  // [2048, 4096].
+  const auto mm = apps::make_matmul();
+  std::vector<std::optional<std::pair<double, double>>> train_bounds(3);
+  train_bounds[0] = {32.0, 512.0};
+  std::vector<std::optional<std::pair<double, double>>> test_bounds(3);
+  test_bounds[0] = {2048.0, 4096.0};
+  const Dataset train = mm->generate_dataset(4096, 71, &train_bounds);
+  const Dataset test = mm->generate_dataset(256, 72, &test_bounds);
+
+  grid::Discretization disc({grid::ParameterSpec::numerical_log("m", 32, 512, true),
+                             grid::ParameterSpec::numerical_log("n", 32, 4096, true),
+                             grid::ParameterSpec::numerical_log("k", 32, 4096, true)},
+                            8);
+  core::CprExtrapolationOptions extrapolation_options;
+  extrapolation_options.rank = 2;
+  core::CprExtrapolationModel cpr_e(disc, extrapolation_options);
+  cpr_e.fit(train);
+
+  common::LogSpaceRegressor knn(std::make_unique<baselines::KnnRegressor>(),
+                                common::FeatureTransform::all_log(3));
+  knn.fit(train);
+
+  const double cpr_error = common::evaluate_mlogq(cpr_e, test);
+  const double knn_error = common::evaluate_mlogq(knn, test);
+  EXPECT_LT(cpr_error, knn_error);
+  EXPECT_LT(cpr_error, 0.5);
+}
+
+TEST(EndToEnd, PredictionsUnbiasedInLogSpace) {
+  // Geometric-mean ratio near 1: the log-space loss avoids the
+  // under-prediction bias of relative-error fitting (Section 2.2).
+  const auto bc = apps::make_broadcast();
+  const Dataset train = bc->generate_dataset(4096, 81);
+  const Dataset test = bc->generate_dataset(512, 82);
+  CprOptions options;
+  options.rank = 4;
+  CprModel model(make_grid(*bc, 8), options);
+  model.fit(train);
+  const double gm_ratio =
+      metrics::geometric_mean_ratio(model.predict_all(test.x), test.y);
+  EXPECT_NEAR(gm_ratio, 1.0, 0.1);
+}
+
+TEST(EndToEnd, MarsLessAccurateThanCprOnCategoricalHeavyApp) {
+  // Section 7.1.1: MARS configures global models that are significantly
+  // less accurate than CPR on high-dimensional apps, especially when
+  // integer/categorical parameters dominate the performance surface (AMG:
+  // 7 x 10 x 14 categorical choices with pairwise interactions).
+  const auto amg = apps::make_amg();
+  const Dataset train = amg->generate_dataset(4096, 91);
+  const Dataset test = amg->generate_dataset(256, 92);
+
+  CprOptions options;
+  options.rank = 4;
+  CprModel cpr_model(make_grid(*amg, 5), options);
+  cpr_model.fit(train);
+
+  baselines::MarsOptions mars_options;
+  mars_options.max_degree = 2;
+  common::FeatureTransform transform = common::FeatureTransform::all_log(8);
+  // Categorical indices start at 0: keep them linear.
+  transform.log_feature[5] = false;
+  transform.log_feature[6] = false;
+  transform.log_feature[7] = false;
+  common::LogSpaceRegressor mars(std::make_unique<baselines::Mars>(mars_options),
+                                 transform);
+  mars.fit(train);
+
+  EXPECT_LT(common::evaluate_mlogq(cpr_model, test),
+            common::evaluate_mlogq(mars, test));
+}
+
+TEST(EndToEnd, SerializedCprModelDeploysIdentically) {
+  const auto kripke = apps::make_kripke();
+  const Dataset train = kripke->generate_dataset(2048, 101);
+  CprOptions options;
+  options.rank = 3;
+  CprModel model(make_grid(*kripke, 4), options);
+  model.fit(train);
+
+  BufferSink sink;
+  model.serialize(sink);
+  BufferSource source(sink.buffer());
+  const CprModel deployed = CprModel::deserialize(source);
+
+  const Dataset probe = kripke->generate_dataset(64, 102);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_DOUBLE_EQ(deployed.predict(probe.config(i)), model.predict(probe.config(i)));
+  }
+}
+
+}  // namespace
+}  // namespace cpr

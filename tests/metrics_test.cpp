@@ -1,0 +1,178 @@
+// Tests for the Table-1 error metrics: definitions, the table's algebraic
+// identities (error-expression column), scale independence of MLogQ/MLogQ2,
+// and the first-order Taylor equivalences of rows 6-7.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::metrics {
+namespace {
+
+TEST(Metrics, KnownValues) {
+  const std::vector<double> m{2.0, 8.0};
+  const std::vector<double> y{1.0, 10.0};
+  EXPECT_NEAR(mape(m, y), 0.5 * (1.0 + 0.2), 1e-12);
+  EXPECT_NEAR(mae(m, y), 0.5 * (1.0 + 2.0), 1e-12);
+  EXPECT_NEAR(mse(m, y), 0.5 * (1.0 + 4.0), 1e-12);
+  EXPECT_NEAR(smape(m, y), 0.5 * (2.0 / 3.0 + 4.0 / 18.0), 1e-12);
+  EXPECT_NEAR(mlogq(m, y), 0.5 * (std::log(2.0) + std::log(10.0 / 8.0)), 1e-12);
+  EXPECT_NEAR(mlogq2(m, y),
+              0.5 * (std::pow(std::log(2.0), 2) + std::pow(std::log(0.8), 2)), 1e-12);
+}
+
+TEST(Metrics, PerfectPredictionsGiveZero) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mae(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mse(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(smape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mlogq(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mlogq2(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean_ratio(y, y), 1.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  EXPECT_THROW(mape({1.0}, {1.0, 2.0}), CheckError);
+  EXPECT_THROW(mlogq({}, {}), CheckError);
+}
+
+TEST(Metrics, MLogQScaleIndependent) {
+  // Over-prediction by a and under-prediction by a get the same penalty —
+  // the property Section 2.2 selects MLogQ for.
+  const double y = 3.7, a = 5.0;
+  const double over = mlogq({a * y}, {y});
+  const double under = mlogq({y / a}, {y});
+  EXPECT_NEAR(over, under, 1e-12);
+  EXPECT_NEAR(over, std::log(a), 1e-12);
+}
+
+TEST(Metrics, MLogQ2ScaleIndependent) {
+  const double y = 0.02, a = 7.0;
+  EXPECT_NEAR(mlogq2({a * y}, {y}), mlogq2({y / a}, {y}), 1e-12);
+}
+
+TEST(Metrics, MapeBiasedTowardUnderprediction) {
+  // Relative error penalizes overprediction more: |ay-y|/y = a-1 grows
+  // unboundedly while |y/a - y|/y <= 1 — the bias Section 2.2 cites.
+  const double y = 1.0, a = 10.0;
+  EXPECT_GT(mape({a * y}, {y}), mape({y / a}, {y}));
+}
+
+TEST(Metrics, MLogQInvariantToUnits) {
+  // Rescaling both predictions and truths (e.g. seconds -> ms) is a no-op.
+  const std::vector<double> m{1.2, 3.4, 0.7};
+  const std::vector<double> y{1.0, 3.0, 1.0};
+  std::vector<double> m_ms = m, y_ms = y;
+  for (auto& v : m_ms) v *= 1000.0;
+  for (auto& v : y_ms) v *= 1000.0;
+  EXPECT_NEAR(mlogq(m, y), mlogq(m_ms, y_ms), 1e-12);
+}
+
+TEST(Metrics, NonPositivePredictionsFloored) {
+  // Figure-1 treatment: non-positive entries become 1e-16.
+  const double value = mlogq({-5.0}, {1.0});
+  EXPECT_NEAR(value, std::abs(std::log(1e-16)), 1e-9);
+}
+
+// ---- Table 1 identities: metric == error-expression with eps = m/y - 1 ----
+
+class Table1Identities : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    const std::size_t n = 64;
+    truths_.resize(n);
+    predictions_.resize(n);
+    eps_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      truths_[k] = rng.log_uniform(1e-3, 1e3);
+      eps_[k] = rng.uniform(-0.5, 1.0);  // keep m positive
+      predictions_[k] = truths_[k] * (1.0 + eps_[k]);
+    }
+  }
+  std::vector<double> truths_, predictions_, eps_;
+};
+
+TEST_P(Table1Identities, MapeRow) {
+  double expected = 0.0;
+  for (const double e : eps_) expected += std::abs(e);
+  EXPECT_NEAR(mape(predictions_, truths_), expected / eps_.size(), 1e-10);
+}
+
+TEST_P(Table1Identities, MaeRow) {
+  double expected = 0.0;
+  for (std::size_t k = 0; k < eps_.size(); ++k) {
+    expected += std::abs(truths_[k] * eps_[k]);
+  }
+  EXPECT_NEAR(mae(predictions_, truths_), expected / eps_.size(), 1e-9);
+}
+
+TEST_P(Table1Identities, MseRow) {
+  double expected = 0.0;
+  for (std::size_t k = 0; k < eps_.size(); ++k) {
+    const double term = truths_[k] * eps_[k];
+    expected += term * term;
+  }
+  EXPECT_NEAR(mse(predictions_, truths_), expected / eps_.size(),
+              1e-9 * (1.0 + expected));
+}
+
+TEST_P(Table1Identities, SmapeRow) {
+  double expected = 0.0;
+  for (const double e : eps_) expected += 2.0 * std::abs(e / (2.0 + e));
+  EXPECT_NEAR(smape(predictions_, truths_), expected / eps_.size(), 1e-10);
+}
+
+TEST_P(Table1Identities, LgmapeRow) {
+  double expected = 0.0;
+  for (const double e : eps_) expected += std::log(std::max(std::abs(e), 1e-16));
+  EXPECT_NEAR(lgmape(predictions_, truths_), expected / eps_.size(), 1e-9);
+}
+
+TEST_P(Table1Identities, MLogQTaylorRow) {
+  // |log(1+eps)| = |eps/(1+eps)| + O(eps^2): verify the first-order match
+  // for small errors.
+  std::vector<double> small_predictions(truths_.size());
+  for (std::size_t k = 0; k < truths_.size(); ++k) {
+    small_predictions[k] = truths_[k] * (1.0 + 0.01 * eps_[k]);
+  }
+  double taylor = 0.0;
+  for (const double e : eps_) {
+    const double se = 0.01 * e;
+    taylor += std::abs(se / (1.0 + se));
+  }
+  EXPECT_NEAR(mlogq(small_predictions, truths_), taylor / eps_.size(), 1e-4);
+}
+
+TEST_P(Table1Identities, MLogQ2TaylorRow) {
+  std::vector<double> small_predictions(truths_.size());
+  for (std::size_t k = 0; k < truths_.size(); ++k) {
+    small_predictions[k] = truths_[k] * (1.0 + 0.01 * eps_[k]);
+  }
+  double taylor = 0.0;
+  for (const double e : eps_) {
+    const double se = 0.01 * e;
+    const double term = se / (1.0 + se);
+    taylor += term * term;
+  }
+  EXPECT_NEAR(mlogq2(small_predictions, truths_), taylor / eps_.size(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table1Identities, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Metrics, GeometricMeanRatioDetectsBias) {
+  const std::vector<double> y{1.0, 2.0, 4.0};
+  std::vector<double> over(y), under(y);
+  for (auto& v : over) v *= 2.0;
+  for (auto& v : under) v *= 0.5;
+  EXPECT_NEAR(geometric_mean_ratio(over, y), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean_ratio(under, y), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpr::metrics

@@ -1,0 +1,298 @@
+// Robustness and failure-injection tests: extreme scales, degenerate
+// datasets, heavy noise, pathological discretizations, and invalid inputs.
+// The models must either produce sane output or fail loudly with
+// CheckError — never NaN/inf predictions or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmark_app.hpp"
+#include "common/evaluation.hpp"
+#include "core/cpr_extrapolation.hpp"
+#include "core/cpr_model.hpp"
+#include "grid/discretization.hpp"
+#include "metrics/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace cpr {
+namespace {
+
+using common::Dataset;
+using grid::Config;
+using grid::Discretization;
+using grid::ParameterSpec;
+
+Discretization two_dim_grid(std::size_t cells = 8) {
+  return Discretization({ParameterSpec::numerical_log("x", 1.0, 1024.0),
+                         ParameterSpec::numerical_log("y", 1.0, 1024.0)},
+                        cells);
+}
+
+Dataset make_dataset(std::size_t n, std::uint64_t seed,
+                     const std::function<double(const Config&)>& f) {
+  Rng rng(seed);
+  Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(1.0, 1024.0);
+    data.x(i, 1) = rng.log_uniform(1.0, 1024.0);
+    data.y[i] = f(data.config(i));
+  }
+  return data;
+}
+
+class ExtremeScales : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExtremeScales, PredictionsTrackTheScale) {
+  // Execution times at 1e-9 s (nanobenchmarks) through 1e6 s (week-long
+  // jobs) must all work: the log transform + centering make the pipeline
+  // scale-free.
+  const double scale = GetParam();
+  const auto f = [scale](const Config& x) { return scale * x[0] * std::sqrt(x[1]); };
+  core::CprOptions options;
+  options.rank = 2;
+  core::CprModel model(two_dim_grid(), options);
+  model.fit(make_dataset(2048, 1, f));
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Config x{rng.log_uniform(1.0, 1024.0), rng.log_uniform(1.0, 1024.0)};
+    const double prediction = model.predict(x);
+    ASSERT_TRUE(std::isfinite(prediction));
+    EXPECT_LT(std::abs(std::log(prediction / f(x))), 0.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ExtremeScales,
+                         ::testing::Values(1e-9, 1e-4, 1.0, 1e3, 1e6));
+
+TEST(Degenerate, SingleObservation) {
+  core::CprOptions options;
+  options.rank = 1;
+  core::CprModel model(two_dim_grid(4), options);
+  Dataset single;
+  single.x = linalg::Matrix(1, 2);
+  single.x(0, 0) = 10.0;
+  single.x(0, 1) = 20.0;
+  single.y = {0.5};
+  model.fit(single);
+  // With one observation the model collapses to ~constant; prediction at
+  // the observed point must recover it and stay finite everywhere.
+  EXPECT_NEAR(model.predict({10.0, 20.0}), 0.5, 0.05);
+  EXPECT_TRUE(std::isfinite(model.predict({1000.0, 1.0})));
+}
+
+TEST(Degenerate, ConstantRuntime) {
+  const auto f = [](const Config&) { return 3.5; };
+  core::CprOptions options;
+  options.rank = 4;
+  core::CprModel model(two_dim_grid(), options);
+  model.fit(make_dataset(1024, 3, f));
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Config x{rng.log_uniform(1.0, 1024.0), rng.log_uniform(1.0, 1024.0)};
+    EXPECT_NEAR(model.predict(x), 3.5, 0.05);
+  }
+}
+
+TEST(Degenerate, AllObservationsInOneCell) {
+  // Every sample lands in the same grid cell: the rest of the tensor is
+  // unobserved; predictions must still be finite everywhere in-domain.
+  Rng rng(5);
+  Dataset data;
+  data.x = linalg::Matrix(256, 2);
+  data.y.resize(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    data.x(i, 0) = rng.uniform(2.0, 2.2);
+    data.x(i, 1) = rng.uniform(2.0, 2.2);
+    data.y[i] = 1.0 + 0.01 * rng.uniform();
+  }
+  core::CprOptions options;
+  options.rank = 2;
+  core::CprModel model(two_dim_grid(), options);
+  model.fit(data);
+  EXPECT_TRUE(std::isfinite(model.predict({2.1, 2.1})));
+  EXPECT_TRUE(std::isfinite(model.predict({900.0, 900.0})));
+  EXPECT_GT(model.predict({900.0, 900.0}), 0.0);
+}
+
+TEST(Degenerate, DuplicatedConfigurationsAverage) {
+  // The same configuration measured many times with different noise: the
+  // cell stores the mean, matching Section 5.1.
+  Dataset data;
+  data.x = linalg::Matrix(100, 2);
+  data.y.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    data.x(i, 0) = 50.0;
+    data.x(i, 1) = 50.0;
+    data.y[i] = (i % 2 == 0) ? 1.0 : 3.0;
+  }
+  core::CprOptions options;
+  options.rank = 1;
+  Discretization disc = two_dim_grid(4);
+  core::CprModel model(disc, options);
+  model.fit(data);
+  // The observed cell's reconstructed value is the arithmetic mean of the
+  // repeated measurements (Section 5.1). (Point predictions near it also
+  // interpolate toward unobserved neighbor cells, so we check the cell.)
+  EXPECT_NEAR(model.eval_cell(disc.cell_of({50.0, 50.0})), 2.0, 0.05);
+  EXPECT_NEAR(model.predict({50.0, 50.0}), 2.0, 0.6);
+}
+
+TEST(Noise, HeavyNoiseDegradesGracefully) {
+  const auto clean = [](const Config& x) { return 1e-3 * x[0] * x[1]; };
+  Rng noise_rng(6);
+  double clean_error = 0.0, noisy_error = 0.0;
+  for (const double cv : {0.0, 1.0}) {
+    Rng rng(7);
+    Dataset data;
+    data.x = linalg::Matrix(4096, 2);
+    data.y.resize(4096);
+    const double sigma = cv > 0 ? std::sqrt(std::log(1 + cv * cv)) : 0.0;
+    for (std::size_t i = 0; i < 4096; ++i) {
+      data.x(i, 0) = rng.log_uniform(1.0, 1024.0);
+      data.x(i, 1) = rng.log_uniform(1.0, 1024.0);
+      data.y[i] = clean(data.config(i)) * std::exp(sigma * noise_rng.normal());
+    }
+    core::CprOptions options;
+    options.rank = 2;
+    core::CprModel model(two_dim_grid(), options);
+    model.fit(data);
+    // Evaluate against the clean function.
+    Rng test_rng(8);
+    std::vector<double> predictions, truths;
+    for (int k = 0; k < 200; ++k) {
+      const Config x{test_rng.log_uniform(1.0, 1024.0), test_rng.log_uniform(1.0, 1024.0)};
+      predictions.push_back(model.predict(x));
+      truths.push_back(clean(x));
+    }
+    (cv == 0.0 ? clean_error : noisy_error) = metrics::mlogq(predictions, truths);
+  }
+  // 100% CV noise (!) should cost accuracy but not break the model: cell
+  // averaging suppresses most of it. (Even the clean fit carries a small
+  // Jensen bias — the cell stores log of the within-cell arithmetic mean.)
+  EXPECT_LT(clean_error, 0.12);
+  EXPECT_LT(noisy_error, 0.5);
+  EXPECT_LT(clean_error, noisy_error);
+}
+
+TEST(Pathological, VeryHighRankFewSamples) {
+  // Rank far above what 64 samples justify: regularization + rebalancing
+  // must keep the fit finite and usable.
+  core::CprOptions options;
+  options.rank = 32;
+  core::CprModel model(two_dim_grid(4), options);
+  model.fit(make_dataset(64, 9, [](const Config& x) { return 1e-2 * x[0]; }));
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Config x{rng.log_uniform(1.0, 1024.0), rng.log_uniform(1.0, 1024.0)};
+    const double prediction = model.predict(x);
+    EXPECT_TRUE(std::isfinite(prediction));
+    EXPECT_GT(prediction, 0.0);
+  }
+}
+
+TEST(Pathological, OneCellPerMode) {
+  // Degenerate 1x1 grid: the model is a single constant.
+  Discretization tiny({ParameterSpec::numerical_log("x", 1.0, 1024.0),
+                       ParameterSpec::numerical_log("y", 1.0, 1024.0)},
+                      1);
+  core::CprOptions options;
+  options.rank = 1;
+  core::CprModel model(tiny, options);
+  model.fit(make_dataset(128, 11, [](const Config& x) { return 1e-2 * x[0]; }));
+  EXPECT_TRUE(std::isfinite(model.predict({5.0, 5.0})));
+}
+
+TEST(Pathological, HugeDynamicRangeWithinDataset) {
+  // y spanning 12 orders of magnitude in one dataset.
+  const auto f = [](const Config& x) { return 1e-9 * std::pow(x[0], 4.0); };
+  core::CprOptions options;
+  options.rank = 2;
+  core::CprModel model(two_dim_grid(12), options);
+  model.fit(make_dataset(4096, 12, f));
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Config x{rng.log_uniform(1.0, 1024.0), rng.log_uniform(1.0, 1024.0)};
+    EXPECT_LT(std::abs(std::log(model.predict(x) / f(x))), 0.5);
+  }
+}
+
+TEST(InvalidInput, RejectsNanAndNegativeTimes) {
+  core::CprModel model(two_dim_grid(4));
+  Dataset bad = make_dataset(16, 14, [](const Config&) { return 1.0; });
+  bad.y[3] = -2.0;
+  EXPECT_THROW(model.fit(bad), CheckError);
+  bad.y[3] = 0.0;
+  EXPECT_THROW(model.fit(bad), CheckError);
+  // NaN is not > 0, so the same precondition fires.
+  bad.y[3] = std::nan("");
+  EXPECT_THROW(model.fit(bad), CheckError);
+}
+
+TEST(InvalidInput, ExtrapolationModelRejectsCategoricalOutOfRange) {
+  Discretization disc({ParameterSpec::numerical_log("x", 1.0, 1024.0),
+                       ParameterSpec::categorical("c", 3)},
+                      6);
+  core::CprExtrapolationOptions options;
+  options.rank = 1;
+  core::CprExtrapolationModel model(disc, options);
+  Rng rng(15);
+  Dataset data;
+  data.x = linalg::Matrix(512, 2);
+  data.y.resize(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    data.x(i, 0) = rng.log_uniform(1.0, 1024.0);
+    data.x(i, 1) = static_cast<double>(rng.uniform_int(0, 2));
+    data.y[i] = 1e-3 * data.x(i, 0) * (1.0 + data.x(i, 1));
+  }
+  model.fit(data);
+  EXPECT_THROW(model.predict({10.0, 7.0}), CheckError);  // category 7 of 3
+}
+
+TEST(Determinism, IdenticalFitsAcrossRuns) {
+  const auto data = make_dataset(1024, 16, [](const Config& x) { return 0.1 * x[0]; });
+  core::CprOptions options;
+  options.rank = 4;
+  core::CprModel a(two_dim_grid(), options), b(two_dim_grid(), options);
+  a.fit(data);
+  b.fit(data);
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Config x{rng.log_uniform(1.0, 1024.0), rng.log_uniform(1.0, 1024.0)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(Determinism, AppsStableAcrossProcessRestarts) {
+  // Guards against accidental use of global state / time in the apps:
+  // golden values pinned from a reference run would change only if the
+  // deterministic hashing changed.
+  const auto mm = apps::make_matmul();
+  const double first = mm->execute({256, 256, 256}, 0);
+  const double second = mm->execute({256, 256, 256}, 0);
+  EXPECT_DOUBLE_EQ(first, second);
+  const auto mm2 = apps::make_matmul();
+  EXPECT_DOUBLE_EQ(mm2->execute({256, 256, 256}, 0), first);
+}
+
+TEST(Domain, QueriesExactlyOnEveryBoundary) {
+  Discretization disc = two_dim_grid(8);
+  core::CprOptions options;
+  options.rank = 2;
+  core::CprModel model(disc, options);
+  model.fit(make_dataset(2048, 18, [](const Config& x) { return 1e-3 * x[0] * x[1]; }));
+  // Predict at every boundary and midpoint value along mode 0.
+  for (std::size_t k = 0; k <= 8; ++k) {
+    const double x = disc.boundary(0, k);
+    EXPECT_TRUE(std::isfinite(model.predict({x, 32.0}))) << "boundary " << k;
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double x = disc.midpoint(0, i);
+    EXPECT_TRUE(std::isfinite(model.predict({x, 32.0}))) << "midpoint " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cpr

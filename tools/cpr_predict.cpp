@@ -1,0 +1,97 @@
+// cpr_predict — evaluate a trained CPR model on configurations from a CSV.
+//
+// Usage:
+//   cpr_predict --model=model.cprm --configs=queries.csv [--out=pred.csv]
+//
+// `queries.csv` uses the training layout minus the "seconds" column (if a
+// seconds column is present it is treated as ground truth and the MLogQ of
+// the predictions is reported).
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/model_file.hpp"
+#include "metrics/metrics.hpp"
+#include "util/cli.hpp"
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string model_path = args.get_string("model", "");
+  const std::string configs_path = args.get_string("configs", "");
+  if (model_path.empty() || configs_path.empty()) {
+    std::cerr << "usage: cpr_predict --model=model.cprm --configs=queries.csv "
+                 "[--out=predictions.csv]\n";
+    return 1;
+  }
+
+  try {
+    const core::CprModel model = core::load_model_file(model_path);
+    const std::size_t dims = model.discretization().order();
+
+    std::ifstream in(configs_path);
+    CPR_CHECK_MSG(in.good(), "cannot open " << configs_path);
+    std::string line;
+    CPR_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty configs file");
+    std::vector<std::string> header;
+    {
+      std::stringstream stream(line);
+      std::string field;
+      while (std::getline(stream, field, ',')) header.push_back(field);
+    }
+    const bool has_truth = !header.empty() && header.back() == "seconds";
+    const std::size_t expected = dims + (has_truth ? 1 : 0);
+    CPR_CHECK_MSG(header.size() == expected,
+                  "configs file has " << header.size() << " columns; the model expects "
+                                      << dims << (has_truth ? " + seconds" : ""));
+
+    std::ofstream out;
+    const std::string out_path = args.get_string("out", "");
+    if (!out_path.empty()) {
+      out.open(out_path);
+      CPR_CHECK_MSG(out.good(), "cannot open " << out_path);
+      for (std::size_t j = 0; j < dims; ++j) out << header[j] << ',';
+      out << "predicted_seconds\n";
+    }
+
+    std::vector<double> predictions, truths;
+    std::size_t line_number = 1;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      std::stringstream row(line);
+      std::string field;
+      grid::Config x;
+      std::vector<double> fields;
+      while (std::getline(row, field, ',')) fields.push_back(std::stod(field));
+      CPR_CHECK_MSG(fields.size() == expected,
+                    configs_path << ":" << line_number << ": bad field count");
+      x.assign(fields.begin(), fields.begin() + static_cast<std::ptrdiff_t>(dims));
+      const double prediction = model.predict(x);
+      predictions.push_back(prediction);
+      if (has_truth) truths.push_back(fields.back());
+      if (out.is_open()) {
+        for (std::size_t j = 0; j < dims; ++j) out << x[j] << ',';
+        out << prediction << '\n';
+      } else {
+        std::cout << prediction << "\n";
+      }
+    }
+    CPR_CHECK_MSG(!predictions.empty(), "no query rows in " << configs_path);
+
+    if (has_truth) {
+      std::cerr << "MLogQ vs ground truth: " << metrics::mlogq(predictions, truths)
+                << " over " << predictions.size() << " queries\n";
+    }
+    if (out.is_open()) {
+      std::cerr << "wrote " << predictions.size() << " predictions to " << out_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

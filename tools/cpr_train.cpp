@@ -1,0 +1,133 @@
+// cpr_train — fit a CPR performance model from a CSV of measurements.
+//
+// Usage:
+//   cpr_train --data=measurements.csv --out=model.cprm \
+//             [--cells=16] [--rank=8] [--lambda=1e-4] \
+//             [--log-dims=m,n,k] [--categorical=solver:4] [--tune]
+//
+// The CSV layout is one header row naming the parameters plus a final
+// "seconds" column (see common/dataset_io.hpp). Parameter ranges are taken
+// from the data; dimensions listed in --log-dims get logarithmic grid
+// spacing (inputs/architecture), the rest uniform (configuration), and
+// --categorical=name:k marks k-way categorical columns. With --tune, a
+// validation-split hyper-parameter search replaces the fixed cells/rank.
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "common/dataset_io.hpp"
+#include "common/evaluation.hpp"
+#include "core/model_file.hpp"
+#include "core/tuning.hpp"
+#include "util/cli.hpp"
+
+using namespace cpr;
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, delimiter)) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string data_path = args.get_string("data", "");
+  const std::string out_path = args.get_string("out", "model.cprm");
+  if (data_path.empty()) {
+    std::cerr << "usage: cpr_train --data=measurements.csv --out=model.cprm "
+                 "[--cells=16] [--rank=8] [--lambda=1e-4] [--log-dims=a,b] "
+                 "[--categorical=name:k,...] [--tune]\n";
+    return 1;
+  }
+
+  try {
+    const auto loaded = common::load_dataset_csv(data_path);
+    const auto& names = loaded.parameter_names;
+    std::cout << "loaded " << loaded.data.size() << " measurements of "
+              << names.size() << " parameters from " << data_path << "\n";
+
+    // Build parameter specs from the data ranges and the flags.
+    const auto log_dims = split(args.get_string("log-dims", ""), ',');
+    std::vector<std::pair<std::string, std::size_t>> categoricals;
+    for (const auto& spec : split(args.get_string("categorical", ""), ',')) {
+      const auto colon = spec.find(':');
+      CPR_CHECK_MSG(colon != std::string::npos, "--categorical needs name:count");
+      categoricals.emplace_back(spec.substr(0, colon),
+                                std::stoul(spec.substr(colon + 1)));
+    }
+
+    std::vector<grid::ParameterSpec> specs;
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      double lo = loaded.data.x(0, j), hi = lo;
+      bool integral = true;
+      for (std::size_t i = 0; i < loaded.data.size(); ++i) {
+        const double v = loaded.data.x(i, j);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        integral = integral && v == std::round(v);
+      }
+      bool handled = false;
+      for (const auto& [cat_name, categories] : categoricals) {
+        if (cat_name == names[j]) {
+          specs.push_back(grid::ParameterSpec::categorical(names[j], categories));
+          handled = true;
+        }
+      }
+      if (handled) continue;
+      const bool is_log =
+          std::find(log_dims.begin(), log_dims.end(), names[j]) != log_dims.end();
+      CPR_CHECK_MSG(hi > lo, "parameter '" << names[j] << "' is constant in the data");
+      if (is_log) {
+        CPR_CHECK_MSG(lo > 0.0, "log spacing needs positive '" << names[j] << "'");
+        specs.push_back(grid::ParameterSpec::numerical_log(names[j], lo, hi, integral));
+      } else {
+        specs.push_back(grid::ParameterSpec::numerical_uniform(names[j], lo, hi, integral));
+      }
+    }
+
+    core::CprModel model = [&] {
+      if (args.has("tune")) {
+        core::CprTuner tuner;
+        tuner.specs = specs;
+        tuner.progress = [](const core::CprTuningResult::Candidate& candidate) {
+          std::cout << "  cells=" << candidate.cells << " rank=" << candidate.rank
+                    << " lambda=" << candidate.regularization
+                    << " -> validation MLogQ " << candidate.error << "\n";
+        };
+        auto [winner, result] =
+            tuner.tune(loaded.data, nullptr, core::CprTuningGrid::for_dimensions(specs.size()));
+        std::cout << "selected cells=" << result.best_cells
+                  << " rank=" << result.best_options.rank
+                  << " (validation MLogQ " << result.best_error << ")\n";
+        return std::move(winner);
+      }
+      core::CprOptions options;
+      options.rank = static_cast<std::size_t>(args.get_int("rank", 8));
+      options.regularization = args.get_double("lambda", 1e-4);
+      core::CprModel fixed(
+          grid::Discretization(specs, static_cast<std::size_t>(args.get_int("cells", 16))),
+          options);
+      fixed.fit(loaded.data);
+      return fixed;
+    }();
+
+    std::cout << "training MLogQ (resubstitution): "
+              << common::evaluate_mlogq(model, loaded.data) << "\n";
+    core::save_model_file(model, out_path);
+    std::cout << "wrote " << model.model_size_bytes() << "-byte model to " << out_path
+              << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
