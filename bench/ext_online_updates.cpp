@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::cout << "== Extension: warm online refreshes vs full refits ==\n";
 
   Table table({"app", "observations", "model", "MLogQ", "cumulative fit s"});
-  for (const std::string app_name : full ? std::vector<std::string>{"MM", "BC", "AMG"}
+  for (const std::string& app_name : full ? std::vector<std::string>{"MM", "BC", "AMG"}
                                          : std::vector<std::string>{"MM", "BC"}) {
     const auto app = bench::app_by_name(app_name);
     const bool high_dim = app->dimensions() >= 6;

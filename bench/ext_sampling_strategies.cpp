@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   std::cout << "== Extension: sampling strategy vs CPR accuracy ==\n";
 
   Table table({"app", "train", "strategy", "MLogQ", "observed density"});
-  for (const std::string app_name : full ? std::vector<std::string>{"MM", "BC", "FMM"}
+  for (const std::string& app_name : full ? std::vector<std::string>{"MM", "BC", "FMM"}
                                          : std::vector<std::string>{"MM", "FMM"}) {
     const auto app = bench::app_by_name(app_name);
     const bool high_dim = app->dimensions() >= 6;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   std::cout << "== Extension: CP vs Tucker vs uncompressed grid ==\n";
 
   Table table({"app", "model", "config", "MLogQ", "model bytes", "fit s"});
-  for (const std::string app_name :
+  for (const std::string& app_name :
        full ? std::vector<std::string>{"MM", "QR", "BC", "FMM", "AMG", "KRIPKE"}
             : std::vector<std::string>{"MM", "BC", "FMM", "AMG"}) {
     const auto app = bench::app_by_name(app_name);

@@ -43,6 +43,17 @@ void BM_SparseMttkrp(benchmark::State& state) {
   Rng rng(2);
   model.init_random(rng);
   linalg::Matrix out(dims[0], rank);
+  // Cross-check the threaded kernel against the serial reference before
+  // timing it: a benchmark of a wrong answer is worthless.
+  {
+    linalg::Matrix reference(dims[0], rank);
+    tensor::sparse_mttkrp_serial(t, model, 0, reference);
+    tensor::sparse_mttkrp(t, model, 0, out);
+    if (linalg::max_abs_diff(out, reference) > 1e-12) {
+      state.SkipWithError("threaded MTTKRP diverged from the serial reference");
+      return;
+    }
+  }
   for (auto _ : state) {
     tensor::sparse_mttkrp(t, model, 0, out);
     benchmark::DoNotOptimize(out.data());
@@ -51,6 +62,25 @@ void BM_SparseMttkrp(benchmark::State& state) {
                           static_cast<std::int64_t>(t.nnz()));
 }
 BENCHMARK(BM_SparseMttkrp)->Arg(4)->Arg(16)->Arg(64);
+
+// The single-threaded reference; the BM_SparseMttkrp/BM_SparseMttkrpSerial
+// ratio is the OMP_NUM_THREADS speedup.
+void BM_SparseMttkrpSerial(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const tensor::Dims dims{64, 64, 64};
+  const auto t = random_sparse(dims, 1u << 14, 1);
+  tensor::CpModel model(dims, rank);
+  Rng rng(2);
+  model.init_random(rng);
+  linalg::Matrix out(dims[0], rank);
+  for (auto _ : state) {
+    tensor::sparse_mttkrp_serial(t, model, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.nnz()));
+}
+BENCHMARK(BM_SparseMttkrpSerial)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_AlsSweep(benchmark::State& state) {
   const auto rank = static_cast<std::size_t>(state.range(0));
@@ -191,6 +221,38 @@ void BM_CprPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CprPredict);
+
+void BM_CprPredictBatch(benchmark::State& state) {
+  // Throughput of the parallel multi-config entry point on the same model.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<grid::ParameterSpec> specs{
+      grid::ParameterSpec::numerical_log("m", 32, 4096, true),
+      grid::ParameterSpec::numerical_log("n", 32, 4096, true),
+      grid::ParameterSpec::numerical_log("k", 32, 4096, true)};
+  core::CprOptions options;
+  options.rank = 8;
+  core::CprModel model(grid::Discretization(specs, 16), options);
+  Rng rng(12);
+  common::Dataset train;
+  train.x = linalg::Matrix(2048, 3);
+  train.y.resize(2048);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) train.x(i, j) = rng.log_uniform(32, 4096);
+    train.y[i] = 1e-9 * train.x(i, 0) * train.x(i, 1) * train.x(i, 2);
+  }
+  model.fit(train);
+  linalg::Matrix queries(batch, 3);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) queries(i, j) = rng.log_uniform(32, 4096);
+  }
+  for (auto _ : state) {
+    const auto predictions = model.predict_batch(queries);
+    benchmark::DoNotOptimize(predictions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CprPredictBatch)->Arg(64)->Arg(1024);
 
 }  // namespace
 

@@ -74,14 +74,14 @@ int main(int argc, char** argv) {
   // Part 2: end-to-end CPR accuracy per optimizer.
   std::cout << "\n== End-to-end CPR test error per optimizer ==\n";
   Table table({"app", "optimizer", "MLogQ", "fit s"});
-  for (const std::string app_name :
+  for (const std::string& app_name :
        full ? std::vector<std::string>{"MM", "BC", "FMM", "AMG"}
             : std::vector<std::string>{"MM", "AMG"}) {
     const auto app = bench::app_by_name(app_name);
     const auto train = app->generate_dataset(full ? 16384 : 4096, seed);
     const auto test = app->generate_dataset(512, seed + 1);
     const std::size_t cells = app->dimensions() >= 6 ? 8 : 16;
-    for (const auto [optimizer, name] :
+    for (const auto& [optimizer, name] :
          {std::pair{core::CprOptimizer::Als, "ALS"},
           std::pair{core::CprOptimizer::Ccd, "CCD"},
           std::pair{core::CprOptimizer::Sgd, "SGD"}}) {

@@ -1,7 +1,9 @@
 #include "completion/sgd.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <type_traits>
 
 #include "completion/als.hpp"
 #include "util/log.hpp"
@@ -36,6 +38,50 @@ CompletionReport sgd_complete(const tensor::SparseTensor& t, tensor::CpModel& mo
   CompletionReport report;
   double prev_objective = completion_objective(t, model, options.regularization);
 
+  // One gradient step for the sampled entry: cache the touched rows and the
+  // full Hadamard product, then update every mode's row. Under Hogwild the
+  // factor elements are accessed through relaxed atomic_refs so concurrent
+  // steps are defined behavior (no tearing); the serial path keeps plain
+  // (register-allocatable, vectorizable) loads and stores.
+  const auto sgd_step = [&]<bool Hogwild>(std::bool_constant<Hogwild>, std::size_t e,
+                                          double lr,
+                                          std::vector<std::vector<double>>& rows,
+                                          std::vector<double>& full) {
+    for (std::size_t r = 0; r < rank; ++r) full[r] = 1.0;
+    for (std::size_t j = 0; j < order; ++j) {
+      double* row = model.factor(j).row_ptr(t.index(e, j));
+      for (std::size_t r = 0; r < rank; ++r) {
+        if constexpr (Hogwild) {
+          rows[j][r] = std::atomic_ref(row[r]).load(std::memory_order_relaxed);
+        } else {
+          rows[j][r] = row[r];
+        }
+        full[r] *= rows[j][r];
+      }
+    }
+    double prediction = 0.0;
+    for (std::size_t r = 0; r < rank; ++r) prediction += full[r];
+    const double error = prediction - t.value(e);
+    if (!std::isfinite(error)) return;
+    // Row gradients: d/dU_j(i_j,r) = error * prod_{k != j} U_k(i_k,r)
+    // plus weight decay from the ridge term.
+    for (std::size_t j = 0; j < order; ++j) {
+      double* row = model.factor(j).row_ptr(t.index(e, j));
+      for (std::size_t r = 0; r < rank; ++r) {
+        const double others =
+            rows[j][r] != 0.0 ? full[r] / rows[j][r] : hadamard_excluding(rows, j, r);
+        const double grad = error * others + options.regularization * rows[j][r];
+        if constexpr (Hogwild) {
+          std::atomic_ref element(row[r]);
+          element.store(element.load(std::memory_order_relaxed) - lr * grad,
+                        std::memory_order_relaxed);
+        } else {
+          row[r] -= lr * grad;
+        }
+      }
+    }
+  };
+
   // Scratch: per-mode partial products so each row gradient is O(R).
   std::vector<std::vector<double>> rows(order, std::vector<double>(rank));
   std::vector<double> full(rank);
@@ -43,30 +89,25 @@ CompletionReport sgd_complete(const tensor::SparseTensor& t, tensor::CpModel& mo
   for (int epoch = 0; epoch < options.max_sweeps; ++epoch) {
     const double lr = options.learning_rate / (1.0 + options.decay * epoch);
     rng.shuffle(schedule);
-    for (const std::size_t e : schedule) {
-      // Cache all touched rows and the full Hadamard product.
-      for (std::size_t r = 0; r < rank; ++r) full[r] = 1.0;
-      for (std::size_t j = 0; j < order; ++j) {
-        const double* row = model.factor(j).row_ptr(t.index(e, j));
-        for (std::size_t r = 0; r < rank; ++r) {
-          rows[j][r] = row[r];
-          full[r] *= row[r];
+#ifdef CPR_HAVE_OPENMP
+    if (options.hogwild) {
+      // Hogwild-style epoch: sparse observations rarely share factor rows,
+      // so lock-free concurrent steps converge to the same objective even
+      // though individual updates may race.
+#pragma omp parallel
+      {
+        std::vector<std::vector<double>> local_rows(order, std::vector<double>(rank));
+        std::vector<double> local_full(rank);
+#pragma omp for schedule(static)
+        for (std::size_t s = 0; s < schedule.size(); ++s) {
+          sgd_step(std::bool_constant<true>{}, schedule[s], lr, local_rows, local_full);
         }
       }
-      double prediction = 0.0;
-      for (std::size_t r = 0; r < rank; ++r) prediction += full[r];
-      const double error = prediction - t.value(e);
-      if (!std::isfinite(error)) continue;
-      // Row gradients: d/dU_j(i_j,r) = error * prod_{k != j} U_k(i_k,r)
-      // plus weight decay from the ridge term.
-      for (std::size_t j = 0; j < order; ++j) {
-        double* row = model.factor(j).row_ptr(t.index(e, j));
-        for (std::size_t r = 0; r < rank; ++r) {
-          const double others =
-              rows[j][r] != 0.0 ? full[r] / rows[j][r] : hadamard_excluding(rows, j, r);
-          const double grad = error * others + options.regularization * rows[j][r];
-          row[r] -= lr * grad;
-        }
+    } else
+#endif
+    {
+      for (const std::size_t e : schedule) {
+        sgd_step(std::bool_constant<false>{}, e, lr, rows, full);
       }
     }
 

@@ -15,6 +15,13 @@ namespace cpr::completion {
 struct SgdOptions : CompletionOptions {
   double learning_rate = 0.05;
   double decay = 0.01;  ///< lr_t = lr / (1 + decay * epoch)
+
+  /// Lock-free (Hogwild-style) parallel epochs. Off by default: concurrent
+  /// row updates make the iterate order non-deterministic, so results are
+  /// only statistically — not bitwise — equivalent to the serial sweep.
+  /// Requires an OpenMP build; without one the flag is ignored and epochs
+  /// run as the ordinary serial sweep.
+  bool hogwild = false;
 };
 
 CompletionReport sgd_complete(const tensor::SparseTensor& t, tensor::CpModel& model,

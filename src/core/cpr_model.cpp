@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <unordered_map>
 
@@ -129,9 +130,13 @@ double CprModel::eval_cell(const tensor::Index& idx) const {
 
 double CprModel::predict(const grid::Config& x) const {
   CPR_CHECK_MSG(fitted_, "CprModel::predict before fit");
+  grid::Config clamped = x;
+  return predict_in_place(clamped);
+}
+
+double CprModel::predict_in_place(grid::Config& clamped) const {
   // The interpolation model clamps coordinates into the modeling domain;
   // configurations genuinely outside it belong to CprExtrapolationModel.
-  grid::Config clamped = x;
   for (std::size_t j = 0; j < clamped.size(); ++j) {
     const auto& p = discretization_.params()[j];
     if (p.is_numerical()) clamped[j] = std::clamp(clamped[j], p.lo, p.hi);
@@ -160,6 +165,40 @@ double CprModel::predict(const grid::Config& x) const {
   constexpr double kLogMargin = 5.0;
   log_prediction = std::clamp(log_prediction, log_min_ - kLogMargin, log_max_ + kLogMargin);
   return std::exp(log_prediction);
+}
+
+std::vector<double> CprModel::predict_batch(const linalg::Matrix& configs) const {
+  CPR_CHECK_MSG(fitted_, "CprModel::predict_batch before fit");
+  CPR_CHECK_MSG(configs.cols() == discretization_.order(),
+                "config batch dimensionality does not match the discretization");
+  std::vector<double> out(configs.rows());
+  // Exceptions must not unwind out of an OpenMP region (that terminates the
+  // process); capture the first one and rethrow it on the calling thread.
+  std::exception_ptr error;
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    // Per-thread query scratch: assign() reuses its capacity, so the hot
+    // loop is allocation-free after the first query.
+    grid::Config scratch;
+#ifdef CPR_HAVE_OPENMP
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (std::size_t i = 0; i < configs.rows(); ++i) {
+      try {
+        scratch.assign(configs.row_ptr(i), configs.row_ptr(i) + configs.cols());
+        out[i] = predict_in_place(scratch);
+      } catch (...) {
+#ifdef CPR_HAVE_OPENMP
+#pragma omp critical(cpr_predict_batch_error)
+#endif
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
 }
 
 std::size_t CprModel::model_size_bytes() const {

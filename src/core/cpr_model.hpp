@@ -68,6 +68,11 @@ class CprModel final : public common::Regressor {
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
 
+  /// Batched Eq.-5 inference over every row of `configs` (n x order).
+  /// Parallelized over configurations; row i equals predict(row i) bitwise,
+  /// independent of the thread count.
+  std::vector<double> predict_batch(const linalg::Matrix& configs) const;
+
   /// exp(t̂_i): the modeled (positive) execution time of one grid cell.
   double eval_cell(const tensor::Index& idx) const;
 
@@ -82,6 +87,11 @@ class CprModel final : public common::Regressor {
   static CprModel deserialize(BufferSource& source);
 
  private:
+  /// Eq.-5 inference with domain clamping done in place on `x` (which serves
+  /// as scratch); shared by predict() and the batched loop so the batch path
+  /// can reuse a per-thread buffer instead of allocating per query.
+  double predict_in_place(grid::Config& x) const;
+
   grid::Discretization discretization_;
   CprOptions options_;
   tensor::CpModel cp_;

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 namespace cpr::linalg {
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha, double beta) {
@@ -27,6 +31,25 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, double alpha, double b
   CPR_CHECK_MSG(a.rows() == b.rows(), "gemm_tn: inner dimensions differ");
   CPR_CHECK_MSG(c.rows() == a.cols() && c.cols() == b.cols(), "gemm_tn: bad output shape");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+#ifdef CPR_HAVE_OPENMP
+  if (omp_get_max_threads() > 1 && m * n * k > 1u << 16) {
+    // Each thread owns a stripe of output rows; per element the accumulation
+    // order over p is the serial order, so the result matches the serial
+    // kernel bitwise. Column-strided reads of A are the price of giving
+    // threads disjoint outputs; the parallel win covers it at these sizes.
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double api = alpha * a.row_ptr(p)[i];
+        const double* bp = b.row_ptr(p);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      }
+    }
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < m; ++i) {
     double* ci = c.row_ptr(i);
     for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
@@ -58,23 +81,60 @@ void gemv(const Matrix& a, const Vector& x, Vector& y, double alpha, double beta
 
 void gemv_t(const Matrix& a, const Vector& x, Vector& y, double alpha, double beta) {
   CPR_CHECK_MSG(a.rows() == x.size() && a.cols() == y.size(), "gemv_t: bad shapes");
-  for (double& v : y) v *= beta;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_ptr(i);
-    const double xi = alpha * x[i];
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ai[j];
+  const std::size_t n = a.cols();
+  // Streams A row-major over a contiguous column block [j0, j1); each
+  // element's accumulation order over i is the serial order, so any column
+  // partition yields a bitwise-identical result.
+  const auto accumulate_columns = [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) y[j] *= beta;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double* ai = a.row_ptr(i);
+      const double xi = alpha * x[i];
+      for (std::size_t j = j0; j < j1; ++j) y[j] += xi * ai[j];
+    }
+  };
+#ifdef CPR_HAVE_OPENMP
+  if (omp_get_max_threads() > 1 && a.size() > 1u << 16) {
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const auto n_threads = static_cast<std::size_t>(omp_get_num_threads());
+      accumulate_columns(n * tid / n_threads, n * (tid + 1) / n_threads);
+    }
+    return;
   }
+#endif
+  accumulate_columns(0, n);
 }
 
 void syrk_tn(const Matrix& a, Matrix& c) {
   CPR_CHECK_MSG(c.rows() == a.cols() && c.cols() == a.cols(), "syrk_tn: bad output shape");
   c.fill(0.0);
-  for (std::size_t p = 0; p < a.rows(); ++p) {
-    const double* ap = a.row_ptr(p);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double api = ap[i];
+  const std::size_t n = a.cols(), k = a.rows();
+#ifdef CPR_HAVE_OPENMP
+  if (omp_get_max_threads() > 1 && n * n * k > 1u << 16) {
+    // Row-owned upper triangle; per element the accumulation order over p is
+    // the serial order, so the result matches the serial kernel bitwise.
+#pragma omp parallel for schedule(dynamic, 8)
+    for (std::size_t i = 0; i < n; ++i) {
       double* ci = c.row_ptr(i);
-      for (std::size_t j = i; j < a.cols(); ++j) ci[j] += api * ap[j];
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* ap = a.row_ptr(p);
+        const double api = ap[i];
+        for (std::size_t j = i; j < n; ++j) ci[j] += api * ap[j];
+      }
+    }
+  } else
+#endif
+  {
+    // Streaming rank-1 accumulation: each row of A is read exactly once.
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* ap = a.row_ptr(p);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double api = ap[i];
+        double* ci = c.row_ptr(i);
+        for (std::size_t j = i; j < n; ++j) ci[j] += api * ap[j];
+      }
     }
   }
   // Mirror the upper triangle.

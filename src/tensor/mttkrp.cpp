@@ -31,37 +31,59 @@ void hadamard_row(const CpModel& model, const SparseTensor& t, std::size_t entry
   }
 }
 
-void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
-                   linalg::Matrix& out) {
+namespace {
+
+/// Shared shape checks + zeroing for both MTTKRP entry points.
+std::size_t prepare_mttkrp_output(const CpModel& model, std::size_t mode,
+                                  linalg::Matrix& out) {
   CPR_CHECK(mode < model.order());
   CPR_CHECK(out.rows() == model.dims()[mode] && out.cols() == model.rank());
   out.fill(0.0);
-  const std::size_t rank = model.rank();
+  return model.rank();
+}
 
-#ifdef CPR_HAVE_OPENMP
-#pragma omp parallel
-  {
-    linalg::Matrix local(out.rows(), out.cols(), 0.0);
-    std::vector<double> z(rank);
-#pragma omp for schedule(static) nowait
-    for (std::size_t e = 0; e < t.nnz(); ++e) {
-      hadamard_row(model, t, e, mode, z.data());
-      double* row = local.row_ptr(t.index(e, mode));
-      const double value = t.value(e);
-      for (std::size_t r = 0; r < rank; ++r) row[r] += value * z[r];
-    }
-#pragma omp critical(cpr_mttkrp_reduce)
-    out += local;
-  }
-#else
+/// Entry-order accumulation of entries [begin, end) into a zeroed output;
+/// the single kernel shared by the serial path and each thread's local
+/// accumulation in the parallel path.
+void accumulate_entries(const SparseTensor& t, const CpModel& model,
+                        std::size_t mode, std::size_t rank, std::size_t begin,
+                        std::size_t end, linalg::Matrix& out) {
   std::vector<double> z(rank);
-  for (std::size_t e = 0; e < t.nnz(); ++e) {
+  for (std::size_t e = begin; e < end; ++e) {
     hadamard_row(model, t, e, mode, z.data());
     double* row = out.row_ptr(t.index(e, mode));
     const double value = t.value(e);
     for (std::size_t r = 0; r < rank; ++r) row[r] += value * z[r];
   }
+}
+
+}  // namespace
+
+void sparse_mttkrp_serial(const SparseTensor& t, const CpModel& model,
+                          std::size_t mode, linalg::Matrix& out) {
+  const std::size_t rank = prepare_mttkrp_output(model, mode, out);
+  accumulate_entries(t, model, mode, rank, 0, t.nnz(), out);
+}
+
+void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
+                   linalg::Matrix& out) {
+  const std::size_t rank = prepare_mttkrp_output(model, mode, out);
+#ifdef CPR_HAVE_OPENMP
+  if (omp_get_max_threads() > 1) {
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const auto n_threads = static_cast<std::size_t>(omp_get_num_threads());
+      linalg::Matrix local(out.rows(), out.cols(), 0.0);
+      accumulate_entries(t, model, mode, rank, t.nnz() * tid / n_threads,
+                         t.nnz() * (tid + 1) / n_threads, local);
+#pragma omp critical(cpr_mttkrp_reduce)
+      out += local;
+    }
+    return;
+  }
 #endif
+  accumulate_entries(t, model, mode, rank, 0, t.nnz(), out);
 }
 
 double sq_residual_observed(const SparseTensor& t, const CpModel& model) {

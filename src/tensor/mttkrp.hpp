@@ -20,6 +20,12 @@ linalg::Matrix khatri_rao(const linalg::Matrix& a, const linalg::Matrix& b);
 void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
                    linalg::Matrix& out);
 
+/// Single-threaded MTTKRP reference: the exact entry-order accumulation the
+/// parallel path reduces to. The threaded variant must match it within
+/// floating-point reduction reordering (~1e-12 relative).
+void sparse_mttkrp_serial(const SparseTensor& t, const CpModel& model,
+                          std::size_t mode, linalg::Matrix& out);
+
 /// Hadamard row product of all factors except `skip_mode` at the entry's
 /// coordinates: z_r = prod_{j != skip} U_j(i_j, r). Appends into `z` (size R).
 void hadamard_row(const CpModel& model, const SparseTensor& t, std::size_t entry,

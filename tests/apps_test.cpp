@@ -79,7 +79,9 @@ TEST_P(AllApps, SamplesStayInBoundsAndSatisfyConstraints) {
       } else {
         EXPECT_GE(x[j], params[j].lo);
         EXPECT_LE(x[j], params[j].hi);
-        if (params[j].integral) EXPECT_DOUBLE_EQ(x[j], std::round(x[j]));
+        if (params[j].integral) {
+          EXPECT_DOUBLE_EQ(x[j], std::round(x[j]));
+        }
       }
     }
     EXPECT_TRUE(app_->satisfies_constraints(x));

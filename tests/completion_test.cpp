@@ -7,6 +7,12 @@
 
 #include <cmath>
 
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+
+#include "omp_test_utils.hpp"
+#endif
+
 #include "completion/als.hpp"
 #include "completion/amn.hpp"
 #include "completion/ccd.hpp"
@@ -66,6 +72,71 @@ double heldout_rmse(const Problem& problem, const CpModel& model) {
   }
   return std::sqrt(total / static_cast<double>(problem.heldout_indices.size()));
 }
+
+#ifdef CPR_HAVE_OPENMP
+/// Runs `optimize` on a fresh deterministically-initialized model under the
+/// given OpenMP thread count and returns the fitted model.
+template <typename Optimize>
+CpModel fit_with_threads(const Dims& dims, std::size_t rank, int threads,
+                         Optimize&& optimize) {
+  const cpr::testing::ThreadCountGuard guard;
+  omp_set_num_threads(threads);
+  CpModel model(dims, rank);
+  Rng rng(123);
+  model.init_random(rng);
+  optimize(model);
+  return model;
+}
+
+/// The parallel row solves partition rows across threads but leave each
+/// row's arithmetic untouched, so sweeps with a fixed sweep count must agree
+/// across thread counts to reduction-reordering precision.
+template <typename Optimize>
+void expect_thread_count_invariant(Optimize&& optimize) {
+  const Dims dims{6, 5, 4};
+  const CpModel serial = fit_with_threads(dims, 3, 1, [&](CpModel& m) { optimize(m); });
+  for (const int threads : {2, 8}) {
+    const CpModel threaded =
+        fit_with_threads(dims, 3, threads, [&](CpModel& m) { optimize(m); });
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      EXPECT_LT(linalg::max_abs_diff(threaded.factor(j), serial.factor(j)), 1e-12)
+          << "mode " << j << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(Als, ThreadedSweepMatchesSerial) {
+  const auto problem = make_low_rank_problem({6, 5, 4}, 2, 0.6, 77);
+  CompletionOptions options;
+  options.max_sweeps = 5;
+  options.tol = 0.0;  // fixed sweep count: no data-dependent early exit
+  expect_thread_count_invariant(
+      [&](CpModel& m) { als_complete(problem.observed, m, options); });
+}
+
+TEST(Ccd, ThreadedSweepMatchesSerial) {
+  const auto problem = make_low_rank_problem({6, 5, 4}, 2, 0.6, 77);
+  CompletionOptions options;
+  options.max_sweeps = 5;
+  options.tol = 0.0;
+  expect_thread_count_invariant(
+      [&](CpModel& m) { ccd_complete(problem.observed, m, options); });
+}
+
+TEST(Sgd, HogwildReducesObjective) {
+  const auto problem = make_low_rank_problem({6, 5, 4}, 2, 0.7, 11);
+  CpModel model(problem.observed.dims(), 2);
+  Rng rng(12);
+  model.init_random(rng);
+  SgdOptions options;
+  options.max_sweeps = 30;
+  options.tol = 0.0;
+  options.hogwild = true;
+  const double before = completion_objective(problem.observed, model, options.regularization);
+  const auto report = sgd_complete(problem.observed, model, options);
+  EXPECT_LT(report.final_objective(), before);
+}
+#endif  // CPR_HAVE_OPENMP
 
 TEST(Objective, ZeroForExactModel) {
   Rng rng(1);

@@ -97,6 +97,31 @@ TEST(CprModel, ClampsOutOfDomainQueries) {
   EXPECT_NEAR(beyond, at_edge, 1e-9 * at_edge);
 }
 
+TEST(CprModel, PredictBatchMatchesScalarPredict) {
+  CprOptions options;
+  options.rank = 2;
+  CprModel model(power_law_grid(8), options);
+  model.fit(sample_power_law(2048, 9));
+
+  Rng rng(10);
+  linalg::Matrix queries(257, 2);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    queries(i, 0) = rng.log_uniform(16.0, 8192.0);  // includes out-of-domain
+    queries(i, 1) = rng.log_uniform(16.0, 8192.0);
+  }
+  const auto batch = model.predict_batch(queries);
+  ASSERT_EQ(batch.size(), queries.rows());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    const Config x{queries(i, 0), queries(i, 1)};
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(x)) << "row " << i;
+  }
+}
+
+TEST(CprModel, PredictBatchBeforeFitThrows) {
+  CprModel model(power_law_grid(4));
+  EXPECT_THROW(model.predict_batch(linalg::Matrix(3, 2)), CheckError);
+}
+
 TEST(CprModel, DensityReported) {
   CprOptions options;
   options.rank = 1;

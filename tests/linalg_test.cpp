@@ -5,6 +5,12 @@
 
 #include <cmath>
 
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+
+#include "omp_test_utils.hpp"
+#endif
+
 #include "linalg/blas.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/cholesky.hpp"
@@ -138,6 +144,43 @@ TEST(Blas, SyrkMatchesGemm) {
   gemm(a.transposed(), a, c2);
   EXPECT_LT(max_abs_diff(c1, c2), 1e-12);
 }
+
+#ifdef CPR_HAVE_OPENMP
+TEST(Blas, ParallelKernelsMatchSerialAboveThreshold) {
+  // Sizes chosen to cross the >2^16 work thresholds that gate the threaded
+  // branches of gemm_tn, gemv_t, and syrk_tn; the row/column-owned
+  // partitions claim bitwise-identical results, so compare exactly.
+  Rng rng(31);
+  const Matrix a = random_matrix(70, 60, rng);   // k x m for _tn kernels
+  const Matrix b = random_matrix(70, 80, rng);   // k x n
+  const Matrix wide = random_matrix(300, 250, rng);
+  Vector x300(300);
+  for (std::size_t i = 0; i < 300; ++i) x300[i] = rng.normal();
+
+  const cpr::testing::ThreadCountGuard guard;
+  omp_set_num_threads(1);
+  Matrix tn_serial(60, 80), syrk_serial(60, 60);
+  Vector gemv_t_serial(250, 0.0);
+  gemm_tn(a, b, tn_serial);
+  syrk_tn(a, syrk_serial);
+  gemv_t(wide, x300, gemv_t_serial);
+
+  for (const int threads : {2, 8}) {
+    omp_set_num_threads(threads);
+    Matrix tn_par(60, 80), syrk_par(60, 60);
+    Vector gemv_t_par(250, 0.0);
+    gemm_tn(a, b, tn_par);
+    syrk_tn(a, syrk_par);
+    gemv_t(wide, x300, gemv_t_par);
+    EXPECT_EQ(max_abs_diff(tn_par, tn_serial), 0.0) << threads << " threads";
+    EXPECT_EQ(max_abs_diff(syrk_par, syrk_serial), 0.0) << threads << " threads";
+    for (std::size_t j = 0; j < 250; ++j) {
+      ASSERT_EQ(gemv_t_par[j], gemv_t_serial[j]) << "col " << j << ", " << threads
+                                                 << " threads";
+    }
+  }
+}
+#endif  // CPR_HAVE_OPENMP
 
 TEST(Blas, VectorKernels) {
   Vector x{3, 4}, y{1, 1};

@@ -1,0 +1,17 @@
+#pragma once
+// Shared OpenMP test helpers.
+
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+
+namespace cpr::testing {
+
+/// Restores the global OpenMP thread count even if the guarded scope throws
+/// or a failing assertion returns from the test body early.
+struct ThreadCountGuard {
+  int saved = omp_get_max_threads();
+  ~ThreadCountGuard() { omp_set_num_threads(saved); }
+};
+
+}  // namespace cpr::testing
+#endif  // CPR_HAVE_OPENMP

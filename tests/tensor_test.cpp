@@ -5,6 +5,12 @@
 
 #include <cmath>
 
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+
+#include "omp_test_utils.hpp"
+#endif
+
 #include "linalg/blas.hpp"
 #include "tensor/cp_als_dense.hpp"
 #include "tensor/cp_model.hpp"
@@ -265,6 +271,38 @@ TEST(Mttkrp, SqResidualObservedZeroForExactModel) {
   t.push_back({0, 1}, m.eval({0, 1}));
   t.push_back({2, 2}, m.eval({2, 2}));
   EXPECT_NEAR(sq_residual_observed(t, m), 0.0, 1e-18);
+}
+
+TEST(Mttkrp, ThreadedMatchesSerialReference) {
+  Rng rng(9);
+  const Dims dims{6, 5, 4};
+  CpModel m(dims, 3);
+  m.init_random(rng);
+  SparseTensor t(dims);
+  Index idx(3, 0);
+  do {
+    if (rng.uniform() < 0.6) t.push_back(idx, rng.normal());
+  } while (next_index(idx, dims));
+  ASSERT_GT(t.nnz(), 0u);
+
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    linalg::Matrix reference(dims[mode], 3);
+    sparse_mttkrp_serial(t, m, mode, reference);
+#ifdef CPR_HAVE_OPENMP
+    const cpr::testing::ThreadCountGuard guard;
+    for (const int threads : {1, 2, 8}) {
+      omp_set_num_threads(threads);
+      linalg::Matrix out(dims[mode], 3);
+      sparse_mttkrp(t, m, mode, out);
+      EXPECT_LT(linalg::max_abs_diff(out, reference), 1e-12)
+          << "mode " << mode << ", " << threads << " threads";
+    }
+#else
+    linalg::Matrix out(dims[mode], 3);
+    sparse_mttkrp(t, m, mode, out);
+    EXPECT_LT(linalg::max_abs_diff(out, reference), 1e-12);
+#endif
+  }
 }
 
 TEST(DenseAls, RecoversExactLowRankTensor) {

@@ -7,6 +7,7 @@
 // seconds column is present it is treated as ground truth and the MLogQ of
 // the predictions is reported).
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -57,30 +58,39 @@ int main(int argc, char** argv) {
       out << "predicted_seconds\n";
     }
 
-    std::vector<double> predictions, truths;
+    // Parse every query row first so inference runs through the parallel
+    // batched entry point.
+    std::vector<double> flat, truths;
     std::size_t line_number = 1;
     while (std::getline(in, line)) {
       ++line_number;
       if (line.empty()) continue;
       std::stringstream row(line);
       std::string field;
-      grid::Config x;
       std::vector<double> fields;
       while (std::getline(row, field, ',')) fields.push_back(std::stod(field));
       CPR_CHECK_MSG(fields.size() == expected,
                     configs_path << ":" << line_number << ": bad field count");
-      x.assign(fields.begin(), fields.begin() + static_cast<std::ptrdiff_t>(dims));
-      const double prediction = model.predict(x);
-      predictions.push_back(prediction);
+      flat.insert(flat.end(), fields.begin(),
+                  fields.begin() + static_cast<std::ptrdiff_t>(dims));
       if (has_truth) truths.push_back(fields.back());
+    }
+    const std::size_t n_queries = flat.size() / std::max<std::size_t>(dims, 1);
+    CPR_CHECK_MSG(n_queries > 0, "no query rows in " << configs_path);
+
+    linalg::Matrix queries(n_queries, dims);
+    std::copy(flat.begin(), flat.end(), queries.data());  // flat is row-major
+    std::vector<double>().swap(flat);  // release before predicting: one copy in memory
+    const std::vector<double> predictions = model.predict_batch(queries);
+
+    for (std::size_t i = 0; i < n_queries; ++i) {
       if (out.is_open()) {
-        for (std::size_t j = 0; j < dims; ++j) out << x[j] << ',';
-        out << prediction << '\n';
+        for (std::size_t j = 0; j < dims; ++j) out << queries(i, j) << ',';
+        out << predictions[i] << '\n';
       } else {
-        std::cout << prediction << "\n";
+        std::cout << predictions[i] << "\n";
       }
     }
-    CPR_CHECK_MSG(!predictions.empty(), "no query rows in " << configs_path);
 
     if (has_truth) {
       std::cerr << "MLogQ vs ground truth: " << metrics::mlogq(predictions, truths)

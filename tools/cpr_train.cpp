@@ -1,9 +1,8 @@
 // cpr_train — fit a CPR performance model from a CSV of measurements.
 //
 // Usage:
-//   cpr_train --data=measurements.csv --out=model.cprm \
-//             [--cells=16] [--rank=8] [--lambda=1e-4] \
-//             [--log-dims=m,n,k] [--categorical=solver:4] [--tune]
+//   cpr_train --data=measurements.csv --out=model.cprm [--cells=16] [--rank=8]
+//       [--lambda=1e-4] [--log-dims=m,n,k] [--categorical=solver:4] [--tune]
 //
 // The CSV layout is one header row naming the parameters plus a final
 // "seconds" column (see common/dataset_io.hpp). Parameter ranges are taken

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure + build + ctest, exactly as CI and the
+# ROADMAP "Tier-1 verify" line run it. Exits nonzero on the first failure.
+#
+# Usage: tools/verify.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j
+
+echo "verify.sh: configure + build + ctest all green"
