@@ -1,18 +1,50 @@
 #include "bench_common.hpp"
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
-#include "baselines/forest.hpp"
-#include "baselines/gaussian_process.hpp"
-#include "baselines/global_models.hpp"
-#include "baselines/knn.hpp"
-#include "baselines/mars.hpp"
-#include "baselines/mlp.hpp"
-#include "baselines/sparse_grid.hpp"
-#include "baselines/svr.hpp"
-#include "core/cpr_model.hpp"
+#include "common/model_registry.hpp"
 
 namespace cpr::bench {
+
+namespace {
+
+/// Shortest round-trip-exact decimal form of a double (hyper values must
+/// parse back to the identical bits).
+std::string fmt_exact(double v) {
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << v;
+  return stream.str();
+}
+
+/// Registry-backed candidate: the spec captures the app's parameter space,
+/// so grid families get their discretization and feature-space families get
+/// the Section-6.0.4 log transform — identical to what the tools construct.
+ModelCandidate registry_candidate(const std::string& family, const std::string& tag,
+                                  const std::string& config, common::ModelSpec spec) {
+  ModelCandidate candidate;
+  candidate.family = family;
+  candidate.config = config;
+  candidate.make = [tag, spec = std::move(spec)] {
+    return common::ModelRegistry::instance().create(tag, spec);
+  };
+  return candidate;
+}
+
+std::string json_escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars: drop
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 common::FeatureTransform transform_for(const apps::BenchmarkApp& app) {
   const auto& params = app.parameters();
@@ -53,19 +85,15 @@ std::vector<ModelCandidate> cpr_candidates(const apps::BenchmarkApp& app, SweepS
   for (const auto cell_count : cells) {
     for (const auto rank : ranks) {
       for (const double lambda : lambdas) {
-        ModelCandidate candidate;
-        candidate.family = "CPR";
-        candidate.config = "cells=" + std::to_string(cell_count) +
-                           ",rank=" + std::to_string(rank) +
-                           ",lam=" + Table::fmt(lambda, 0);
-        candidate.make = [specs, cell_count, rank, lambda] {
-          core::CprOptions options;
-          options.rank = rank;
-          options.regularization = lambda;
-          return std::make_unique<core::CprModel>(
-              grid::Discretization(specs, cell_count), options);
-        };
-        out.push_back(std::move(candidate));
+        common::ModelSpec spec;
+        spec.params = specs;
+        spec.cells = cell_count;
+        spec.hyper = {{"rank", std::to_string(rank)}, {"lambda", fmt_exact(lambda)}};
+        out.push_back(registry_candidate(
+            "CPR", "cpr",
+            "cells=" + std::to_string(cell_count) + ",rank=" + std::to_string(rank) +
+                ",lam=" + Table::fmt(lambda, 0),
+            std::move(spec)));
       }
     }
   }
@@ -76,14 +104,14 @@ std::vector<ModelCandidate> baseline_candidates(const apps::BenchmarkApp& app,
                                                 SweepScale scale) {
   std::vector<ModelCandidate> out;
   const bool full = scale == SweepScale::Full;
-  const apps::BenchmarkApp* app_ptr = &app;
 
-  const auto add = [&](const std::string& family, const std::string& config,
-                       std::function<common::RegressorPtr()> make_inner) {
-    out.push_back(ModelCandidate{
-        family, config, [app_ptr, make_inner = std::move(make_inner)] {
-          return wrapped(*app_ptr, make_inner());
-        }});
+  const auto add = [&](const std::string& family, const std::string& tag,
+                       const std::string& config,
+                       std::map<std::string, std::string> hyper) {
+    common::ModelSpec spec;
+    spec.params = app.parameters();
+    spec.hyper = std::move(hyper);
+    out.push_back(registry_candidate(family, tag, config, std::move(spec)));
   };
 
   // SGR: discretization levels 2 -> 8, refinements, lambdas (Section 6.0.4).
@@ -93,36 +121,26 @@ std::vector<ModelCandidate> baseline_candidates(const apps::BenchmarkApp& app,
     for (const int refinements : full ? std::vector<int>{0, 4, 8} : std::vector<int>{0, 4}) {
       for (const double lambda : full ? std::vector<double>{1e-6, 1e-4}
                                       : std::vector<double>{1e-5}) {
-        add("SGR",
+        add("SGR", "sgr",
             "level=" + std::to_string(level) + ",ref=" + std::to_string(refinements),
-            [level, refinements, lambda] {
-              baselines::SgrOptions options;
-              options.level = level;
-              options.refinements = refinements;
-              options.refine_points = 8;
-              options.regularization = lambda;
-              return std::make_unique<baselines::SparseGridRegressor>(options);
-            });
+            {{"level", std::to_string(level)},
+             {"refinements", std::to_string(refinements)},
+             {"refine-points", "8"},
+             {"lambda", fmt_exact(lambda)}});
       }
     }
   }
 
   // MARS: max spline degrees 1 -> 6 (interaction order).
   for (const int degree : full ? std::vector<int>{1, 2, 3, 4} : std::vector<int>{1, 2}) {
-    add("MARS", "degree=" + std::to_string(degree), [degree] {
-      baselines::MarsOptions options;
-      options.max_degree = degree;
-      options.max_terms = 21;
-      return std::make_unique<baselines::Mars>(options);
-    });
+    add("MARS", "mars", "degree=" + std::to_string(degree),
+        {{"degree", std::to_string(degree)}, {"max-terms", "21"}});
   }
 
   // KNN: 1 -> 6 neighbors.
   for (const std::size_t k : full ? std::vector<std::size_t>{1, 2, 3, 4, 5, 6}
                                   : std::vector<std::size_t>{1, 3, 6}) {
-    add("KNN", "k=" + std::to_string(k), [k] {
-      return std::make_unique<baselines::KnnRegressor>(baselines::KnnOptions{k, true});
-    });
+    add("KNN", "knn", "k=" + std::to_string(k), {{"k", std::to_string(k)}});
   }
 
   // Recursive partitioning: tree counts 1 -> 64, depths 2 -> 16.
@@ -133,84 +151,56 @@ std::vector<ModelCandidate> baseline_candidates(const apps::BenchmarkApp& app,
     for (const int depth : depths) {
       const std::string config =
           "trees=" + std::to_string(trees) + ",depth=" + std::to_string(depth);
-      add("RF", config, [trees, depth] {
-        baselines::ForestOptions options;
-        options.n_trees = trees;
-        options.max_depth = depth;
-        return std::make_unique<baselines::RandomForestRegressor>(options);
-      });
-      add("ET", config, [trees, depth] {
-        baselines::ForestOptions options;
-        options.n_trees = trees;
-        options.max_depth = depth;
-        return std::make_unique<baselines::ExtraTreesRegressor>(options);
-      });
-      add("GB", config, [trees, depth] {
-        baselines::BoostingOptions options;
-        options.n_trees = trees;
-        options.max_depth = std::min(depth, 6);
-        return std::make_unique<baselines::GradientBoostingRegressor>(options);
-      });
+      const std::map<std::string, std::string> hyper = {
+          {"trees", std::to_string(trees)}, {"depth", std::to_string(depth)}};
+      add("RF", "rf", config, hyper);
+      add("ET", "et", config, hyper);
+      add("GB", "gb", config,
+          {{"trees", std::to_string(trees)},
+           {"depth", std::to_string(std::min(depth, 6))}});
     }
   }
 
   // GP: the paper's five covariance kernels.
-  const std::vector<std::pair<baselines::GpKernel, std::string>> kernels = {
-      {baselines::GpKernel::RationalQuadratic, "RationalQuadratic"},
-      {baselines::GpKernel::Rbf, "RBF"},
-      {baselines::GpKernel::DotProductWhite, "DotProduct+White"},
-      {baselines::GpKernel::Matern, "Matern"},
-      {baselines::GpKernel::Constant, "Constant"},
+  const std::vector<std::pair<std::string, std::string>> kernels = {
+      {"rq", "RationalQuadratic"},
+      {"rbf", "RBF"},
+      {"dot", "DotProduct+White"},
+      {"matern", "Matern"},
+      {"const", "Constant"},
   };
+  const std::string gp_samples = full ? "2048" : "1024";
   for (const auto& [kernel, kernel_name] : kernels) {
-    add("GP", "kernel=" + kernel_name, [kernel, full] {
-      baselines::GpOptions options;
-      options.kernel = kernel;
-      options.max_samples = full ? 2048 : 1024;
-      return std::make_unique<baselines::GaussianProcess>(options);
-    });
+    add("GP", "gp", "kernel=" + kernel_name,
+        {{"kernel", kernel}, {"max-samples", gp_samples}});
   }
 
   // SVM: {poly, rbf} kernels, polynomial degrees 1 -> 3.
-  add("SVM", "kernel=rbf", [full] {
-    baselines::SvrOptions options;
-    options.kernel = baselines::SvrKernel::Rbf;
-    options.max_samples = full ? 2048 : 1024;
-    return std::make_unique<baselines::Svr>(options);
-  });
+  add("SVM", "svm", "kernel=rbf", {{"kernel", "rbf"}, {"max-samples", gp_samples}});
   for (const int degree : full ? std::vector<int>{1, 2, 3} : std::vector<int>{2}) {
-    add("SVM", "kernel=poly,degree=" + std::to_string(degree), [degree, full] {
-      baselines::SvrOptions options;
-      options.kernel = baselines::SvrKernel::Poly;
-      options.poly_degree = degree;
-      options.max_samples = full ? 2048 : 1024;
-      return std::make_unique<baselines::Svr>(options);
-    });
+    add("SVM", "svm", "kernel=poly,degree=" + std::to_string(degree),
+        {{"kernel", "poly"},
+         {"degree", std::to_string(degree)},
+         {"max-samples", gp_samples}});
   }
 
   // NN: 1 -> 8 hidden layers of 2 -> 2048 units, {relu, tanh}.
   struct MlpArch {
-    std::vector<std::size_t> layers;
+    std::string layers;  ///< registry "layers" spec: widths joined by 'x'
     std::string name;
   };
   const std::vector<MlpArch> archs =
-      full ? std::vector<MlpArch>{{{64}, "64"},
-                                  {{256}, "256"},
-                                  {{64, 64}, "64x2"},
-                                  {{256, 256}, "256x2"},
-                                  {{128, 128, 128}, "128x3"}}
-           : std::vector<MlpArch>{{{32}, "32"}, {{64, 64}, "64x2"}};
+      full ? std::vector<MlpArch>{{"64", "64"},
+                                  {"256", "256"},
+                                  {"64x64", "64x2"},
+                                  {"256x256", "256x2"},
+                                  {"128x128x128", "128x3"}}
+           : std::vector<MlpArch>{{"32", "32"}, {"64x64", "64x2"}};
+  const std::string epochs = full ? "200" : "80";
   for (const auto& arch : archs) {
-    for (const auto activation : {baselines::Activation::Relu, baselines::Activation::Tanh}) {
-      const std::string act_name =
-          activation == baselines::Activation::Relu ? "relu" : "tanh";
-      add("NN", "arch=" + arch.name + ",act=" + act_name, [arch, activation, full] {
-        baselines::MlpOptions options;
-        options.hidden_layers = arch.layers;
-        options.activation = activation;
-        options.epochs = full ? 200 : 80;
-        return std::make_unique<baselines::Mlp>(options);
-      });
+    for (const std::string act : {"relu", "tanh"}) {
+      add("NN", "nn", "arch=" + arch.name + ",act=" + act,
+          {{"layers", arch.layers}, {"act", act}, {"epochs", epochs}});
     }
   }
 
@@ -253,6 +243,30 @@ void emit(const Table& table, const CliArgs& args, const std::string& default_cs
     table.write_csv(path.empty() ? default_csv_name : path);
     std::cout << "csv written to " << (path.empty() ? default_csv_name : path) << "\n";
   }
+}
+
+void write_json(const std::string& path, const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    out << "  {\"suite\": \"" << json_escaped(record.suite) << "\", \"case\": \""
+        << json_escaped(record.name) << "\", \"seconds\": ";
+    out.precision(9);
+    out << record.seconds << ", \"model_bytes\": " << record.model_bytes << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+void emit_json(const CliArgs& args, const std::vector<JsonRecord>& records) {
+  if (!args.has("json")) return;
+  const std::string path = args.get_string("json", "");
+  CPR_CHECK_MSG(!path.empty(), "--json needs a target path (--json=bench.json)");
+  write_json(path, records);
+  std::cout << records.size() << " perf records written to " << path << "\n";
 }
 
 std::unique_ptr<apps::BenchmarkApp> app_by_name(const std::string& name) {

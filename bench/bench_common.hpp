@@ -7,6 +7,8 @@
 //   --full        paper-scale sweeps (default runs are scaled down so the
 //                 whole bench suite finishes in minutes)
 //   --csv=<path>  additionally write the printed table as CSV
+//   --json=<path> write perf records (suite/case/seconds/model_bytes) as
+//                 JSON, for BENCH_*.json performance trajectories
 //   --seed=<n>    dataset seed (default 1)
 
 #include <functional>
@@ -24,7 +26,9 @@
 
 namespace cpr::bench {
 
-/// One configured model in a hyper-parameter sweep.
+/// One configured model in a hyper-parameter sweep. Candidates are
+/// constructed through the ModelRegistry, so the benches exercise exactly
+/// the models the tools train and serve.
 struct ModelCandidate {
   std::string family;   ///< "CPR", "SGR", "NN", ...
   std::string config;   ///< human-readable hyper-parameter string
@@ -71,6 +75,21 @@ BestScore best_over(const std::vector<ModelCandidate>& candidates,
 
 /// Prints the table and optionally writes CSV per --csv.
 void emit(const Table& table, const CliArgs& args, const std::string& default_csv_name);
+
+/// One record of the --json perf emitter.
+struct JsonRecord {
+  std::string suite;        ///< bench binary / suite name
+  std::string name;         ///< emitted as "case": app/family/config or kernel id
+  double seconds = 0.0;     ///< wall time of the measured unit
+  std::size_t model_bytes = 0;  ///< fitted model size (0 where not applicable)
+};
+
+/// Writes records as a JSON array of {"suite", "case", "seconds",
+/// "model_bytes"} objects.
+void write_json(const std::string& path, const std::vector<JsonRecord>& records);
+
+/// Writes the records to the --json=<path> target if given (no-op otherwise).
+void emit_json(const CliArgs& args, const std::vector<JsonRecord>& records);
 
 /// Returns the app with the given short name ("MM", "QR", ...).
 std::unique_ptr<apps::BenchmarkApp> app_by_name(const std::string& name);

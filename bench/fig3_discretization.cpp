@@ -9,10 +9,8 @@
 
 #include <iostream>
 
-#include "baselines/mars.hpp"
-#include "baselines/sparse_grid.hpp"
 #include "bench_common.hpp"
-#include "core/cpr_model.hpp"
+#include "common/model_registry.hpp"
 
 using namespace cpr;
 
@@ -49,17 +47,27 @@ int main(int argc, char** argv) {
                 : std::vector<std::size_t>{4, 6, 8, 10, 12})
         : (full ? std::vector<std::size_t>{4, 8, 16, 32, 64, 128, 256}
                 : std::vector<std::size_t>{4, 8, 16, 32, 64});
+    // All models are constructed by name through the registry; the spec's
+    // parameter space supplies the CPR discretization and the baselines'
+    // feature transform.
+    const auto make = [&](const std::string& family, std::size_t cells,
+                          std::map<std::string, std::string> hyper) {
+      common::ModelSpec spec;
+      spec.params = app->parameters();
+      spec.cells = cells;
+      spec.hyper = std::move(hyper);
+      return common::ModelRegistry::instance().create(family, spec);
+    };
+
     for (const auto cells : cell_counts) {
       double best = 1e300, best_seconds = 0.0;
       for (const std::size_t rank : full ? std::vector<std::size_t>{2, 4, 8, 16}
                                          : std::vector<std::size_t>{4, 8}) {
-        core::CprOptions options;
-        options.rank = rank;
-        core::CprModel model(grid::Discretization(app->parameters(), cells), options);
+        auto model = make("cpr", cells, {{"rank", std::to_string(rank)}});
         Stopwatch watch;
-        model.fit(train);
+        model->fit(train);
         const double seconds = watch.seconds();
-        const double error = common::evaluate_mlogq(model, test);
+        const double error = common::evaluate_mlogq(*model, test);
         if (error < best) {
           best = error;
           best_seconds = seconds;
@@ -72,9 +80,7 @@ int main(int argc, char** argv) {
     // SGR: sweep the discretization level.
     const std::size_t max_level = high_dim ? (full ? 4u : 3u) : (full ? 7u : 5u);
     for (std::size_t level = 2; level <= max_level; ++level) {
-      baselines::SgrOptions options;
-      options.level = level;
-      auto model = bench::wrapped(*app, std::make_unique<baselines::SparseGridRegressor>(options));
+      auto model = make("sgr", 16, {{"level", std::to_string(level)}});
       Stopwatch watch;
       model->fit(train);
       table.add_row({panel.app, Table::fmt(panel.train_size), "SGR",
@@ -85,9 +91,7 @@ int main(int argc, char** argv) {
 
     // MARS: granularity chosen internally (reference line).
     {
-      baselines::MarsOptions options;
-      options.max_degree = 2;
-      auto model = bench::wrapped(*app, std::make_unique<baselines::Mars>(options));
+      auto model = make("mars", 16, {{"degree", "2"}});
       Stopwatch watch;
       model->fit(train);
       table.add_row({panel.app, Table::fmt(panel.train_size), "MARS", "auto",

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
 
   Table table({"app", "family", "config", "bytes", "MLogQ"});
   Table frontier({"app", "family", "best MLogQ", "bytes at best", "min bytes within 2x"});
+  std::vector<bench::JsonRecord> perf_records;
   for (const auto& app_name : panel_apps) {
     const auto app = bench::app_by_name(app_name);
     const auto train = app->generate_dataset(train_size, seed);
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
     std::map<std::string, std::vector<std::pair<std::size_t, double>>> family_points;
     for (const auto& candidate : candidates) {
       const auto score = bench::fit_and_score(candidate, train, test);
+      perf_records.push_back({"fig7_error_vs_modelsize",
+                              app_name + "/" + candidate.family + "/" + candidate.config,
+                              score.seconds, score.bytes});
       if (score.bytes >= kMaxBytes) continue;
       if (score.seconds >= (full ? 1000.0 : 120.0)) continue;
       family_points[candidate.family].emplace_back(score.bytes, score.mlogq);
@@ -71,5 +75,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args, "fig7_error_vs_modelsize.csv");
   std::cout << "\nPer-family accuracy/size frontier summary:\n";
   bench::emit(frontier, args, "fig7_frontier.csv");
+  bench::emit_json(args, perf_records);
   return 0;
 }

@@ -1,11 +1,19 @@
 // google-benchmark microbenchmarks for the library's hot kernels: sparse
 // MTTKRP, one ALS sweep, AMN row solves, Eq.-5 interpolation, CP element
 // reconstruction, and dense linear-algebra primitives.
+//
+// Besides the --benchmark_* flags, accepts --json=<path>: per-benchmark wall
+// seconds are additionally written through the shared bench JSON emitter so
+// kernel timings land in the same BENCH_*.json trajectory format as the
+// model-level suites.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <iostream>
+#include <string_view>
 
+#include "bench_common.hpp"
 #include "completion/als.hpp"
 #include "completion/amn.hpp"
 #include "core/cpr_model.hpp"
@@ -254,6 +262,43 @@ void BM_CprPredictBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CprPredictBatch)->Arg(64)->Arg(1024);
 
+/// Console output as usual, plus one JsonRecord per (non-aggregate) run:
+/// the per-iteration wall seconds under the benchmark's full name.
+class JsonCollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || !run.aggregate_name.empty() || run.iterations == 0) {
+        continue;
+      }
+      records.push_back({"micro_kernels", run.benchmark_name(),
+                         run.real_accumulated_time / static_cast<double>(run.iterations),
+                         0});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<bench::JsonRecord> records;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // CliArgs ignores --benchmark_* flags; benchmark::Initialize ignores ours.
+  const CliArgs args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  // Initialize() consumed every flag it recognized; a leftover --benchmark*
+  // argument is a typo (ReportUnrecognizedArguments would also flag our own
+  // flags, so the check is scoped to the benchmark namespace).
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark", 0) == 0) {
+      std::cerr << "error: unrecognized benchmark flag '" << argv[i] << "'\n";
+      return 1;
+    }
+  }
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  bench::emit_json(args, reporter.records);
+  return 0;
+}

@@ -5,20 +5,17 @@
 // the three axes of the paper's evaluation. AMG is the 8-parameter app
 // whose categorical-heavy space shows the starkest contrasts.
 //
+// Every model is constructed through the ModelRegistry, the same pluggable
+// layer the cpr_train/cpr_predict tools use: one ModelSpec (parameter space
+// + hyper-parameters) per row, no concrete model types in sight.
+//
 // Run:  ./model_comparison [--app=AMG] [--train=4096]
 
 #include <iostream>
 
-#include "baselines/forest.hpp"
-#include "baselines/gaussian_process.hpp"
-#include "baselines/knn.hpp"
-#include "baselines/mars.hpp"
-#include "baselines/mlp.hpp"
-#include "baselines/sparse_grid.hpp"
-#include "common/evaluation.hpp"
-#include "common/transform.hpp"
-#include "core/cpr_model.hpp"
 #include "apps/benchmark_app.hpp"
+#include "common/evaluation.hpp"
+#include "common/model_registry.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -44,67 +41,40 @@ int main(int argc, char** argv) {
             << test.size() << " test samples, " << app->dimensions()
             << " parameters ==\n";
 
-  // Section-6.0.4 transform for the baselines.
-  common::FeatureTransform transform;
-  transform.log_target = true;
-  transform.log_feature.resize(app->dimensions());
-  for (std::size_t j = 0; j < app->dimensions(); ++j) {
-    transform.log_feature[j] =
-        app->parameters()[j].kind == grid::ParameterKind::NumericalLog;
-  }
+  // One row per (family, fixed hyper-parameter choice). The registry derives
+  // the Section-6.0.4 feature transform for the baselines and the grid
+  // discretization for the tensor families from spec.params.
+  struct Row {
+    std::string label;
+    std::string family;
+    std::size_t cells;
+    std::map<std::string, std::string> hyper;
+  };
+  const std::size_t sgr_level = app->dimensions() >= 6 ? 3 : 4;
+  const std::vector<Row> rows = {
+      {"CPR (ours)", "cpr", 8, {{"rank", "8"}}},
+      {"SGR", "sgr", 16, {{"level", std::to_string(sgr_level)}}},
+      {"MARS", "mars", 16, {{"degree", "2"}}},
+      {"KNN", "knn", 16, {{"k", "3"}}},
+      {"ET", "et", 16, {{"trees", "32"}, {"depth", "12"}}},
+      {"RF", "rf", 16, {{"trees", "32"}, {"depth", "12"}}},
+      {"GB", "gb", 16, {{"trees", "64"}}},
+      {"GP", "gp", 16, {{"kernel", "rbf"}}},
+      {"NN", "nn", 16, {{"layers", "64x64"}, {"epochs", "120"}}},
+  };
 
   Table table({"model", "MLogQ", "model bytes", "fit s"});
-  const auto evaluate = [&](const std::string& name, common::RegressorPtr model) {
+  for (const Row& row : rows) {
+    common::ModelSpec spec;
+    spec.params = app->parameters();
+    spec.cells = row.cells;
+    spec.hyper = row.hyper;
+    auto model = common::ModelRegistry::instance().create(row.family, spec);
     Stopwatch watch;
     model->fit(train);
     const double seconds = watch.seconds();
-    table.add_row({name, Table::fmt(common::evaluate_mlogq(*model, test), 4),
+    table.add_row({row.label, Table::fmt(common::evaluate_mlogq(*model, test), 4),
                    Table::fmt(model->model_size_bytes()), Table::fmt(seconds, 2)});
-  };
-  const auto wrapped = [&](common::RegressorPtr inner) {
-    return std::make_unique<common::LogSpaceRegressor>(std::move(inner), transform);
-  };
-
-  {
-    core::CprOptions options;
-    options.rank = 8;
-    evaluate("CPR (ours)", std::make_unique<core::CprModel>(
-                               grid::Discretization(app->parameters(), 8), options));
-  }
-  {
-    baselines::SgrOptions options;
-    options.level = app->dimensions() >= 6 ? 3 : 4;
-    evaluate("SGR", wrapped(std::make_unique<baselines::SparseGridRegressor>(options)));
-  }
-  {
-    baselines::MarsOptions options;
-    options.max_degree = 2;
-    evaluate("MARS", wrapped(std::make_unique<baselines::Mars>(options)));
-  }
-  evaluate("KNN", wrapped(std::make_unique<baselines::KnnRegressor>(
-                      baselines::KnnOptions{3, true})));
-  {
-    baselines::ForestOptions options;
-    options.n_trees = 32;
-    options.max_depth = 12;
-    evaluate("ET", wrapped(std::make_unique<baselines::ExtraTreesRegressor>(options)));
-    evaluate("RF", wrapped(std::make_unique<baselines::RandomForestRegressor>(options)));
-  }
-  {
-    baselines::BoostingOptions options;
-    options.n_trees = 64;
-    evaluate("GB", wrapped(std::make_unique<baselines::GradientBoostingRegressor>(options)));
-  }
-  {
-    baselines::GpOptions options;
-    options.kernel = baselines::GpKernel::Rbf;
-    evaluate("GP", wrapped(std::make_unique<baselines::GaussianProcess>(options)));
-  }
-  {
-    baselines::MlpOptions options;
-    options.hidden_layers = {64, 64};
-    options.epochs = 120;
-    evaluate("NN", wrapped(std::make_unique<baselines::Mlp>(options)));
   }
 
   table.print(std::cout);

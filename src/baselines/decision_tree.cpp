@@ -175,4 +175,41 @@ std::size_t DecisionTree::size_bytes() const {
   return nodes_.size() * 28 + sizeof(std::uint64_t);
 }
 
+void DecisionTree::serialize(SerialSink& sink) const {
+  sink.write_u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    sink.write_u64(node.feature);
+    sink.write_f64(node.threshold);
+    sink.write_pod(node.left);
+    sink.write_pod(node.right);
+    sink.write_f64(node.value);
+  }
+}
+
+DecisionTree DecisionTree::deserialize(BufferSource& source, std::size_t dims) {
+  DecisionTree tree;
+  const auto count = source.read_u64();
+  tree.nodes_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node& node = tree.nodes_[i];
+    node.feature = source.read_u64();
+    node.threshold = source.read_f64();
+    node.left = source.read_pod<std::int32_t>();
+    node.right = source.read_pod<std::int32_t>();
+    node.value = source.read_f64();
+    // Leaves have both children unset; internal nodes reference two nodes
+    // built after themselves (build() appends parents before children), so
+    // forward-only links also rule out cycles. Features must be in range.
+    const auto node_count = static_cast<std::int64_t>(count);
+    const auto id = static_cast<std::int64_t>(i);
+    const bool leaf = node.left < 0 && node.right < 0;
+    const bool internal = node.left > id && node.right > id &&
+                          node.left < node_count && node.right < node_count;
+    CPR_CHECK_MSG(leaf || internal, "decision tree archive has malformed child ids");
+    CPR_CHECK_MSG(node.feature < dims,
+                  "decision tree archive has an out-of-range feature index");
+  }
+  return tree;
+}
+
 }  // namespace cpr::baselines

@@ -30,6 +30,10 @@ class DecisionTree {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t size_bytes() const;
 
+  void serialize(SerialSink& sink) const;
+  /// `dims` bounds the stored feature indices (archive validation).
+  static DecisionTree deserialize(BufferSource& source, std::size_t dims);
+
  private:
   struct Node {
     std::size_t feature = 0;

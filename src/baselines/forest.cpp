@@ -10,10 +10,40 @@ std::vector<std::size_t> identity_rows(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) rows[i] = i;
   return rows;
 }
+
+void save_trees(SerialSink& sink, const std::vector<DecisionTree>& trees) {
+  sink.write_u64(trees.size());
+  for (const auto& tree : trees) tree.serialize(sink);
+}
+
+std::vector<DecisionTree> load_trees(BufferSource& source, std::size_t dims) {
+  std::vector<DecisionTree> trees(source.read_u64());
+  for (auto& tree : trees) tree = DecisionTree::deserialize(source, dims);
+  return trees;
+}
+
+/// Options participate in the archive so a reloaded model refits the same
+/// way the original trainer configured it (fit() allows refitting).
+void save_forest_options(SerialSink& sink, const ForestOptions& options) {
+  sink.write_u64(options.n_trees);
+  sink.write_pod(static_cast<std::int64_t>(options.max_depth));
+  sink.write_u64(options.min_samples_leaf);
+  sink.write_u64(options.seed);
+}
+
+ForestOptions load_forest_options(BufferSource& source) {
+  ForestOptions options;
+  options.n_trees = source.read_u64();
+  options.max_depth = static_cast<int>(source.read_pod<std::int64_t>());
+  options.min_samples_leaf = source.read_u64();
+  options.seed = source.read_u64();
+  return options;
+}
 }  // namespace
 
 void RandomForestRegressor::fit(const common::Dataset& train) {
   CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  dims_ = train.dimensions();
   Rng rng(options_.seed);
   TreeOptions tree_options;
   tree_options.max_depth = options_.max_depth;
@@ -47,8 +77,23 @@ std::size_t RandomForestRegressor::model_size_bytes() const {
   return bytes;
 }
 
+void RandomForestRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!trees_.empty(), "RandomForestRegressor::save before fit");
+  save_forest_options(sink, options_);
+  sink.write_u64(dims_);
+  save_trees(sink, trees_);
+}
+
+RandomForestRegressor RandomForestRegressor::deserialize(BufferSource& source) {
+  RandomForestRegressor model(load_forest_options(source));
+  model.dims_ = source.read_u64();
+  model.trees_ = load_trees(source, model.dims_);
+  return model;
+}
+
 void ExtraTreesRegressor::fit(const common::Dataset& train) {
   CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  dims_ = train.dimensions();
   Rng rng(options_.seed);
   TreeOptions tree_options;
   tree_options.max_depth = options_.max_depth;
@@ -74,8 +119,23 @@ std::size_t ExtraTreesRegressor::model_size_bytes() const {
   return bytes;
 }
 
+void ExtraTreesRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!trees_.empty(), "ExtraTreesRegressor::save before fit");
+  save_forest_options(sink, options_);
+  sink.write_u64(dims_);
+  save_trees(sink, trees_);
+}
+
+ExtraTreesRegressor ExtraTreesRegressor::deserialize(BufferSource& source) {
+  ExtraTreesRegressor model(load_forest_options(source));
+  model.dims_ = source.read_u64();
+  model.trees_ = load_trees(source, model.dims_);
+  return model;
+}
+
 void GradientBoostingRegressor::fit(const common::Dataset& train) {
   CPR_CHECK_MSG(train.size() > 0, "empty training set");
+  dims_ = train.dimensions();
   Rng rng(options_.seed);
   TreeOptions tree_options;
   tree_options.max_depth = options_.max_depth;
@@ -114,6 +174,26 @@ std::size_t GradientBoostingRegressor::model_size_bytes() const {
   std::size_t bytes = sizeof(std::uint64_t) + sizeof(double) * 2;
   for (const auto& tree : trees_) bytes += tree.size_bytes();
   return bytes;
+}
+
+void GradientBoostingRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!trees_.empty(), "GradientBoostingRegressor::save before fit");
+  save_forest_options(sink, options_);
+  sink.write_f64(options_.learning_rate);  // also scales every tree at inference
+  sink.write_u64(dims_);
+  sink.write_f64(base_prediction_);
+  save_trees(sink, trees_);
+}
+
+GradientBoostingRegressor GradientBoostingRegressor::deserialize(BufferSource& source) {
+  BoostingOptions options;
+  static_cast<ForestOptions&>(options) = load_forest_options(source);
+  options.learning_rate = source.read_f64();
+  GradientBoostingRegressor model(options);
+  model.dims_ = source.read_u64();
+  model.base_prediction_ = source.read_f64();
+  model.trees_ = load_trees(source, model.dims_);
+  return model;
 }
 
 }  // namespace cpr::baselines

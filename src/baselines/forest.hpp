@@ -22,12 +22,17 @@ class RandomForestRegressor final : public common::Regressor {
   explicit RandomForestRegressor(ForestOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "RF"; }
+  std::string type_tag() const override { return "rf"; }
+  std::size_t input_dims() const override { return dims_; }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static RandomForestRegressor deserialize(BufferSource& source);
 
  private:
   ForestOptions options_;
+  std::size_t dims_ = 0;
   std::vector<DecisionTree> trees_;
 };
 
@@ -39,12 +44,17 @@ class ExtraTreesRegressor final : public common::Regressor {
   explicit ExtraTreesRegressor(ForestOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "ET"; }
+  std::string type_tag() const override { return "et"; }
+  std::size_t input_dims() const override { return dims_; }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static ExtraTreesRegressor deserialize(BufferSource& source);
 
  private:
   ForestOptions options_;
+  std::size_t dims_ = 0;
   std::vector<DecisionTree> trees_;
 };
 
@@ -60,12 +70,17 @@ class GradientBoostingRegressor final : public common::Regressor {
   explicit GradientBoostingRegressor(BoostingOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "GB"; }
+  std::string type_tag() const override { return "gb"; }
+  std::size_t input_dims() const override { return dims_; }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static GradientBoostingRegressor deserialize(BufferSource& source);
 
  private:
   BoostingOptions options_;
+  std::size_t dims_ = 0;
   double base_prediction_ = 0.0;
   std::vector<DecisionTree> trees_;
 };

@@ -138,4 +138,42 @@ std::size_t GaussianProcess::model_size_bytes() const {
          (mean_.size() * 2 + 2) * sizeof(double);
 }
 
+void GaussianProcess::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!alpha_.empty(), "GaussianProcess::save before fit");
+  sink.write_pod(static_cast<std::uint8_t>(options_.kernel));
+  sink.write_f64(options_.noise);
+  sink.write_f64(options_.alpha);
+  sink.write_u64(options_.max_samples);
+  sink.write_u64(options_.seed);
+  support_.serialize(sink);
+  sink.write_doubles(alpha_);
+  sink.write_doubles(mean_);
+  sink.write_doubles(inv_std_);
+  sink.write_f64(target_mean_);
+  sink.write_f64(length_scale_);
+}
+
+GaussianProcess GaussianProcess::deserialize(BufferSource& source) {
+  GpOptions options;
+  const auto kernel_id = source.read_pod<std::uint8_t>();
+  CPR_CHECK_MSG(kernel_id <= static_cast<std::uint8_t>(GpKernel::Constant),
+                "GP archive has unknown kernel id");
+  options.kernel = static_cast<GpKernel>(kernel_id);
+  options.noise = source.read_f64();
+  options.alpha = source.read_f64();
+  options.max_samples = source.read_u64();
+  options.seed = source.read_u64();
+  GaussianProcess model(options);
+  model.support_ = linalg::Matrix::deserialize(source);
+  model.alpha_ = source.read_doubles();
+  model.mean_ = source.read_doubles();
+  model.inv_std_ = source.read_doubles();
+  model.target_mean_ = source.read_f64();
+  model.length_scale_ = source.read_f64();
+  CPR_CHECK(model.alpha_.size() == model.support_.rows() &&
+            model.mean_.size() == model.support_.cols() &&
+            model.inv_std_.size() == model.support_.cols());
+  return model;
+}
+
 }  // namespace cpr::baselines

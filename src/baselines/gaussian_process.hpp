@@ -34,9 +34,13 @@ class GaussianProcess final : public common::Regressor {
   explicit GaussianProcess(GpOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "GP"; }
+  std::string type_tag() const override { return "gp"; }
+  std::size_t input_dims() const override { return mean_.size(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static GaussianProcess deserialize(BufferSource& source);
 
  private:
   double kernel(const double* a, const double* b, std::size_t d) const;

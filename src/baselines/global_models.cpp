@@ -56,6 +56,27 @@ std::size_t OlsRegressor::model_size_bytes() const {
   return coefficients_.size() * sizeof(double) + sizeof(std::uint64_t);
 }
 
+void OlsRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!coefficients_.empty(), "OlsRegressor::save before fit");
+  // degree/interactions shape the expand() basis at inference time.
+  sink.write_pod(static_cast<std::int64_t>(options_.degree));
+  sink.write_pod(static_cast<std::uint8_t>(options_.interactions ? 1 : 0));
+  sink.write_f64(options_.ridge);
+  sink.write_u64(dims_);
+  sink.write_doubles(coefficients_);
+}
+
+OlsRegressor OlsRegressor::deserialize(BufferSource& source) {
+  OlsOptions options;
+  options.degree = static_cast<int>(source.read_pod<std::int64_t>());
+  options.interactions = source.read_pod<std::uint8_t>() != 0;
+  options.ridge = source.read_f64();
+  OlsRegressor model(options);
+  model.dims_ = source.read_u64();
+  model.coefficients_ = source.read_doubles();
+  return model;
+}
+
 double PmnfRegressor::Term::evaluate(const grid::Config& x) const {
   double product = 1.0;
   for (const auto& f : factors) {
@@ -69,6 +90,7 @@ double PmnfRegressor::Term::evaluate(const grid::Config& x) const {
 void PmnfRegressor::fit(const common::Dataset& train) {
   CPR_CHECK_MSG(train.size() > 1, "PMNF needs at least two samples");
   const std::size_t d = train.dimensions();
+  dims_ = d;
 
   // Candidate single-parameter terms over the exponent sets.
   std::vector<Term> candidates;
@@ -148,6 +170,54 @@ std::size_t PmnfRegressor::model_size_bytes() const {
              sizeof(double);
   }
   return bytes;
+}
+
+void PmnfRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!terms_.empty(), "PmnfRegressor::save before fit");
+  sink.write_doubles(options_.exponents);
+  sink.write_u64(options_.log_exponents.size());
+  for (const int w : options_.log_exponents) {
+    sink.write_pod(static_cast<std::int64_t>(w));
+  }
+  sink.write_u64(options_.max_terms);
+  sink.write_f64(options_.ridge);
+  sink.write_u64(dims_);
+  sink.write_u64(terms_.size());
+  for (const Term& term : terms_) {
+    sink.write_u64(term.factors.size());
+    for (const Term::Factor& factor : term.factors) {
+      sink.write_u64(factor.dim);
+      sink.write_f64(factor.exponent);
+      sink.write_pod(static_cast<std::int64_t>(factor.log_exponent));
+    }
+  }
+  sink.write_doubles(coefficients_);
+}
+
+PmnfRegressor PmnfRegressor::deserialize(BufferSource& source) {
+  PmnfOptions options;
+  options.exponents = source.read_doubles();
+  options.log_exponents.resize(source.read_u64());
+  for (int& w : options.log_exponents) {
+    w = static_cast<int>(source.read_pod<std::int64_t>());
+  }
+  options.max_terms = source.read_u64();
+  options.ridge = source.read_f64();
+  PmnfRegressor model(std::move(options));
+  model.dims_ = source.read_u64();
+  model.terms_.resize(source.read_u64());
+  for (Term& term : model.terms_) {
+    term.factors.resize(source.read_u64());
+    for (Term::Factor& factor : term.factors) {
+      factor.dim = source.read_u64();
+      factor.exponent = source.read_f64();
+      factor.log_exponent = static_cast<int>(source.read_pod<std::int64_t>());
+      CPR_CHECK_MSG(factor.dim < model.dims_, "PMNF archive has out-of-range dims");
+    }
+  }
+  model.coefficients_ = source.read_doubles();
+  CPR_CHECK(model.coefficients_.size() == model.terms_.size());
+  return model;
 }
 
 }  // namespace cpr::baselines

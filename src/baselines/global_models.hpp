@@ -26,9 +26,13 @@ class OlsRegressor final : public common::Regressor {
   explicit OlsRegressor(OlsOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "OLS"; }
+  std::string type_tag() const override { return "ols"; }
+  std::size_t input_dims() const override { return dims_; }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static OlsRegressor deserialize(BufferSource& source);
 
  private:
   std::vector<double> expand(const grid::Config& x) const;
@@ -50,9 +54,13 @@ class PmnfRegressor final : public common::Regressor {
   explicit PmnfRegressor(PmnfOptions options = {}) : options_(std::move(options)) {}
 
   std::string name() const override { return "PMNF"; }
+  std::string type_tag() const override { return "pmnf"; }
+  std::size_t input_dims() const override { return dims_; }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static PmnfRegressor deserialize(BufferSource& source);
 
   /// One term: prod over involved parameters of x^v log^w(x).
   struct Term {
@@ -69,6 +77,7 @@ class PmnfRegressor final : public common::Regressor {
 
  private:
   PmnfOptions options_;
+  std::size_t dims_ = 0;
   std::vector<Term> terms_;
   std::vector<double> coefficients_;
 };

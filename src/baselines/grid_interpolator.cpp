@@ -59,4 +59,22 @@ std::size_t GridInterpolator::model_size_bytes() const {
          discretization_.order() * 2 * sizeof(double);
 }
 
+void GridInterpolator::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(fitted_, "GridInterpolator::save before fit");
+  discretization_.serialize(sink);
+  sink.write_doubles(cell_log_means_);
+  sink.write_f64(global_log_mean_);
+  sink.write_f64(density_);
+}
+
+GridInterpolator GridInterpolator::deserialize(BufferSource& source) {
+  GridInterpolator model(grid::Discretization::deserialize(source));
+  model.cell_log_means_ = source.read_doubles();
+  CPR_CHECK(model.cell_log_means_.size() == model.discretization_.cell_count());
+  model.global_log_mean_ = source.read_f64();
+  model.density_ = source.read_f64();
+  model.fitted_ = true;
+  return model;
+}
+
 }  // namespace cpr::baselines

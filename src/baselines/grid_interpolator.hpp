@@ -23,11 +23,16 @@ class GridInterpolator final : public common::Regressor {
       : discretization_(std::move(discretization)) {}
 
   std::string name() const override { return "GRID"; }
+  std::string type_tag() const override { return "grid"; }
+  std::size_t input_dims() const override { return discretization_.order(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
 
   /// Full dense grid of doubles — the uncompressed footprint.
   std::size_t model_size_bytes() const override;
+
+  void save(SerialSink& sink) const override;
+  static GridInterpolator deserialize(BufferSource& source);
 
   double observed_density() const { return density_; }
   const grid::Discretization& discretization() const { return discretization_; }

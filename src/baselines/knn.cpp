@@ -61,4 +61,29 @@ std::size_t KnnRegressor::model_size_bytes() const {
          2 * mean_.size() * sizeof(double);
 }
 
+void KnnRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(train_.size() > 0, "KnnRegressor::save before fit");
+  sink.write_u64(options_.k);
+  sink.write_pod(static_cast<std::uint8_t>(options_.distance_weighted ? 1 : 0));
+  train_.x.serialize(sink);
+  sink.write_doubles(train_.y);
+  sink.write_doubles(mean_);
+  sink.write_doubles(inv_std_);
+}
+
+KnnRegressor KnnRegressor::deserialize(BufferSource& source) {
+  KnnOptions options;
+  options.k = source.read_u64();
+  options.distance_weighted = source.read_pod<std::uint8_t>() != 0;
+  KnnRegressor model(options);
+  model.train_.x = linalg::Matrix::deserialize(source);
+  model.train_.y = source.read_doubles();
+  model.mean_ = source.read_doubles();
+  model.inv_std_ = source.read_doubles();
+  CPR_CHECK(model.train_.x.rows() == model.train_.y.size() &&
+            model.mean_.size() == model.train_.x.cols() &&
+            model.inv_std_.size() == model.train_.x.cols());
+  return model;
+}
+
 }  // namespace cpr::baselines

@@ -20,9 +20,13 @@ class KnnRegressor final : public common::Regressor {
   explicit KnnRegressor(KnnOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "KNN"; }
+  std::string type_tag() const override { return "knn"; }
+  std::size_t input_dims() const override { return mean_.size(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static KnnRegressor deserialize(BufferSource& source);
 
  private:
   KnnOptions options_;

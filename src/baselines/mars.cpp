@@ -91,6 +91,7 @@ void Mars::fit(const common::Dataset& train) {
   CPR_CHECK_MSG(train.size() >= 2, "MARS needs at least two observations");
   const std::size_t n = train.size();
   const std::size_t d = train.dimensions();
+  dims_ = d;
   Rng rng(options_.seed);
 
   // Knot candidates: quantiles of the observed values per dimension.
@@ -230,6 +231,55 @@ std::size_t Mars::model_size_bytes() const {
     bytes += sizeof(double);  // coefficient
   }
   return bytes;
+}
+
+void Mars::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!basis_.empty(), "Mars::save before fit");
+  sink.write_pod(static_cast<std::int64_t>(options_.max_degree));
+  sink.write_u64(options_.max_terms);
+  sink.write_u64(options_.knots_per_dim);
+  sink.write_u64(options_.score_subsample);
+  sink.write_f64(options_.gcv_penalty);
+  sink.write_f64(options_.min_rss_decrease);
+  sink.write_u64(options_.seed);
+  sink.write_u64(dims_);
+  sink.write_u64(basis_.size());
+  for (const BasisFunction& b : basis_) {
+    sink.write_u64(b.hinges.size());
+    for (const Hinge& hinge : b.hinges) {
+      sink.write_u64(hinge.dim);
+      sink.write_f64(hinge.knot);
+      sink.write_pod(static_cast<std::int8_t>(hinge.sign));
+    }
+  }
+  sink.write_doubles(coefficients_);
+}
+
+Mars Mars::deserialize(BufferSource& source) {
+  MarsOptions options;
+  options.max_degree = static_cast<int>(source.read_pod<std::int64_t>());
+  options.max_terms = source.read_u64();
+  options.knots_per_dim = source.read_u64();
+  options.score_subsample = source.read_u64();
+  options.gcv_penalty = source.read_f64();
+  options.min_rss_decrease = source.read_f64();
+  options.seed = source.read_u64();
+  Mars model(options);
+  model.dims_ = source.read_u64();
+  model.basis_.resize(source.read_u64());
+  for (BasisFunction& b : model.basis_) {
+    b.hinges.resize(source.read_u64());
+    for (Hinge& hinge : b.hinges) {
+      hinge.dim = source.read_u64();
+      hinge.knot = source.read_f64();
+      hinge.sign = source.read_pod<std::int8_t>();
+      CPR_CHECK_MSG(hinge.dim < model.dims_ && (hinge.sign == 1 || hinge.sign == -1),
+                    "MARS archive has a malformed hinge");
+    }
+  }
+  model.coefficients_ = source.read_doubles();
+  CPR_CHECK(model.coefficients_.size() == model.basis_.size());
+  return model;
 }
 
 }  // namespace cpr::baselines

@@ -29,9 +29,13 @@ class Mars final : public common::Regressor {
   explicit Mars(MarsOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "MARS"; }
+  std::string type_tag() const override { return "mars"; }
+  std::size_t input_dims() const override { return dims_; }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static Mars deserialize(BufferSource& source);
 
   /// One hinge factor: sign * (x[dim] - knot), clipped at zero.
   struct Hinge {
@@ -53,6 +57,7 @@ class Mars final : public common::Regressor {
 
  private:
   MarsOptions options_;
+  std::size_t dims_ = 0;
   std::vector<BasisFunction> basis_;
   std::vector<double> coefficients_;
 };

@@ -219,4 +219,56 @@ std::size_t Mlp::model_size_bytes() const {
   return parameters * sizeof(double) + sizeof(std::uint64_t) * (layers_.size() + 1);
 }
 
+void Mlp::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!layers_.empty(), "Mlp::save before fit");
+  sink.write_pod(static_cast<std::uint8_t>(options_.activation));
+  sink.write_u64(options_.hidden_layers.size());
+  for (const std::size_t width : options_.hidden_layers) sink.write_u64(width);
+  sink.write_pod(static_cast<std::int64_t>(options_.epochs));
+  sink.write_u64(options_.batch_size);
+  sink.write_f64(options_.learning_rate);
+  sink.write_f64(options_.weight_decay);
+  sink.write_u64(options_.seed);
+  sink.write_u64(layers_.size());
+  for (const Layer& layer : layers_) {
+    layer.weight.serialize(sink);
+    sink.write_doubles(layer.bias);
+  }
+  sink.write_doubles(feature_mean_);
+  sink.write_doubles(feature_inv_std_);
+  sink.write_f64(target_mean_);
+  sink.write_f64(target_std_);
+}
+
+Mlp Mlp::deserialize(BufferSource& source) {
+  MlpOptions options;
+  const auto activation_id = source.read_pod<std::uint8_t>();
+  CPR_CHECK_MSG(activation_id <= static_cast<std::uint8_t>(Activation::Tanh),
+                "MLP archive has unknown activation id");
+  options.activation = static_cast<Activation>(activation_id);
+  options.hidden_layers.resize(source.read_u64());
+  for (std::size_t& width : options.hidden_layers) width = source.read_u64();
+  options.epochs = static_cast<int>(source.read_pod<std::int64_t>());
+  options.batch_size = source.read_u64();
+  options.learning_rate = source.read_f64();
+  options.weight_decay = source.read_f64();
+  options.seed = source.read_u64();
+  Mlp model(options);
+  const auto layer_count = source.read_u64();
+  model.layers_.resize(layer_count);
+  for (Layer& layer : model.layers_) {
+    layer.weight = linalg::Matrix::deserialize(source);
+    layer.bias = source.read_doubles();
+    CPR_CHECK(layer.bias.size() == layer.weight.rows());
+  }
+  model.feature_mean_ = source.read_doubles();
+  model.feature_inv_std_ = source.read_doubles();
+  model.target_mean_ = source.read_f64();
+  model.target_std_ = source.read_f64();
+  CPR_CHECK(!model.layers_.empty() &&
+            model.feature_mean_.size() == model.layers_.front().weight.cols() &&
+            model.feature_inv_std_.size() == model.feature_mean_.size());
+  return model;
+}
+
 }  // namespace cpr::baselines

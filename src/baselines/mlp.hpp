@@ -30,9 +30,13 @@ class Mlp final : public common::Regressor {
   explicit Mlp(MlpOptions options = {}) : options_(std::move(options)) {}
 
   std::string name() const override { return "NN"; }
+  std::string type_tag() const override { return "nn"; }
+  std::size_t input_dims() const override { return feature_mean_.size(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static Mlp deserialize(BufferSource& source);
 
  private:
   struct Layer {

@@ -231,4 +231,57 @@ std::size_t SparseGridRegressor::model_size_bytes() const {
   return bytes;
 }
 
+void SparseGridRegressor::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!weights_.empty(), "SparseGridRegressor::save before fit");
+  sink.write_u64(options_.level);
+  sink.write_f64(options_.regularization);
+  sink.write_pod(static_cast<std::int64_t>(options_.refinements));
+  sink.write_u64(options_.refine_points);
+  sink.write_pod(static_cast<std::int64_t>(options_.cg_max_iters));
+  sink.write_f64(options_.cg_tol);
+  sink.write_doubles(lo_);
+  sink.write_doubles(hi_);
+  sink.write_u64(weights_.size());
+  for (std::size_t p = 0; p < weights_.size(); ++p) {
+    // point_levels_[p].size() == lo_.size(): no per-point length needed.
+    sink.write_bytes(point_levels_[p].data(), point_levels_[p].size());
+    for (const std::uint32_t index : point_indices_[p]) sink.write_pod(index);
+    sink.write_f64(weights_[p]);
+  }
+}
+
+SparseGridRegressor SparseGridRegressor::deserialize(BufferSource& source) {
+  SgrOptions options;
+  options.level = source.read_u64();
+  options.regularization = source.read_f64();
+  options.refinements = static_cast<int>(source.read_pod<std::int64_t>());
+  options.refine_points = source.read_u64();
+  options.cg_max_iters = static_cast<int>(source.read_pod<std::int64_t>());
+  options.cg_tol = source.read_f64();
+  SparseGridRegressor model(options);
+  model.lo_ = source.read_doubles();
+  model.hi_ = source.read_doubles();
+  CPR_CHECK(model.lo_.size() == model.hi_.size());
+  const std::size_t dims = model.lo_.size();
+  const auto point_count = source.read_u64();
+  model.point_levels_.reserve(point_count);
+  model.point_indices_.reserve(point_count);
+  model.weights_.reserve(point_count);
+  for (std::uint64_t p = 0; p < point_count; ++p) {
+    LevelVec levels(dims);
+    source.read_bytes(levels.data(), dims);
+    IndexVec indices(dims);
+    for (std::uint32_t& index : indices) index = source.read_pod<std::uint32_t>();
+    const double weight = source.read_f64();
+    // Rebuild the level-grouped lookup the evaluator walks.
+    auto& group = model.level_groups_[levels];
+    CPR_CHECK_MSG(!group.count(indices), "SGR archive has a duplicate grid point");
+    group[indices] = model.point_levels_.size();
+    model.point_levels_.push_back(std::move(levels));
+    model.point_indices_.push_back(std::move(indices));
+    model.weights_.push_back(weight);
+  }
+  return model;
+}
+
 }  // namespace cpr::baselines

@@ -34,9 +34,13 @@ class SparseGridRegressor final : public common::Regressor {
   explicit SparseGridRegressor(SgrOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "SGR"; }
+  std::string type_tag() const override { return "sgr"; }
+  std::size_t input_dims() const override { return lo_.size(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static SparseGridRegressor deserialize(BufferSource& source);
 
   std::size_t grid_point_count() const { return weights_.size(); }
 

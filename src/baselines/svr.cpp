@@ -155,4 +155,48 @@ std::size_t Svr::model_size_bytes() const {
          (mean_.size() * 2 + 2) * sizeof(double);
 }
 
+void Svr::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(!beta_.empty(), "Svr::save before fit");
+  sink.write_pod(static_cast<std::uint8_t>(options_.kernel));
+  sink.write_pod(static_cast<std::int64_t>(options_.poly_degree));
+  sink.write_f64(options_.c);
+  sink.write_f64(options_.epsilon);
+  sink.write_pod(static_cast<std::int64_t>(options_.max_iters));
+  sink.write_f64(options_.learning_rate);
+  sink.write_u64(options_.max_samples);
+  sink.write_u64(options_.seed);
+  support_.serialize(sink);
+  sink.write_doubles(beta_);
+  sink.write_f64(bias_);
+  sink.write_doubles(mean_);
+  sink.write_doubles(inv_std_);
+  sink.write_f64(length_scale_);
+}
+
+Svr Svr::deserialize(BufferSource& source) {
+  SvrOptions options;
+  const auto kernel_id = source.read_pod<std::uint8_t>();
+  CPR_CHECK_MSG(kernel_id <= static_cast<std::uint8_t>(SvrKernel::Poly),
+                "SVR archive has unknown kernel id");
+  options.kernel = static_cast<SvrKernel>(kernel_id);
+  options.poly_degree = static_cast<int>(source.read_pod<std::int64_t>());
+  options.c = source.read_f64();
+  options.epsilon = source.read_f64();
+  options.max_iters = static_cast<int>(source.read_pod<std::int64_t>());
+  options.learning_rate = source.read_f64();
+  options.max_samples = source.read_u64();
+  options.seed = source.read_u64();
+  Svr model(options);
+  model.support_ = linalg::Matrix::deserialize(source);
+  model.beta_ = source.read_doubles();
+  model.bias_ = source.read_f64();
+  model.mean_ = source.read_doubles();
+  model.inv_std_ = source.read_doubles();
+  model.length_scale_ = source.read_f64();
+  CPR_CHECK(model.beta_.size() == model.support_.rows() &&
+            model.mean_.size() == model.support_.cols() &&
+            model.inv_std_.size() == model.support_.cols());
+  return model;
+}
+
 }  // namespace cpr::baselines

@@ -30,9 +30,13 @@ class Svr final : public common::Regressor {
   explicit Svr(SvrOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "SVM"; }
+  std::string type_tag() const override { return "svm"; }
+  std::size_t input_dims() const override { return mean_.size(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+  void save(SerialSink& sink) const override;
+  static Svr deserialize(BufferSource& source);
 
   std::size_t support_vector_count() const;
 

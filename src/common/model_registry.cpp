@@ -1,0 +1,149 @@
+#include "common/model_registry.hpp"
+
+#include <sstream>
+
+namespace cpr::common {
+
+std::string ModelSpec::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  read_.insert(key);
+  const auto it = hyper.find(key);
+  return it == hyper.end() ? fallback : it->second;
+}
+
+std::int64_t ModelSpec::get_int(const std::string& key, std::int64_t fallback) const {
+  read_.insert(key);
+  const auto it = hyper.find(key);
+  if (it == hyper.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    CPR_CHECK(consumed == it->second.size());
+    return value;
+  } catch (const std::exception&) {
+    CPR_CHECK_MSG(false, "hyper-parameter '" << key << "': '" << it->second
+                                             << "' is not an integer");
+  }
+  return fallback;
+}
+
+double ModelSpec::get_double(const std::string& key, double fallback) const {
+  read_.insert(key);
+  const auto it = hyper.find(key);
+  if (it == hyper.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    CPR_CHECK(consumed == it->second.size());
+    return value;
+  } catch (const std::exception&) {
+    CPR_CHECK_MSG(false, "hyper-parameter '" << key << "': '" << it->second
+                                             << "' is not a number");
+  }
+  return fallback;
+}
+
+bool ModelSpec::get_bool(const std::string& key, bool fallback) const {
+  read_.insert(key);
+  const auto it = hyper.find(key);
+  if (it == hyper.end()) return fallback;
+  if (it->second == "1" || it->second == "true" || it->second == "on") return true;
+  if (it->second == "0" || it->second == "false" || it->second == "off") return false;
+  CPR_CHECK_MSG(false, "hyper-parameter '" << key << "': '" << it->second
+                                           << "' is not a boolean");
+  return fallback;
+}
+
+std::vector<std::string> ModelSpec::unread_keys() const {
+  std::vector<std::string> unread;
+  for (const auto& [key, unused] : hyper) {
+    if (!read_.count(key)) unread.push_back(key);
+  }
+  return unread;
+}
+
+ModelRegistry& ModelRegistry::instance() {
+  static ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    register_builtin_models(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ModelRegistry::register_family(const std::string& name,
+                                    const std::string& description, Factory factory,
+                                    Loader loader) {
+  CPR_CHECK_MSG(factory && loader, "family '" << name << "' needs factory + loader");
+  CPR_CHECK_MSG(!entries_.count(name), "model family '" << name
+                                                        << "' registered twice");
+  entries_[name] = Entry{description, std::move(factory), std::move(loader)};
+}
+
+void ModelRegistry::register_loader(const std::string& name, Loader loader) {
+  CPR_CHECK_MSG(loader, "family '" << name << "' needs a loader");
+  CPR_CHECK_MSG(!entries_.count(name), "model family '" << name
+                                                        << "' registered twice");
+  entries_[name] = Entry{"", nullptr, std::move(loader)};
+}
+
+bool ModelRegistry::has_family(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.factory != nullptr;
+}
+
+RegressorPtr ModelRegistry::create(const std::string& name,
+                                   const ModelSpec& spec) const {
+  const auto it = entries_.find(name);
+  CPR_CHECK_MSG(it != entries_.end() && it->second.factory,
+                "unknown model family '" << name << "' (registered: "
+                                         << [this] {
+                                              std::ostringstream names;
+                                              for (const auto& n : family_names()) {
+                                                if (names.tellp() > 0) names << ", ";
+                                                names << n;
+                                              }
+                                              return names.str();
+                                            }()
+                                         << ")");
+  RegressorPtr model = it->second.factory(spec);
+  CPR_CHECK(model != nullptr);
+  const auto unread = spec.unread_keys();
+  if (!unread.empty()) {
+    std::ostringstream keys;
+    for (const auto& key : unread) {
+      if (keys.tellp() > 0) keys << ", ";
+      keys << '\'' << key << '\'';
+    }
+    CPR_CHECK_MSG(false, "model family '" << name
+                                          << "' does not understand hyper-parameter(s) "
+                                          << keys.str());
+  }
+  return model;
+}
+
+RegressorPtr ModelRegistry::load(const std::string& type_tag,
+                                 BufferSource& source) const {
+  const auto it = entries_.find(type_tag);
+  CPR_CHECK_MSG(it != entries_.end(),
+                "archive holds unknown model type tag '" << type_tag << "'");
+  RegressorPtr model = it->second.loader(source);
+  CPR_CHECK(model != nullptr);
+  return model;
+}
+
+std::vector<std::string> ModelRegistry::family_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.factory) names.push_back(name);
+  }
+  return names;
+}
+
+const std::string& ModelRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  CPR_CHECK_MSG(it != entries_.end(), "unknown model family '" << name << "'");
+  return it->second.description;
+}
+
+}  // namespace cpr::common

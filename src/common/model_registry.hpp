@@ -1,0 +1,96 @@
+#pragma once
+// Polymorphic model registry: one pluggable construction/persistence layer
+// over every Regressor family, so tools, benches and examples can fit, save
+// and serve any model of the Section-6.0.4 zoo by name instead of hard-wiring
+// concrete types.
+//
+// A family is registered under a stable name (== its type_tag()) with
+//  * a factory: ModelSpec -> fresh unfitted Regressor. Grid-based families
+//    (cpr, cpr-online, tucker, grid) build their Discretization from the
+//    spec's parameter space and cell count; the feature-space baselines are
+//    wrapped in the Section-6.0.4 LogSpaceRegressor transform derived from
+//    the spec's parameter kinds (log-spaced parameters and the target are
+//    log-transformed), matching the paper's harness.
+//  * a loader: BufferSource -> fitted Regressor, used by the model archive
+//    (core/model_file) to dispatch on the persisted type tag.
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/regressor.hpp"
+#include "grid/parameter.hpp"
+
+namespace cpr::common {
+
+/// Everything a factory needs to construct one model: the parameter space,
+/// the per-dimension grid granularity (grid-based families only), and the
+/// family's hyper-parameters as key/value strings. Reads are tracked so the
+/// registry can reject unknown (misspelled) keys loudly after construction.
+struct ModelSpec {
+  std::vector<grid::ParameterSpec> params;  ///< modeling domain description
+  std::size_t cells = 16;                   ///< grid cells per numerical mode
+  std::map<std::string, std::string> hyper; ///< family hyper-parameters
+
+  bool has(const std::string& key) const { return hyper.count(key) > 0; }
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Hyper keys never read by the factory (i.e. unknown to the family).
+  std::vector<std::string> unread_keys() const;
+
+ private:
+  mutable std::set<std::string> read_;
+};
+
+class ModelRegistry {
+ public:
+  using Factory = std::function<RegressorPtr(const ModelSpec&)>;
+  using Loader = std::function<RegressorPtr(BufferSource&)>;
+
+  /// The process-wide registry, pre-populated with every built-in family.
+  static ModelRegistry& instance();
+
+  /// Registers a constructible + loadable family. `description` is shown in
+  /// listings (tool usage text). Re-registration of a name throws.
+  void register_family(const std::string& name, const std::string& description,
+                       Factory factory, Loader loader);
+
+  /// Registers a load-only entry (archive wrappers like "logspace" that are
+  /// produced by other factories rather than requested by name).
+  void register_loader(const std::string& name, Loader loader);
+
+  bool has_family(const std::string& name) const;
+
+  /// Constructs an unfitted model; throws CheckError on an unknown family
+  /// name or on hyper-parameter keys the family does not understand.
+  RegressorPtr create(const std::string& name, const ModelSpec& spec) const;
+
+  /// Loads a fitted model payload; throws CheckError on an unknown tag.
+  RegressorPtr load(const std::string& type_tag, BufferSource& source) const;
+
+  /// Creatable family names, sorted (load-only entries excluded).
+  std::vector<std::string> family_names() const;
+
+  /// One-line description of a registered family.
+  const std::string& description(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;  ///< null for load-only entries
+    Loader loader;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Registers the built-in families (defined in model_zoo.cpp); invoked once
+/// by ModelRegistry::instance().
+void register_builtin_models(ModelRegistry& registry);
+
+}  // namespace cpr::common

@@ -2,7 +2,12 @@
 
 namespace cpr::common {
 
-std::vector<double> Regressor::predict_all(const linalg::Matrix& x) const {
+void Regressor::save(SerialSink&) const {
+  CPR_CHECK_MSG(false, "model family '" << type_tag()
+                                        << "' does not support serialization");
+}
+
+std::vector<double> Regressor::predict_batch(const linalg::Matrix& x) const {
   std::vector<double> out(x.rows());
 #ifdef CPR_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic, 16)

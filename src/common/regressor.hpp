@@ -1,12 +1,14 @@
 #pragma once
 // The common model interface every family implements (CPR and the nine
-// alternatives of Section 6.0.4), so benches can sweep them uniformly.
+// alternatives of Section 6.0.4), so benches can sweep them uniformly and
+// the tools can persist/serve any family through one polymorphic archive.
 
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/dataset.hpp"
+#include "util/serialize.hpp"
 
 namespace cpr::common {
 
@@ -16,6 +18,15 @@ class Regressor {
 
   /// Short identifier used in bench output (e.g. "CPR", "SGR", "NN").
   virtual std::string name() const = 0;
+
+  /// Stable archive identifier (e.g. "cpr", "rf"). Written into model files
+  /// and used by ModelRegistry to dispatch load; must never change once a
+  /// family has shipped archives.
+  virtual std::string type_tag() const = 0;
+
+  /// Number of configuration dimensions the model predicts over (0 before
+  /// fit for families that only learn it from the training data).
+  virtual std::size_t input_dims() const = 0;
 
   /// Fits the model to the training set. May be called more than once
   /// (refits from scratch).
@@ -28,8 +39,20 @@ class Regressor {
   /// "model size" axis (Figure 7).
   virtual std::size_t model_size_bytes() const = 0;
 
-  /// Predicts every row of `x`.
-  std::vector<double> predict_all(const linalg::Matrix& x) const;
+  /// Writes the fitted state to `sink`; the matching loader is registered
+  /// in the ModelRegistry under type_tag(). Families that cannot be
+  /// persisted keep the default, which throws CheckError.
+  virtual void save(SerialSink& sink) const;
+
+  /// Predicts every row of `x` (n-by-d). The default parallelizes the
+  /// scalar predict() over rows; families with an allocation-free batched
+  /// path (CPR) override it. Row i always equals predict(row i) bitwise.
+  virtual std::vector<double> predict_batch(const linalg::Matrix& x) const;
+
+  /// Predicts every row of `x` (alias retained for existing callers).
+  std::vector<double> predict_all(const linalg::Matrix& x) const {
+    return predict_batch(x);
+  }
 };
 
 using RegressorPtr = std::unique_ptr<Regressor>;

@@ -32,9 +32,34 @@ grid::Config FeatureTransform::apply(const grid::Config& x) const {
   return out;
 }
 
+void FeatureTransform::serialize(SerialSink& sink) const {
+  sink.write_u64(log_feature.size());
+  for (const bool flag : log_feature) {
+    sink.write_pod(static_cast<std::uint8_t>(flag ? 1 : 0));
+  }
+  sink.write_pod(static_cast<std::uint8_t>(log_target ? 1 : 0));
+}
+
+FeatureTransform FeatureTransform::deserialize(BufferSource& source) {
+  FeatureTransform transform;
+  const auto dims = source.read_u64();
+  transform.log_feature.resize(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    transform.log_feature[j] = source.read_pod<std::uint8_t>() != 0;
+  }
+  transform.log_target = source.read_pod<std::uint8_t>() != 0;
+  return transform;
+}
+
 double LogSpaceRegressor::predict(const grid::Config& x) const {
   const double log_prediction = inner_->predict(transform_.apply(x));
   return transform_.log_target ? std::exp(log_prediction) : log_prediction;
+}
+
+void LogSpaceRegressor::save(SerialSink& sink) const {
+  transform_.serialize(sink);
+  sink.write_string(inner_->type_tag());
+  inner_->save(sink);
 }
 
 }  // namespace cpr::common

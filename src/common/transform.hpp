@@ -29,6 +29,9 @@ struct FeatureTransform {
 
   Dataset apply(const Dataset& data) const;
   grid::Config apply(const grid::Config& x) const;
+
+  void serialize(SerialSink& sink) const;
+  static FeatureTransform deserialize(BufferSource& source);
 };
 
 class LogSpaceRegressor final : public Regressor {
@@ -37,11 +40,19 @@ class LogSpaceRegressor final : public Regressor {
       : inner_(std::move(inner)), transform_(std::move(transform)) {}
 
   std::string name() const override { return inner_->name(); }
+  std::string type_tag() const override { return "logspace"; }
+  std::size_t input_dims() const override { return transform_.log_feature.size(); }
   void fit(const Dataset& train) override { inner_->fit(transform_.apply(train)); }
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override { return inner_->model_size_bytes(); }
 
+  /// Persists the transform, then the wrapped model prefixed by its type
+  /// tag; the registry's "logspace" loader re-dispatches on that tag.
+  void save(SerialSink& sink) const override;
+
   Regressor& inner() { return *inner_; }
+  const Regressor& inner() const { return *inner_; }
+  const FeatureTransform& transform() const { return transform_; }
 
  private:
   RegressorPtr inner_;

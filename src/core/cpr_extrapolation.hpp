@@ -53,6 +53,8 @@ class CprExtrapolationModel final : public common::Regressor {
                         CprExtrapolationOptions options = {});
 
   std::string name() const override { return "CPR-E"; }
+  std::string type_tag() const override { return "cpr-extrap"; }
+  std::size_t input_dims() const override { return discretization_.order(); }
   void fit(const common::Dataset& train) override;
 
   /// Predicts execution time for any configuration — inside the modeling

@@ -232,4 +232,38 @@ CprModel CprModel::deserialize(BufferSource& source) {
   return model;
 }
 
+void CprModel::save(SerialSink& sink) const {
+  serialize(sink);
+  sink.write_pod(static_cast<std::int64_t>(options_.max_sweeps));
+  sink.write_f64(options_.tol);
+  sink.write_pod(static_cast<std::int64_t>(options_.restarts));
+  sink.write_u64(options_.seed);
+  sink.write_pod(static_cast<std::uint8_t>(options_.init));
+  sink.write_pod(static_cast<std::uint8_t>(options_.interpolation));
+  sink.write_pod(static_cast<std::uint8_t>(options_.optimizer));
+  sink.write_pod(static_cast<std::uint8_t>(options_.quadrature));
+  sink.write_pod(static_cast<std::uint8_t>(options_.center_log_values ? 1 : 0));
+  sink.write_pod(static_cast<std::uint8_t>(options_.rebalance ? 1 : 0));
+}
+
+CprModel CprModel::load_archive(BufferSource& source) {
+  CprModel model = deserialize(source);
+  model.options_.max_sweeps = static_cast<int>(source.read_pod<std::int64_t>());
+  model.options_.tol = source.read_f64();
+  model.options_.restarts = static_cast<int>(source.read_pod<std::int64_t>());
+  model.options_.seed = source.read_u64();
+  const auto read_enum = [&source](std::uint8_t max_value) {
+    const auto value = source.read_pod<std::uint8_t>();
+    CPR_CHECK_MSG(value <= max_value, "CPR archive has an out-of-range option enum");
+    return value;
+  };
+  model.options_.init = static_cast<CprInit>(read_enum(1));
+  model.options_.interpolation = static_cast<CprInterpolation>(read_enum(1));
+  model.options_.optimizer = static_cast<CprOptimizer>(read_enum(2));
+  model.options_.quadrature = static_cast<CellQuadrature>(read_enum(2));
+  model.options_.center_log_values = source.read_pod<std::uint8_t>() != 0;
+  model.options_.rebalance = source.read_pod<std::uint8_t>() != 0;
+  return model;
+}
+
 }  // namespace cpr::core

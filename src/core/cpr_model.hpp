@@ -64,14 +64,18 @@ class CprModel final : public common::Regressor {
   CprModel(grid::Discretization discretization, CprOptions options = {});
 
   std::string name() const override { return "CPR"; }
+  std::string type_tag() const override { return "cpr"; }
+  std::size_t input_dims() const override { return discretization_.order(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
 
   /// Batched Eq.-5 inference over every row of `configs` (n x order).
-  /// Parallelized over configurations; row i equals predict(row i) bitwise,
-  /// independent of the thread count.
-  std::vector<double> predict_batch(const linalg::Matrix& configs) const;
+  /// Parallelized over configurations with per-thread scratch (allocation-
+  /// free after the first query); row i equals predict(row i) bitwise,
+  /// independent of the thread count. A virtual override so polymorphic
+  /// callers (tools, evaluation) reach the batched path through Regressor*.
+  std::vector<double> predict_batch(const linalg::Matrix& configs) const override;
 
   /// exp(t̂_i): the modeled (positive) execution time of one grid cell.
   double eval_cell(const tensor::Index& idx) const;
@@ -83,8 +87,15 @@ class CprModel final : public common::Regressor {
   /// Fraction of grid cells observed by the last fit().
   double observed_density() const { return density_; }
 
+  /// Legacy payload (fitted state + rank/lambda) — also the byte count
+  /// reported as model_size_bytes() and the format of pre-registry files.
   void serialize(SerialSink& sink) const;
   static CprModel deserialize(BufferSource& source);
+
+  /// Polymorphic archive payload: serialize() plus the remaining options,
+  /// so a reloaded model refits exactly as the trainer configured it.
+  void save(SerialSink& sink) const override;
+  static CprModel load_archive(BufferSource& source);
 
  private:
   /// Eq.-5 inference with domain clamping done in place on `x` (which serves

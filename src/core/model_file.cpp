@@ -1,16 +1,24 @@
 #include "core/model_file.hpp"
 
+#include <algorithm>
 #include <fstream>
+
+#include "common/model_registry.hpp"
+#include "core/cpr_model.hpp"
 
 namespace cpr::core {
 
 namespace {
-constexpr char kMagic[8] = {'C', 'P', 'R', 'M', 'O', 'D', 'L', '1'};
-}
+constexpr char kMagic[8] = {'C', 'P', 'R', 'A', 'R', 'C', 'H', '1'};
+constexpr char kLegacyMagic[8] = {'C', 'P', 'R', 'M', 'O', 'D', 'L', '1'};
+constexpr std::uint64_t kFormatVersion = 1;
+}  // namespace
 
-void save_model_file(const CprModel& model, const std::string& path) {
+void save_model_file(const common::Regressor& model, const std::string& path) {
   BufferSink sink;
-  model.serialize(sink);
+  sink.write_string(model.type_tag());
+  sink.write_u64(kFormatVersion);
+  model.save(sink);
   std::ofstream out(path, std::ios::binary);
   CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
   out.write(kMagic, sizeof(kMagic));
@@ -21,13 +29,15 @@ void save_model_file(const CprModel& model, const std::string& path) {
   CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
 }
 
-CprModel load_model_file(const std::string& path) {
+common::RegressorPtr load_model_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CPR_CHECK_MSG(in.good(), "cannot open " << path);
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
-  CPR_CHECK_MSG(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
-                path << " is not a CPR model file");
+  CPR_CHECK_MSG(in.good(), path << " is not a CPR model archive");
+  const bool current = std::equal(magic, magic + sizeof(kMagic), kMagic);
+  const bool legacy = std::equal(magic, magic + sizeof(kLegacyMagic), kLegacyMagic);
+  CPR_CHECK_MSG(current || legacy, path << " is not a CPR model archive");
   std::uint64_t size = 0;
   in.read(reinterpret_cast<char*>(&size), sizeof(size));
   CPR_CHECK_MSG(in.good(), path << ": truncated header");
@@ -36,7 +46,21 @@ CprModel load_model_file(const std::string& path) {
   CPR_CHECK_MSG(in.good() && static_cast<std::uint64_t>(in.gcount()) == size,
                 path << ": truncated payload");
   BufferSource source(buffer);
-  return CprModel::deserialize(source);
+  common::RegressorPtr model;
+  if (legacy) {
+    // Pre-registry files hold a bare CprModel payload with no tag/version.
+    model = std::make_unique<CprModel>(CprModel::deserialize(source));
+  } else {
+    const std::string type_tag = source.read_string();
+    const std::uint64_t version = source.read_u64();
+    CPR_CHECK_MSG(version == kFormatVersion,
+                  path << ": unsupported archive version " << version);
+    model = common::ModelRegistry::instance().load(type_tag, source);
+  }
+  // Trailing bytes mean a corrupt body (e.g. a mangled inner length prefix
+  // that made the loader stop short) — reject rather than serve it.
+  CPR_CHECK_MSG(source.exhausted(), path << ": archive has trailing garbage");
+  return model;
 }
 
 }  // namespace cpr::core

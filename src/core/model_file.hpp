@@ -1,20 +1,33 @@
 #pragma once
-// File persistence for fitted CPR models: a small magic/version header
-// followed by the model's binary archive, so trained models can be shipped
-// to schedulers/autotuners and reloaded without the training data.
+// File persistence for fitted models of any registered family.
+//
+// Archive layout (version 1):
+//   magic   "CPRARCH1"                   (8 bytes)
+//   size    u64                          (byte count of the archive body)
+//   body    type tag (length-prefixed string)
+//           format version (u64, currently 1)
+//           family payload (Regressor::save)
+//
+// load_model_file dispatches on the persisted type tag through the
+// ModelRegistry, so trained models of every family — CPR, CPR-online, the
+// Tucker model, and the whole baseline zoo (wrapped in their feature
+// transform) — can be shipped to schedulers/autotuners and reloaded without
+// the training data. Files written by the pre-registry CPR-only format
+// (magic "CPRMODL1") are still readable.
 
 #include <string>
 
-#include "core/cpr_model.hpp"
+#include "common/regressor.hpp"
 
 namespace cpr::core {
 
 /// Writes a fitted model to `path` (overwrites). Throws CheckError on I/O
-/// failure or unfitted model.
-void save_model_file(const CprModel& model, const std::string& path);
+/// failure, an unfitted model, or a family without serialization support.
+void save_model_file(const common::Regressor& model, const std::string& path);
 
-/// Loads a model written by save_model_file. Throws CheckError on missing
-/// file, bad magic, or unsupported version.
-CprModel load_model_file(const std::string& path);
+/// Loads a model written by save_model_file (either archive generation).
+/// Throws CheckError on missing file, bad magic, unknown type tag,
+/// unsupported version, or a truncated/corrupt payload.
+common::RegressorPtr load_model_file(const std::string& path);
 
 }  // namespace cpr::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 
 #include "tensor/multi_index.hpp"
@@ -105,6 +106,10 @@ void OnlineCprModel::refresh() {
 double OnlineCprModel::predict(const grid::Config& x) const {
   CPR_CHECK_MSG(fitted_, "OnlineCprModel::predict before any refresh");
   grid::Config clamped = x;
+  return predict_in_place(clamped);
+}
+
+double OnlineCprModel::predict_in_place(grid::Config& clamped) const {
   for (std::size_t j = 0; j < clamped.size(); ++j) {
     const auto& p = discretization_.params()[j];
     if (p.is_numerical()) clamped[j] = std::clamp(clamped[j], p.lo, p.hi);
@@ -118,11 +123,106 @@ double OnlineCprModel::predict(const grid::Config& x) const {
   return std::exp(log_prediction);
 }
 
+std::vector<double> OnlineCprModel::predict_batch(const linalg::Matrix& configs) const {
+  CPR_CHECK_MSG(fitted_, "OnlineCprModel::predict_batch before any refresh");
+  CPR_CHECK_MSG(configs.cols() == discretization_.order(),
+                "config batch dimensionality does not match the discretization");
+  std::vector<double> out(configs.rows());
+  std::exception_ptr error;
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    grid::Config scratch;
+#ifdef CPR_HAVE_OPENMP
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (std::size_t i = 0; i < configs.rows(); ++i) {
+      try {
+        scratch.assign(configs.row_ptr(i), configs.row_ptr(i) + configs.cols());
+        out[i] = predict_in_place(scratch);
+      } catch (...) {
+#ifdef CPR_HAVE_OPENMP
+#pragma omp critical(online_cpr_predict_batch_error)
+#endif
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
+}
+
 std::size_t OnlineCprModel::model_size_bytes() const {
   ByteCountSink sink;
   discretization_.serialize(sink);
   cp_.serialize(sink);
   return sink.count() + 3 * sizeof(double);
+}
+
+void OnlineCprModel::save(SerialSink& sink) const {
+  discretization_.serialize(sink);
+  sink.write_u64(options_.rank);
+  sink.write_f64(options_.regularization);
+  sink.write_pod(static_cast<std::int64_t>(options_.refresh_sweeps));
+  sink.write_pod(static_cast<std::int64_t>(options_.initial_sweeps));
+  sink.write_u64(options_.refresh_interval);
+  sink.write_f64(options_.tol);
+  sink.write_u64(options_.seed);
+  cp_.serialize(sink);
+  sink.write_u64(cells_.size());
+  // Deterministic cell order so identical states produce identical bytes.
+  std::vector<std::size_t> flats;
+  flats.reserve(cells_.size());
+  for (const auto& [flat, unused] : cells_) flats.push_back(flat);
+  std::sort(flats.begin(), flats.end());
+  for (const std::size_t flat : flats) {
+    const auto& [sum, count] = cells_.at(flat);
+    sink.write_u64(flat);
+    sink.write_f64(sum);
+    sink.write_u64(count);
+  }
+  sink.write_u64(observation_count_);
+  sink.write_u64(observations_since_refresh_);
+  sink.write_u64(refresh_count_);
+  sink.write_f64(log_offset_);
+  sink.write_f64(log_sum_);
+  sink.write_f64(log_min_);
+  sink.write_f64(log_max_);
+  sink.write_pod(static_cast<std::uint8_t>(fitted_ ? 1 : 0));
+}
+
+OnlineCprModel OnlineCprModel::deserialize(BufferSource& source) {
+  grid::Discretization discretization = grid::Discretization::deserialize(source);
+  OnlineCprOptions options;
+  options.rank = source.read_u64();
+  options.regularization = source.read_f64();
+  options.refresh_sweeps = static_cast<int>(source.read_pod<std::int64_t>());
+  options.initial_sweeps = static_cast<int>(source.read_pod<std::int64_t>());
+  options.refresh_interval = source.read_u64();
+  options.tol = source.read_f64();
+  options.seed = source.read_u64();
+  OnlineCprModel model(std::move(discretization), options);
+  model.cp_ = tensor::CpModel::deserialize(source);
+  const auto cell_count = source.read_u64();
+  for (std::uint64_t c = 0; c < cell_count; ++c) {
+    const auto flat = source.read_u64();
+    const double sum = source.read_f64();
+    const auto count = source.read_u64();
+    model.cells_[flat] = {sum, static_cast<std::size_t>(count)};
+  }
+  model.observation_count_ = source.read_u64();
+  model.observations_since_refresh_ = source.read_u64();
+  model.refresh_count_ = source.read_u64();
+  model.log_offset_ = source.read_f64();
+  model.log_sum_ = source.read_f64();
+  model.log_min_ = source.read_f64();
+  model.log_max_ = source.read_f64();
+  model.fitted_ = source.read_pod<std::uint8_t>() != 0;
+  if (model.fitted_) {
+    CPR_CHECK(model.cp_.dims() == model.discretization_.dims());
+  }
+  return model;
 }
 
 }  // namespace cpr::core

@@ -33,6 +33,8 @@ class OnlineCprModel final : public common::Regressor {
   OnlineCprModel(grid::Discretization discretization, OnlineCprOptions options = {});
 
   std::string name() const override { return "CPR-online"; }
+  std::string type_tag() const override { return "cpr-online"; }
+  std::size_t input_dims() const override { return discretization_.order(); }
 
   /// Batch interface: resets state and ingests the whole dataset.
   void fit(const common::Dataset& train) override;
@@ -46,7 +48,17 @@ class OnlineCprModel final : public common::Regressor {
   void refresh();
 
   double predict(const grid::Config& x) const override;
+
+  /// Batched inference, parallelized over configurations with per-thread
+  /// scratch; row i equals predict(row i) bitwise.
+  std::vector<double> predict_batch(const linalg::Matrix& configs) const override;
+
   std::size_t model_size_bytes() const override;
+
+  /// Persists the full streaming state (cell statistics included), so a
+  /// reloaded model can keep ingesting observations where it left off.
+  void save(SerialSink& sink) const override;
+  static OnlineCprModel deserialize(BufferSource& source);
 
   std::size_t observation_count() const { return observation_count_; }
   std::size_t refresh_count() const { return refresh_count_; }
@@ -55,6 +67,7 @@ class OnlineCprModel final : public common::Regressor {
 
  private:
   tensor::SparseTensor build_observed_tensor() const;
+  double predict_in_place(grid::Config& x) const;
 
   grid::Discretization discretization_;
   OnlineCprOptions options_;

@@ -80,4 +80,38 @@ std::size_t TuckerPerfModel::model_size_bytes() const {
   return sink.count() + 3 * sizeof(double);
 }
 
+void TuckerPerfModel::save(SerialSink& sink) const {
+  CPR_CHECK_MSG(fitted_, "TuckerPerfModel::save before fit");
+  discretization_.serialize(sink);
+  sink.write_u64(options_.mode_rank);
+  sink.write_f64(options_.regularization);
+  sink.write_pod(static_cast<std::int64_t>(options_.max_sweeps));
+  sink.write_f64(options_.tol);
+  sink.write_u64(options_.seed);
+  tucker_.serialize(sink);
+  sink.write_f64(log_offset_);
+  sink.write_f64(log_min_);
+  sink.write_f64(log_max_);
+  sink.write_f64(density_);
+}
+
+TuckerPerfModel TuckerPerfModel::deserialize(BufferSource& source) {
+  grid::Discretization discretization = grid::Discretization::deserialize(source);
+  TuckerPerfOptions options;
+  options.mode_rank = source.read_u64();
+  options.regularization = source.read_f64();
+  options.max_sweeps = static_cast<int>(source.read_pod<std::int64_t>());
+  options.tol = source.read_f64();
+  options.seed = source.read_u64();
+  TuckerPerfModel model(std::move(discretization), options);
+  model.tucker_ = tensor::TuckerModel::deserialize(source);
+  CPR_CHECK(model.tucker_.dims() == model.discretization_.dims());
+  model.log_offset_ = source.read_f64();
+  model.log_min_ = source.read_f64();
+  model.log_max_ = source.read_f64();
+  model.density_ = source.read_f64();
+  model.fitted_ = true;
+  return model;
+}
+
 }  // namespace cpr::core

@@ -23,9 +23,14 @@ class TuckerPerfModel final : public common::Regressor {
   TuckerPerfModel(grid::Discretization discretization, TuckerPerfOptions options = {});
 
   std::string name() const override { return "TUCKER"; }
+  std::string type_tag() const override { return "tucker"; }
+  std::size_t input_dims() const override { return discretization_.order(); }
   void fit(const common::Dataset& train) override;
   double predict(const grid::Config& x) const override;
   std::size_t model_size_bytes() const override;
+
+  void save(SerialSink& sink) const override;
+  static TuckerPerfModel deserialize(BufferSource& source);
 
   const tensor::TuckerModel& tucker() const { return tucker_; }
   const completion::CompletionReport& report() const { return report_; }

@@ -115,6 +115,15 @@ TEST(CprModel, PredictBatchMatchesScalarPredict) {
     const Config x{queries(i, 0), queries(i, 1)};
     EXPECT_DOUBLE_EQ(batch[i], model.predict(x)) << "row " << i;
   }
+
+  // The override must be reachable polymorphically: a Regressor* caller gets
+  // the same (bitwise) batched results, not a shadowed fallback.
+  const common::Regressor* base = &model;
+  const auto polymorphic = base->predict_batch(queries);
+  ASSERT_EQ(polymorphic.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(polymorphic[i], batch[i]) << "row " << i;
+  }
 }
 
 TEST(CprModel, PredictBatchBeforeFitThrows) {

@@ -229,9 +229,11 @@ TEST(ModelFile, SaveLoadRoundTrip) {
       (std::filesystem::temp_directory_path() / "cpr_model_file_test.cprm").string();
   core::save_model_file(model, path);
   const auto loaded = core::load_model_file(path);
+  EXPECT_EQ(loaded->type_tag(), "cpr");
+  EXPECT_EQ(loaded->input_dims(), model.input_dims());
   const auto probe = mm->generate_dataset(64, 12);
   for (std::size_t i = 0; i < probe.size(); ++i) {
-    EXPECT_DOUBLE_EQ(loaded.predict(probe.config(i)), model.predict(probe.config(i)));
+    EXPECT_DOUBLE_EQ(loaded->predict(probe.config(i)), model.predict(probe.config(i)));
   }
   std::filesystem::remove(path);
 }

@@ -1,4 +1,6 @@
-// cpr_predict — evaluate a trained CPR model on configurations from a CSV.
+// cpr_predict — evaluate a trained model archive on configurations from a
+// CSV. Any registered family works: the archive's type tag dispatches the
+// load and inference runs through the polymorphic batched entry point.
 //
 // Usage:
 //   cpr_predict --model=model.cprm --configs=queries.csv [--out=pred.csv]
@@ -30,8 +32,11 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const core::CprModel model = core::load_model_file(model_path);
-    const std::size_t dims = model.discretization().order();
+    const common::RegressorPtr model = core::load_model_file(model_path);
+    const std::size_t dims = model->input_dims();
+    CPR_CHECK_MSG(dims > 0, model_path << ": archive holds an unfitted model");
+    std::cerr << "loaded " << model->name() << " model (type '" << model->type_tag()
+              << "', " << dims << " parameters)\n";
 
     std::ifstream in(configs_path);
     CPR_CHECK_MSG(in.good(), "cannot open " << configs_path);
@@ -81,7 +86,9 @@ int main(int argc, char** argv) {
     linalg::Matrix queries(n_queries, dims);
     std::copy(flat.begin(), flat.end(), queries.data());  // flat is row-major
     std::vector<double>().swap(flat);  // release before predicting: one copy in memory
-    const std::vector<double> predictions = model.predict_batch(queries);
+    // Virtual dispatch: CPR variants use their allocation-free batched
+    // override, every other family the parallel per-row default.
+    const std::vector<double> predictions = model->predict_batch(queries);
 
     for (std::size_t i = 0; i < n_queries; ++i) {
       if (out.is_open()) {

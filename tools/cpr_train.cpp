@@ -1,15 +1,21 @@
-// cpr_train — fit a CPR performance model from a CSV of measurements.
+// cpr_train — fit a performance model of any registered family from a CSV
+// of measurements.
 //
 // Usage:
-//   cpr_train --data=measurements.csv --out=model.cprm [--cells=16] [--rank=8]
-//       [--lambda=1e-4] [--log-dims=m,n,k] [--categorical=solver:4] [--tune]
+//   cpr_train --data=measurements.csv --out=model.cprm [--model=cpr]
+//       [--cells=16] [--rank=8] [--lambda=1e-4] [--log-dims=m,n,k]
+//       [--categorical=solver:4] [--hyper=key:value,...] [--tune]
 //
 // The CSV layout is one header row naming the parameters plus a final
 // "seconds" column (see common/dataset_io.hpp). Parameter ranges are taken
 // from the data; dimensions listed in --log-dims get logarithmic grid
 // spacing (inputs/architecture), the rest uniform (configuration), and
-// --categorical=name:k marks k-way categorical columns. With --tune, a
-// validation-split hyper-parameter search replaces the fixed cells/rank.
+// --categorical=name:k marks k-way categorical columns. --model selects the
+// family (cpr_train --help lists them); --hyper passes family-specific
+// hyper-parameters (e.g. --model=rf --hyper=trees:64,depth:12). With --tune
+// (CPR only), a validation-split hyper-parameter search replaces the fixed
+// cells/rank. The written archive is polymorphic: cpr_predict serves any
+// family through the same file format.
 
 #include <cmath>
 #include <iostream>
@@ -17,6 +23,7 @@
 
 #include "common/dataset_io.hpp"
 #include "common/evaluation.hpp"
+#include "common/model_registry.hpp"
 #include "core/model_file.hpp"
 #include "core/tuning.hpp"
 #include "util/cli.hpp"
@@ -25,39 +32,66 @@ using namespace cpr;
 
 namespace {
 
-std::vector<std::string> split(const std::string& text, char delimiter) {
+/// Splits a --flag CSV list. Empty entries (leading/trailing/double
+/// delimiters, as in --log-dims=a,,b) are rejected with a usage error
+/// instead of being dropped silently.
+std::vector<std::string> split_csv_flag(const std::string& text, char delimiter,
+                                        const std::string& flag) {
   std::vector<std::string> parts;
+  if (text.empty()) return parts;
   std::stringstream stream(text);
   std::string part;
-  while (std::getline(stream, part, delimiter)) {
-    if (!part.empty()) parts.push_back(part);
+  while (std::getline(stream, part, delimiter)) parts.push_back(part);
+  if (text.back() == delimiter) parts.push_back("");  // getline drops the last empty
+  for (const auto& entry : parts) {
+    CPR_CHECK_MSG(!entry.empty(),
+                  "--" << flag << "=" << text << " contains an empty list entry");
   }
   return parts;
+}
+
+void usage(std::ostream& out) {
+  out << "usage: cpr_train --data=measurements.csv --out=model.cprm "
+               "[--model=<family>] [--cells=16] [--rank=8] [--lambda=1e-4] "
+               "[--log-dims=a,b] [--categorical=name:k,...] "
+               "[--hyper=key:value,...] [--tune]\n\nregistered model families:\n";
+  const auto& registry = common::ModelRegistry::instance();
+  for (const auto& name : registry.family_names()) {
+    out << "  " << name << " — " << registry.description(name) << "\n";
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  if (args.has("help")) {
+    usage(std::cout);
+    return 0;
+  }
   const std::string data_path = args.get_string("data", "");
   const std::string out_path = args.get_string("out", "model.cprm");
   if (data_path.empty()) {
-    std::cerr << "usage: cpr_train --data=measurements.csv --out=model.cprm "
-                 "[--cells=16] [--rank=8] [--lambda=1e-4] [--log-dims=a,b] "
-                 "[--categorical=name:k,...] [--tune]\n";
+    usage(std::cerr);
     return 1;
   }
 
   try {
+    const std::string model_name = args.get_string("model", "cpr");
+    CPR_CHECK_MSG(common::ModelRegistry::instance().has_family(model_name),
+                  "unknown model family '" << model_name
+                                           << "' (run with --help for the list)");
+
     const auto loaded = common::load_dataset_csv(data_path);
     const auto& names = loaded.parameter_names;
     std::cout << "loaded " << loaded.data.size() << " measurements of "
               << names.size() << " parameters from " << data_path << "\n";
 
     // Build parameter specs from the data ranges and the flags.
-    const auto log_dims = split(args.get_string("log-dims", ""), ',');
+    const auto log_dims = split_csv_flag(args.get_string("log-dims", ""), ',', "log-dims");
     std::vector<std::pair<std::string, std::size_t>> categoricals;
-    for (const auto& spec : split(args.get_string("categorical", ""), ',')) {
+    for (const auto& spec :
+         split_csv_flag(args.get_string("categorical", ""), ',', "categorical")) {
       const auto colon = spec.find(':');
       CPR_CHECK_MSG(colon != std::string::npos, "--categorical needs name:count");
       categoricals.emplace_back(spec.substr(0, colon),
@@ -93,36 +127,49 @@ int main(int argc, char** argv) {
       }
     }
 
-    core::CprModel model = [&] {
-      if (args.has("tune")) {
-        core::CprTuner tuner;
-        tuner.specs = specs;
-        tuner.progress = [](const core::CprTuningResult::Candidate& candidate) {
-          std::cout << "  cells=" << candidate.cells << " rank=" << candidate.rank
-                    << " lambda=" << candidate.regularization
-                    << " -> validation MLogQ " << candidate.error << "\n";
-        };
-        auto [winner, result] =
-            tuner.tune(loaded.data, nullptr, core::CprTuningGrid::for_dimensions(specs.size()));
-        std::cout << "selected cells=" << result.best_cells
-                  << " rank=" << result.best_options.rank
-                  << " (validation MLogQ " << result.best_error << ")\n";
-        return std::move(winner);
+    common::RegressorPtr model;
+    if (args.has("tune")) {
+      CPR_CHECK_MSG(model_name == "cpr",
+                    "--tune currently supports --model=cpr only (got '" << model_name
+                                                                        << "')");
+      core::CprTuner tuner;
+      tuner.specs = specs;
+      tuner.progress = [](const core::CprTuningResult::Candidate& candidate) {
+        std::cout << "  cells=" << candidate.cells << " rank=" << candidate.rank
+                  << " lambda=" << candidate.regularization
+                  << " -> validation MLogQ " << candidate.error << "\n";
+      };
+      auto [winner, result] =
+          tuner.tune(loaded.data, nullptr, core::CprTuningGrid::for_dimensions(specs.size()));
+      std::cout << "selected cells=" << result.best_cells
+                << " rank=" << result.best_options.rank
+                << " (validation MLogQ " << result.best_error << ")\n";
+      model = std::make_unique<core::CprModel>(std::move(winner));
+    } else {
+      // Assemble the ModelSpec: the parameter space plus hyper-parameters.
+      // --rank/--lambda are conveniences for the tensor families; --hyper
+      // passes anything (unknown keys are rejected by the registry).
+      common::ModelSpec spec;
+      spec.params = specs;
+      spec.cells = static_cast<std::size_t>(args.get_int("cells", 16));
+      if (args.has("rank")) spec.hyper["rank"] = args.get_string("rank", "8");
+      if (args.has("lambda")) spec.hyper["lambda"] = args.get_string("lambda", "1e-4");
+      for (const auto& entry :
+           split_csv_flag(args.get_string("hyper", ""), ',', "hyper")) {
+        const auto colon = entry.find(':');
+        CPR_CHECK_MSG(colon != std::string::npos && colon > 0,
+                      "--hyper needs key:value entries (got '" << entry << "')");
+        spec.hyper[entry.substr(0, colon)] = entry.substr(colon + 1);
       }
-      core::CprOptions options;
-      options.rank = static_cast<std::size_t>(args.get_int("rank", 8));
-      options.regularization = args.get_double("lambda", 1e-4);
-      core::CprModel fixed(
-          grid::Discretization(specs, static_cast<std::size_t>(args.get_int("cells", 16))),
-          options);
-      fixed.fit(loaded.data);
-      return fixed;
-    }();
+      model = common::ModelRegistry::instance().create(model_name, spec);
+      model->fit(loaded.data);
+    }
 
+    std::cout << "fitted " << model->name() << " (family '" << model_name << "')\n";
     std::cout << "training MLogQ (resubstitution): "
-              << common::evaluate_mlogq(model, loaded.data) << "\n";
-    core::save_model_file(model, out_path);
-    std::cout << "wrote " << model.model_size_bytes() << "-byte model to " << out_path
+              << common::evaluate_mlogq(*model, loaded.data) << "\n";
+    core::save_model_file(*model, out_path);
+    std::cout << "wrote " << model->model_size_bytes() << "-byte model to " << out_path
               << "\n";
     return 0;
   } catch (const std::exception& e) {

@@ -2,14 +2,37 @@
 # One-command tier-1 gate: configure + build + ctest, exactly as CI and the
 # ROADMAP "Tier-1 verify" line run it. Exits nonzero on the first failure.
 #
-# Usage: tools/verify.sh [build-dir]   (default: build)
+# Usage: tools/verify.sh [--sanitize] [build-dir]   (default: build)
+#
+# --sanitize additionally configures a second build directory
+# (<build-dir>-asan) with AddressSanitizer + UBSan (CPR_SANITIZE=ON) and runs
+# the test suite there too, so the (de)serialization and completion hot paths
+# are exercised under the sanitizers in the same gate.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-build}"
+sanitize=0
+build_dir=build
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
 ctest --test-dir "$build_dir" --output-on-failure -j
+
+if [[ "$sanitize" -eq 1 ]]; then
+  asan_dir="${build_dir}-asan"
+  # Benches/examples are not ctest targets; skip them to keep the
+  # sanitizer pass focused on the test suite.
+  cmake -B "$asan_dir" -S "$repo_root" -DCPR_SANITIZE=ON \
+    -DCPR_BUILD_BENCH=OFF -DCPR_BUILD_EXAMPLES=OFF
+  cmake --build "$asan_dir" -j
+  ctest --test-dir "$asan_dir" --output-on-failure -j
+  echo "verify.sh: ASan+UBSan configure + build + ctest all green"
+fi
 
 echo "verify.sh: configure + build + ctest all green"
