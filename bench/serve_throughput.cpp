@@ -1,0 +1,230 @@
+// serve_throughput — end-to-end serving throughput of the src/serve stack.
+//
+// Closed-loop load test: google-benchmark's --benchmark_* threading runs T
+// client threads, each synchronously issuing PREDICT protocol lines against
+// one in-process serve::Server (the same handle_line() surface cpr_serve's
+// stdio/socket frontends drive). Cases cover the cache-miss path (unique
+// query streams), the cache-hit path (revisited configurations, the
+// autotuner pattern), the uncached baseline, and a two-model interleave
+// that forces the micro-batcher to group per model.
+//
+// Besides the --benchmark_* flags, accepts --json=<path>: per-benchmark
+// wall seconds per request in the same BENCH_*.json trajectory format as
+// fig7/micro_kernels. Items-per-second in the console output is the
+// serving QPS.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string_view>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "common/model_registry.hpp"
+#include "core/model_file.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace cpr {
+namespace {
+
+/// Separable power-law runtime, the repo's standard synthetic workload.
+common::Dataset sample_power_law(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  common::Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    data.y[i] = 1e-6 * std::pow(data.x(i, 0), 1.5) * std::pow(data.x(i, 1), 0.8) *
+                std::exp(rng.normal(0.0, 0.05));
+  }
+  return data;
+}
+
+/// Model directory + archives shared by every benchmark, built once.
+class ServeFixtureState {
+ public:
+  static ServeFixtureState& instance() {
+    static ServeFixtureState state;
+    return state;
+  }
+
+  const std::string& dir() const { return dir_; }
+  /// Pre-rendered "PREDICT <model> v1,v2" lines, one disjoint slice per
+  /// client thread (up to 64 threads x 512 lines each).
+  const std::vector<std::string>& lines(const std::string& model) const {
+    return model == "pl-knn" ? knn_lines_ : cpr_lines_;
+  }
+
+  static constexpr std::size_t kPerThread = 512;
+  static constexpr std::size_t kMaxThreads = 64;
+
+ private:
+  ServeFixtureState() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("cpr_serve_bench_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+    save_model("pl-cpr", "cpr");
+    save_model("pl-knn", "knn");
+    cpr_lines_ = render_lines("pl-cpr", 1);
+    knn_lines_ = render_lines("pl-knn", 2);
+  }
+
+  void save_model(const std::string& name, const std::string& family) {
+    common::ModelSpec spec;
+    spec.params = {grid::ParameterSpec::numerical_log("x", 32.0, 4096.0),
+                   grid::ParameterSpec::numerical_log("y", 32.0, 4096.0)};
+    spec.cells = 8;
+    auto model = common::ModelRegistry::instance().create(family, spec);
+    model->fit(sample_power_law(512, 7));
+    core::save_model_file(*model, core::model_file_path(dir_, name));
+  }
+
+  std::vector<std::string> render_lines(const std::string& model, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::string> lines;
+    lines.reserve(kMaxThreads * kPerThread);
+    char buffer[96];
+    for (std::size_t i = 0; i < kMaxThreads * kPerThread; ++i) {
+      std::snprintf(buffer, sizeof(buffer), "PREDICT %s %.17g,%.17g", model.c_str(),
+                    rng.log_uniform(32.0, 4096.0), rng.log_uniform(32.0, 4096.0));
+      lines.emplace_back(buffer);
+    }
+    return lines;
+  }
+
+  std::string dir_;
+  std::vector<std::string> cpr_lines_;
+  std::vector<std::string> knn_lines_;
+};
+
+serve::ServerOptions server_options(std::size_t cache_capacity) {
+  serve::ServerOptions options;
+  options.model_dir = ServeFixtureState::instance().dir();
+  options.batcher.workers = 2;
+  options.batcher.max_batch = 64;
+  options.batcher.max_wait_us = 100;
+  options.cache_capacity = cache_capacity;
+  return options;
+}
+
+void issue(serve::Server& server, const std::string& line) {
+  const auto reply = server.handle_line(line);
+  if (reply.text.rfind("OK ", 0) != 0) {
+    // A failing request invalidates the whole measurement — abort loudly.
+    std::cerr << "serve_throughput: request failed: " << line << " -> " << reply.text
+              << "\n";
+    std::abort();
+  }
+  benchmark::DoNotOptimize(reply.text.data());
+}
+
+/// Closed-loop clients over disjoint query slices: every request is a cache
+/// miss (or a first-touch fill), measuring store + batcher + inference.
+void BM_ServePredict(benchmark::State& state) {
+  static serve::Server* server = new serve::Server(server_options(4096));
+  const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
+  const std::size_t thread = static_cast<std::size_t>(state.thread_index());
+  const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
+                           ServeFixtureState::kPerThread;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePredict)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
+
+/// Same load with the cache disabled: isolates what the LRU buys once a
+/// query stream starts repeating (every loop after the first is all-hit
+/// in BM_ServePredict, all-miss here).
+void BM_ServePredictNoCache(benchmark::State& state) {
+  static serve::Server* server = new serve::Server(server_options(0));
+  const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
+  const std::size_t thread = static_cast<std::size_t>(state.thread_index());
+  const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
+                           ServeFixtureState::kPerThread;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePredictNoCache)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
+
+/// The autotuner pattern: all clients hammer one small neighborhood, so
+/// nearly every request is answered from the sharded LRU.
+void BM_ServePredictCacheHit(benchmark::State& state) {
+  static serve::Server* server = new serve::Server(server_options(4096));
+  const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    issue(*server, lines[i++ % 16]);  // 16 hot configurations, shared by all
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePredictCacheHit)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
+
+/// Two model families interleaved per client: the batcher must split
+/// batches per model while both stay resident in the store.
+void BM_ServePredictTwoModels(benchmark::State& state) {
+  static serve::Server* server = new serve::Server(server_options(4096));
+  const auto& cpr_lines = ServeFixtureState::instance().lines("pl-cpr");
+  const auto& knn_lines = ServeFixtureState::instance().lines("pl-knn");
+  const std::size_t thread = static_cast<std::size_t>(state.thread_index());
+  const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
+                           ServeFixtureState::kPerThread;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& lines = (i % 2 == 0) ? cpr_lines : knn_lines;
+    issue(*server, lines[base + (i++ / 2) % ServeFixtureState::kPerThread]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePredictTwoModels)->Threads(4)->Threads(16)->UseRealTime();
+
+/// Console output as usual, plus one JsonRecord per (non-aggregate) run:
+/// the per-request wall seconds under the benchmark's full name.
+class JsonCollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || !run.aggregate_name.empty() || run.iterations == 0) {
+        continue;
+      }
+      records.push_back({"serve_throughput", run.benchmark_name(),
+                         run.real_accumulated_time / static_cast<double>(run.iterations),
+                         0});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<bench::JsonRecord> records;
+};
+
+}  // namespace
+}  // namespace cpr
+
+int main(int argc, char** argv) {
+  // CliArgs ignores --benchmark_* flags; benchmark::Initialize ignores ours.
+  const cpr::CliArgs args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark", 0) == 0) {
+      std::cerr << "error: unrecognized benchmark flag '" << argv[i] << "'\n";
+      return 1;
+    }
+  }
+  cpr::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  cpr::bench::emit_json(args, reporter.records);
+  std::filesystem::remove_all(cpr::ServeFixtureState::instance().dir());
+  return 0;
+}

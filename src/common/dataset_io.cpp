@@ -1,9 +1,61 @@
 #include "common/dataset_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 namespace cpr::common {
+
+std::vector<std::string> split_fields(const std::string& text, char delimiter,
+                                      const std::string& context) {
+  std::vector<std::string> parts;
+  if (text.empty()) return parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, delimiter)) parts.push_back(part);
+  if (text.back() == delimiter) parts.push_back("");  // getline drops the last empty
+  for (const auto& entry : parts) {
+    CPR_CHECK_MSG(!entry.empty(), context << ": '" << text << "' contains an empty "
+                                          << "'" << delimiter << "'-separated entry");
+  }
+  return parts;
+}
+
+double parse_number(const std::string& field, const std::string& context) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    CPR_CHECK_MSG(false, context << ": non-numeric field '" << field << "'");
+  }
+  CPR_CHECK_MSG(consumed == field.size(),
+                context << ": trailing junk in '" << field << "'");
+  CPR_CHECK_MSG(std::isfinite(value), context << ": non-finite field '" << field << "'");
+  return value;
+}
+
+namespace {
+
+/// Splits one CSV data row into exactly `arity` numbers (strict fields).
+std::vector<double> parse_row(const std::string& line, std::size_t arity,
+                              const std::string& context) {
+  const auto parts = split_fields(line, ',', context);
+  CPR_CHECK_MSG(parts.size() == arity, context << ": expected " << arity
+                                               << " fields, got " << parts.size());
+  std::vector<double> fields;
+  fields.reserve(parts.size());
+  for (const auto& part : parts) fields.push_back(parse_number(part, context));
+  return fields;
+}
+
+std::string line_context(const std::string& path, std::size_t line_number) {
+  std::ostringstream os;
+  os << path << ":" << line_number;
+  return os.str();
+}
+
+}  // namespace
 
 void save_dataset_csv(const Dataset& data, const std::vector<std::string>& parameter_names,
                       const std::string& path) {
@@ -29,17 +81,13 @@ LoadedDataset load_dataset_csv(const std::string& path) {
   CPR_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty file: " << path);
 
   LoadedDataset loaded;
-  {
-    std::stringstream header(line);
-    std::string field;
-    while (std::getline(header, field, ',')) loaded.parameter_names.push_back(field);
-    CPR_CHECK_MSG(loaded.parameter_names.size() >= 2,
-                  "header needs at least one parameter plus the time column");
-    CPR_CHECK_MSG(loaded.parameter_names.back() == "seconds",
-                  "last column must be named 'seconds', got '"
-                      << loaded.parameter_names.back() << "'");
-    loaded.parameter_names.pop_back();
-  }
+  loaded.parameter_names = split_fields(line, ',', path + " header");
+  CPR_CHECK_MSG(loaded.parameter_names.size() >= 2,
+                "header needs at least one parameter plus the time column");
+  CPR_CHECK_MSG(loaded.parameter_names.back() == "seconds",
+                "last column must be named 'seconds', got '"
+                    << loaded.parameter_names.back() << "'");
+  loaded.parameter_names.pop_back();
   const std::size_t d = loaded.parameter_names.size();
 
   std::vector<double> values;
@@ -48,25 +96,7 @@ LoadedDataset load_dataset_csv(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
-    std::stringstream row(line);
-    std::string field;
-    std::vector<double> fields;
-    while (std::getline(row, field, ',')) {
-      std::size_t consumed = 0;
-      double value = 0.0;
-      try {
-        value = std::stod(field, &consumed);
-      } catch (const std::exception&) {
-        CPR_CHECK_MSG(false, path << ":" << line_number << ": non-numeric field '"
-                                  << field << "'");
-      }
-      CPR_CHECK_MSG(consumed == field.size(),
-                    path << ":" << line_number << ": trailing junk in '" << field << "'");
-      fields.push_back(value);
-    }
-    CPR_CHECK_MSG(fields.size() == d + 1, path << ":" << line_number << ": expected "
-                                               << d + 1 << " fields, got "
-                                               << fields.size());
+    auto fields = parse_row(line, d + 1, line_context(path, line_number));
     CPR_CHECK_MSG(fields.back() > 0.0,
                   path << ":" << line_number << ": non-positive execution time");
     times.push_back(fields.back());
@@ -78,6 +108,44 @@ LoadedDataset load_dataset_csv(const std::string& path) {
   loaded.data.x = linalg::Matrix(times.size(), d);
   std::copy(values.begin(), values.end(), loaded.data.x.data());
   loaded.data.y = std::move(times);
+  return loaded;
+}
+
+LoadedQueries load_query_csv(const std::string& path) {
+  std::ifstream in(path);
+  CPR_CHECK_MSG(in.good(), "cannot open " << path);
+
+  std::string line;
+  CPR_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty file: " << path);
+
+  LoadedQueries loaded;
+  loaded.parameter_names = split_fields(line, ',', path + " header");
+  CPR_CHECK_MSG(!loaded.parameter_names.empty(), path << ": header row is empty");
+  const bool has_truth = loaded.parameter_names.back() == "seconds";
+  if (has_truth) loaded.parameter_names.pop_back();
+  CPR_CHECK_MSG(!loaded.parameter_names.empty(),
+                path << ": header names no query parameters");
+  const std::size_t d = loaded.parameter_names.size();
+
+  std::vector<double> values;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    auto fields =
+        parse_row(line, d + (has_truth ? 1 : 0), line_context(path, line_number));
+    if (has_truth) {
+      CPR_CHECK_MSG(fields.back() > 0.0,
+                    path << ":" << line_number << ": non-positive ground-truth time");
+      loaded.truths.push_back(fields.back());
+      fields.pop_back();
+    }
+    values.insert(values.end(), fields.begin(), fields.end());
+  }
+  CPR_CHECK_MSG(!values.empty(), path << ": no query rows");
+
+  loaded.x = linalg::Matrix(values.size() / d, d);
+  std::copy(values.begin(), values.end(), loaded.x.data());
   return loaded;
 }
 

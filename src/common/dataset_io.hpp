@@ -1,13 +1,28 @@
 #pragma once
 // CSV persistence for datasets, so real measurements can be fed to the
 // models: one header row naming the d parameters plus a final time column,
-// then one row per observed configuration.
+// then one row per observed configuration. The strict field helpers at the
+// top are shared by every consumer of comma-separated input — dataset rows,
+// query files (cpr_predict), CLI list flags (cpr_train), and the serving
+// protocol's value lists (serve/protocol) — so malformed input fails loudly
+// with one set of semantics instead of tool-specific parsing quirks.
 
 #include <string>
 
 #include "common/dataset.hpp"
 
 namespace cpr::common {
+
+/// Splits `text` on `delimiter`. Empty entries (leading/trailing/doubled
+/// delimiters, as in "a,,b" or "a,b,") are rejected with a CheckError naming
+/// `context`, never dropped silently. An empty `text` yields no entries.
+std::vector<std::string> split_fields(const std::string& text, char delimiter,
+                                      const std::string& context);
+
+/// Strict string -> double: the whole field must parse and the value must be
+/// finite (NaN/inf are rejected — they poison grid lookups and cache keys).
+/// Throws CheckError naming `context` otherwise.
+double parse_number(const std::string& field, const std::string& context);
 
 /// Writes `data` as CSV; `parameter_names` must have d entries (the time
 /// column is always named "seconds").
@@ -20,8 +35,22 @@ struct LoadedDataset {
 };
 
 /// Reads a CSV written by save_dataset_csv (or hand-made with the same
-/// layout). Throws CheckError on malformed content (ragged rows,
+/// layout). Throws CheckError on malformed content (ragged rows, empty or
 /// non-numeric fields, non-positive times).
 LoadedDataset load_dataset_csv(const std::string& path);
+
+struct LoadedQueries {
+  linalg::Matrix x;                          ///< one query configuration per row
+  std::vector<std::string> parameter_names;  ///< header minus any seconds column
+  std::vector<double> truths;  ///< ground-truth seconds (empty without the column)
+
+  bool has_truth() const { return !truths.empty(); }
+};
+
+/// Reads a query CSV: the training layout minus the "seconds" column. If a
+/// trailing seconds column is present it is returned as ground truth.
+/// Same loud-failure semantics as load_dataset_csv (ragged rows, empty or
+/// non-numeric fields); ground-truth times must be positive.
+LoadedQueries load_query_csv(const std::string& path);
 
 }  // namespace cpr::common

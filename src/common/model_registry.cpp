@@ -92,6 +92,11 @@ bool ModelRegistry::has_family(const std::string& name) const {
   return it != entries_.end() && it->second.factory != nullptr;
 }
 
+bool ModelRegistry::has_loader(const std::string& type_tag) const {
+  const auto it = entries_.find(type_tag);
+  return it != entries_.end() && it->second.loader != nullptr;
+}
+
 RegressorPtr ModelRegistry::create(const std::string& name,
                                    const ModelSpec& spec) const {
   const auto it = entries_.find(name);

@@ -67,6 +67,11 @@ class ModelRegistry {
 
   bool has_family(const std::string& name) const;
 
+  /// True when archives with this type tag can be loaded (covers both
+  /// creatable families and load-only wrappers like "logspace"). Serving
+  /// frontends use this to vet a model directory before going live.
+  bool has_loader(const std::string& type_tag) const;
+
   /// Constructs an unfitted model; throws CheckError on an unknown family
   /// name or on hyper-parameter keys the family does not understand.
   RegressorPtr create(const std::string& name, const ModelSpec& spec) const;

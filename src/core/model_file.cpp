@@ -1,6 +1,7 @@
 #include "core/model_file.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 
 #include "common/model_registry.hpp"
@@ -61,6 +62,54 @@ common::RegressorPtr load_model_file(const std::string& path) {
   // that made the loader stop short) — reject rather than serve it.
   CPR_CHECK_MSG(source.exhausted(), path << ": archive has trailing garbage");
   return model;
+}
+
+std::string model_file_path(const std::string& directory, const std::string& name) {
+  CPR_CHECK_MSG(!name.empty(), "empty model name");
+  CPR_CHECK_MSG(name.find('/') == std::string::npos &&
+                    name.find('\\') == std::string::npos &&
+                    name.find("..") == std::string::npos,
+                "model name '" << name << "' must not contain path components");
+  return (std::filesystem::path(directory) / (name + kModelFileExtension)).string();
+}
+
+std::vector<std::string> list_model_archives(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::directory_iterator entries(directory, ec);
+  CPR_CHECK_MSG(!ec, "cannot read model directory " << directory << ": "
+                                                    << ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : entries) {
+    if (entry.is_regular_file() && entry.path().extension() == kModelFileExtension) {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string peek_model_type(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CPR_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  CPR_CHECK_MSG(in.good(), path << " is not a CPR model archive");
+  if (std::equal(magic, magic + sizeof(kLegacyMagic), kLegacyMagic)) return "cpr";
+  CPR_CHECK_MSG(std::equal(magic, magic + sizeof(kMagic), kMagic),
+                path << " is not a CPR model archive");
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  CPR_CHECK_MSG(in.good(), path << ": truncated header");
+  // Only the length-prefixed tag is needed; read it directly off the stream.
+  std::uint64_t tag_size = 0;
+  in.read(reinterpret_cast<char*>(&tag_size), sizeof(tag_size));
+  CPR_CHECK_MSG(in.good() && size >= sizeof(tag_size) &&
+                    tag_size <= size - sizeof(tag_size),
+                path << ": truncated archive body");
+  std::string tag(tag_size, '\0');
+  in.read(tag.data(), static_cast<std::streamsize>(tag_size));
+  CPR_CHECK_MSG(in.good(), path << ": truncated type tag");
+  return tag;
 }
 
 }  // namespace cpr::core

@@ -16,10 +16,15 @@
 // (magic "CPRMODL1") are still readable.
 
 #include <string>
+#include <vector>
 
 #include "common/regressor.hpp"
 
 namespace cpr::core {
+
+/// Extension every on-disk archive uses; `<name>.cprm` under a model
+/// directory is servable as model `<name>` (serve/model_store).
+inline constexpr const char* kModelFileExtension = ".cprm";
 
 /// Writes a fitted model to `path` (overwrites). Throws CheckError on I/O
 /// failure, an unfitted model, or a family without serialization support.
@@ -29,5 +34,20 @@ void save_model_file(const common::Regressor& model, const std::string& path);
 /// Throws CheckError on missing file, bad magic, unknown type tag,
 /// unsupported version, or a truncated/corrupt payload.
 common::RegressorPtr load_model_file(const std::string& path);
+
+/// Archive path for model `name` under `directory` (no existence check).
+/// `name` must be a bare model name — path separators and ".." are rejected
+/// so serving frontends cannot be walked out of their model directory.
+std::string model_file_path(const std::string& directory, const std::string& name);
+
+/// Model names (stem of every `*.cprm` entry) in `directory`, sorted.
+/// Throws CheckError when the directory cannot be read.
+std::vector<std::string> list_model_archives(const std::string& directory);
+
+/// Reads only the archive header of `path` and returns the persisted type
+/// tag ("cpr", "rf", "logspace", ...) without constructing the model —
+/// cheap inventory checks for serving frontends. Legacy CPRMODL1 files
+/// report "cpr". Throws CheckError on a missing/foreign file.
+std::string peek_model_type(const std::string& path);
 
 }  // namespace cpr::core

@@ -1,0 +1,87 @@
+#pragma once
+// Request coalescing for the serving layer.
+//
+// Concurrent single-point PREDICT requests are expensive to dispatch one by
+// one: every call pays virtual dispatch, OpenMP region entry, and (for
+// non-CPR families) per-row allocation. The MicroBatcher funnels requests
+// into a bounded queue from which a fixed pool of worker threads assembles
+// per-model batches — flushing when `max_batch` same-model requests are
+// queued or `max_wait_us` has elapsed since the batch opened — and executes
+// them through the family's predict_batch() override. Because every family
+// guarantees predict_batch row i == predict(row i) bitwise, batching is
+// invisible to clients: results are identical to serial evaluation no
+// matter how requests interleave.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/model_store.hpp"
+
+namespace cpr::serve {
+
+class MicroBatcher {
+ public:
+  struct Options {
+    std::size_t workers = 2;         ///< inference worker threads
+    std::size_t max_batch = 64;      ///< flush a batch at this many requests
+    std::uint64_t max_wait_us = 200; ///< flush an under-full batch after this
+    std::size_t queue_capacity = 4096;  ///< submit() blocks when full
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< requests accepted
+    std::uint64_t batches = 0;    ///< predict_batch calls issued
+    std::uint64_t max_batch_seen = 0;
+
+    double mean_batch() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(submitted) / static_cast<double>(batches);
+    }
+  };
+
+  explicit MicroBatcher(Options options);
+
+  /// Stops accepting work, drains every queued request, joins the workers.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one prediction; the future yields exactly
+  /// model->predict(config) (bitwise) or rethrows the model's error.
+  /// `config` must match the model's input_dims(). Blocks while the queue
+  /// is at capacity; throws CheckError after shutdown has begun.
+  std::future<double> submit(ModelHandle model, grid::Config config);
+
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Job {
+    ModelHandle model;
+    grid::Config config;
+    std::promise<double> result;
+  };
+
+  void worker_loop();
+  /// Moves queued same-model jobs into `batch` up to max_batch; `mu_` held.
+  void sweep_locked(std::vector<Job>& batch, const LoadedModel* key);
+  static void run_batch(std::vector<Job>& batch);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cpr::serve

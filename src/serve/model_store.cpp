@@ -1,0 +1,91 @@
+#include "serve/model_store.hpp"
+
+#include "core/model_file.hpp"
+
+namespace cpr::serve {
+
+ModelStore::ModelStore(std::string directory, std::chrono::milliseconds reload_check)
+    : directory_(std::move(directory)), reload_check_(reload_check) {}
+
+std::shared_ptr<LoadedModel> ModelStore::load_archive(const std::string& name) const {
+  const std::string path = core::model_file_path(directory_, name);
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  CPR_CHECK_MSG(!ec, "unknown model '" << name << "': cannot stat " << path);
+  auto loaded = std::make_shared<LoadedModel>();
+  loaded->name = name;
+  loaded->path = path;
+  loaded->generation = 0;  // assigned when published
+  loaded->mtime = mtime;
+  loaded->model = core::load_model_file(path);
+  CPR_CHECK_MSG(loaded->model->input_dims() > 0,
+                path << ": archive holds an unfitted model");
+  return loaded;
+}
+
+ModelHandle ModelStore::publish(std::shared_ptr<LoadedModel> loaded,
+                                const LoadedModel* expected_current, bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(loaded->name);
+  if (!force && it != entries_.end() && it->second.handle.get() != expected_current) {
+    return it->second.handle;  // a concurrent load already published a newer one
+  }
+  loaded->generation = next_generation_++;
+  ModelHandle handle = std::move(loaded);
+  entries_[handle->name] = Entry{handle, std::chrono::steady_clock::now()};
+  return handle;
+}
+
+ModelHandle ModelStore::acquire(const std::string& name) {
+  ModelHandle resident;  // instance to replace on hot reload, if any
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      // Hot reload: when the archive changed on disk, replace the resident
+      // instance. The stat is throttled so acquire() stays cheap.
+      const auto now = std::chrono::steady_clock::now();
+      if (now - it->second.last_check < reload_check_) return it->second.handle;
+      it->second.last_check = now;
+      std::error_code ec;
+      const auto mtime = std::filesystem::last_write_time(it->second.handle->path, ec);
+      // A transiently missing file (mid-rewrite) keeps serving the resident
+      // instance; the next acquire past the throttle re-checks.
+      if (ec || mtime == it->second.handle->mtime) return it->second.handle;
+      resident = it->second.handle;
+    }
+  }
+  // Load with the lock released: a slow archive read must not stall
+  // requests for other (or the resident) models.
+  try {
+    return publish(load_archive(name), resident.get(), /*force=*/false);
+  } catch (...) {
+    // A half-rewritten archive must not take a healthy model out of
+    // service: keep the resident instance and retry after the throttle.
+    if (resident) return resident;
+    throw;
+  }
+}
+
+ModelHandle ModelStore::load(const std::string& name) {
+  return publish(load_archive(name), nullptr, /*force=*/true);
+}
+
+void ModelStore::unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CPR_CHECK_MSG(entries_.erase(name) == 1, "model '" << name << "' is not loaded");
+}
+
+std::vector<std::string> ModelStore::loaded_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> ModelStore::available() const {
+  return core::list_model_archives(directory_);
+}
+
+}  // namespace cpr::serve

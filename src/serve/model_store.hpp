@@ -1,0 +1,92 @@
+#pragma once
+// Thread-safe resident-model store for the serving layer.
+//
+// Models live in a directory as `<name>.cprm` registry archives
+// (core/model_file). acquire() lazily loads a model the first time it is
+// requested and hands out ref-counted handles: a model UNLOADed or
+// hot-reloaded while requests are in flight stays alive until the last
+// handle drops, so inference never races file-system churn. Every loaded
+// instance carries a store-unique generation number; the prediction cache
+// keys on it, which turns reload-invalidation into plain LRU aging instead
+// of a cross-shard purge.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/regressor.hpp"
+
+namespace cpr::serve {
+
+/// One immutable loaded-model instance. Concurrent predict()/predict_batch()
+/// on the shared Regressor is safe: inference is const with no hidden state.
+struct LoadedModel {
+  std::string name;           ///< store name (archive stem)
+  std::string path;           ///< archive the instance was loaded from
+  std::uint64_t generation;   ///< store-unique, bumps on every (re)load
+  std::filesystem::file_time_type mtime;  ///< archive mtime at load
+  common::RegressorPtr model;
+};
+
+using ModelHandle = std::shared_ptr<const LoadedModel>;
+
+class ModelStore {
+ public:
+  /// `reload_check` throttles the hot-reload stat(): a model's archive
+  /// mtime is re-checked at most once per interval (zero = every acquire).
+  explicit ModelStore(std::string directory,
+                      std::chrono::milliseconds reload_check = std::chrono::milliseconds(100));
+
+  /// Returns a handle to `name`, loading `<dir>/<name>.cprm` on first use
+  /// and reloading it when the archive changed on disk since. Throws
+  /// CheckError on an unknown model (missing/corrupt archive) or a name
+  /// containing path components.
+  ModelHandle acquire(const std::string& name);
+
+  /// Forces a fresh load of `name` (LOAD command): always re-reads the
+  /// archive and replaces any resident instance.
+  ModelHandle load(const std::string& name);
+
+  /// Drops the resident instance (UNLOAD command); in-flight handles keep
+  /// it alive. Throws CheckError when `name` is not loaded.
+  void unload(const std::string& name);
+
+  /// Names currently resident, sorted.
+  std::vector<std::string> loaded_names() const;
+
+  /// Archive stems available in the model directory, sorted.
+  std::vector<std::string> available() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  struct Entry {
+    ModelHandle handle;
+    std::chrono::steady_clock::time_point last_check;  ///< of the mtime stat
+  };
+
+  /// Reads + deserializes the archive for `name`. Pure I/O — called with
+  /// `mu_` released so a slow load never stalls serving of resident models.
+  /// The generation is assigned at publish time.
+  std::shared_ptr<LoadedModel> load_archive(const std::string& name) const;
+
+  /// Registers a freshly loaded instance under `mu_`. When `force` is
+  /// false and the resident instance is no longer `expected_current`
+  /// (a concurrent load won the race), the resident one is returned and
+  /// `loaded` is discarded — callers never publish stale duplicates.
+  ModelHandle publish(std::shared_ptr<LoadedModel> loaded,
+                      const LoadedModel* expected_current, bool force);
+
+  std::string directory_;
+  std::chrono::milliseconds reload_check_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace cpr::serve

@@ -1,0 +1,88 @@
+#include "serve/prediction_cache.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace cpr::serve {
+
+PredictionCache::PredictionCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  if (capacity == 0) return;  // disabled
+  CPR_CHECK_MSG(shards > 0, "prediction cache needs at least one shard");
+  shards = std::min(shards, capacity);  // every shard holds >= 1 entry
+  shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::string PredictionCache::make_key(std::string_view model, std::uint64_t generation,
+                                      const grid::Config& values) {
+  std::string key;
+  key.reserve(model.size() + 8 + values.size() * 16);
+  key.append(model);
+  key.push_back('#');
+  key.append(std::to_string(generation));
+  char buffer[32];
+  for (const double v : values) {
+    // 12 significant digits: textually-identical requests always collapse,
+    // while sub-1e-12 relative float noise cannot split cache entries.
+    std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+    key.push_back(';');
+    key.append(buffer);
+  }
+  return key;
+}
+
+PredictionCache::Shard& PredictionCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<double> PredictionCache::get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PredictionCache::put(const std::string& key, double value) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+PredictionCache::Counters PredictionCache::counters() const {
+  Counters totals;
+  totals.capacity = capacity_;
+  totals.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    totals.hits += shard->hits;
+    totals.misses += shard->misses;
+    totals.evictions += shard->evictions;
+    totals.entries += shard->lru.size();
+  }
+  return totals;
+}
+
+}  // namespace cpr::serve

@@ -1,0 +1,82 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/dataset_io.hpp"
+#include "util/check.hpp"
+
+namespace cpr::serve {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream stream(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+void expect_arity(const std::vector<std::string>& tokens, std::size_t expected) {
+  CPR_CHECK_MSG(tokens.size() == expected,
+                "request '" << tokens.front() << "' takes " << expected - 1
+                            << " argument(s), got " << tokens.size() - 1);
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const auto tokens = tokenize(line);
+  CPR_CHECK_MSG(!tokens.empty(), "empty request");
+  const std::string& command = tokens.front();
+
+  Request request;
+  if (command == "PREDICT") {
+    expect_arity(tokens, 3);
+    request.kind = RequestKind::Predict;
+    request.model = tokens[1];
+    for (const auto& field :
+         common::split_fields(tokens[2], ',', "PREDICT value list")) {
+      request.values.push_back(common::parse_number(field, "PREDICT value list"));
+    }
+    CPR_CHECK_MSG(!request.values.empty(), "PREDICT needs at least one value");
+  } else if (command == "LOAD") {
+    expect_arity(tokens, 2);
+    request.kind = RequestKind::Load;
+    request.model = tokens[1];
+  } else if (command == "UNLOAD") {
+    expect_arity(tokens, 2);
+    request.kind = RequestKind::Unload;
+    request.model = tokens[1];
+  } else if (command == "STATS") {
+    expect_arity(tokens, 1);
+    request.kind = RequestKind::Stats;
+  } else if (command == "QUIT") {
+    expect_arity(tokens, 1);
+    request.kind = RequestKind::Quit;
+  } else {
+    CPR_CHECK_MSG(false, "unknown request '" << command
+                                             << "' (PREDICT/LOAD/UNLOAD/STATS/QUIT)");
+  }
+  return request;
+}
+
+std::string format_prediction(double seconds) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "OK %.17g", seconds);
+  return buffer;
+}
+
+std::string format_error(const std::string& what) {
+  // CheckError messages read "CPR_CHECK failed: (...) at file:line — cause";
+  // everything before the em-dash is for developers, not protocol clients.
+  const auto dash = what.rfind(" — ");
+  std::string reason =
+      dash == std::string::npos ? what : what.substr(dash + std::string(" — ").size());
+  std::ostringstream os;
+  os << "ERR " << reason;
+  return os.str();
+}
+
+}  // namespace cpr::serve

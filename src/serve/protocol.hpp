@@ -1,0 +1,43 @@
+#pragma once
+// The newline-delimited serving protocol spoken by cpr_serve.
+//
+// Request grammar (one request per line, tokens separated by spaces):
+//   PREDICT <model> <v1,v2,...>   predict one configuration
+//   LOAD <model>                  force-(re)load <model>.cprm from the dir
+//   UNLOAD <model>                drop the resident instance
+//   STATS                         telemetry table
+//   QUIT                          end the session
+//
+// Responses: `OK ...` on success (`OK <seconds>` for PREDICT, with full
+// round-trip precision), `ERR <reason>` on failure; STATS emits its table
+// lines before the final `OK`. Parsing is strict and total: wrong arity,
+// empty/NaN/non-numeric values, and unknown commands throw CheckError with
+// a protocol-level message — the server turns those into ERR replies, so a
+// malformed line can never take the process down.
+
+#include <string>
+
+#include "grid/parameter.hpp"
+
+namespace cpr::serve {
+
+enum class RequestKind { Predict, Load, Unload, Stats, Quit };
+
+struct Request {
+  RequestKind kind;
+  std::string model;    ///< PREDICT/LOAD/UNLOAD only
+  grid::Config values;  ///< PREDICT only
+};
+
+/// Parses one request line; throws CheckError on any grammar violation.
+Request parse_request(const std::string& line);
+
+/// `OK <seconds>` with enough digits that the double round-trips exactly —
+/// a client parsing the reply recovers the bitwise prediction.
+std::string format_prediction(double seconds);
+
+/// `ERR <reason>`; strips the CPR_CHECK expression/location prefix from
+/// `what` so clients see only the human-readable cause.
+std::string format_error(const std::string& what);
+
+}  // namespace cpr::serve

@@ -1,0 +1,79 @@
+#include "serve/server.hpp"
+
+#include <sstream>
+
+namespace cpr::serve {
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      store_(options.model_dir, options.reload_check),
+      cache_(options.cache_capacity, options.cache_shards),
+      batcher_(options.batcher) {}
+
+std::string Server::handle_predict(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const ModelHandle model = store_.acquire(request.model);
+  CPR_CHECK_MSG(request.values.size() == model->model->input_dims(),
+                "model '" << request.model << "' expects "
+                          << model->model->input_dims() << " values, got "
+                          << request.values.size());
+
+  const std::string key =
+      cache_.enabled()
+          ? PredictionCache::make_key(model->name, model->generation, request.values)
+          : std::string();
+  double prediction = 0.0;
+  if (const auto cached = cache_.get(key)) {
+    prediction = *cached;
+  } else {
+    prediction = batcher_.submit(model, request.values).get();
+    cache_.put(key, prediction);
+  }
+  stats_.record_predict(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  return format_prediction(prediction);
+}
+
+Server::Reply Server::handle_line(const std::string& line) {
+  Reply reply;
+  try {
+    const Request request = parse_request(line);
+    switch (request.kind) {
+      case RequestKind::Predict:
+        reply.text = handle_predict(request);
+        break;
+      case RequestKind::Load: {
+        const ModelHandle model = store_.load(request.model);
+        std::ostringstream os;
+        os << "OK loaded " << model->name << " type=" << model->model->type_tag()
+           << " dims=" << model->model->input_dims()
+           << " bytes=" << model->model->model_size_bytes();
+        reply.text = os.str();
+        break;
+      }
+      case RequestKind::Unload:
+        store_.unload(request.model);
+        reply.text = "OK unloaded " + request.model;
+        break;
+      case RequestKind::Stats: {
+        const Table table = render_stats_table(stats_.snapshot(), cache_.counters(),
+                                               batcher_.stats(), store_.loaded_names());
+        std::ostringstream os;
+        table.print(os);
+        os << "OK";
+        reply.text = os.str();
+        break;
+      }
+      case RequestKind::Quit:
+        reply.text = "OK bye";
+        reply.quit = true;
+        break;
+    }
+  } catch (const std::exception& e) {
+    stats_.record_error();
+    reply.text = format_error(e.what());
+  }
+  return reply;
+}
+
+}  // namespace cpr::serve

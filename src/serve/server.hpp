@@ -1,0 +1,54 @@
+#pragma once
+// The serving core behind cpr_serve: one object tying the model store,
+// micro-batcher, prediction cache and telemetry together. handle_line() is
+// the whole surface — frontends (stdio, Unix socket, the throughput bench's
+// in-process clients) feed it protocol lines from any number of threads and
+// write back the replies. It is total: every failure becomes an `ERR` reply
+// rather than an exception, so one bad client cannot take the server down.
+
+#include <string>
+
+#include "serve/micro_batcher.hpp"
+#include "serve/model_store.hpp"
+#include "serve/prediction_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server_stats.hpp"
+
+namespace cpr::serve {
+
+struct ServerOptions {
+  std::string model_dir = ".";
+  MicroBatcher::Options batcher;
+  std::size_t cache_capacity = 4096;  ///< total entries; 0 disables caching
+  std::size_t cache_shards = 8;
+  std::chrono::milliseconds reload_check{100};  ///< hot-reload stat throttle
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  struct Reply {
+    std::string text;  ///< complete reply (may span lines for STATS)
+    bool quit = false;
+  };
+
+  /// Handles one protocol line; thread-safe and never throws.
+  Reply handle_line(const std::string& line);
+
+  ModelStore& store() { return store_; }
+  const ServerStats& request_stats() const { return stats_; }
+  PredictionCache::Counters cache_counters() const { return cache_.counters(); }
+  MicroBatcher::Stats batcher_stats() const { return batcher_.stats(); }
+
+ private:
+  std::string handle_predict(const Request& request);
+
+  ServerOptions options_;
+  ModelStore store_;
+  PredictionCache cache_;
+  MicroBatcher batcher_;
+  ServerStats stats_;
+};
+
+}  // namespace cpr::serve

@@ -1,0 +1,95 @@
+#include "serve/server_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpr::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted copy of the reservoir.
+double percentile(std::vector<double> samples, double fraction) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(samples.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(index), samples.end());
+  return samples[index];
+}
+
+}  // namespace
+
+ServerStats::ServerStats(std::size_t reservoir)
+    : reservoir_capacity_(reservoir), rng_(42), start_(std::chrono::steady_clock::now()) {
+  CPR_CHECK_MSG(reservoir_capacity_ > 0, "latency reservoir needs capacity >= 1");
+  reservoir_.reserve(reservoir_capacity_);
+}
+
+void ServerStats::record_predict(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++predicts_;
+  ++latencies_seen_;
+  if (reservoir_.size() < reservoir_capacity_) {
+    reservoir_.push_back(latency_seconds);
+    return;
+  }
+  // Algorithm R: keep each of the n samples with probability capacity/n.
+  const auto slot = static_cast<std::uint64_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(latencies_seen_) - 1));
+  if (slot < reservoir_capacity_) reservoir_[slot] = latency_seconds;
+}
+
+void ServerStats::record_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++errors_;
+}
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  Snapshot snap;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.predicts = predicts_;
+    snap.errors = errors_;
+    samples = reservoir_;
+  }
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  snap.qps = snap.elapsed_seconds > 0.0
+                 ? static_cast<double>(snap.predicts) / snap.elapsed_seconds
+                 : 0.0;
+  snap.p50_seconds = percentile(samples, 0.50);
+  snap.p99_seconds = percentile(std::move(samples), 0.99);
+  return snap;
+}
+
+Table render_stats_table(const ServerStats::Snapshot& requests,
+                         const PredictionCache::Counters& cache,
+                         const MicroBatcher::Stats& batcher,
+                         const std::vector<std::string>& loaded_models) {
+  Table table({"metric", "value"});
+  table.add_row({"predicts", Table::fmt(requests.predicts)});
+  table.add_row({"errors", Table::fmt(requests.errors)});
+  table.add_row({"uptime_seconds", Table::fmt(requests.elapsed_seconds, 3)});
+  table.add_row({"qps", Table::fmt(requests.qps, 1)});
+  table.add_row({"latency_p50_us", Table::fmt(requests.p50_seconds * 1e6, 1)});
+  table.add_row({"latency_p99_us", Table::fmt(requests.p99_seconds * 1e6, 1)});
+  table.add_row({"cache_hits", Table::fmt(cache.hits)});
+  table.add_row({"cache_misses", Table::fmt(cache.misses)});
+  table.add_row({"cache_evictions", Table::fmt(cache.evictions)});
+  table.add_row({"cache_hit_rate", Table::fmt(cache.hit_rate(), 4)});
+  table.add_row({"cache_entries", Table::fmt(cache.entries)});
+  table.add_row({"batches", Table::fmt(batcher.batches)});
+  table.add_row({"mean_batch", Table::fmt(batcher.mean_batch(), 2)});
+  table.add_row({"max_batch", Table::fmt(batcher.max_batch_seen)});
+  std::string models;
+  for (const auto& name : loaded_models) {
+    if (!models.empty()) models += ' ';
+    models += name;
+  }
+  table.add_row({"loaded_models", models.empty() ? "-" : models});
+  return table;
+}
+
+}  // namespace cpr::serve

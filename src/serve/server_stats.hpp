@@ -1,0 +1,61 @@
+#pragma once
+// Serving telemetry: request counts, QPS, and latency quantiles.
+//
+// Latencies are kept in a fixed-size reservoir (Vitter's algorithm R with a
+// deterministic seed) so p50/p99 stay O(1) in memory over unbounded request
+// streams; the STATS command renders a snapshot — together with cache and
+// batcher counters — through util/table.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/micro_batcher.hpp"
+#include "serve/prediction_cache.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cpr::serve {
+
+class ServerStats {
+ public:
+  /// `reservoir` bounds the latency sample kept for quantiles.
+  explicit ServerStats(std::size_t reservoir = 4096);
+
+  /// Records one answered PREDICT (latency includes batching wait); hit/miss
+  /// accounting lives in the PredictionCache counters.
+  void record_predict(double latency_seconds);
+
+  /// Records a request answered with ERR.
+  void record_error();
+
+  struct Snapshot {
+    std::uint64_t predicts = 0;
+    std::uint64_t errors = 0;
+    double elapsed_seconds = 0.0;  ///< since the stats object was created
+    double qps = 0.0;              ///< predicts / elapsed
+    double p50_seconds = 0.0;
+    double p99_seconds = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::size_t reservoir_capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t predicts_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t latencies_seen_ = 0;
+  std::vector<double> reservoir_;
+  Rng rng_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Renders one STATS table from the server's component counters.
+Table render_stats_table(const ServerStats::Snapshot& requests,
+                         const PredictionCache::Counters& cache,
+                         const MicroBatcher::Stats& batcher,
+                         const std::vector<std::string>& loaded_models);
+
+}  // namespace cpr::serve

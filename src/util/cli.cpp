@@ -2,6 +2,10 @@
 
 #include <cstdlib>
 
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 #include "util/check.hpp"
 
 namespace cpr {
@@ -50,6 +54,13 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   if (it == flags_.end()) return fallback;
   if (it->second.empty() || it->second == "true" || it->second == "1") return true;
   return false;
+}
+
+void apply_thread_cap(std::int64_t n) {
+  if (n <= 0) return;
+#ifdef CPR_HAVE_OPENMP
+  omp_set_num_threads(static_cast<int>(n));
+#endif
 }
 
 }  // namespace cpr

@@ -37,4 +37,10 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Backend of the tools' --threads=<n> flag: caps the OpenMP team size for
+/// every subsequent parallel region (predict_batch, completion solves).
+/// n <= 0 leaves the environment default (OMP_NUM_THREADS) in place; a
+/// no-op when built without OpenMP.
+void apply_thread_cap(std::int64_t n);
+
 }  // namespace cpr

@@ -1,0 +1,454 @@
+// Tests for the serving subsystem: micro-batched predictions must be
+// bitwise-identical to serial predict() under concurrent producers, the
+// sharded LRU cache must hit/evict deterministically, the model store must
+// lazy-load / hot-reload / ref-count archives, the protocol parser must
+// reject malformed lines without dying, and a full server session must
+// match direct model evaluation bitwise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "common/model_registry.hpp"
+#include "core/model_file.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace cpr {
+namespace {
+
+using common::Dataset;
+using common::ModelRegistry;
+using common::ModelSpec;
+using grid::Config;
+using grid::ParameterSpec;
+
+/// Separable power-law runtime with mild lognormal noise.
+Dataset sample_power_law(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    data.y[i] = 1e-6 * std::pow(data.x(i, 0), 1.5) * std::pow(data.x(i, 1), 0.8) *
+                std::exp(rng.normal(0.0, 0.05));
+  }
+  return data;
+}
+
+ModelSpec small_spec() {
+  ModelSpec spec;
+  spec.params = {ParameterSpec::numerical_log("x", 32.0, 4096.0),
+                 ParameterSpec::numerical_log("y", 32.0, 4096.0)};
+  spec.cells = 6;
+  return spec;
+}
+
+common::RegressorPtr fit_family(const std::string& family, std::uint64_t seed = 7) {
+  auto model = ModelRegistry::instance().create(family, small_spec());
+  model->fit(sample_power_law(256, seed));
+  return model;
+}
+
+/// Fresh temp model directory for one test.
+class TempModelDir {
+ public:
+  explicit TempModelDir(const std::string& tag)
+      : dir_(std::filesystem::temp_directory_path() /
+             ("cpr_serve_test_" + tag + "_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempModelDir() { std::filesystem::remove_all(dir_); }
+
+  std::string save(const std::string& name, const common::Regressor& model) {
+    const std::string path = core::model_file_path(dir_.string(), name);
+    core::save_model_file(model, path);
+    return path;
+  }
+
+  std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Wraps a fitted model in a store-style handle without touching disk.
+serve::ModelHandle handle_for(common::RegressorPtr model, std::uint64_t generation = 1) {
+  auto loaded = std::make_shared<serve::LoadedModel>();
+  loaded->name = model->type_tag();
+  loaded->generation = generation;
+  loaded->model = std::move(model);
+  return loaded;
+}
+
+Config random_config(Rng& rng) {
+  return {rng.log_uniform(32.0, 4096.0), rng.log_uniform(32.0, 4096.0)};
+}
+
+// ---------------------------------------------------------------- batcher
+
+TEST(MicroBatcher, ConcurrentProducersMatchSerialPredictBitwise) {
+  const serve::ModelHandle cpr_handle = handle_for(fit_family("cpr"));
+  const serve::ModelHandle knn_handle = handle_for(fit_family("knn"));
+
+  serve::MicroBatcher::Options options;
+  options.workers = 3;
+  options.max_batch = 16;
+  options.max_wait_us = 100;
+  serve::MicroBatcher batcher(options);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 64;
+  std::vector<std::vector<Config>> configs(kThreads);
+  std::vector<std::vector<std::future<double>>> futures(kThreads);
+
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Interleave the two families so batches must group per model.
+        const auto& handle = (i % 2 == 0) ? cpr_handle : knn_handle;
+        Config config = random_config(rng);
+        futures[t].push_back(batcher.submit(handle, config));
+        configs[t].push_back(std::move(config));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const auto& handle = (i % 2 == 0) ? cpr_handle : knn_handle;
+      const double expected = handle->model->predict(configs[t][i]);
+      const double got = futures[t][i].get();
+      EXPECT_EQ(expected, got) << "thread " << t << " request " << i
+                               << " diverged from serial predict()";
+    }
+  }
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.max_batch_seen, options.max_batch);
+}
+
+TEST(MicroBatcher, RejectsWrongArityAndPropagatesModelErrors) {
+  const serve::ModelHandle handle = handle_for(fit_family("cpr"));
+  serve::MicroBatcher batcher({});
+  EXPECT_THROW(batcher.submit(handle, Config{1.0}), CheckError);        // 1 of 2 dims
+  EXPECT_THROW(batcher.submit(handle, Config{1.0, 2.0, 3.0}), CheckError);
+}
+
+TEST(MicroBatcher, DrainsQueuedWorkOnDestruction) {
+  const serve::ModelHandle handle = handle_for(fit_family("cpr"));
+  std::vector<std::future<double>> futures;
+  {
+    serve::MicroBatcher::Options options;
+    options.workers = 1;
+    options.max_batch = 4;
+    options.max_wait_us = 50;
+    serve::MicroBatcher batcher(options);
+    Rng rng(3);
+    for (std::size_t i = 0; i < 64; ++i) {
+      futures.push_back(batcher.submit(handle, random_config(rng)));
+    }
+  }  // destructor must resolve every promise
+  for (auto& future : futures) EXPECT_GT(future.get(), 0.0);
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(PredictionCache, LruEvictionOrderIsDeterministic) {
+  serve::PredictionCache cache(3, 1);  // one shard: global LRU order
+  cache.put("a", 1.0);
+  cache.put("b", 2.0);
+  cache.put("c", 3.0);
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh a: LRU order b < c < a
+  cache.put("d", 4.0);                      // evicts b
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.hits, 4u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 3u);
+}
+
+TEST(PredictionCache, ShardedHitAccountingIsDeterministic) {
+  serve::PredictionCache cache(64, 4);
+  for (int i = 0; i < 32; ++i) cache.put("key" + std::to_string(i), i);
+  for (int i = 0; i < 32; ++i) {
+    const auto value = cache.get("key" + std::to_string(i));
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, static_cast<double>(i));
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(cache.get("absent" + std::to_string(i)));
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 32u);
+  EXPECT_EQ(counters.misses, 8u);
+  EXPECT_EQ(counters.evictions, 0u);
+  EXPECT_EQ(counters.entries, 32u);
+  EXPECT_EQ(counters.shards, 4u);
+}
+
+TEST(PredictionCache, ZeroCapacityDisables) {
+  serve::PredictionCache cache(0);
+  cache.put("a", 1.0);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.counters().hits + cache.counters().misses, 0u);
+}
+
+TEST(PredictionCache, KeyQuantizationCollapsesFloatNoiseOnly) {
+  const Config base{1024.0, 3.141592653589793};
+  Config noisy = base;
+  noisy[1] *= 1.0 + 1e-15;  // sub-quantum relative noise
+  Config distinct = base;
+  distinct[1] *= 1.5;
+  EXPECT_EQ(serve::PredictionCache::make_key("m", 1, base),
+            serve::PredictionCache::make_key("m", 1, noisy));
+  EXPECT_NE(serve::PredictionCache::make_key("m", 1, base),
+            serve::PredictionCache::make_key("m", 1, distinct));
+  // Model name and generation are part of the key: reloads age out entries.
+  EXPECT_NE(serve::PredictionCache::make_key("m", 1, base),
+            serve::PredictionCache::make_key("m", 2, base));
+  EXPECT_NE(serve::PredictionCache::make_key("m", 1, base),
+            serve::PredictionCache::make_key("n", 1, base));
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(ModelStore, LazyLoadUnloadAndRefCounting) {
+  TempModelDir dir("store");
+  dir.save("pl", *fit_family("cpr"));
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(0));
+  EXPECT_EQ(store.available(), std::vector<std::string>{"pl"});
+  EXPECT_TRUE(store.loaded_names().empty());  // lazy: nothing resident yet
+
+  const serve::ModelHandle handle = store.acquire("pl");
+  EXPECT_EQ(handle->model->type_tag(), "cpr");
+  EXPECT_EQ(store.loaded_names(), std::vector<std::string>{"pl"});
+  EXPECT_EQ(store.acquire("pl").get(), handle.get());  // cached instance
+
+  store.unload("pl");
+  EXPECT_TRUE(store.loaded_names().empty());
+  // The in-flight handle keeps serving after UNLOAD.
+  EXPECT_GT(handle->model->predict({100.0, 100.0}), 0.0);
+
+  EXPECT_THROW(store.acquire("missing"), CheckError);
+  EXPECT_THROW(store.unload("pl"), CheckError);
+  EXPECT_THROW(store.acquire("../pl"), CheckError);  // path traversal
+}
+
+TEST(ModelStore, HotReloadReplacesChangedArchive) {
+  TempModelDir dir("reload");
+  const std::string path = dir.save("pl", *fit_family("cpr", /*seed=*/7));
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(0));
+  const serve::ModelHandle first = store.acquire("pl");
+
+  // Rewrite the archive with a different fit and force a distinct mtime
+  // (filesystem timestamps can be coarser than this test's runtime).
+  dir.save("pl", *fit_family("cpr", /*seed=*/8));
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(2));
+
+  const serve::ModelHandle second = store.acquire("pl");
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_GT(second->generation, first->generation);
+  // Both instances stay fully usable (ref-counting).
+  const Config probe{100.0, 100.0};
+  EXPECT_GT(first->model->predict(probe), 0.0);
+  EXPECT_GT(second->model->predict(probe), 0.0);
+}
+
+TEST(ModelStore, CorruptRewriteKeepsServingTheResidentInstance) {
+  TempModelDir dir("midwrite");
+  const std::string path = dir.save("pl", *fit_family("cpr"));
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(0));
+  const serve::ModelHandle resident = store.acquire("pl");
+
+  // Simulate a non-atomic rewrite caught mid-flight: changed mtime, body
+  // truncated. acquire() must fall back to the resident instance instead
+  // of throwing an ERR at clients.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "CPRARCH1";
+    const std::uint64_t body_size = 100;  // promised but not delivered
+    out.write(reinterpret_cast<const char*>(&body_size), sizeof(body_size));
+    out << "short";
+  }
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(2));
+  EXPECT_EQ(store.acquire("pl").get(), resident.get());
+
+  // Without a resident instance the corrupt archive fails loudly.
+  store.unload("pl");
+  EXPECT_THROW(store.acquire("pl"), CheckError);
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesWellFormedRequests) {
+  const auto predict = serve::parse_request("PREDICT mm 1024,512,8");
+  EXPECT_EQ(predict.kind, serve::RequestKind::Predict);
+  EXPECT_EQ(predict.model, "mm");
+  EXPECT_EQ(predict.values, (Config{1024.0, 512.0, 8.0}));
+
+  EXPECT_EQ(serve::parse_request("LOAD mm").kind, serve::RequestKind::Load);
+  EXPECT_EQ(serve::parse_request("UNLOAD mm").model, "mm");
+  EXPECT_EQ(serve::parse_request("STATS").kind, serve::RequestKind::Stats);
+  EXPECT_EQ(serve::parse_request("QUIT").kind, serve::RequestKind::Quit);
+}
+
+TEST(Protocol, RejectsMalformedLines) {
+  const char* malformed[] = {
+      "",                       // empty
+      "PREDICT",                // missing model + values
+      "PREDICT mm",             // missing values
+      "PREDICT mm 1,2 3",       // wrong arity (stray token)
+      "PREDICT mm 1,,2",        // empty value entry
+      "PREDICT mm 1,nan",       // NaN value
+      "PREDICT mm 1,inf",       // infinite value
+      "PREDICT mm 1,zzz",       // non-numeric value
+      "PREDICT mm 1.5e2junk",   // trailing junk
+      "LOAD",                   // missing model
+      "LOAD a b",               // stray token
+      "STATS now",              // stray token
+      "FROBNICATE mm",          // unknown command
+      "predict mm 1,2",         // commands are case-sensitive
+  };
+  for (const char* line : malformed) {
+    EXPECT_THROW(serve::parse_request(line), CheckError) << "accepted: '" << line << "'";
+  }
+}
+
+TEST(Protocol, PredictionReplyRoundTripsBitwise) {
+  for (const double value : {1.5e-6, 3.141592653589793, 8.67e4}) {
+    const std::string reply = serve::format_prediction(value);
+    ASSERT_EQ(reply.rfind("OK ", 0), 0u);
+    EXPECT_EQ(std::stod(reply.substr(3)), value);
+  }
+  EXPECT_EQ(serve::format_error("CPR_CHECK failed: (x) at f.cpp:1 — bad news"),
+            "ERR bad news");
+}
+
+// ----------------------------------------------------------------- server
+
+TEST(Server, SessionMatchesDirectEvaluationBitwise) {
+  TempModelDir dir("server");
+  const auto cpr_model = fit_family("cpr");
+  const auto knn_model = fit_family("knn");
+  dir.save("pl-cpr", *cpr_model);
+  dir.save("pl-knn", *knn_model);
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 2;
+  options.batcher.max_wait_us = 50;
+  serve::Server server(options);
+
+  EXPECT_EQ(server.handle_line("LOAD pl-cpr").text,
+            "OK loaded pl-cpr type=cpr dims=2 bytes=" +
+                std::to_string(cpr_model->model_size_bytes()));
+  EXPECT_EQ(server.handle_line("LOAD pl-knn").text.rfind("OK loaded pl-knn", 0), 0u);
+
+  Rng rng(11);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const Config config = random_config(rng);
+    const auto& model = (i % 2 == 0) ? cpr_model : knn_model;
+    const std::string name = (i % 2 == 0) ? "pl-cpr" : "pl-knn";
+    std::ostringstream line;
+    line.precision(17);
+    line << "PREDICT " << name << " " << config[0] << "," << config[1];
+    const auto reply = server.handle_line(line.str());
+    ASSERT_EQ(reply.text.rfind("OK ", 0), 0u) << reply.text;
+    EXPECT_EQ(std::stod(reply.text.substr(3)), model->predict(config))
+        << "request " << i << " diverged from direct predict()";
+  }
+
+  // Repeats are served from the cache and stay bitwise-identical.
+  const auto first = server.handle_line("PREDICT pl-cpr 100,200");
+  const auto second = server.handle_line("PREDICT pl-cpr 100,200");
+  EXPECT_EQ(first.text, second.text);
+  EXPECT_GE(server.cache_counters().hits, 1u);
+
+  const auto stats = server.handle_line("STATS");
+  EXPECT_NE(stats.text.find("predicts"), std::string::npos);
+  EXPECT_NE(stats.text.find("cache_hits"), std::string::npos);
+  EXPECT_EQ(stats.text.substr(stats.text.size() - 2), "OK");
+
+  // Errors come back as ERR replies, never exceptions.
+  EXPECT_EQ(server.handle_line("PREDICT nosuch 1,2").text.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.handle_line("PREDICT pl-cpr 1,2,3").text.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.handle_line("PREDICT pl-cpr 1,nan").text.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.handle_line("UNLOAD nosuch").text.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.handle_line("garbage").text.rfind("ERR ", 0), 0u);
+
+  const auto quit = server.handle_line("QUIT");
+  EXPECT_TRUE(quit.quit);
+  EXPECT_EQ(quit.text, "OK bye");
+}
+
+TEST(Server, LazyLoadOnPredictAndConcurrentClients) {
+  TempModelDir dir("concurrent");
+  const auto model = fit_family("cpr");
+  dir.save("pl", *model);
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 2;
+  options.batcher.max_batch = 8;
+  options.batcher.max_wait_us = 100;
+  options.cache_capacity = 64;  // small: forces evictions under load
+  serve::Server server(options);
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kRequests = 48;
+  std::vector<std::string> failures[kClients];
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c % 3);  // overlapping streams: some cache hits
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        const Config config = random_config(rng);
+        std::ostringstream line;
+        line.precision(17);
+        line << "PREDICT pl " << config[0] << "," << config[1];
+        const auto reply = server.handle_line(line.str());
+        const double expected = model->predict(config);
+        if (reply.text != serve::format_prediction(expected)) {
+          failures[c].push_back(line.str() + " -> " + reply.text);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty())
+        << failures[c].size() << " mismatches, first: " << failures[c].front();
+  }
+  // The first PREDICT lazy-loaded the model without an explicit LOAD.
+  EXPECT_EQ(server.store().loaded_names(), std::vector<std::string>{"pl"});
+  const auto snapshot = server.request_stats().snapshot();
+  EXPECT_EQ(snapshot.predicts, kClients * kRequests);
+  EXPECT_EQ(snapshot.errors, 0u);
+}
+
+}  // namespace
+}  // namespace cpr

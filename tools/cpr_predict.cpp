@@ -4,17 +4,21 @@
 //
 // Usage:
 //   cpr_predict --model=model.cprm --configs=queries.csv [--out=pred.csv]
+//       [--threads=<n>]
 //
 // `queries.csv` uses the training layout minus the "seconds" column (if a
 // seconds column is present it is treated as ground truth and the MLogQ of
-// the predictions is reported).
+// the predictions is reported). Parsing shares common/dataset_io with
+// cpr_train: ragged rows, empty fields, and non-finite values fail loudly.
+// --threads caps the OpenMP team used by predict_batch (default: the
+// OMP_NUM_THREADS environment). Predictions are printed with full
+// round-trip precision, so they compare bitwise against a cpr_serve
+// session over the same archive.
 
-#include <algorithm>
-#include <cmath>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
+#include "common/dataset_io.hpp"
 #include "core/model_file.hpp"
 #include "metrics/metrics.hpp"
 #include "util/cli.hpp"
@@ -25,83 +29,57 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const std::string model_path = args.get_string("model", "");
   const std::string configs_path = args.get_string("configs", "");
-  if (model_path.empty() || configs_path.empty()) {
-    std::cerr << "usage: cpr_predict --model=model.cprm --configs=queries.csv "
-                 "[--out=predictions.csv]\n";
-    return 1;
+  if (args.has("help") || model_path.empty() || configs_path.empty()) {
+    (args.has("help") ? std::cout : std::cerr)
+        << "usage: cpr_predict --model=model.cprm --configs=queries.csv "
+           "[--out=predictions.csv] [--threads=<n>]\n\n"
+           "  --threads=<n>  cap the OpenMP team used by predict_batch\n"
+           "                 (default: the OMP_NUM_THREADS environment)\n";
+    return args.has("help") ? 0 : 1;
   }
 
   try {
+    apply_thread_cap(args.get_int("threads", 0));
+
     const common::RegressorPtr model = core::load_model_file(model_path);
     const std::size_t dims = model->input_dims();
     CPR_CHECK_MSG(dims > 0, model_path << ": archive holds an unfitted model");
     std::cerr << "loaded " << model->name() << " model (type '" << model->type_tag()
               << "', " << dims << " parameters)\n";
 
-    std::ifstream in(configs_path);
-    CPR_CHECK_MSG(in.good(), "cannot open " << configs_path);
-    std::string line;
-    CPR_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty configs file");
-    std::vector<std::string> header;
-    {
-      std::stringstream stream(line);
-      std::string field;
-      while (std::getline(stream, field, ',')) header.push_back(field);
-    }
-    const bool has_truth = !header.empty() && header.back() == "seconds";
-    const std::size_t expected = dims + (has_truth ? 1 : 0);
-    CPR_CHECK_MSG(header.size() == expected,
-                  "configs file has " << header.size() << " columns; the model expects "
-                                      << dims << (has_truth ? " + seconds" : ""));
+    const common::LoadedQueries queries = common::load_query_csv(configs_path);
+    CPR_CHECK_MSG(queries.parameter_names.size() == dims,
+                  configs_path << " has " << queries.parameter_names.size()
+                               << " parameter columns; the model expects " << dims);
 
     std::ofstream out;
     const std::string out_path = args.get_string("out", "");
     if (!out_path.empty()) {
       out.open(out_path);
       CPR_CHECK_MSG(out.good(), "cannot open " << out_path);
-      for (std::size_t j = 0; j < dims; ++j) out << header[j] << ',';
+      out.precision(17);
+      for (const auto& name : queries.parameter_names) out << name << ',';
       out << "predicted_seconds\n";
     }
 
-    // Parse every query row first so inference runs through the parallel
-    // batched entry point.
-    std::vector<double> flat, truths;
-    std::size_t line_number = 1;
-    while (std::getline(in, line)) {
-      ++line_number;
-      if (line.empty()) continue;
-      std::stringstream row(line);
-      std::string field;
-      std::vector<double> fields;
-      while (std::getline(row, field, ',')) fields.push_back(std::stod(field));
-      CPR_CHECK_MSG(fields.size() == expected,
-                    configs_path << ":" << line_number << ": bad field count");
-      flat.insert(flat.end(), fields.begin(),
-                  fields.begin() + static_cast<std::ptrdiff_t>(dims));
-      if (has_truth) truths.push_back(fields.back());
-    }
-    const std::size_t n_queries = flat.size() / std::max<std::size_t>(dims, 1);
-    CPR_CHECK_MSG(n_queries > 0, "no query rows in " << configs_path);
-
-    linalg::Matrix queries(n_queries, dims);
-    std::copy(flat.begin(), flat.end(), queries.data());  // flat is row-major
-    std::vector<double>().swap(flat);  // release before predicting: one copy in memory
     // Virtual dispatch: CPR variants use their allocation-free batched
     // override, every other family the parallel per-row default.
-    const std::vector<double> predictions = model->predict_batch(queries);
+    const std::vector<double> predictions = model->predict_batch(queries.x);
 
-    for (std::size_t i = 0; i < n_queries; ++i) {
+    std::cout.precision(17);
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
       if (out.is_open()) {
-        for (std::size_t j = 0; j < dims; ++j) out << queries(i, j) << ',';
+        for (std::size_t j = 0; j < dims; ++j) out << queries.x(i, j) << ',';
         out << predictions[i] << '\n';
       } else {
         std::cout << predictions[i] << "\n";
       }
     }
 
-    if (has_truth) {
-      std::cerr << "MLogQ vs ground truth: " << metrics::mlogq(predictions, truths)
-                << " over " << predictions.size() << " queries\n";
+    if (queries.has_truth()) {
+      std::cerr << "MLogQ vs ground truth: "
+                << metrics::mlogq(predictions, queries.truths) << " over "
+                << predictions.size() << " queries\n";
     }
     if (out.is_open()) {
       std::cerr << "wrote " << predictions.size() << " predictions to " << out_path << "\n";

@@ -1,0 +1,255 @@
+// cpr_serve — long-lived multi-model inference server over a directory of
+// registry archives (src/serve). Speaks the newline-delimited protocol
+// (serve/protocol.hpp) on stdin/stdout, or on a Unix stream socket with
+// --socket=<path> (one thread per connection; QUIT from any connection
+// shuts the server down).
+//
+// Usage:
+//   cpr_serve --models=<dir> [--socket=/tmp/cpr.sock] [--threads=<n>]
+//       [--workers=2] [--max-batch=64] [--max-wait-us=200]
+//       [--cache=4096] [--cache-shards=8]
+//
+// Example session (stdio):
+//   LOAD mm-cpr
+//   PREDICT mm-cpr 1024,512,8
+//   STATS
+//   QUIT
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/model_registry.hpp"
+#include "core/model_file.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+using namespace cpr;
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: cpr_serve --models=<dir> [--socket=<path>] [--threads=<n>]\n"
+         "                 [--workers=2] [--max-batch=64] [--max-wait-us=200]\n"
+         "                 [--cache=4096] [--cache-shards=8]\n\n"
+         "Serves every <name>.cprm archive in --models over the line protocol\n"
+         "  PREDICT <model> <v1,v2,...> -> OK <seconds>\n"
+         "  LOAD <model> | UNLOAD <model> | STATS | QUIT\n"
+         "on stdin/stdout, or on a Unix stream socket with --socket.\n\n"
+         "  --threads=<n>     cap the OpenMP team used by predict_batch\n"
+         "                    (default: the OMP_NUM_THREADS environment)\n"
+         "  --workers=<n>     micro-batcher inference threads\n"
+         "  --max-batch=<n>   flush a batch at this many queued requests\n"
+         "  --max-wait-us=<n> flush an under-full batch after this wait\n"
+         "  --cache=<n>       prediction-cache entries (0 disables)\n"
+         "  --cache-shards=<n> cache lock shards\n";
+}
+
+/// Inventory pass: tell the operator what the directory offers and flag
+/// archives this build cannot load before any client connects.
+void report_inventory(const std::string& dir) {
+  const auto names = core::list_model_archives(dir);
+  std::cerr << "cpr_serve: " << names.size() << " archive(s) in " << dir << "\n";
+  for (const auto& name : names) {
+    try {
+      const std::string tag = core::peek_model_type(core::model_file_path(dir, name));
+      if (common::ModelRegistry::instance().has_loader(tag)) {
+        std::cerr << "  " << name << " (" << tag << ")\n";
+      } else {
+        std::cerr << "  " << name << " (unloadable: unknown type tag '" << tag << "')\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "  " << name << " (unreadable: " << e.what() << ")\n";
+    }
+  }
+}
+
+/// Writes the whole buffer, resuming across short writes and EINTR.
+bool write_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Serves one established connection until QUIT/EOF. Returns true when the
+/// client asked the whole server to quit.
+bool serve_stream(serve::Server& server, int fd) {
+  std::string pending;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got <= 0) return false;  // EOF or error: drop the connection
+    pending.append(buffer, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const auto reply = server.handle_line(line);
+      if (!write_all(fd, reply.text + "\n")) return false;
+      if (reply.quit) return true;
+    }
+  }
+}
+
+int run_socket_server(serve::Server& server, const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "error: socket path too long: " << path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "error: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 64) < 0) {
+    std::cerr << "error: cannot listen on " << path << ": " << std::strerror(errno)
+              << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  std::cerr << "cpr_serve: listening on " << path << " (QUIT shuts down)\n";
+
+  // Per-connection bookkeeping. fds are closed only after the owning thread
+  // is joined, so a QUIT-triggered shutdown() can never hit a recycled fd.
+  struct Connection {
+    int fd;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+  std::mutex connections_mu;
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::atomic<bool> quit{false};
+
+  // Joins and closes every finished connection (all of them when `all`).
+  const auto reap = [&](bool all) {
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu);
+      for (auto it = connections.begin(); it != connections.end();) {
+        if (all || (*it)->done.load()) {
+          finished.push_back(std::move(*it));
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& connection : finished) {
+      connection->thread.join();
+      ::close(connection->fd);
+    }
+  };
+
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (quit.load()) break;
+      if (errno == EINTR) continue;
+      std::cerr << "error: accept(): " << std::strerror(errno) << "\n";
+      break;
+    }
+    reap(/*all=*/false);  // bound resources on long-lived servers
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    raw->thread = std::thread([&, raw] {
+      if (serve_stream(server, raw->fd)) {
+        quit.store(true);
+        // Unblock every live connection read and the accept loop so the
+        // whole process can exit; fds stay open until their join.
+        std::lock_guard<std::mutex> lock(connections_mu);
+        for (const auto& other : connections) ::shutdown(other->fd, SHUT_RDWR);
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+      raw->done.store(true);
+    });
+    std::lock_guard<std::mutex> lock(connections_mu);
+    connections.push_back(std::move(connection));
+    // A connection can race the QUIT sweep in either order: the sweep runs
+    // after quit is set, so whichever of (push, sweep) came second closes it.
+    if (quit.load()) ::shutdown(raw->fd, SHUT_RDWR);
+  }
+  {
+    // The loop can also end on an accept() error (e.g. EMFILE); unblock
+    // every live connection read so the final reap's joins cannot hang.
+    std::lock_guard<std::mutex> lock(connections_mu);
+    for (const auto& connection : connections) ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  reap(/*all=*/true);
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+void run_stdio_server(serve::Server& server) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto reply = server.handle_line(line);
+    std::cout << reply.text << "\n" << std::flush;
+    if (reply.quit) break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    usage(std::cout);
+    return 0;
+  }
+  const std::string model_dir = args.get_string("models", "");
+  if (model_dir.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  try {
+    apply_thread_cap(args.get_int("threads", 0));
+
+    serve::ServerOptions options;
+    options.model_dir = model_dir;
+    options.batcher.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    options.batcher.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 64));
+    options.batcher.max_wait_us =
+        static_cast<std::uint64_t>(args.get_int("max-wait-us", 200));
+    options.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 4096));
+    options.cache_shards = static_cast<std::size_t>(args.get_int("cache-shards", 8));
+
+    serve::Server server(options);
+    report_inventory(model_dir);
+
+    const std::string socket_path = args.get_string("socket", "");
+    if (!socket_path.empty()) return run_socket_server(server, socket_path);
+    run_stdio_server(server);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

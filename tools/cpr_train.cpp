@@ -32,22 +32,12 @@ using namespace cpr;
 
 namespace {
 
-/// Splits a --flag CSV list. Empty entries (leading/trailing/double
-/// delimiters, as in --log-dims=a,,b) are rejected with a usage error
-/// instead of being dropped silently.
+/// Splits a --flag CSV list through the shared strict splitter: empty
+/// entries (as in --log-dims=a,,b) are rejected with a usage error instead
+/// of being dropped silently.
 std::vector<std::string> split_csv_flag(const std::string& text, char delimiter,
                                         const std::string& flag) {
-  std::vector<std::string> parts;
-  if (text.empty()) return parts;
-  std::stringstream stream(text);
-  std::string part;
-  while (std::getline(stream, part, delimiter)) parts.push_back(part);
-  if (text.back() == delimiter) parts.push_back("");  // getline drops the last empty
-  for (const auto& entry : parts) {
-    CPR_CHECK_MSG(!entry.empty(),
-                  "--" << flag << "=" << text << " contains an empty list entry");
-  }
-  return parts;
+  return common::split_fields(text, delimiter, "--" + flag);
 }
 
 void usage(std::ostream& out) {

@@ -2,20 +2,29 @@
 # One-command tier-1 gate: configure + build + ctest, exactly as CI and the
 # ROADMAP "Tier-1 verify" line run it. Exits nonzero on the first failure.
 #
-# Usage: tools/verify.sh [--sanitize] [build-dir]   (default: build)
+# Usage: tools/verify.sh [--sanitize] [--tsan] [build-dir]   (default: build)
 #
 # --sanitize additionally configures a second build directory
 # (<build-dir>-asan) with AddressSanitizer + UBSan (CPR_SANITIZE=ON) and runs
 # the test suite there too, so the (de)serialization and completion hot paths
 # are exercised under the sanitizers in the same gate.
+#
+# --tsan additionally configures a ThreadSanitizer build (<build-dir>-tsan,
+# CPR_TSAN=ON) and runs the concurrency-heavy suites (serve_test +
+# completion_test) there. OpenMP is disabled in that build: libgomp is not
+# TSan-instrumented and reports false positives on its own synchronization;
+# the std::thread concurrency of the serving layer is the verification
+# target.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 sanitize=0
+tsan=0
 build_dir=build
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
+    --tsan) tsan=1 ;;
     *) build_dir="$arg" ;;
   esac
 done
@@ -33,6 +42,15 @@ if [[ "$sanitize" -eq 1 ]]; then
   cmake --build "$asan_dir" -j
   ctest --test-dir "$asan_dir" --output-on-failure -j
   echo "verify.sh: ASan+UBSan configure + build + ctest all green"
+fi
+
+if [[ "$tsan" -eq 1 ]]; then
+  tsan_dir="${build_dir}-tsan"
+  cmake -B "$tsan_dir" -S "$repo_root" -DCPR_TSAN=ON -DCPR_ENABLE_OPENMP=OFF \
+    -DCPR_BUILD_BENCH=OFF -DCPR_BUILD_EXAMPLES=OFF
+  cmake --build "$tsan_dir" -j --target serve_test completion_test
+  ctest --test-dir "$tsan_dir" --output-on-failure -R '^(serve_test|completion_test)$'
+  echo "verify.sh: TSan configure + build + ctest (serve_test, completion_test) green"
 fi
 
 echo "verify.sh: configure + build + ctest all green"
