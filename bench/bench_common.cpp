@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/model_registry.hpp"
+#include "tune/tuner.hpp"
 
 namespace cpr::bench {
 
@@ -233,6 +234,30 @@ BestScore best_over(const std::vector<ModelCandidate>& candidates,
       best.config = candidate.config;
     }
   }
+  return best;
+}
+
+BestScore tune_and_score(const std::string& family_tag, const apps::BenchmarkApp& app,
+                         const common::Dataset& train, const common::Dataset& test,
+                         SweepScale scale, std::size_t threads, std::uint64_t seed) {
+  common::ModelSpec base;
+  base.params = app.parameters();
+
+  tune::TunerOptions options;
+  const bool full = scale == SweepScale::Full;
+  options.max_trials = full ? 16 : 8;
+  options.rungs = full ? 3 : 2;
+  options.folds = full ? 3 : 2;
+  options.threads = threads;
+  options.seed = seed;
+
+  Stopwatch watch;
+  const auto outcome = tune::Tuner(options).run(family_tag, base, train);
+  BestScore best;
+  best.config = "tuned: " + outcome.ranked.front().config;
+  best.score.seconds = watch.seconds();
+  best.score.mlogq = common::evaluate_mlogq(*outcome.model, test);
+  best.score.bytes = outcome.model->model_size_bytes();
   return best;
 }
 

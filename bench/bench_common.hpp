@@ -73,6 +73,16 @@ BestScore best_over(const std::vector<ModelCandidate>& candidates,
                     const common::Dataset& train, const common::Dataset& test,
                     double time_budget_seconds = 1e9);
 
+/// Honestly-tuned candidate for one registry family: runs the universal
+/// successive-halving tuner (src/tune) over the family's registered search
+/// space on `train` — never peeking at `test` — then scores the refit
+/// winner. `score.seconds` is the full tune + refit wall time; `config` the
+/// winning assignment.
+BestScore tune_and_score(const std::string& family_tag, const apps::BenchmarkApp& app,
+                         const common::Dataset& train, const common::Dataset& test,
+                         SweepScale scale, std::size_t threads = 1,
+                         std::uint64_t seed = 42);
+
 /// Prints the table and optionally writes CSV per --csv.
 void emit(const Table& table, const CliArgs& args, const std::string& default_csv_name);
 

@@ -188,7 +188,7 @@ void DecisionTree::serialize(SerialSink& sink) const {
 
 DecisionTree DecisionTree::deserialize(BufferSource& source, std::size_t dims) {
   DecisionTree tree;
-  const auto count = source.read_u64();
+  const auto count = source.read_count();
   tree.nodes_.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     Node& node = tree.nodes_[i];

@@ -17,7 +17,7 @@ void save_trees(SerialSink& sink, const std::vector<DecisionTree>& trees) {
 }
 
 std::vector<DecisionTree> load_trees(BufferSource& source, std::size_t dims) {
-  std::vector<DecisionTree> trees(source.read_u64());
+  std::vector<DecisionTree> trees(source.read_count());
   for (auto& tree : trees) tree = DecisionTree::deserialize(source, dims);
   return trees;
 }

@@ -197,7 +197,7 @@ void PmnfRegressor::save(SerialSink& sink) const {
 PmnfRegressor PmnfRegressor::deserialize(BufferSource& source) {
   PmnfOptions options;
   options.exponents = source.read_doubles();
-  options.log_exponents.resize(source.read_u64());
+  options.log_exponents.resize(source.read_count());
   for (int& w : options.log_exponents) {
     w = static_cast<int>(source.read_pod<std::int64_t>());
   }
@@ -205,9 +205,9 @@ PmnfRegressor PmnfRegressor::deserialize(BufferSource& source) {
   options.ridge = source.read_f64();
   PmnfRegressor model(std::move(options));
   model.dims_ = source.read_u64();
-  model.terms_.resize(source.read_u64());
+  model.terms_.resize(source.read_count());
   for (Term& term : model.terms_) {
-    term.factors.resize(source.read_u64());
+    term.factors.resize(source.read_count());
     for (Term::Factor& factor : term.factors) {
       factor.dim = source.read_u64();
       factor.exponent = source.read_f64();

@@ -266,9 +266,9 @@ Mars Mars::deserialize(BufferSource& source) {
   options.seed = source.read_u64();
   Mars model(options);
   model.dims_ = source.read_u64();
-  model.basis_.resize(source.read_u64());
+  model.basis_.resize(source.read_count());
   for (BasisFunction& b : model.basis_) {
-    b.hinges.resize(source.read_u64());
+    b.hinges.resize(source.read_count());
     for (Hinge& hinge : b.hinges) {
       hinge.dim = source.read_u64();
       hinge.knot = source.read_f64();

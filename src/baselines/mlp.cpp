@@ -246,7 +246,7 @@ Mlp Mlp::deserialize(BufferSource& source) {
   CPR_CHECK_MSG(activation_id <= static_cast<std::uint8_t>(Activation::Tanh),
                 "MLP archive has unknown activation id");
   options.activation = static_cast<Activation>(activation_id);
-  options.hidden_layers.resize(source.read_u64());
+  options.hidden_layers.resize(source.read_count());
   for (std::size_t& width : options.hidden_layers) width = source.read_u64();
   options.epochs = static_cast<int>(source.read_pod<std::int64_t>());
   options.batch_size = source.read_u64();
@@ -254,7 +254,7 @@ Mlp Mlp::deserialize(BufferSource& source) {
   options.weight_decay = source.read_f64();
   options.seed = source.read_u64();
   Mlp model(options);
-  const auto layer_count = source.read_u64();
+  const auto layer_count = source.read_count();
   model.layers_.resize(layer_count);
   for (Layer& layer : model.layers_) {
     layer.weight = linalg::Matrix::deserialize(source);

@@ -263,7 +263,7 @@ SparseGridRegressor SparseGridRegressor::deserialize(BufferSource& source) {
   model.hi_ = source.read_doubles();
   CPR_CHECK(model.lo_.size() == model.hi_.size());
   const std::size_t dims = model.lo_.size();
-  const auto point_count = source.read_u64();
+  const auto point_count = source.read_count();
   model.point_levels_.reserve(point_count);
   model.point_indices_.reserve(point_count);
   model.weights_.reserve(point_count);

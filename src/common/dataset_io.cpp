@@ -1,5 +1,6 @@
 #include "common/dataset_io.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -147,6 +148,74 @@ LoadedQueries load_query_csv(const std::string& path) {
   loaded.x = linalg::Matrix(values.size() / d, d);
   std::copy(values.begin(), values.end(), loaded.x.data());
   return loaded;
+}
+
+std::map<std::string, std::string> parse_hyper_entries(const std::string& text) {
+  std::map<std::string, std::string> hyper;
+  for (const auto& entry : split_fields(text, ',', "--hyper")) {
+    const auto colon = entry.find(':');
+    CPR_CHECK_MSG(colon != std::string::npos && colon > 0,
+                  "--hyper needs key:value entries (got '" << entry << "')");
+    hyper[entry.substr(0, colon)] = entry.substr(colon + 1);
+  }
+  return hyper;
+}
+
+std::vector<std::pair<std::string, std::size_t>> parse_categorical_entries(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::size_t>> categoricals;
+  for (const auto& entry : split_fields(text, ',', "--categorical")) {
+    const auto colon = entry.find(':');
+    CPR_CHECK_MSG(colon != std::string::npos && colon > 0,
+                  "--categorical needs name:count entries (got '" << entry << "')");
+    std::size_t consumed = 0;
+    std::size_t categories = 0;
+    try {
+      categories = std::stoul(entry.substr(colon + 1), &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    CPR_CHECK_MSG(consumed == entry.size() - colon - 1 && categories > 0,
+                  "--categorical needs a positive count (got '" << entry << "')");
+    categoricals.emplace_back(entry.substr(0, colon), categories);
+  }
+  return categoricals;
+}
+
+std::vector<grid::ParameterSpec> infer_parameter_specs(
+    const LoadedDataset& loaded, const std::vector<std::string>& log_dims,
+    const std::vector<std::pair<std::string, std::size_t>>& categoricals) {
+  const auto& names = loaded.parameter_names;
+  std::vector<grid::ParameterSpec> specs;
+  specs.reserve(names.size());
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    double lo = loaded.data.x(0, j), hi = lo;
+    bool integral = true;
+    for (std::size_t i = 0; i < loaded.data.size(); ++i) {
+      const double v = loaded.data.x(i, j);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      integral = integral && v == std::round(v);
+    }
+    bool handled = false;
+    for (const auto& [cat_name, categories] : categoricals) {
+      if (cat_name == names[j]) {
+        specs.push_back(grid::ParameterSpec::categorical(names[j], categories));
+        handled = true;
+      }
+    }
+    if (handled) continue;
+    const bool is_log =
+        std::find(log_dims.begin(), log_dims.end(), names[j]) != log_dims.end();
+    CPR_CHECK_MSG(hi > lo, "parameter '" << names[j] << "' is constant in the data");
+    if (is_log) {
+      CPR_CHECK_MSG(lo > 0.0, "log spacing needs positive '" << names[j] << "'");
+      specs.push_back(grid::ParameterSpec::numerical_log(names[j], lo, hi, integral));
+    } else {
+      specs.push_back(grid::ParameterSpec::numerical_uniform(names[j], lo, hi, integral));
+    }
+  }
+  return specs;
 }
 
 }  // namespace cpr::common

@@ -7,7 +7,9 @@
 // protocol's value lists (serve/protocol) — so malformed input fails loudly
 // with one set of semantics instead of tool-specific parsing quirks.
 
+#include <map>
 #include <string>
+#include <utility>
 
 #include "common/dataset.hpp"
 
@@ -52,5 +54,24 @@ struct LoadedQueries {
 /// Same loud-failure semantics as load_dataset_csv (ragged rows, empty or
 /// non-numeric fields); ground-truth times must be positive.
 LoadedQueries load_query_csv(const std::string& path);
+
+/// Parses a `--hyper=key:value,...` flag value into a hyper map; rejects
+/// entries without a `key:` prefix. Shared by cpr_train and cpr_tune so
+/// flag semantics cannot drift between the tools.
+std::map<std::string, std::string> parse_hyper_entries(const std::string& text);
+
+/// Parses a `--categorical=name:count,...` flag value.
+std::vector<std::pair<std::string, std::size_t>> parse_categorical_entries(
+    const std::string& text);
+
+/// Derives the ParameterSpec list the training/tuning tools build from a
+/// loaded dataset: ranges come from the data, names listed in `log_dims`
+/// get logarithmic spacing (inputs/architecture), entries of `categoricals`
+/// (name, category count) are treated as categorical modes, and columns
+/// whose observed values are all integral are marked integral. Throws
+/// CheckError for constant columns and non-positive log ranges.
+std::vector<grid::ParameterSpec> infer_parameter_specs(
+    const LoadedDataset& loaded, const std::vector<std::string>& log_dims,
+    const std::vector<std::pair<std::string, std::size_t>>& categoricals);
 
 }  // namespace cpr::common

@@ -62,6 +62,64 @@ std::vector<std::string> ModelSpec::unread_keys() const {
   return unread;
 }
 
+std::string format_hyper_value(double v) {
+  std::ostringstream stream;
+  stream.precision(12);
+  stream << v;
+  return stream.str();
+}
+
+HyperAxis HyperAxis::grid(std::string name, std::vector<std::string> values) {
+  CPR_CHECK_MSG(!name.empty(), "search-space axis needs a name");
+  CPR_CHECK_MSG(!values.empty(), "axis '" << name << "': grid needs at least one value");
+  for (const auto& value : values) {
+    CPR_CHECK_MSG(!value.empty(), "axis '" << name << "': empty grid value");
+  }
+  HyperAxis axis;
+  axis.name = std::move(name);
+  axis.kind = Kind::Grid;
+  axis.values = std::move(values);
+  return axis;
+}
+
+HyperAxis HyperAxis::grid_numeric(std::string name, const std::vector<double>& values) {
+  std::vector<std::string> formatted;
+  formatted.reserve(values.size());
+  for (const double v : values) formatted.push_back(format_hyper_value(v));
+  return grid(std::move(name), std::move(formatted));
+}
+
+HyperAxis HyperAxis::linear(std::string name, double lo, double hi) {
+  CPR_CHECK_MSG(!name.empty(), "search-space axis needs a name");
+  CPR_CHECK_MSG(lo < hi, "axis '" << name << "': need lo < hi");
+  HyperAxis axis;
+  axis.name = std::move(name);
+  axis.kind = Kind::Linear;
+  axis.lo = lo;
+  axis.hi = hi;
+  return axis;
+}
+
+HyperAxis HyperAxis::log(std::string name, double lo, double hi) {
+  CPR_CHECK_MSG(lo > 0.0, "axis '" << name << "': log range needs lo > 0");
+  HyperAxis axis = linear(std::move(name), lo, hi);
+  axis.kind = Kind::Log;
+  return axis;
+}
+
+HyperAxis HyperAxis::linear_int(std::string name, std::int64_t lo, std::int64_t hi) {
+  HyperAxis axis = linear(std::move(name), static_cast<double>(lo), static_cast<double>(hi));
+  axis.kind = Kind::LinearInt;
+  return axis;
+}
+
+HyperAxis HyperAxis::log_int(std::string name, std::int64_t lo, std::int64_t hi) {
+  CPR_CHECK_MSG(lo > 0, "axis '" << name << "': log range needs lo > 0");
+  HyperAxis axis = linear(std::move(name), static_cast<double>(lo), static_cast<double>(hi));
+  axis.kind = Kind::LogInt;
+  return axis;
+}
+
 ModelRegistry& ModelRegistry::instance() {
   static ModelRegistry* registry = [] {
     auto* r = new ModelRegistry();
@@ -77,14 +135,40 @@ void ModelRegistry::register_family(const std::string& name,
   CPR_CHECK_MSG(factory && loader, "family '" << name << "' needs factory + loader");
   CPR_CHECK_MSG(!entries_.count(name), "model family '" << name
                                                         << "' registered twice");
-  entries_[name] = Entry{description, std::move(factory), std::move(loader)};
+  entries_[name] = Entry{description, std::move(factory), std::move(loader), nullptr};
 }
 
 void ModelRegistry::register_loader(const std::string& name, Loader loader) {
   CPR_CHECK_MSG(loader, "family '" << name << "' needs a loader");
   CPR_CHECK_MSG(!entries_.count(name), "model family '" << name
                                                         << "' registered twice");
-  entries_[name] = Entry{"", nullptr, std::move(loader)};
+  entries_[name] = Entry{"", nullptr, std::move(loader), nullptr};
+}
+
+void ModelRegistry::register_search_space(const std::string& name,
+                                          SearchSpaceFactory factory) {
+  CPR_CHECK_MSG(factory, "family '" << name << "' needs a search-space factory");
+  const auto it = entries_.find(name);
+  CPR_CHECK_MSG(it != entries_.end() && it->second.factory,
+                "cannot declare a search space for unknown family '" << name << "'");
+  CPR_CHECK_MSG(!it->second.space, "search space for family '" << name
+                                                               << "' declared twice");
+  it->second.space = std::move(factory);
+}
+
+bool ModelRegistry::has_search_space(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.space != nullptr;
+}
+
+std::vector<HyperAxis> ModelRegistry::search_space(const std::string& name,
+                                                   const ModelSpec& base) const {
+  const auto it = entries_.find(name);
+  CPR_CHECK_MSG(it != entries_.end() && it->second.factory,
+                "unknown model family '" << name << "'");
+  CPR_CHECK_MSG(it->second.space,
+                "family '" << name << "' has no declared search space");
+  return it->second.space(base);
 }
 
 bool ModelRegistry::has_family(const std::string& name) const {

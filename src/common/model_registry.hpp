@@ -48,10 +48,49 @@ struct ModelSpec {
   mutable std::set<std::string> read_;
 };
 
+/// Round-trip-stable decimal form (12 significant digits) used everywhere a
+/// numeric hyper value becomes a string — grid axis values and sampled
+/// candidates must format identically or candidate labels (the tuner's
+/// dedup/determinism key) would diverge.
+std::string format_hyper_value(double v);
+
+/// One axis of a family's hyper-parameter search space. Families declare
+/// their axes alongside the registry entry (register_search_space), so the
+/// tuner (src/tune) can search any family without per-family knowledge. The
+/// reserved axis name "cells" tunes ModelSpec::cells (grid-based families);
+/// every other axis name is a hyper key of the family.
+struct HyperAxis {
+  enum class Kind {
+    Grid,       ///< explicit value list, swept in declaration order
+    Linear,     ///< uniform real in [lo, hi]
+    Log,        ///< log-uniform real in [lo, hi] (lo > 0)
+    LinearInt,  ///< uniform integer in [lo, hi]
+    LogInt,     ///< log-uniform integer in [lo, hi] (lo > 0)
+  };
+
+  std::string name;
+  Kind kind = Kind::Grid;
+  double lo = 0.0;                  ///< range axes only
+  double hi = 0.0;                  ///< range axes only
+  std::vector<std::string> values;  ///< Grid axes only
+
+  static HyperAxis grid(std::string name, std::vector<std::string> values);
+  /// Grid over numeric values (formatted so they round-trip through stod).
+  static HyperAxis grid_numeric(std::string name, const std::vector<double>& values);
+  static HyperAxis linear(std::string name, double lo, double hi);
+  static HyperAxis log(std::string name, double lo, double hi);
+  static HyperAxis linear_int(std::string name, std::int64_t lo, std::int64_t hi);
+  static HyperAxis log_int(std::string name, std::int64_t lo, std::int64_t hi);
+};
+
 class ModelRegistry {
  public:
   using Factory = std::function<RegressorPtr(const ModelSpec&)>;
   using Loader = std::function<RegressorPtr(BufferSource&)>;
+  /// Builds a family's tuning axes for one base spec (the parameter space is
+  /// already set, so factories can scale e.g. cell counts with the
+  /// dimensionality of the modeling domain).
+  using SearchSpaceFactory = std::function<std::vector<HyperAxis>(const ModelSpec&)>;
 
   /// The process-wide registry, pre-populated with every built-in family.
   static ModelRegistry& instance();
@@ -64,6 +103,17 @@ class ModelRegistry {
   /// Registers a load-only entry (archive wrappers like "logspace" that are
   /// produced by other factories rather than requested by name).
   void register_loader(const std::string& name, Loader loader);
+
+  /// Declares the tuning search space of an already-registered family.
+  /// Re-declaration throws, as does declaring a space for an unknown name.
+  void register_search_space(const std::string& name, SearchSpaceFactory factory);
+
+  bool has_search_space(const std::string& name) const;
+
+  /// The family's tuning axes for `base` (whose params describe the modeling
+  /// domain). Throws CheckError for an unknown family or one without a
+  /// declared search space.
+  std::vector<HyperAxis> search_space(const std::string& name, const ModelSpec& base) const;
 
   bool has_family(const std::string& name) const;
 
@@ -90,6 +140,7 @@ class ModelRegistry {
     std::string description;
     Factory factory;  ///< null for load-only entries
     Loader loader;
+    SearchSpaceFactory space;  ///< null until register_search_space
   };
   std::map<std::string, Entry> entries_;
 };
@@ -97,5 +148,9 @@ class ModelRegistry {
 /// Registers the built-in families (defined in model_zoo.cpp); invoked once
 /// by ModelRegistry::instance().
 void register_builtin_models(ModelRegistry& registry);
+
+/// Declares the built-in families' tuning search spaces (model_zoo.cpp);
+/// invoked by register_builtin_models.
+void register_builtin_search_spaces(ModelRegistry& registry);
 
 }  // namespace cpr::common

@@ -26,6 +26,7 @@
 #include "core/cpr_model.hpp"
 #include "core/online_cpr.hpp"
 #include "core/tucker_perf_model.hpp"
+#include "core/tuning.hpp"
 #include "grid/discretization.hpp"
 
 namespace cpr::common {
@@ -338,6 +339,135 @@ void register_builtin_models(ModelRegistry& registry) {
     FeatureTransform transform = FeatureTransform::deserialize(source);
     RegressorPtr inner = registry.load(source.read_string(), source);
     return std::make_unique<LogSpaceRegressor>(std::move(inner), std::move(transform));
+  });
+
+  register_builtin_search_spaces(registry);
+}
+
+// Tuning search spaces, declared alongside the factories so src/tune can
+// autotune any family by name. Grid axes keep historically-swept values
+// (cpr reuses the exact CprTuningGrid the old `cpr_train --tune` searched,
+// so its tuned behavior stays reproducible); range axes are sampled by the
+// tuner's deterministic seeded sampler. Per-dimension cell counts shrink
+// with the dimensionality — the cell-count product explodes otherwise.
+void register_builtin_search_spaces(ModelRegistry& registry) {
+  const auto cells_axis = [](const ModelSpec& base) {
+    const std::size_t d = base.params.size();
+    if (d >= 6) return HyperAxis::grid_numeric("cells", {3, 4, 5});
+    if (d >= 4) return HyperAxis::grid_numeric("cells", {4, 6, 8});
+    return HyperAxis::grid_numeric("cells", {4, 8, 16});
+  };
+
+  registry.register_search_space("cpr", [](const ModelSpec& base) {
+    const auto grid = core::CprTuningGrid::for_dimensions(base.params.size());
+    std::vector<double> cells(grid.cells.begin(), grid.cells.end());
+    std::vector<double> ranks(grid.ranks.begin(), grid.ranks.end());
+    return std::vector<HyperAxis>{
+        HyperAxis::grid_numeric("cells", cells),
+        HyperAxis::grid_numeric("rank", ranks),
+        HyperAxis::grid_numeric("lambda", grid.regularizations),
+    };
+  });
+
+  registry.register_search_space("cpr-online", [cells_axis](const ModelSpec& base) {
+    return std::vector<HyperAxis>{
+        cells_axis(base),
+        HyperAxis::grid_numeric("rank", {2, 4, 8, 16}),
+        HyperAxis::grid_numeric("lambda", {1e-5, 1e-4}),
+    };
+  });
+
+  registry.register_search_space("tucker", [cells_axis](const ModelSpec& base) {
+    return std::vector<HyperAxis>{
+        cells_axis(base),
+        HyperAxis::grid_numeric("mode-rank", {2, 3, 4}),
+        HyperAxis::grid_numeric("lambda", {1e-5, 1e-4}),
+    };
+  });
+
+  registry.register_search_space("grid", [cells_axis](const ModelSpec& base) {
+    return std::vector<HyperAxis>{cells_axis(base)};
+  });
+
+  registry.register_search_space("knn", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::grid_numeric("k", {1, 2, 3, 4, 5, 6}),
+        HyperAxis::grid("weighted", {"1", "0"}),
+    };
+  });
+
+  const auto forest_space = [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::log_int("trees", 8, 64),
+        HyperAxis::linear_int("depth", 4, 16),
+        HyperAxis::grid_numeric("min-leaf", {1, 2}),
+    };
+  };
+  registry.register_search_space("rf", forest_space);
+  registry.register_search_space("et", forest_space);
+
+  registry.register_search_space("gb", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::log_int("trees", 16, 128),
+        HyperAxis::linear_int("depth", 2, 6),
+        HyperAxis::log("learning-rate", 0.03, 0.3),
+    };
+  });
+
+  registry.register_search_space("gp", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::grid("kernel", {"rbf", "rq", "matern"}),
+        HyperAxis::log("noise", 1e-6, 1e-2),
+    };
+  });
+
+  registry.register_search_space("svm", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::grid("kernel", {"rbf", "poly"}),
+        HyperAxis::grid_numeric("degree", {2, 3}),
+        HyperAxis::log("c", 0.1, 100.0),
+        HyperAxis::log("epsilon", 1e-3, 1e-1),
+    };
+  });
+
+  registry.register_search_space("nn", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::grid("layers", {"16x16", "32x32", "64x64"}),
+        HyperAxis::grid("act", {"relu", "tanh"}),
+        HyperAxis::grid_numeric("epochs", {60, 120}),
+        HyperAxis::log("learning-rate", 3e-4, 1e-2),
+    };
+  });
+
+  registry.register_search_space("mars", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::grid_numeric("degree", {1, 2}),
+        HyperAxis::grid_numeric("max-terms", {11, 21}),
+    };
+  });
+
+  registry.register_search_space("sgr", [](const ModelSpec& base) {
+    const std::int64_t max_level = base.params.size() >= 6 ? 3 : 4;
+    return std::vector<HyperAxis>{
+        HyperAxis::linear_int("level", 2, max_level),
+        HyperAxis::log("lambda", 1e-6, 1e-3),
+        HyperAxis::grid_numeric("refinements", {0, 2}),
+    };
+  });
+
+  registry.register_search_space("ols", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::linear_int("degree", 1, 3),
+        HyperAxis::grid("interactions", {"1", "0"}),
+        HyperAxis::log("ridge", 1e-8, 1e-2),
+    };
+  });
+
+  registry.register_search_space("pmnf", [](const ModelSpec&) {
+    return std::vector<HyperAxis>{
+        HyperAxis::linear_int("max-terms", 2, 8),
+        HyperAxis::log("ridge", 1e-8, 1e-2),
+    };
   });
 }
 

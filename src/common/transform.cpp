@@ -42,7 +42,7 @@ void FeatureTransform::serialize(SerialSink& sink) const {
 
 FeatureTransform FeatureTransform::deserialize(BufferSource& source) {
   FeatureTransform transform;
-  const auto dims = source.read_u64();
+  const auto dims = source.read_count();
   transform.log_feature.resize(dims);
   for (std::size_t j = 0; j < dims; ++j) {
     transform.log_feature[j] = source.read_pod<std::uint8_t>() != 0;

@@ -42,6 +42,16 @@ common::RegressorPtr load_model_file(const std::string& path) {
   std::uint64_t size = 0;
   in.read(reinterpret_cast<char*>(&size), sizeof(size));
   CPR_CHECK_MSG(in.good(), path << ": truncated header");
+  // Validate the declared body size against the actual file length BEFORE
+  // allocating: a corrupt size field must fail loudly, not drive a huge
+  // allocation.
+  const auto body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(body_start);
+  CPR_CHECK_MSG(file_end >= body_start &&
+                    size <= static_cast<std::uint64_t>(file_end - body_start),
+                path << ": truncated payload");
   std::vector<std::uint8_t> buffer(size);
   in.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(size));
   CPR_CHECK_MSG(in.good() && static_cast<std::uint64_t>(in.gcount()) == size,
@@ -106,6 +116,14 @@ std::string peek_model_type(const std::string& path) {
   CPR_CHECK_MSG(in.good() && size >= sizeof(tag_size) &&
                     tag_size <= size - sizeof(tag_size),
                 path << ": truncated archive body");
+  // Bound by the real file length too (the declared size is untrusted).
+  const auto tag_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(tag_start);
+  CPR_CHECK_MSG(file_end >= tag_start &&
+                    tag_size <= static_cast<std::uint64_t>(file_end - tag_start),
+                path << ": truncated type tag");
   std::string tag(tag_size, '\0');
   in.read(tag.data(), static_cast<std::streamsize>(tag_size));
   CPR_CHECK_MSG(in.good(), path << ": truncated type tag");

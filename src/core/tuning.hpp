@@ -8,6 +8,11 @@
 //   * TuneMode::TestSetMinimum — the paper's protocol (benchmark harnesses);
 //   * TuneMode::ValidationSplit — hold out a fraction of the training set,
 //     select on it, then refit the winner on the full data (deployments).
+//
+// The tools now tune every family through the universal k-fold tuner in
+// src/tune (whose `cpr` search space is exactly CprTuningGrid, so the swept
+// grid is unchanged); this CPR-specific sweep remains for the paper-protocol
+// benches and as the grid's single source of truth.
 
 #include <functional>
 

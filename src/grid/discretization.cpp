@@ -272,7 +272,8 @@ void Discretization::serialize(SerialSink& sink) const {
 }
 
 Discretization Discretization::deserialize(BufferSource& source) {
-  const auto order = source.read_u64();
+  // Each parameter record is >= 7 u64-sized fields; bound before allocating.
+  const auto order = source.read_count(7 * sizeof(std::uint64_t));
   std::vector<ParameterSpec> params(order);
   std::vector<std::size_t> cells(order);
   for (std::size_t j = 0; j < order; ++j) {
@@ -284,6 +285,12 @@ Discretization Discretization::deserialize(BufferSource& source) {
     p.integral = source.read_u64() != 0;
     p.categories = source.read_u64();
     cells[j] = source.read_u64();
+    // Grid edges are computed (not stored), so corrupt counts cannot be
+    // bounded by the remaining bytes: cap them at a generous sanity limit
+    // instead of letting build() allocate gigabytes.
+    constexpr std::size_t kMaxCellsPerDim = std::size_t{1} << 24;
+    CPR_CHECK_MSG(p.categories <= kMaxCellsPerDim && cells[j] <= kMaxCellsPerDim,
+                  "archive declares an implausible grid ('" << p.name << "')");
   }
   return Discretization(std::move(params), std::move(cells));
 }

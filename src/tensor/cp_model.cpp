@@ -124,10 +124,18 @@ void CpModel::serialize(SerialSink& sink) const {
 }
 
 CpModel CpModel::deserialize(BufferSource& source) {
-  const auto order = source.read_u64();
+  const auto order = source.read_count(2 * sizeof(std::uint64_t));
   const auto rank = source.read_u64();
   Dims dims(order);
   for (auto& dim : dims) dim = source.read_u64();
+  // The factors (dims[j] x rank doubles each) follow in the body; reject
+  // corrupt shapes before the constructor allocates them. The budget is
+  // consumed across factors so their SUM is bounded too, not just each one.
+  std::size_t budget = source.remaining() / sizeof(double);
+  for (const auto dim : dims) {
+    CPR_CHECK_MSG(rank > 0 && dim <= budget / rank, "serialized buffer underrun");
+    budget -= dim * rank;
+  }
   CpModel model(dims, rank);
   for (std::size_t j = 0; j < order; ++j) {
     model.factors_[j] = linalg::Matrix::deserialize(source);

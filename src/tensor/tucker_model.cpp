@@ -106,10 +106,23 @@ void TuckerModel::serialize(SerialSink& sink) const {
 }
 
 TuckerModel TuckerModel::deserialize(BufferSource& source) {
-  const auto order = source.read_u64();
+  const auto order = source.read_count(2 * sizeof(std::uint64_t));
   Dims dims(order), core_dims(order);
   for (auto& d : dims) d = source.read_u64();
   for (auto& r : core_dims) r = source.read_u64();
+  // The core (prod core_dims doubles) and factors (dims[j] x core_dims[j])
+  // follow in the body; reject corrupt shapes before allocating them. The
+  // factor budget is consumed across modes so their SUM is bounded too.
+  std::size_t core_budget = source.remaining() / sizeof(double);
+  std::size_t factor_budget = source.remaining() / sizeof(double);
+  for (std::size_t j = 0; j < order; ++j) {
+    CPR_CHECK_MSG(core_dims[j] > 0 && core_dims[j] <= core_budget,
+                  "serialized buffer underrun");
+    core_budget /= core_dims[j];
+    CPR_CHECK_MSG(dims[j] <= factor_budget / core_dims[j],
+                  "serialized buffer underrun");
+    factor_budget -= dims[j] * core_dims[j];
+  }
   TuckerModel model(dims, core_dims);
   const auto core_values = source.read_doubles();
   CPR_CHECK(core_values.size() == model.core_.size());

@@ -1,0 +1,34 @@
+#pragma once
+// k-fold cross-validation for the universal tuner.
+//
+// kfold_splits produces a deterministic exact partition of the row indices:
+// every row lands in exactly one validation fold (no leaks, no drops), fold
+// sizes differ by at most one, and each fold's training rows are precisely
+// the complement of its validation rows. cross_validate then scores one
+// (family, spec) candidate by refitting a fresh registry-constructed model
+// per fold and averaging held-out errors in log space — MLogQ (the paper's
+// Section-2.2 selection metric) and the RMS log accuracy ratio.
+
+#include "common/dataset.hpp"
+#include "common/model_registry.hpp"
+
+namespace cpr::tune {
+
+struct FoldSplit {
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> valid_rows;
+};
+
+/// Deterministic k-fold partition of [0, n); requires 2 <= k <= n.
+std::vector<FoldSplit> kfold_splits(std::size_t n, std::size_t k, std::uint64_t seed);
+
+/// Held-out error of one candidate, averaged over the validation folds
+/// (weighted by fold size).
+struct CvScore {
+  double mlogq = 0.0;     ///< mean |log(pred/true)|
+  double rmse_log = 0.0;  ///< sqrt(mean log(pred/true)^2)
+};
+CvScore cross_validate(const std::string& family, const common::ModelSpec& spec,
+                       const common::Dataset& data, const std::vector<FoldSplit>& folds);
+
+}  // namespace cpr::tune

@@ -1,0 +1,209 @@
+#include "tune/search_space.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/dataset_io.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::tune {
+
+namespace {
+
+using common::HyperAxis;
+
+std::string draw_value(const HyperAxis& axis, Rng& rng) {
+  switch (axis.kind) {
+    case HyperAxis::Kind::Grid:
+      return axis.values[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(axis.values.size()) - 1))];
+    case HyperAxis::Kind::Linear:
+      return common::format_hyper_value(rng.uniform(axis.lo, axis.hi));
+    case HyperAxis::Kind::Log:
+      return common::format_hyper_value(rng.log_uniform(axis.lo, axis.hi));
+    case HyperAxis::Kind::LinearInt:
+      return std::to_string(rng.uniform_int(static_cast<std::int64_t>(axis.lo),
+                                            static_cast<std::int64_t>(axis.hi)));
+    case HyperAxis::Kind::LogInt:
+      return std::to_string(rng.log_uniform_int(static_cast<std::int64_t>(axis.lo),
+                                                static_cast<std::int64_t>(axis.hi)));
+  }
+  CPR_CHECK_MSG(false, "axis '" << axis.name << "': unknown kind");
+  return {};
+}
+
+}  // namespace
+
+std::string Candidate::label() const {
+  std::ostringstream stream;
+  for (const auto& [key, value] : assignment) {
+    if (stream.tellp() > 0) stream << ' ';
+    stream << key << '=' << value;
+  }
+  return assignment.empty() ? "(defaults)" : stream.str();
+}
+
+common::ModelSpec Candidate::apply_to(const common::ModelSpec& base) const {
+  common::ModelSpec spec = base;
+  for (const auto& [key, value] : assignment) {
+    if (key == "cells") {
+      std::size_t consumed = 0;
+      std::int64_t cells = 0;
+      try {
+        cells = std::stoll(value, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      CPR_CHECK_MSG(consumed == value.size() && cells > 0,
+                    "axis 'cells': '" << value << "' is not a positive integer");
+      spec.cells = static_cast<std::size_t>(cells);
+    } else {
+      spec.hyper[key] = value;
+    }
+  }
+  return spec;
+}
+
+SearchSpace::SearchSpace(std::vector<common::HyperAxis> axes) : axes_(std::move(axes)) {
+  std::set<std::string> names;
+  for (const auto& axis : axes_) {
+    CPR_CHECK_MSG(!axis.name.empty(), "search-space axis needs a name");
+    CPR_CHECK_MSG(names.insert(axis.name).second,
+                  "search-space axis '" << axis.name << "' declared twice");
+    if (axis.kind == HyperAxis::Kind::Grid) {
+      CPR_CHECK_MSG(!axis.values.empty(),
+                    "axis '" << axis.name << "': grid needs at least one value");
+    } else {
+      CPR_CHECK_MSG(axis.lo < axis.hi, "axis '" << axis.name << "': need lo < hi");
+      if (axis.kind == HyperAxis::Kind::Log || axis.kind == HyperAxis::Kind::LogInt) {
+        CPR_CHECK_MSG(axis.lo > 0.0, "axis '" << axis.name
+                                              << "': log range needs lo > 0");
+      }
+    }
+  }
+}
+
+bool SearchSpace::enumerable() const {
+  for (const auto& axis : axes_) {
+    if (axis.kind != HyperAxis::Kind::Grid) return false;
+  }
+  return true;
+}
+
+std::size_t SearchSpace::cardinality() const {
+  CPR_CHECK_MSG(enumerable(), "cardinality of a space with sampled range axes");
+  std::size_t product = 1;
+  for (const auto& axis : axes_) product *= axis.values.size();
+  return product;
+}
+
+std::vector<Candidate> SearchSpace::materialize(std::size_t max_trials,
+                                                std::uint64_t seed) const {
+  CPR_CHECK_MSG(max_trials >= 1, "need at least one trial");
+  std::vector<Candidate> candidates;
+  if (axes_.empty()) {
+    candidates.emplace_back();
+    return candidates;
+  }
+
+  if (enumerable() && cardinality() <= max_trials) {
+    const std::size_t total = cardinality();
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      Candidate candidate;
+      candidate.assignment.resize(axes_.size());
+      std::size_t remainder = flat;
+      for (std::size_t j = axes_.size(); j-- > 0;) {
+        const auto& axis = axes_[j];
+        candidate.assignment[j] = {axis.name,
+                                   axis.values[remainder % axis.values.size()]};
+        remainder /= axis.values.size();
+      }
+      candidates.push_back(std::move(candidate));
+    }
+    return candidates;
+  }
+
+  std::set<std::string> seen;
+  const std::size_t max_attempts = 64 * max_trials;
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && candidates.size() < max_trials; ++attempt) {
+    Rng rng(hash_combine(seed, attempt));
+    Candidate candidate;
+    for (const auto& axis : axes_) {
+      candidate.assignment.emplace_back(axis.name, draw_value(axis, rng));
+    }
+    if (seen.insert(candidate.label()).second) candidates.push_back(std::move(candidate));
+  }
+  CPR_CHECK_MSG(!candidates.empty(), "search space produced no candidates");
+  return candidates;
+}
+
+common::HyperAxis parse_axis(const std::string& text) {
+  const auto equals = text.find('=');
+  CPR_CHECK_MSG(equals != std::string::npos && equals > 0 && equals + 1 < text.size(),
+                "axis '" << text << "': expected name=values or name=lo..hi[:kind]");
+  const std::string name = text.substr(0, equals);
+  const std::string spec = text.substr(equals + 1);
+
+  if (spec.find("..") == std::string::npos) {
+    // Explicit value grid: v1|v2|...
+    return HyperAxis::grid(name, common::split_fields(spec, '|', "axis '" + name + "'"));
+  }
+
+  // Range axis: lo..hi[:log|:int|:logint]
+  std::string range = spec;
+  std::string kind;
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    range = spec.substr(0, colon);
+    kind = spec.substr(colon + 1);
+  }
+  const auto dots = range.find("..");
+  const std::string lo_text = range.substr(0, dots);
+  const std::string hi_text = range.substr(dots + 2);
+  CPR_CHECK_MSG(!lo_text.empty() && !hi_text.empty(),
+                "axis '" << name << "': range needs lo..hi (got '" << spec << "')");
+  const double lo = common::parse_number(lo_text, "axis '" + name + "' lower bound");
+  const double hi = common::parse_number(hi_text, "axis '" + name + "' upper bound");
+
+  if (kind.empty()) return HyperAxis::linear(name, lo, hi);
+  if (kind == "log") return HyperAxis::log(name, lo, hi);
+  if (kind == "int" || kind == "logint") {
+    CPR_CHECK_MSG(lo == std::floor(lo) && hi == std::floor(hi),
+                  "axis '" << name << "': integer range needs integral bounds");
+    return kind == "int" ? HyperAxis::linear_int(name, static_cast<std::int64_t>(lo),
+                                                 static_cast<std::int64_t>(hi))
+                         : HyperAxis::log_int(name, static_cast<std::int64_t>(lo),
+                                              static_cast<std::int64_t>(hi));
+  }
+  CPR_CHECK_MSG(false, "axis '" << name << "': unknown kind ':" << kind
+                                << "' (log, int, logint)");
+  return {};
+}
+
+std::vector<common::HyperAxis> parse_search_space(const std::string& text) {
+  std::vector<common::HyperAxis> axes;
+  for (const auto& entry : common::split_fields(text, ',', "--space")) {
+    axes.push_back(parse_axis(entry));
+  }
+  return axes;
+}
+
+std::vector<common::HyperAxis> merge_axes(std::vector<common::HyperAxis> base,
+                                          const std::vector<common::HyperAxis>& overrides) {
+  for (const auto& override_axis : overrides) {
+    bool replaced = false;
+    for (auto& axis : base) {
+      if (axis.name == override_axis.name) {
+        axis = override_axis;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) base.push_back(override_axis);
+  }
+  return base;
+}
+
+}  // namespace cpr::tune

@@ -1,0 +1,75 @@
+#pragma once
+// Family-agnostic hyper-parameter search spaces (the tuning subsystem's
+// candidate source).
+//
+// A SearchSpace wraps the HyperAxis list a family registered alongside its
+// ModelRegistry entry (or axes the user supplied via the --space grammar)
+// and turns it into a deterministic candidate list: fully enumerable grids
+// are swept lexicographically (first axis outermost, reproducing the
+// historical sweep order); spaces with range axes draw each candidate from
+// an Rng seeded by (seed, candidate index), so the candidate set is
+// identical regardless of evaluation order or tuner thread count.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/model_registry.hpp"
+
+namespace cpr::tune {
+
+/// One concrete assignment drawn from a SearchSpace, in axis order. The
+/// reserved axis name "cells" maps to ModelSpec::cells; every other axis
+/// name is a hyper-parameter key of the family.
+struct Candidate {
+  std::vector<std::pair<std::string, std::string>> assignment;
+
+  /// "cells=8 rank=4 lambda=1e-05" — stable display and dedup key.
+  std::string label() const;
+
+  /// Returns `base` with this assignment applied on top.
+  common::ModelSpec apply_to(const common::ModelSpec& base) const;
+};
+
+class SearchSpace {
+ public:
+  /// Validates the axes: unique non-empty names, sane ranges/value lists.
+  /// An empty axis list is allowed and yields one empty candidate (the
+  /// tuner then just cross-validates the base spec).
+  explicit SearchSpace(std::vector<common::HyperAxis> axes);
+
+  const std::vector<common::HyperAxis>& axes() const { return axes_; }
+
+  /// True when every axis is an explicit value list (Grid).
+  bool enumerable() const;
+
+  /// Number of grid points of an enumerable space.
+  std::size_t cardinality() const;
+
+  /// Deterministic candidate list: the full grid in lexicographic order when
+  /// the space is enumerable and fits within max_trials, otherwise
+  /// max_trials seeded samples (deduplicated by label, draw order kept).
+  std::vector<Candidate> materialize(std::size_t max_trials, std::uint64_t seed) const;
+
+ private:
+  std::vector<common::HyperAxis> axes_;
+};
+
+/// Parses one axis declaration (the cpr_tune --space grammar):
+///   name=v1|v2|...          explicit value grid (numeric or categorical)
+///   name=lo..hi             uniform real range
+///   name=lo..hi:log         log-uniform real range
+///   name=lo..hi:int         uniform integer range
+///   name=lo..hi:logint      log-uniform integer range
+/// Throws CheckError on any grammar violation.
+common::HyperAxis parse_axis(const std::string& text);
+
+/// Parses a comma-separated axis list; empty text yields no axes.
+std::vector<common::HyperAxis> parse_search_space(const std::string& text);
+
+/// Merges `overrides` into `base`: same-name axes are replaced in place,
+/// new axes appended (declaration order preserved).
+std::vector<common::HyperAxis> merge_axes(std::vector<common::HyperAxis> base,
+                                          const std::vector<common::HyperAxis>& overrides);
+
+}  // namespace cpr::tune

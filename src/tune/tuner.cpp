@@ -1,0 +1,201 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cpr::tune {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Seed salts: keep the budget permutation, per-rung fold splits and the
+// candidate sampler on disjoint streams of the one user-visible seed.
+constexpr std::uint64_t kBudgetSalt = 0xb0d6e7;
+constexpr std::uint64_t kFoldSalt = 0xf01d00;
+
+/// Runs fn(0..count-1) on a fixed pool of `threads` workers. Tasks are
+/// claimed via an atomic counter; any per-task state must be keyed by the
+/// task index (the callers write results into index-addressed slots, so the
+/// reduction order — and therefore the tuner output — is thread-count
+/// independent).
+template <typename Fn>
+void parallel_indexed(std::size_t count, std::size_t threads, Fn&& fn) {
+  threads = std::max<std::size_t>(1, std::min(threads, count));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < count;) fn(i);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
+}
+
+/// Strictly-increasing rung budgets ending at n: the final rung sees every
+/// sample, each earlier rung 1/eta of the next (floored at
+/// max(min_rung_samples, 2 * folds) so the smallest rung still supports a
+/// k-fold split). Equal neighbors collapse, so tiny datasets degrade to
+/// fewer (possibly one) rungs.
+std::vector<std::size_t> rung_budgets(std::size_t n, const TunerOptions& options) {
+  const std::size_t floor_samples =
+      std::min(n, std::max(options.min_rung_samples, 2 * options.folds));
+  std::vector<std::size_t> budgets(options.rungs);
+  budgets.back() = n;
+  for (std::size_t r = budgets.size() - 1; r-- > 0;) {
+    const auto shrunk =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(budgets[r + 1]) / options.eta));
+    budgets[r] = std::max(floor_samples, shrunk);
+  }
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+  return budgets;
+}
+
+/// Survivor order for ranking/elimination: healthy candidates by error,
+/// failed ones last, ties broken by candidate index — total and
+/// deterministic.
+bool better_trial(const Trial& a, const Trial& b) {
+  if (a.failed() != b.failed()) return !a.failed();
+  if (a.mlogq != b.mlogq) return a.mlogq < b.mlogq;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+std::function<void(const Trial&)> stream_progress(std::ostream& out) {
+  return [&out](const Trial& trial) {
+    out << "  rung " << trial.rung << " [" << trial.samples << " samples] "
+        << trial.config << " -> "
+        << (trial.failed() ? "failed: " + trial.error
+                           : "CV MLogQ " + Table::fmt(trial.mlogq, 4))
+        << "\n";
+  };
+}
+
+TuningOutcome Tuner::run(const std::string& family, const common::ModelSpec& base,
+                         const common::Dataset& data) const {
+  return run(family, base, data,
+             SearchSpace(common::ModelRegistry::instance().search_space(family, base)));
+}
+
+TuningOutcome Tuner::run(const std::string& family, const common::ModelSpec& base,
+                         const common::Dataset& data, const SearchSpace& space) const {
+  CPR_CHECK_MSG(common::ModelRegistry::instance().has_family(family),
+                "unknown model family '" << family << "'");
+  CPR_CHECK_MSG(options_.rungs >= 1, "need at least one rung");
+  CPR_CHECK_MSG(options_.eta > 1.0, "eta must exceed 1");
+  CPR_CHECK_MSG(data.size() >= 2 * options_.folds,
+                "too few samples (" << data.size() << ") for " << options_.folds
+                                    << "-fold tuning");
+
+  const std::vector<Candidate> candidates =
+      space.materialize(options_.max_trials, options_.seed);
+  std::vector<Trial> trials(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    trials[i].index = i;
+    trials[i].candidate = candidates[i];
+    trials[i].config = candidates[i].label();
+  }
+
+  // One fixed shuffled row order; rung budgets take prefixes of it, so every
+  // rung's sample set nests inside the next rung's.
+  Rng budget_rng(hash_combine(options_.seed, kBudgetSalt));
+  const std::vector<std::size_t> row_order =
+      budget_rng.sample_without_replacement(data.size(), data.size());
+  const std::vector<std::size_t> budgets = rung_budgets(data.size(), options_);
+
+  std::vector<std::size_t> survivors(candidates.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) survivors[i] = i;
+
+  for (std::size_t r = 0; r < budgets.size(); ++r) {
+    std::vector<std::size_t> rows(row_order.begin(),
+                                  row_order.begin() + static_cast<std::ptrdiff_t>(budgets[r]));
+    std::sort(rows.begin(), rows.end());
+    const common::Dataset rung_data = data.subset(rows);
+    const std::vector<FoldSplit> folds =
+        kfold_splits(budgets[r], options_.folds, hash_combine(options_.seed, kFoldSalt + r));
+
+    parallel_indexed(survivors.size(), options_.threads, [&](std::size_t s) {
+      Trial& trial = trials[survivors[s]];
+      trial.rung = r;
+      trial.samples = budgets[r];
+      try {
+        const common::ModelSpec spec = trial.candidate.apply_to(base);
+        const CvScore score = cross_validate(family, spec, rung_data, folds);
+        // A diverged fit (e.g. an exploding learning rate) can yield NaN
+        // without throwing; treat it as a failure — NaN scores would both
+        // break the strict weak ordering below and crown a broken winner.
+        CPR_CHECK_MSG(std::isfinite(score.mlogq) && std::isfinite(score.rmse_log),
+                      "candidate '" << trial.config
+                                    << "': non-finite cross-validation error");
+        trial.mlogq = score.mlogq;
+        trial.rmse_log = score.rmse_log;
+        trial.error.clear();
+      } catch (const std::exception& e) {
+        trial.mlogq = kInf;
+        trial.rmse_log = kInf;
+        trial.error = e.what();
+      }
+    });
+
+    if (options_.progress) {
+      for (const std::size_t index : survivors) options_.progress(trials[index]);
+    }
+
+    // Keep the top 1/eta (at least one healthy candidate) for the next rung.
+    std::sort(survivors.begin(), survivors.end(), [&](std::size_t a, std::size_t b) {
+      return better_trial(trials[a], trials[b]);
+    });
+    if (r + 1 < budgets.size()) {
+      auto keep = static_cast<std::size_t>(std::ceil(
+          static_cast<double>(survivors.size()) / options_.eta));
+      keep = std::max<std::size_t>(1, std::min(keep, survivors.size()));
+      survivors.resize(keep);
+      // Drop failed candidates from later rungs (unless nothing is healthy,
+      // which the final winner check reports with the first fit error).
+      const auto healthy = static_cast<std::size_t>(
+          std::count_if(survivors.begin(), survivors.end(),
+                        [&](std::size_t index) { return !trials[index].failed(); }));
+      if (healthy > 0) survivors.resize(healthy);
+      std::sort(survivors.begin(), survivors.end());
+    }
+  }
+
+  // Rank: healthy trials first (later-rung survivors before earlier
+  // eliminations, then by error), failed trials last. Ordering failures
+  // below lower-rung healthy candidates means a survivor that only breaks
+  // at the full budget falls back to the best configuration that actually
+  // fit, instead of aborting the whole tune.
+  std::vector<Trial> ranked = trials;
+  std::sort(ranked.begin(), ranked.end(), [](const Trial& a, const Trial& b) {
+    if (a.failed() != b.failed()) return !a.failed();
+    if (a.rung != b.rung) return a.rung > b.rung;
+    return better_trial(a, b);
+  });
+  CPR_CHECK_MSG(!ranked.front().failed(),
+                "tuning '" << family << "' failed: every candidate errored; first: "
+                           << ranked.front().error);
+
+  TuningOutcome outcome;
+  outcome.family = family;
+  outcome.best_spec = ranked.front().candidate.apply_to(base);
+  outcome.best_mlogq = ranked.front().mlogq;
+  outcome.ranked = std::move(ranked);
+  outcome.model = common::ModelRegistry::instance().create(family, outcome.best_spec);
+  outcome.model->fit(data);
+  return outcome;
+}
+
+}  // namespace cpr::tune

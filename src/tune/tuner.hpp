@@ -1,0 +1,84 @@
+#pragma once
+// The universal parallel hyper-parameter tuner: takes any ModelRegistry
+// family name and a dataset, and returns the best ModelSpec by k-fold
+// cross-validated log-space error.
+//
+// Search strategy: successive halving. All candidates are first
+// cross-validated on a small training-sample budget (a seeded subset of the
+// data); each rung keeps the top 1/eta by held-out MLogQ and multiplies the
+// sample budget by eta, until the final rung scores the survivors on the
+// full dataset. The winner is refit on all rows and returned ready to save
+// through the versioned model archive (core/model_file) — cpr_serve can
+// host it directly.
+//
+// Determinism: candidate sampling, budget subsets and fold splits derive
+// from TunerOptions::seed alone; candidate evaluations are keyed by
+// candidate index and reduced in index order after each rung, so the ranked
+// trial list is bitwise-identical no matter how many worker threads run the
+// evaluations.
+
+#include <functional>
+#include <iosfwd>
+
+#include "common/dataset.hpp"
+#include "tune/cross_validator.hpp"
+#include "tune/search_space.hpp"
+
+namespace cpr::tune {
+
+/// One candidate's record, updated at every rung it survives to.
+struct Trial {
+  std::size_t index = 0;  ///< candidate index in sampler order
+  std::string config;     ///< display label of the assignment
+  Candidate candidate;
+  std::size_t rung = 0;     ///< last rung evaluated (0-based)
+  std::size_t samples = 0;  ///< training-sample budget at that rung
+  double mlogq = 0.0;       ///< cross-validated MLogQ at that rung
+  double rmse_log = 0.0;
+  std::string error;  ///< non-empty when the candidate failed to fit
+
+  bool failed() const { return !error.empty(); }
+};
+
+struct TunerOptions {
+  std::size_t max_trials = 24;  ///< rung-0 candidate count (grid cap / sample count)
+  std::size_t folds = 3;        ///< cross-validation folds per rung
+  std::size_t rungs = 3;        ///< successive-halving rounds (>= 1)
+  double eta = 3.0;             ///< survivor fraction / budget growth per rung
+  std::size_t min_rung_samples = 96;  ///< floor for the first rung's budget
+  std::size_t threads = 1;      ///< worker pool size for candidate evaluation
+  std::uint64_t seed = 42;
+  /// Invoked after each rung for every evaluated candidate, in candidate
+  /// order (deterministic; never from worker threads).
+  std::function<void(const Trial&)> progress;
+};
+
+struct TuningOutcome {
+  std::string family;
+  std::vector<Trial> ranked;    ///< best first; eliminated candidates follow
+  common::ModelSpec best_spec;  ///< winner applied to the base spec
+  double best_mlogq = 0.0;      ///< winner's final-rung cross-validated MLogQ
+  common::RegressorPtr model;   ///< winner refit on the full dataset
+};
+
+/// The tools' default progress callback: one line per evaluated candidate
+/// ("rung R [N samples] config -> CV MLogQ x" / "-> failed: why") to `out`.
+std::function<void(const Trial&)> stream_progress(std::ostream& out);
+
+class Tuner {
+ public:
+  explicit Tuner(TunerOptions options) : options_(std::move(options)) {}
+
+  /// Tunes `family` over its registered search space.
+  TuningOutcome run(const std::string& family, const common::ModelSpec& base,
+                    const common::Dataset& data) const;
+
+  /// Tunes `family` over an explicit space (CLI overrides, tests).
+  TuningOutcome run(const std::string& family, const common::ModelSpec& base,
+                    const common::Dataset& data, const SearchSpace& space) const;
+
+ private:
+  TunerOptions options_;
+};
+
+}  // namespace cpr::tune

@@ -71,7 +71,8 @@ class BufferSource {
   explicit BufferSource(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
 
   void read_bytes(void* out, std::size_t n) {
-    CPR_CHECK_MSG(pos_ + n <= buffer_.size(), "serialized buffer underrun");
+    // remaining()-based check: `pos_ + n` could wrap for a corrupt length.
+    CPR_CHECK_MSG(n <= remaining(), "serialized buffer underrun");
     std::memcpy(out, buffer_.data() + pos_, n);
     pos_ += n;
   }
@@ -87,21 +88,39 @@ class BufferSource {
   std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
   double read_f64() { return read_pod<double>(); }
 
+  /// Reads an element count that the remaining bytes must be able to back
+  /// (each element serializes to >= min_bytes_per_element bytes). Loaders
+  /// use this before resizing containers, so a corrupt count in an archive
+  /// fails loudly instead of driving a multi-gigabyte allocation.
+  std::size_t read_count(std::size_t min_bytes_per_element = 1) {
+    const auto n = read_u64();
+    CPR_CHECK_MSG(n <= remaining() / min_bytes_per_element,
+                  "serialized buffer underrun");
+    return static_cast<std::size_t>(n);
+  }
+
   std::vector<double> read_doubles() {
     const auto n = read_u64();
-    std::vector<double> v(n);
-    if (n) read_bytes(v.data(), n * sizeof(double));
+    // Validate against the remaining bytes BEFORE allocating: a corrupt
+    // length field must fail loudly, not drive a huge allocation.
+    CPR_CHECK_MSG(n <= remaining() / sizeof(double), "serialized buffer underrun");
+    std::vector<double> v(static_cast<std::size_t>(n));
+    if (n) read_bytes(v.data(), static_cast<std::size_t>(n) * sizeof(double));
     return v;
   }
 
   std::string read_string() {
     const auto n = read_u64();
-    std::string s(n, '\0');
-    if (n) read_bytes(s.data(), n);
+    CPR_CHECK_MSG(n <= remaining(), "serialized buffer underrun");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n) read_bytes(s.data(), static_cast<std::size_t>(n));
     return s;
   }
 
   bool exhausted() const { return pos_ == buffer_.size(); }
+
+  /// Bytes left to read.
+  std::size_t remaining() const { return buffer_.size() - pos_; }
 
  private:
   const std::vector<std::uint8_t>& buffer_;

@@ -9,6 +9,7 @@
 #include "common/evaluation.hpp"
 #include "core/cpr_extrapolation.hpp"
 #include "core/cpr_model.hpp"
+#include "test_data.hpp"
 #include "util/rng.hpp"
 
 namespace cpr::core {
@@ -18,32 +19,9 @@ using common::Dataset;
 using grid::Config;
 using grid::Discretization;
 using grid::ParameterSpec;
-
-/// Separable power-law runtime: t = c * x^a * y^b — rank-1 in log space.
-double power_law(const Config& x) {
-  return 1e-6 * std::pow(x[0], 1.5) * std::pow(x[1], 0.8);
-}
-
-Dataset sample_power_law(std::size_t n, std::uint64_t seed, double noise_cv = 0.0) {
-  Rng rng(seed);
-  Dataset data;
-  data.x = linalg::Matrix(n, 2);
-  data.y.resize(n);
-  const double sigma = noise_cv > 0.0 ? std::sqrt(std::log(1.0 + noise_cv * noise_cv)) : 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
-    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
-    data.y[i] = power_law(data.config(i));
-    if (sigma > 0.0) data.y[i] *= std::exp(rng.normal(0.0, sigma));
-  }
-  return data;
-}
-
-Discretization power_law_grid(std::size_t cells) {
-  return Discretization({ParameterSpec::numerical_log("x", 32.0, 4096.0),
-                         ParameterSpec::numerical_log("y", 32.0, 4096.0)},
-                        cells);
-}
+using testdata::power_law;
+using testdata::power_law_grid;
+using testdata::sample_power_law;
 
 TEST(CprModel, FitsSeparablePowerLawAccurately) {
   CprOptions options;

@@ -20,6 +20,7 @@
 #include "core/tucker_perf_model.hpp"
 #include "core/tuning.hpp"
 #include "tensor/tucker_model.hpp"
+#include "test_data.hpp"
 #include "util/rng.hpp"
 
 namespace cpr {
@@ -163,28 +164,8 @@ TEST(TuckerCompletion, RejectsHugeCore) {
 
 // ---------- TuckerPerfModel ----------
 
-double power_law(const Config& x) {
-  return 1e-6 * std::pow(x[0], 1.5) * std::pow(x[1], 0.8);
-}
-
-Dataset sample_power_law(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  Dataset data;
-  data.x = linalg::Matrix(n, 2);
-  data.y.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
-    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
-    data.y[i] = power_law(data.config(i));
-  }
-  return data;
-}
-
-Discretization power_law_grid(std::size_t cells) {
-  return Discretization({ParameterSpec::numerical_log("x", 32.0, 4096.0),
-                         ParameterSpec::numerical_log("y", 32.0, 4096.0)},
-                        cells);
-}
+using testdata::power_law_grid;
+using testdata::sample_power_law;
 
 TEST(TuckerPerfModel, FitsPowerLaw) {
   core::TuckerPerfOptions options;

@@ -1,0 +1,234 @@
+// Fuzz-style robustness tests: deterministic pseudo-random, mutated and
+// truncated inputs thrown at every text-facing surface — the serve protocol
+// parser, a full Server session, the model archive loader, the tuner's
+// --space axis grammar, and registry hyper values. The contract everywhere
+// is total parsing: clean CheckError (or an ERR reply), never a crash, hang
+// or foreign exception. The suite runs under ASan/UBSan via
+// `tools/verify.sh --sanitize`, which is where memory bugs on these paths
+// would surface.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/model_registry.hpp"
+#include "core/model_file.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "test_data.hpp"
+#include "tune/search_space.hpp"
+#include "tune/tuner.hpp"
+#include "util/rng.hpp"
+
+namespace cpr {
+namespace {
+
+using common::ModelRegistry;
+using testdata::TempModelDir;
+
+/// Random byte string (full 0..255 range, so embedded NULs, control bytes
+/// and invalid UTF-8 are all exercised).
+std::string random_bytes(Rng& rng, std::size_t max_length) {
+  const auto length = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_length)));
+  std::string bytes(length, '\0');
+  for (auto& byte : bytes) byte = static_cast<char>(rng.uniform_int(0, 255));
+  return bytes;
+}
+
+/// Asserts that fn(input) either succeeds or throws CheckError — nothing
+/// else may escape.
+template <typename Fn>
+void expect_total(Fn&& fn, const std::string& input, const char* surface) {
+  try {
+    fn(input);
+  } catch (const CheckError&) {
+    // The documented failure mode.
+  } catch (const std::exception& e) {
+    FAIL() << surface << " leaked a foreign exception for input '" << input
+           << "': " << e.what();
+  }
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(ProtocolFuzz, RandomLinesNeverCrashTheParser) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    expect_total([](const std::string& line) { serve::parse_request(line); },
+                 random_bytes(rng, 64), "parse_request");
+  }
+}
+
+TEST(ProtocolFuzz, TruncatedAndMutatedValidLinesNeverCrash) {
+  const std::string valid[] = {
+      "PREDICT mm 1024,512,8", "LOAD mm", "UNLOAD mm", "STATS", "QUIT",
+  };
+  // Every prefix of every valid line (truncated mid-token, mid-number, ...).
+  for (const auto& line : valid) {
+    for (std::size_t cut = 0; cut <= line.size(); ++cut) {
+      expect_total([](const std::string& l) { serve::parse_request(l); },
+                   line.substr(0, cut), "parse_request");
+    }
+  }
+  // Random single-byte mutations.
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::string line = valid[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+    line[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    expect_total([](const std::string& l) { serve::parse_request(l); }, line,
+                 "parse_request");
+  }
+}
+
+TEST(ServerFuzz, RandomSessionsAlwaysGetOkOrErrReplies) {
+  TempModelDir dir("fuzz_server");
+  auto model = ModelRegistry::instance().create("knn", testdata::zoo_spec("knn"));
+  model->fit(testdata::sample_noisy_power_law(128, 7));
+  dir.save("pl", *model);
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 2;
+  options.batcher.max_wait_us = 50;
+  serve::Server server(options);
+
+  Rng rng(3);
+  std::size_t ok_replies = 0;
+  for (int i = 0; i < 600; ++i) {
+    // Interleave garbage with valid traffic so the session stays healthy
+    // in between malformed lines.
+    std::string line;
+    if (i % 5 == 0) {
+      line = "PREDICT pl 100,200";
+    } else {
+      line = random_bytes(rng, 48);
+    }
+    const auto reply = server.handle_line(line);  // contract: never throws
+    ASSERT_FALSE(reply.text.empty());
+    const bool ok = reply.text.rfind("OK", 0) == 0;
+    const bool err = reply.text.rfind("ERR ", 0) == 0;
+    EXPECT_TRUE(ok || err) << "unexpected reply '" << reply.text << "'";
+    if (ok) ++ok_replies;
+    ASSERT_FALSE(reply.quit);  // random bytes must not terminate the session
+  }
+  EXPECT_GE(ok_replies, 120u);  // the interleaved valid PREDICTs all served
+  EXPECT_EQ(server.handle_line("PREDICT pl 100,200").text.rfind("OK ", 0), 0u);
+}
+
+// ---------------------------------------------------------------- archive
+
+TEST(ArchiveFuzz, RandomBytesAndTruncationsRejectedCleanly) {
+  const auto path = testdata::temp_path("cpr_fuzz_archive.cprm");
+  Rng rng(4);
+
+  // Pure random files (some with the right magic prefix to get past the
+  // header check into body parsing).
+  for (int i = 0; i < 300; ++i) {
+    std::string bytes = random_bytes(rng, 256);
+    if (i % 3 == 0) bytes = "CPRARCH1" + bytes;
+    if (i % 7 == 0) bytes = "CPRMODL1" + bytes;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    expect_total([](const std::string& p) { core::load_model_file(p); }, path,
+                 "load_model_file");
+  }
+
+  // Truncations and single-byte corruptions of a genuine archive.
+  auto model = ModelRegistry::instance().create("cpr", testdata::zoo_spec("cpr"));
+  model->fit(testdata::sample_noisy_power_law(192, 8));
+  core::save_model_file(*model, path);
+  std::vector<char> archive(std::filesystem::file_size(path));
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(archive.data(), static_cast<std::streamsize>(archive.size()));
+  }
+  for (int i = 0; i < 60; ++i) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(archive.size()) - 1));
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(archive.data(), static_cast<std::streamsize>(cut));
+    }
+    expect_total([](const std::string& p) { core::load_model_file(p); }, path,
+                 "load_model_file (truncated)");
+  }
+  for (int i = 0; i < 120; ++i) {
+    std::vector<char> corrupt = archive;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corrupt.size()) - 1));
+    corrupt[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    // A flipped payload byte may still deserialize (e.g. a mantissa bit);
+    // anything else must be a CheckError.
+    expect_total([](const std::string& p) { core::load_model_file(p); }, path,
+                 "load_model_file (corrupted)");
+  }
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------- tuner / search space
+
+TEST(TunerFuzz, MalformedAxisStringsRejectedCleanly) {
+  const char* malformed[] = {
+      "=1|2",        "k=",          "k=1..",      "k=..2",
+      "k=2..1",      "k=1..2:bogus", "k=a..b",     "k=1|",       "k=|",
+      "k=1||2",      "lambda=0..1:log", "k=1.5..2.5:int", "k=nan..2",
+      "k=1..inf",    "rank",        ",",          "a=1,,b=2",
+  };
+  for (const char* text : malformed) {
+    EXPECT_THROW(tune::parse_search_space(text), CheckError)
+        << "accepted: '" << text << "'";
+  }
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    expect_total([](const std::string& text) { tune::parse_search_space(text); },
+                 random_bytes(rng, 40), "parse_search_space");
+  }
+}
+
+TEST(TunerFuzz, JunkHyperValuesFailLoudlyNotFatally) {
+  const auto data = testdata::sample_noisy_power_law(64, 9);
+  common::ModelSpec base;
+  base.params = testdata::power_law_params();
+  tune::TunerOptions options;
+  options.folds = 2;
+  options.rungs = 1;
+  options.threads = 2;
+  // A syntactically-valid space whose values no family understands: every
+  // candidate fails to construct and the tuner reports the cause instead of
+  // crashing worker threads.
+  const tune::SearchSpace space({common::HyperAxis::grid("rank", {"banana", "-e9"})});
+  EXPECT_THROW(tune::Tuner(options).run("cpr", base, data, space), CheckError);
+}
+
+TEST(RegistryFuzz, RandomHyperKeysAndValuesRejectedCleanly) {
+  Rng rng(6);
+  const auto families = ModelRegistry::instance().family_names();
+  for (int i = 0; i < 400; ++i) {
+    const auto& family =
+        families[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(families.size()) - 1))];
+    common::ModelSpec spec = testdata::zoo_spec(family);
+    const std::string key = i % 2 == 0 ? "rank" : random_bytes(rng, 12);
+    spec.hyper[key] = random_bytes(rng, 12);
+    try {
+      ModelRegistry::instance().create(family, spec);
+    } catch (const CheckError&) {
+      // Unknown key or unparsable value — the documented failure mode.
+    } catch (const std::exception& e) {
+      FAIL() << "family " << family << " leaked a foreign exception: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr

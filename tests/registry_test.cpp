@@ -2,7 +2,8 @@
 // (with loud rejection of unknown families and hyper-parameters), the
 // versioned model archive round-tripping every registered family, archive
 // error paths (bad magic, unknown tag, bad version, truncation), legacy
-// .cprm read compatibility, and polymorphic predict_batch dispatch.
+// .cprm read compatibility, polymorphic predict_batch dispatch, and the
+// cross-family tune -> save -> reload -> serve conformance loop.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +20,8 @@
 #include "core/cpr_model.hpp"
 #include "core/model_file.hpp"
 #include "core/online_cpr.hpp"
+#include "test_data.hpp"
+#include "tune/tuner.hpp"
 #include "util/rng.hpp"
 
 namespace cpr {
@@ -29,42 +32,17 @@ using common::ModelRegistry;
 using common::ModelSpec;
 using grid::Config;
 using grid::ParameterSpec;
+using testdata::power_law_params;
+using testdata::sample_noisy_power_law;
+using testdata::temp_path;
+using testdata::zoo_spec;
 
-/// Separable power-law runtime with mild lognormal noise.
+/// The historical fixture names of this suite.
 Dataset sample_power_law(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  Dataset data;
-  data.x = linalg::Matrix(n, 2);
-  data.y.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
-    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
-    data.y[i] = 1e-6 * std::pow(data.x(i, 0), 1.5) * std::pow(data.x(i, 1), 0.8) *
-                std::exp(rng.normal(0.0, 0.05));
-  }
-  return data;
+  return sample_noisy_power_law(n, seed);
 }
 
-std::vector<ParameterSpec> power_law_params() {
-  return {ParameterSpec::numerical_log("x", 32.0, 4096.0),
-          ParameterSpec::numerical_log("y", 32.0, 4096.0)};
-}
-
-/// A small-but-representative spec per family (fast fits for the suite).
-ModelSpec spec_for(const std::string& family) {
-  ModelSpec spec;
-  spec.params = power_law_params();
-  spec.cells = 6;
-  if (family == "nn") spec.hyper = {{"layers", "16x16"}, {"epochs", "40"}};
-  if (family == "svm") spec.hyper = {{"iters", "200"}};
-  if (family == "sgr") spec.hyper = {{"level", "3"}};
-  if (family == "gp") spec.hyper = {{"max-samples", "512"}};
-  return spec;
-}
-
-std::string temp_path(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
+ModelSpec spec_for(const std::string& family) { return zoo_spec(family); }
 
 TEST(ModelRegistry, ListsTheWholeZoo) {
   const auto names = ModelRegistry::instance().family_names();
@@ -284,6 +262,43 @@ TEST(ModelArchive, ReadsLegacyCprmFiles) {
     EXPECT_DOUBLE_EQ(loaded->predict(probe.config(i)), model.predict(probe.config(i)));
   }
   std::filesystem::remove(path);
+}
+
+// Cross-family conformance: for EVERY registry name, a short tune (2 rungs,
+// parallel evaluation) must produce a winner that saves through the
+// versioned archive and reloads to bitwise-equal predict_batch output — no
+// family can silently regress the train -> tune -> save -> serve loop.
+TEST(TuneConformance, EveryFamilyTunesSavesReloadsBitwise) {
+  const Dataset train = sample_power_law(240, 31);
+  const Dataset probe = sample_power_law(32, 32);
+  tune::TunerOptions options;
+  options.max_trials = 3;
+  options.folds = 2;
+  options.rungs = 2;
+  options.threads = 2;
+  options.seed = 5;
+  const tune::Tuner tuner(options);
+  for (const auto& family : ModelRegistry::instance().family_names()) {
+    SCOPED_TRACE("family " + family);
+    ASSERT_TRUE(ModelRegistry::instance().has_search_space(family));
+    const auto outcome = tuner.run(family, spec_for(family), train);
+    ASSERT_NE(outcome.model, nullptr);
+    EXPECT_FALSE(outcome.ranked.front().failed()) << outcome.ranked.front().error;
+    EXPECT_EQ(outcome.ranked.front().samples, train.size());
+
+    const auto path = temp_path("cpr_tune_conformance_" + family + ".cprm");
+    core::save_model_file(*outcome.model, path);
+    const auto reloaded = core::load_model_file(path);
+    ASSERT_NE(reloaded, nullptr);
+    EXPECT_EQ(reloaded->type_tag(), outcome.model->type_tag());
+    const auto expected = outcome.model->predict_batch(probe.x);
+    const auto got = reloaded->predict_batch(probe.x);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "probe row " << i;
+    }
+    std::filesystem::remove(path);
+  }
 }
 
 // The online model archives its full streaming state: a reloaded model keeps

@@ -12,11 +12,11 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
-#include <unistd.h>
 
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
 #include "serve/server.hpp"
+#include "test_data.hpp"
 #include "util/rng.hpp"
 
 namespace cpr {
@@ -27,58 +27,18 @@ using common::ModelRegistry;
 using common::ModelSpec;
 using grid::Config;
 using grid::ParameterSpec;
+using testdata::TempModelDir;
+using testdata::zoo_spec;
 
-/// Separable power-law runtime with mild lognormal noise.
 Dataset sample_power_law(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  Dataset data;
-  data.x = linalg::Matrix(n, 2);
-  data.y.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
-    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
-    data.y[i] = 1e-6 * std::pow(data.x(i, 0), 1.5) * std::pow(data.x(i, 1), 0.8) *
-                std::exp(rng.normal(0.0, 0.05));
-  }
-  return data;
-}
-
-ModelSpec small_spec() {
-  ModelSpec spec;
-  spec.params = {ParameterSpec::numerical_log("x", 32.0, 4096.0),
-                 ParameterSpec::numerical_log("y", 32.0, 4096.0)};
-  spec.cells = 6;
-  return spec;
+  return testdata::sample_noisy_power_law(n, seed);
 }
 
 common::RegressorPtr fit_family(const std::string& family, std::uint64_t seed = 7) {
-  auto model = ModelRegistry::instance().create(family, small_spec());
+  auto model = ModelRegistry::instance().create(family, zoo_spec(family));
   model->fit(sample_power_law(256, seed));
   return model;
 }
-
-/// Fresh temp model directory for one test.
-class TempModelDir {
- public:
-  explicit TempModelDir(const std::string& tag)
-      : dir_(std::filesystem::temp_directory_path() /
-             ("cpr_serve_test_" + tag + "_" + std::to_string(::getpid()))) {
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
-  }
-  ~TempModelDir() { std::filesystem::remove_all(dir_); }
-
-  std::string save(const std::string& name, const common::Regressor& model) {
-    const std::string path = core::model_file_path(dir_.string(), name);
-    core::save_model_file(model, path);
-    return path;
-  }
-
-  std::string path() const { return dir_.string(); }
-
- private:
-  std::filesystem::path dir_;
-};
 
 /// Wraps a fitted model in a store-style handle without touching disk.
 serve::ModelHandle handle_for(common::RegressorPtr model, std::uint64_t generation = 1) {

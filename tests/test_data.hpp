@@ -1,0 +1,110 @@
+#pragma once
+// Shared synthetic fixtures for the test suites. The separable power law
+// t = c * x^1.5 * y^0.8 is rank-1 in log space, so every family fits it
+// quickly and accuracy thresholds stay tight; the builders were previously
+// copy-pasted across core/extensions/registry/serve tests and are kept
+// bit-identical to those originals (same Rng draw sequence).
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "common/dataset.hpp"
+#include "common/model_registry.hpp"
+#include "core/model_file.hpp"
+#include "grid/discretization.hpp"
+#include "util/rng.hpp"
+
+namespace cpr::testdata {
+
+/// Noise-free separable power-law runtime.
+inline double power_law(const grid::Config& x) {
+  return 1e-6 * std::pow(x[0], 1.5) * std::pow(x[1], 0.8);
+}
+
+/// n log-uniform samples of power_law. noise_cv > 0 adds multiplicative
+/// lognormal noise with that coefficient of variation (the core_test
+/// convention: sigma = sqrt(log(1 + cv^2)), no Rng draw when cv == 0).
+inline common::Dataset sample_power_law(std::size_t n, std::uint64_t seed,
+                                        double noise_cv = 0.0) {
+  Rng rng(seed);
+  common::Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  const double sigma =
+      noise_cv > 0.0 ? std::sqrt(std::log(1.0 + noise_cv * noise_cv)) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    data.y[i] = power_law(data.config(i));
+    if (sigma > 0.0) data.y[i] *= std::exp(rng.normal(0.0, sigma));
+  }
+  return data;
+}
+
+/// The registry/serve suites' variant: mild lognormal noise of the given
+/// log-space sigma applied to every row (one Rng draw per row, always).
+inline common::Dataset sample_noisy_power_law(std::size_t n, std::uint64_t seed,
+                                              double sigma = 0.05) {
+  Rng rng(seed);
+  common::Dataset data;
+  data.x = linalg::Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.log_uniform(32.0, 4096.0);
+    data.x(i, 1) = rng.log_uniform(32.0, 4096.0);
+    data.y[i] = power_law(data.config(i)) * std::exp(rng.normal(0.0, sigma));
+  }
+  return data;
+}
+
+inline std::vector<grid::ParameterSpec> power_law_params() {
+  return {grid::ParameterSpec::numerical_log("x", 32.0, 4096.0),
+          grid::ParameterSpec::numerical_log("y", 32.0, 4096.0)};
+}
+
+inline grid::Discretization power_law_grid(std::size_t cells) {
+  return grid::Discretization(power_law_params(), cells);
+}
+
+/// A small-but-representative ModelSpec per registry family (fast fits).
+inline common::ModelSpec zoo_spec(const std::string& family) {
+  common::ModelSpec spec;
+  spec.params = power_law_params();
+  spec.cells = 6;
+  if (family == "nn") spec.hyper = {{"layers", "16x16"}, {"epochs", "40"}};
+  if (family == "svm") spec.hyper = {{"iters", "200"}};
+  if (family == "sgr") spec.hyper = {{"level", "3"}};
+  if (family == "gp") spec.hyper = {{"max-samples", "512"}};
+  return spec;
+}
+
+inline std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Fresh temp model directory for one test (removed on destruction).
+class TempModelDir {
+ public:
+  explicit TempModelDir(const std::string& tag)
+      : dir_(std::filesystem::temp_directory_path() /
+             ("cpr_test_" + tag + "_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempModelDir() { std::filesystem::remove_all(dir_); }
+
+  std::string save(const std::string& name, const common::Regressor& model) {
+    const std::string path = core::model_file_path(dir_.string(), name);
+    core::save_model_file(model, path);
+    return path;
+  }
+
+  std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace cpr::testdata

@@ -12,10 +12,14 @@
 // spacing (inputs/architecture), the rest uniform (configuration), and
 // --categorical=name:k marks k-way categorical columns. --model selects the
 // family (cpr_train --help lists them); --hyper passes family-specific
-// hyper-parameters (e.g. --model=rf --hyper=trees:64,depth:12). With --tune
-// (CPR only), a validation-split hyper-parameter search replaces the fixed
-// cells/rank. The written archive is polymorphic: cpr_predict serves any
-// family through the same file format.
+// hyper-parameters (e.g. --model=rf --hyper=trees:64,depth:12). With
+// --tune, the universal cross-validating tuner (src/tune) searches the
+// family's registered hyper-parameter space instead of fitting one fixed
+// configuration — any family works, --hyper/--cells pin axes, and
+// --tune-threads parallelizes candidate evaluation (cpr_tune exposes the
+// full tuning surface: --space overrides, rung control, trial export). The
+// written archive is polymorphic: cpr_predict serves any family through
+// the same file format.
 
 #include <cmath>
 #include <iostream>
@@ -25,8 +29,9 @@
 #include "common/evaluation.hpp"
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
-#include "core/tuning.hpp"
+#include "tune/tuner.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 
 using namespace cpr;
 
@@ -44,7 +49,8 @@ void usage(std::ostream& out) {
   out << "usage: cpr_train --data=measurements.csv --out=model.cprm "
                "[--model=<family>] [--cells=16] [--rank=8] [--lambda=1e-4] "
                "[--log-dims=a,b] [--categorical=name:k,...] "
-               "[--hyper=key:value,...] [--tune]\n\nregistered model families:\n";
+               "[--hyper=key:value,...] [--tune] [--tune-threads=1] "
+               "[--seed=42]\n\nregistered model families:\n";
   const auto& registry = common::ModelRegistry::instance();
   for (const auto& name : registry.family_names()) {
     out << "  " << name << " — " << registry.description(name) << "\n";
@@ -79,78 +85,43 @@ int main(int argc, char** argv) {
 
     // Build parameter specs from the data ranges and the flags.
     const auto log_dims = split_csv_flag(args.get_string("log-dims", ""), ',', "log-dims");
-    std::vector<std::pair<std::string, std::size_t>> categoricals;
-    for (const auto& spec :
-         split_csv_flag(args.get_string("categorical", ""), ',', "categorical")) {
-      const auto colon = spec.find(':');
-      CPR_CHECK_MSG(colon != std::string::npos, "--categorical needs name:count");
-      categoricals.emplace_back(spec.substr(0, colon),
-                                std::stoul(spec.substr(colon + 1)));
-    }
+    const auto categoricals =
+        common::parse_categorical_entries(args.get_string("categorical", ""));
+    const auto specs = common::infer_parameter_specs(loaded, log_dims, categoricals);
 
-    std::vector<grid::ParameterSpec> specs;
-    for (std::size_t j = 0; j < names.size(); ++j) {
-      double lo = loaded.data.x(0, j), hi = lo;
-      bool integral = true;
-      for (std::size_t i = 0; i < loaded.data.size(); ++i) {
-        const double v = loaded.data.x(i, j);
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-        integral = integral && v == std::round(v);
-      }
-      bool handled = false;
-      for (const auto& [cat_name, categories] : categoricals) {
-        if (cat_name == names[j]) {
-          specs.push_back(grid::ParameterSpec::categorical(names[j], categories));
-          handled = true;
-        }
-      }
-      if (handled) continue;
-      const bool is_log =
-          std::find(log_dims.begin(), log_dims.end(), names[j]) != log_dims.end();
-      CPR_CHECK_MSG(hi > lo, "parameter '" << names[j] << "' is constant in the data");
-      if (is_log) {
-        CPR_CHECK_MSG(lo > 0.0, "log spacing needs positive '" << names[j] << "'");
-        specs.push_back(grid::ParameterSpec::numerical_log(names[j], lo, hi, integral));
-      } else {
-        specs.push_back(grid::ParameterSpec::numerical_uniform(names[j], lo, hi, integral));
-      }
+    // Assemble the ModelSpec: the parameter space plus hyper-parameters.
+    // --rank/--lambda are conveniences for the tensor families; --hyper
+    // passes anything (unknown keys are rejected by the registry).
+    common::ModelSpec spec;
+    spec.params = specs;
+    spec.cells = static_cast<std::size_t>(args.get_int("cells", 16));
+    if (args.has("rank")) spec.hyper["rank"] = args.get_string("rank", "8");
+    if (args.has("lambda")) spec.hyper["lambda"] = args.get_string("lambda", "1e-4");
+    // --hyper entries take precedence over the --rank/--lambda conveniences.
+    for (auto& [key, value] : common::parse_hyper_entries(args.get_string("hyper", ""))) {
+      spec.hyper[key] = value;
     }
 
     common::RegressorPtr model;
     if (args.has("tune")) {
-      CPR_CHECK_MSG(model_name == "cpr",
-                    "--tune currently supports --model=cpr only (got '" << model_name
-                                                                        << "')");
-      core::CprTuner tuner;
-      tuner.specs = specs;
-      tuner.progress = [](const core::CprTuningResult::Candidate& candidate) {
-        std::cout << "  cells=" << candidate.cells << " rank=" << candidate.rank
-                  << " lambda=" << candidate.regularization
-                  << " -> validation MLogQ " << candidate.error << "\n";
-      };
-      auto [winner, result] =
-          tuner.tune(loaded.data, nullptr, core::CprTuningGrid::for_dimensions(specs.size()));
-      std::cout << "selected cells=" << result.best_cells
-                << " rank=" << result.best_options.rank
-                << " (validation MLogQ " << result.best_error << ")\n";
-      model = std::make_unique<core::CprModel>(std::move(winner));
+      // Search the family's registered space; axes the flags pinned
+      // (--hyper keys, --rank/--lambda, explicit --cells) stay fixed.
+      auto axes = common::ModelRegistry::instance().search_space(model_name, spec);
+      std::erase_if(axes, [&](const common::HyperAxis& axis) {
+        return spec.hyper.count(axis.name) > 0 ||
+               (axis.name == "cells" && args.has("cells"));
+      });
+
+      tune::TunerOptions options;
+      options.threads = static_cast<std::size_t>(args.get_int("tune-threads", 1));
+      options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+      options.progress = tune::stream_progress(std::cout);
+      const tune::Tuner tuner(options);
+      auto outcome = tuner.run(model_name, spec, loaded.data, tune::SearchSpace(axes));
+      std::cout << "selected " << outcome.ranked.front().config << " (CV MLogQ "
+                << Table::fmt(outcome.best_mlogq, 4) << ")\n";
+      model = std::move(outcome.model);
     } else {
-      // Assemble the ModelSpec: the parameter space plus hyper-parameters.
-      // --rank/--lambda are conveniences for the tensor families; --hyper
-      // passes anything (unknown keys are rejected by the registry).
-      common::ModelSpec spec;
-      spec.params = specs;
-      spec.cells = static_cast<std::size_t>(args.get_int("cells", 16));
-      if (args.has("rank")) spec.hyper["rank"] = args.get_string("rank", "8");
-      if (args.has("lambda")) spec.hyper["lambda"] = args.get_string("lambda", "1e-4");
-      for (const auto& entry :
-           split_csv_flag(args.get_string("hyper", ""), ',', "hyper")) {
-        const auto colon = entry.find(':');
-        CPR_CHECK_MSG(colon != std::string::npos && colon > 0,
-                      "--hyper needs key:value entries (got '" << entry << "')");
-        spec.hyper[entry.substr(0, colon)] = entry.substr(colon + 1);
-      }
       model = common::ModelRegistry::instance().create(model_name, spec);
       model->fit(loaded.data);
     }

@@ -1,0 +1,196 @@
+// cpr_tune — autotune any registered model family on a CSV of measurements
+// and save the cross-validated winner as a servable model archive.
+//
+// Usage:
+//   cpr_tune --data=measurements.csv --model=<family> [--out=tuned.cprm]
+//       [--trials=24] [--folds=3] [--rungs=3] [--eta=3] [--threads=1]
+//       [--seed=42] [--cells=16] [--log-dims=a,b] [--categorical=name:k,...]
+//       [--hyper=key:value,...] [--space=axis,...] [--json=trials.json]
+//       [--csv=trials.csv]
+//
+// The search space comes from the family's registry declaration; --hyper
+// pins keys (they are removed from the space and fixed at the given value),
+// and --space overrides or adds axes with the grammar
+//   name=v1|v2|...  |  name=lo..hi[:log|:int|:logint]
+// Candidates are evaluated by k-fold cross-validated MLogQ under successive
+// halving (rung sample budgets grow by eta until the final rung sees every
+// row); evaluation parallelizes over --threads worker threads with
+// bitwise-identical output for a fixed --seed regardless of the thread
+// count. The winner is refit on the full data and written through the
+// versioned archive, so cpr_predict / cpr_serve host it directly.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/dataset_io.hpp"
+#include "common/evaluation.hpp"
+#include "core/model_file.hpp"
+#include "tune/tuner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace cpr;
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: cpr_tune --data=measurements.csv --model=<family> "
+         "[--out=tuned.cprm] [--trials=24] [--folds=3] [--rungs=3] [--eta=3] "
+         "[--threads=1] [--seed=42] [--cells=16] [--log-dims=a,b] "
+         "[--categorical=name:k,...] [--hyper=key:value,...] "
+         "[--space=name=lo..hi[:log|:int|:logint],name=v1|v2,...] "
+         "[--json=trials.json] [--csv=trials.csv]\n\nregistered model families:\n";
+  const auto& registry = common::ModelRegistry::instance();
+  for (const auto& name : registry.family_names()) {
+    out << "  " << name << " — " << registry.description(name) << "\n";
+  }
+}
+
+std::string fmt_error(double v) { return std::isfinite(v) ? Table::fmt(v, 4) : "-"; }
+
+/// JSON string escaping: config/error text carries user --space input.
+std::string json_escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');  // control chars (incl. newlines): flatten
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Numbers must stay parsable: non-finite scores become null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << v;
+  return stream.str();
+}
+
+void write_trials_json(const std::string& path, const tune::TuningOutcome& outcome,
+                       std::uint64_t seed) {
+  std::ofstream out(path);
+  CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "{\"family\": \"" << json_escaped(outcome.family) << "\", \"seed\": " << seed
+      << ", \"trials\": [\n";
+  for (std::size_t i = 0; i < outcome.ranked.size(); ++i) {
+    const auto& trial = outcome.ranked[i];
+    out << "  {\"rank\": " << i + 1 << ", \"index\": " << trial.index
+        << ", \"config\": \"" << json_escaped(trial.config)
+        << "\", \"rung\": " << trial.rung << ", \"samples\": " << trial.samples
+        << ", ";
+    if (trial.failed()) {
+      out << "\"error\": \"" << json_escaped(trial.error) << "\"}";
+    } else {
+      out << "\"mlogq\": " << json_number(trial.mlogq)
+          << ", \"rmse_log\": " << json_number(trial.rmse_log) << "}";
+    }
+    out << (i + 1 < outcome.ranked.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    usage(std::cout);
+    return 0;
+  }
+  const std::string data_path = args.get_string("data", "");
+  const std::string model_name = args.get_string("model", "");
+  if (data_path.empty() || model_name.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  try {
+    const auto& registry = common::ModelRegistry::instance();
+    CPR_CHECK_MSG(registry.has_family(model_name),
+                  "unknown model family '" << model_name
+                                           << "' (run with --help for the list)");
+
+    const auto loaded = common::load_dataset_csv(data_path);
+    std::cout << "loaded " << loaded.data.size() << " measurements of "
+              << loaded.parameter_names.size() << " parameters from " << data_path
+              << "\n";
+
+    const auto log_dims =
+        common::split_fields(args.get_string("log-dims", ""), ',', "--log-dims");
+    const auto categoricals =
+        common::parse_categorical_entries(args.get_string("categorical", ""));
+
+    common::ModelSpec base;
+    base.params = common::infer_parameter_specs(loaded, log_dims, categoricals);
+    base.cells = static_cast<std::size_t>(args.get_int("cells", 16));
+    base.hyper = common::parse_hyper_entries(args.get_string("hyper", ""));
+
+    // The family's declared axes, minus anything the user pinned, plus
+    // --space overrides.
+    std::vector<common::HyperAxis> axes =
+        registry.has_search_space(model_name) ? registry.search_space(model_name, base)
+                                              : std::vector<common::HyperAxis>{};
+    std::erase_if(axes, [&](const common::HyperAxis& axis) {
+      return base.hyper.count(axis.name) > 0 ||
+             (axis.name == "cells" && args.has("cells"));
+    });
+    axes = tune::merge_axes(std::move(axes),
+                            tune::parse_search_space(args.get_string("space", "")));
+
+    tune::TunerOptions options;
+    options.max_trials = static_cast<std::size_t>(args.get_int("trials", 24));
+    options.folds = static_cast<std::size_t>(args.get_int("folds", 3));
+    options.rungs = static_cast<std::size_t>(args.get_int("rungs", 3));
+    options.eta = args.get_double("eta", 3.0);
+    options.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    options.progress = tune::stream_progress(std::cout);
+
+    const tune::Tuner tuner(options);
+    const auto outcome =
+        tuner.run(model_name, base, loaded.data, tune::SearchSpace(axes));
+
+    Table table({"rank", "config", "rung", "samples", "CV MLogQ", "CV RMSElog", "note"});
+    for (std::size_t i = 0; i < outcome.ranked.size(); ++i) {
+      const auto& trial = outcome.ranked[i];
+      table.add_row({Table::fmt(i + 1), trial.config, Table::fmt(trial.rung),
+                     Table::fmt(trial.samples), fmt_error(trial.mlogq),
+                     fmt_error(trial.rmse_log),
+                     trial.failed() ? trial.error : (i == 0 ? "winner" : "")});
+    }
+    table.print(std::cout);
+    if (args.has("csv")) {
+      const std::string csv_path = args.get_string("csv", "trials.csv");
+      table.write_csv(csv_path);
+      std::cout << "trials csv written to " << csv_path << "\n";
+    }
+    if (args.has("json")) {
+      const std::string json_path = args.get_string("json", "");
+      CPR_CHECK_MSG(!json_path.empty(), "--json needs a target path");
+      write_trials_json(json_path, outcome, options.seed);
+      std::cout << "trials json written to " << json_path << "\n";
+    }
+
+    std::cout << "selected " << outcome.ranked.front().config << " (CV MLogQ "
+              << Table::fmt(outcome.best_mlogq, 4) << ")\n";
+    std::cout << "training MLogQ (resubstitution): "
+              << common::evaluate_mlogq(*outcome.model, loaded.data) << "\n";
+    const std::string out_path = args.get_string("out", "tuned.cprm");
+    core::save_model_file(*outcome.model, out_path);
+    std::cout << "wrote " << outcome.model->model_size_bytes() << "-byte "
+              << outcome.model->name() << " model to " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

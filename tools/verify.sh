@@ -2,7 +2,11 @@
 # One-command tier-1 gate: configure + build + ctest, exactly as CI and the
 # ROADMAP "Tier-1 verify" line run it. Exits nonzero on the first failure.
 #
-# Usage: tools/verify.sh [--sanitize] [--tsan] [build-dir]   (default: build)
+# Usage: tools/verify.sh [--fast] [--sanitize] [--tsan] [build-dir]   (default: build)
+#
+# --fast runs only the ctest suites labeled `quick` (everything except the
+# long tuner/serving suites tune_test + serve_test) — the inner-loop gate
+# while iterating; run the full script before a PR.
 #
 # --sanitize additionally configures a second build directory
 # (<build-dir>-asan) with AddressSanitizer + UBSan (CPR_SANITIZE=ON) and runs
@@ -18,11 +22,13 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+fast=0
 sanitize=0
 tsan=0
 build_dir=build
 for arg in "$@"; do
   case "$arg" in
+    --fast) fast=1 ;;
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     *) build_dir="$arg" ;;
@@ -31,7 +37,11 @@ done
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
-ctest --test-dir "$build_dir" --output-on-failure -j
+if [[ "$fast" -eq 1 ]]; then
+  ctest --test-dir "$build_dir" --output-on-failure -j -L quick
+else
+  ctest --test-dir "$build_dir" --output-on-failure -j
+fi
 
 if [[ "$sanitize" -eq 1 ]]; then
   asan_dir="${build_dir}-asan"
