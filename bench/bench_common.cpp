@@ -34,17 +34,6 @@ ModelCandidate registry_candidate(const std::string& family, const std::string& 
   return candidate;
 }
 
-std::string json_escaped(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars: drop
-    out.push_back(c);
-  }
-  return out;
-}
-
 }  // namespace
 
 common::FeatureTransform transform_for(const apps::BenchmarkApp& app) {
@@ -271,19 +260,7 @@ void emit(const Table& table, const CliArgs& args, const std::string& default_cs
 }
 
 void write_json(const std::string& path, const std::vector<JsonRecord>& records) {
-  std::ofstream out(path);
-  CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  out << "[\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& record = records[i];
-    out << "  {\"suite\": \"" << json_escaped(record.suite) << "\", \"case\": \""
-        << json_escaped(record.name) << "\", \"seconds\": ";
-    out.precision(9);
-    out << record.seconds << ", \"model_bytes\": " << record.model_bytes << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
-  }
-  out << "]\n";
-  CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
+  util::write_perf_json(path, records);
 }
 
 void emit_json(const CliArgs& args, const std::vector<JsonRecord>& records) {

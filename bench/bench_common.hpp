@@ -21,6 +21,7 @@
 #include "common/regressor.hpp"
 #include "common/transform.hpp"
 #include "util/cli.hpp"
+#include "util/perf_json.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -86,16 +87,13 @@ BestScore tune_and_score(const std::string& family_tag, const apps::BenchmarkApp
 /// Prints the table and optionally writes CSV per --csv.
 void emit(const Table& table, const CliArgs& args, const std::string& default_csv_name);
 
-/// One record of the --json perf emitter.
-struct JsonRecord {
-  std::string suite;        ///< bench binary / suite name
-  std::string name;         ///< emitted as "case": app/family/config or kernel id
-  double seconds = 0.0;     ///< wall time of the measured unit
-  std::size_t model_bytes = 0;  ///< fitted model size (0 where not applicable)
-};
+/// One record of the --json perf emitter. The format (emitter, parser, and
+/// the cpr_bench baseline diff) lives in util/perf_json.hpp so the tools and
+/// tests share it.
+using JsonRecord = util::PerfRecord;
 
 /// Writes records as a JSON array of {"suite", "case", "seconds",
-/// "model_bytes"} objects.
+/// "model_bytes"} objects (delegates to util::write_perf_json).
 void write_json(const std::string& path, const std::vector<JsonRecord>& records);
 
 /// Writes the records to the --json=<path> target if given (no-op otherwise).

@@ -1,0 +1,248 @@
+// kernel_suite — self-contained timing harness for the completion hot-path
+// kernels (sparse MTTKRP, the fused ALS sweep, batched CPR inference). It is
+// the perf-tracked core of the cpr_bench regression gate: unlike
+// micro_kernels it needs no google-benchmark, so it is always built and its
+// case set is stable across machines.
+//
+// Each case is auto-calibrated to a minimum wall time and reports the
+// minimum per-iteration seconds over --repeats runs (the low-noise
+// statistic for a regression gate). Cases come in pairs: the dispatching
+// entry point under the ambient CPR_KERNEL mode (the gated case), plus
+// `*_serial` / `*_blocked` pinned variants so one JSON shows the kernel
+// speedup directly. Before any timing, the blocked kernels are cross-checked
+// against the serial references (<= 1e-12); a divergence aborts the run.
+//
+// Flags:
+//   --json=<path>      write perf records through the shared emitter
+//   --repeats=<n>      timing repetitions per case (default 5)
+//   --min-time-ms=<n>  minimum timed wall interval per repetition (default 50)
+//   --filter=<substr>  run only cases whose name contains <substr>
+//   --seed=<n>         dataset seed (default 1)
+
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "completion/als.hpp"
+#include "core/cpr_model.hpp"
+#include "grid/discretization.hpp"
+#include "linalg/matrix.hpp"
+#include "tensor/mttkrp.hpp"
+#include "tensor/mttkrp_blocked.hpp"
+#include "util/kernel_mode.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace cpr;
+
+tensor::SparseTensor random_sparse(const tensor::Dims& dims, std::size_t nnz,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  tensor::SparseTensor::Accumulator acc(dims);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    tensor::Index idx(dims.size());
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      idx[j] = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(dims[j]) - 1));
+    }
+    acc.add(idx, std::exp(rng.normal(0.0, 1.0)));
+  }
+  return acc.build();
+}
+
+/// Auto-calibrated min-of-repeats wall timing of `body`.
+double time_case(const std::function<void()>& body, int repeats, double min_time_ms) {
+  // Calibration: grow the iteration count until one repetition spans the
+  // minimum interval, starting from a single warm-up run.
+  Stopwatch calibrate;
+  body();
+  double single = calibrate.seconds();
+  std::size_t iterations = 1;
+  while (single * static_cast<double>(iterations) < min_time_ms * 1e-3 &&
+         iterations < (1u << 24)) {
+    iterations *= 2;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    Stopwatch watch;
+    for (std::size_t i = 0; i < iterations; ++i) body();
+    best = std::min(best, watch.seconds() / static_cast<double>(iterations));
+  }
+  return best;
+}
+
+struct Harness {
+  explicit Harness(const CliArgs& args)
+      : repeats(static_cast<int>(args.get_int("repeats", 5))),
+        min_time_ms(args.get_double("min-time-ms", 50.0)),
+        filter(args.get_string("filter", "")) {}
+
+  void run(const std::string& name, const std::function<void()>& body) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) return;
+    const double seconds = time_case(body, repeats, min_time_ms);
+    std::cout << "kernel_suite/" << name << ": " << seconds * 1e6 << " us\n";
+    records.push_back({"kernel_suite", name, seconds, 0});
+  }
+
+  int repeats;
+  double min_time_ms;
+  std::string filter;
+  std::vector<bench::JsonRecord> records;
+};
+
+core::CprModel fitted_cpr(std::uint64_t seed) {
+  std::vector<grid::ParameterSpec> specs{
+      grid::ParameterSpec::numerical_log("m", 32, 4096, true),
+      grid::ParameterSpec::numerical_log("n", 32, 4096, true),
+      grid::ParameterSpec::numerical_log("k", 32, 4096, true)};
+  core::CprOptions options;
+  options.rank = 8;
+  core::CprModel model(grid::Discretization(specs, 16), options);
+  Rng rng(seed);
+  common::Dataset train;
+  train.x = linalg::Matrix(2048, 3);
+  train.y.resize(2048);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) train.x(i, j) = rng.log_uniform(32, 4096);
+    train.y[i] = 1e-9 * train.x(i, 0) * train.x(i, 1) * train.x(i, 2);
+  }
+  model.fit(train);
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "usage: kernel_suite [--json=<path>] [--repeats=5] [--min-time-ms=50]\n"
+           "                    [--filter=<substr>] [--seed=1]\n\n"
+           "Times the completion hot-path kernels (MTTKRP, ALS sweep,\n"
+           "predict_batch) under the ambient CPR_KERNEL mode plus pinned\n"
+           "serial/blocked variants, and writes perf records for the\n"
+           "cpr_bench regression gate.\n\n"
+           "  --json=<path>      write perf records (suite/case/seconds/model_bytes)\n"
+           "  --repeats=<n>      timing repetitions per case (default: 5)\n"
+           "  --min-time-ms=<n>  minimum timed interval per repetition (default: 50)\n"
+           "  --filter=<substr>  run only cases containing <substr> (default: all)\n"
+           "  --seed=<n>         dataset seed (default: 1)\n";
+    return 0;
+  }
+
+  try {
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    Harness harness(args);
+    std::cout << "kernel mode: " << kernel_mode_name(kernel_mode()) << "\n";
+
+    // --- sparse MTTKRP --------------------------------------------------
+    const tensor::Dims dims{64, 64, 64};
+    const auto t = random_sparse(dims, 1u << 14, seed);
+    for (const std::size_t rank : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+      tensor::CpModel model(dims, rank);
+      Rng rng(seed + 1);
+      model.init_random(rng);
+      linalg::Matrix out(dims[0], rank);
+      linalg::Matrix reference(dims[0], rank);
+      // A benchmark of a wrong answer is worthless: cross-check first.
+      tensor::sparse_mttkrp_serial(t, model, 0, reference);
+      tensor::sparse_mttkrp_blocked(t, model, 0, out);
+      if (linalg::max_abs_diff(out, reference) > 1e-12) {
+        std::cerr << "error: blocked MTTKRP diverged from the serial reference\n";
+        return 1;
+      }
+      const std::string suffix = "/rank" + std::to_string(rank);
+      harness.run("mttkrp" + suffix,
+                  [&] { tensor::sparse_mttkrp(t, model, 0, out); });
+      {
+        KernelModeGuard guard;
+        set_kernel_mode(KernelMode::Serial);
+        harness.run("mttkrp_serial" + suffix,
+                    [&] { tensor::sparse_mttkrp(t, model, 0, out); });
+        set_kernel_mode(KernelMode::Blocked);
+        harness.run("mttkrp_blocked" + suffix,
+                    [&] { tensor::sparse_mttkrp(t, model, 0, out); });
+      }
+    }
+
+    // --- one ALS sweep (fused normal-equation assembly) -----------------
+    {
+      const tensor::Dims als_dims{32, 32, 32};
+      const auto als_t = random_sparse(als_dims, 1u << 13, seed + 2);
+      tensor::CpModel init(als_dims, 8);
+      Rng rng(seed + 3);
+      init.init_ones(rng, 0.3);
+      completion::CompletionOptions options;
+      options.max_sweeps = 1;
+      options.tol = 0.0;
+      const auto sweep = [&] {
+        tensor::CpModel work = init;
+        completion::als_complete(als_t, work, options);
+      };
+      {
+        // Cross-check the fused blocked assembly against the scalar path
+        // before timing either.
+        const auto sweep_under = [&](KernelMode mode) {
+          KernelModeGuard guard;
+          set_kernel_mode(mode);
+          tensor::CpModel work = init;
+          completion::als_complete(als_t, work, options);
+          return work;
+        };
+        const auto serial = sweep_under(KernelMode::Serial);
+        const auto blocked = sweep_under(KernelMode::Blocked);
+        for (std::size_t j = 0; j < serial.order(); ++j) {
+          if (linalg::max_abs_diff(blocked.factor(j), serial.factor(j)) > 1e-12) {
+            std::cerr << "error: blocked ALS sweep diverged from the serial path\n";
+            return 1;
+          }
+        }
+      }
+      harness.run("als_sweep/rank8", sweep);
+      KernelModeGuard guard;
+      set_kernel_mode(KernelMode::Serial);
+      harness.run("als_sweep_serial/rank8", sweep);
+    }
+
+    // --- batched CPR inference ------------------------------------------
+    {
+      const auto model = fitted_cpr(seed + 4);
+      Rng rng(seed + 5);
+      linalg::Matrix queries(1024, 3);
+      for (std::size_t i = 0; i < queries.rows(); ++i) {
+        for (std::size_t j = 0; j < 3; ++j) queries(i, j) = rng.log_uniform(32, 4096);
+      }
+      {
+        // Cross-check the blocked batch against scalar predict bitwise.
+        KernelModeGuard guard;
+        set_kernel_mode(KernelMode::Blocked);
+        const auto blocked = model.predict_batch(queries);
+        for (std::size_t i = 0; i < queries.rows(); ++i) {
+          grid::Config x(queries.row_ptr(i), queries.row_ptr(i) + queries.cols());
+          if (blocked[i] != model.predict(x)) {
+            std::cerr << "error: blocked predict_batch diverged from predict()\n";
+            return 1;
+          }
+        }
+      }
+      harness.run("predict_batch/1024",
+                  [&] { (void)model.predict_batch(queries); });
+      KernelModeGuard guard;
+      set_kernel_mode(KernelMode::Serial);
+      harness.run("predict_batch_serial/1024",
+                  [&] { (void)model.predict_batch(queries); });
+    }
+
+    bench::emit_json(args, harness.records);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

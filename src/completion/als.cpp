@@ -3,7 +3,10 @@
 #include <cmath>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/fused.hpp"
 #include "tensor/mttkrp.hpp"
+#include "tensor/mttkrp_blocked.hpp"
+#include "util/kernel_mode.hpp"
 #include "util/log.hpp"
 
 namespace cpr::completion {
@@ -60,6 +63,7 @@ CompletionReport als_complete(const tensor::SparseTensor& t, tensor::CpModel& mo
   CPR_CHECK_MSG(t.nnz() > 0, "cannot complete a tensor with no observations");
   const std::size_t rank = model.rank();
   const tensor::ModeSlices slices(t);
+  const bool blocked = kernel_mode() == KernelMode::Blocked;
 
   CompletionReport report;
   double prev_objective = completion_objective(t, model, options.regularization);
@@ -68,39 +72,67 @@ CompletionReport als_complete(const tensor::SparseTensor& t, tensor::CpModel& mo
     for (std::size_t mode = 0; mode < model.order(); ++mode) {
       auto& factor = model.factor(mode);
       const std::size_t n_rows = factor.rows();
+      constexpr std::size_t kTile = 64;
 #ifdef CPR_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 4)
+#pragma omp parallel
 #endif
-      for (std::size_t i = 0; i < n_rows; ++i) {
-        const auto& entries = slices.entries(mode, i);
-        if (entries.empty()) continue;  // unobserved slice: keep current row
-        const double inv_count = 1.0 / static_cast<double>(entries.size());
-        linalg::Matrix gram(rank, rank, 0.0);
-        linalg::Vector rhs(rank, 0.0);
-        std::vector<double> z(rank);
-        for (const std::size_t e : entries) {
-          tensor::hadamard_row(model, t, e, mode, z.data());
-          const double value = t.value(e);
+      {
+        // Per-thread assembly scratch, reused across every row the thread
+        // owns (gram/rhs are moved into the solver, so those stay per-row).
+        std::vector<double> z_tile(blocked ? kTile * rank : 0);
+        std::vector<double> w_tile(blocked ? kTile : 0);
+        std::vector<double> z(blocked ? 0 : rank);
+#ifdef CPR_HAVE_OPENMP
+#pragma omp for schedule(dynamic, 4)
+#endif
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const auto& entries = slices.entries(mode, i);
+          if (entries.empty()) continue;  // unobserved slice: keep current row
+          const double inv_count = 1.0 / static_cast<double>(entries.size());
+          linalg::Matrix gram(rank, rank, 0.0);
+          linalg::Vector rhs(rank, 0.0);
+          if (blocked) {
+            // Fused normal-equation assembly: expand a tile of Hadamard
+            // rows, then accumulate Z^T Z and Z^T w in one pass over the
+            // tile (linalg/fused.hpp). Entry order inside and across tiles
+            // is the slice order, so the result matches the scalar path
+            // bitwise.
+            for (std::size_t first = 0; first < entries.size(); first += kTile) {
+              const std::size_t n = std::min(kTile, entries.size() - first);
+              tensor::hadamard_block(model, t, entries.data() + first, n, mode,
+                                     z_tile.data());
+              for (std::size_t b = 0; b < n; ++b) {
+                w_tile[b] = t.value(entries[first + b]);
+              }
+              linalg::fused_gram_rhs(z_tile.data(), w_tile.data(), n, rank, gram,
+                                     rhs);
+            }
+          } else {
+            for (const std::size_t e : entries) {
+              tensor::hadamard_row(model, t, e, mode, z.data());
+              const double value = t.value(e);
+              for (std::size_t r = 0; r < rank; ++r) {
+                rhs[r] += value * z[r];
+                for (std::size_t s = r; s < rank; ++s) gram(r, s) += z[r] * z[s];
+              }
+            }
+          }
+          // Mirror the upper triangle, apply the 1/|Ω_i| scaling, and add
+          // the ridge term (row objective of Section 4.2.1).
           for (std::size_t r = 0; r < rank; ++r) {
-            rhs[r] += value * z[r];
-            for (std::size_t s = r; s < rank; ++s) gram(r, s) += z[r] * z[s];
+            rhs[r] *= inv_count;
+            for (std::size_t s = r; s < rank; ++s) {
+              gram(r, s) *= inv_count;
+              gram(s, r) = gram(r, s);
+            }
+            gram(r, r) += options.regularization;
           }
-        }
-        // Mirror the upper triangle, apply the 1/|Ω_i| scaling, and add
-        // the ridge term (row objective of Section 4.2.1).
-        for (std::size_t r = 0; r < rank; ++r) {
-          rhs[r] *= inv_count;
-          for (std::size_t s = r; s < rank; ++s) {
-            gram(r, s) *= inv_count;
-            gram(s, r) = gram(r, s);
+          const auto solution = linalg::solve_spd(std::move(gram), std::move(rhs));
+          if (solution.has_value()) {
+            factor.set_row(i, *solution);
           }
-          gram(r, r) += options.regularization;
+          // On the (rare) total Cholesky failure the previous row is kept.
         }
-        const auto solution = linalg::solve_spd(std::move(gram), std::move(rhs));
-        if (solution.has_value()) {
-          factor.set_row(i, *solution);
-        }
-        // On the (rare) total Cholesky failure the previous row is kept.
       }
     }
 

@@ -8,10 +8,44 @@
 
 #include "completion/ccd.hpp"
 #include "completion/sgd.hpp"
+#include "util/kernel_mode.hpp"
+#include "util/simd.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace cpr::core {
+
+namespace {
+
+/// Vectorized CP element evaluation with caller scratch `z` (size rank):
+/// elementwise products of the factor rows, then an in-order scalar sum.
+/// The multiply sequence per component and the summation order are exactly
+/// those of CpModel::eval, so the result is bitwise equal to it.
+double eval_cp_vectorized(const tensor::CpModel& cp, const tensor::Index& idx,
+                          std::vector<double>& z) {
+  const std::size_t rank = cp.rank();
+  const std::size_t order = cp.order();
+  double* __restrict__ zp = z.data();
+  const double* __restrict__ f0 = cp.factor(0).row_ptr(idx[0]);
+  if (order == 1) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < rank; ++r) total += f0[r];
+    return total;
+  }
+  const double* __restrict__ f1 = cp.factor(1).row_ptr(idx[1]);
+  CPR_SIMD
+  for (std::size_t r = 0; r < rank; ++r) zp[r] = f0[r] * f1[r];
+  for (std::size_t j = 2; j < order; ++j) {
+    const double* __restrict__ fj = cp.factor(j).row_ptr(idx[j]);
+    CPR_SIMD
+    for (std::size_t r = 0; r < rank; ++r) zp[r] *= fj[r];
+  }
+  double total = 0.0;
+  for (std::size_t r = 0; r < rank; ++r) total += zp[r];
+  return total;
+}
+
+}  // namespace
 
 CprModel::CprModel(grid::Discretization discretization, CprOptions options)
     : discretization_(std::move(discretization)), options_(options) {
@@ -171,6 +205,7 @@ std::vector<double> CprModel::predict_batch(const linalg::Matrix& configs) const
   CPR_CHECK_MSG(fitted_, "CprModel::predict_batch before fit");
   CPR_CHECK_MSG(configs.cols() == discretization_.order(),
                 "config batch dimensionality does not match the discretization");
+  if (kernel_mode() == KernelMode::Blocked) return predict_batch_blocked(configs);
   std::vector<double> out(configs.rows());
   // Exceptions must not unwind out of an OpenMP region (that terminates the
   // process); capture the first one and rethrow it on the calling thread.
@@ -199,6 +234,80 @@ std::vector<double> CprModel::predict_batch(const linalg::Matrix& configs) const
   }
   if (error) std::rethrow_exception(error);
   return out;
+}
+
+std::vector<double> CprModel::predict_batch_blocked(const linalg::Matrix& configs) const {
+  std::vector<double> out(configs.rows());
+  const std::size_t n = configs.rows();
+  constexpr std::size_t kTile = 64;
+  const std::size_t n_tiles = (n + kTile - 1) / kTile;
+  // Exceptions must not unwind out of an OpenMP region (that terminates the
+  // process); capture the first one and rethrow it on the calling thread.
+  std::exception_ptr error;
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    // Per-thread scratch, reused across every query of every tile the
+    // thread owns: the config buffer, the Eq.-5 corner/weight buffers, and
+    // the CP product row. The hot loop is allocation-free after the first
+    // query.
+    grid::Config scratch;
+    grid::InterpolationScratch interp;
+    std::vector<double> z(cp_.rank());
+#ifdef CPR_HAVE_OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+    for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+      const std::size_t begin = tile * kTile;
+      const std::size_t end = std::min(n, begin + kTile);
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          scratch.assign(configs.row_ptr(i), configs.row_ptr(i) + configs.cols());
+          out[i] = predict_in_place_blocked(scratch, interp, z);
+        }
+      } catch (...) {
+#ifdef CPR_HAVE_OPENMP
+#pragma omp critical(cpr_predict_batch_error)
+#endif
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
+}
+
+double CprModel::predict_in_place_blocked(grid::Config& clamped,
+                                          grid::InterpolationScratch& interp,
+                                          std::vector<double>& z) const {
+  // Mirrors predict_in_place statement for statement; the only differences
+  // are the statically-dispatched interpolate_t and the vectorized (but
+  // bitwise-identical) CP evaluation.
+  for (std::size_t j = 0; j < clamped.size(); ++j) {
+    const auto& p = discretization_.params()[j];
+    if (p.is_numerical()) clamped[j] = std::clamp(clamped[j], p.lo, p.hi);
+  }
+  if (options_.interpolation == CprInterpolation::ExpSpace) {
+    const double prediction = discretization_.interpolate_t(
+        clamped,
+        [this, &z](const tensor::Index& idx) {
+          return std::exp(eval_cp_vectorized(cp_, idx, z) + log_offset_);
+        },
+        nullptr, interp);
+    return std::max(prediction, 1e-16);
+  }
+  double log_prediction =
+      discretization_.interpolate_t(
+          clamped,
+          [this, &z](const tensor::Index& idx) {
+            return eval_cp_vectorized(cp_, idx, z);
+          },
+          nullptr, interp) +
+      log_offset_;
+  constexpr double kLogMargin = 5.0;
+  log_prediction = std::clamp(log_prediction, log_min_ - kLogMargin, log_max_ + kLogMargin);
+  return std::exp(log_prediction);
 }
 
 std::size_t CprModel::model_size_bytes() const {

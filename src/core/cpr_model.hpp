@@ -103,6 +103,18 @@ class CprModel final : public common::Regressor {
   /// can reuse a per-thread buffer instead of allocating per query.
   double predict_in_place(grid::Config& x) const;
 
+  /// The CPR_KERNEL=blocked arm of predict_batch: configurations are walked
+  /// in static tiles with per-thread interpolation scratch, and cell lookups
+  /// run through a vectorized CP evaluation that preserves the scalar
+  /// multiply/add order — every output is bitwise equal to predict().
+  std::vector<double> predict_batch_blocked(const linalg::Matrix& configs) const;
+
+  /// predict_in_place with caller-owned scratch (`interp` for Eq. 5, `z` of
+  /// size rank for the CP evaluation); semantics mirror predict_in_place
+  /// exactly.
+  double predict_in_place_blocked(grid::Config& x, grid::InterpolationScratch& interp,
+                                  std::vector<double>& z) const;
+
   grid::Discretization discretization_;
   CprOptions options_;
   tensor::CpModel cp_;

@@ -215,46 +215,11 @@ ModeWeights Discretization::mode_weights(std::size_t j, double x) const {
 double Discretization::interpolate(
     const Config& x, const std::function<double(const tensor::Index&)>& eval,
     const std::vector<bool>* freeze) const {
-  CPR_CHECK(x.size() == params_.size());
-  std::vector<ModeWeights> weights(params_.size());
-  for (std::size_t j = 0; j < params_.size(); ++j) {
-    if (freeze != nullptr && (*freeze)[j]) {
-      // Frozen mode: no interpolation; pin to the containing cell (treated
-      // like a categorical coordinate).
-      ModeWeights w;
-      Config probe = x;
-      probe[j] = std::clamp(x[j], params_[j].lo, params_[j].hi);
-      w.base = cell_of(probe)[j];
-      weights[j] = w;
-    } else {
-      weights[j] = mode_weights(j, x[j]);
-      CPR_CHECK_MSG(!weights[j].out_of_domain,
-                    "coordinate " << j << " outside the modeling domain — use the "
-                                  << "extrapolation model (Section 5.3)");
-    }
-  }
-
-  // Enumerate the corners a in {0,1}^d (Eq. 5); modes without an upper
-  // neighbor contribute only a=0.
-  double total = 0.0;
-  tensor::Index idx(params_.size(), 0);
-  std::vector<std::size_t> active;  // modes with two neighbors
-  for (std::size_t j = 0; j < params_.size(); ++j) {
-    idx[j] = weights[j].base;
-    if (weights[j].has_upper) active.push_back(j);
-  }
-  const std::size_t corners = std::size_t{1} << active.size();
-  for (std::size_t mask = 0; mask < corners; ++mask) {
-    double weight = 1.0;
-    for (std::size_t b = 0; b < active.size(); ++b) {
-      const std::size_t j = active[b];
-      const bool upper = (mask >> b) & 1u;
-      idx[j] = weights[j].base + (upper ? 1 : 0);
-      weight *= upper ? weights[j].weight_hi : weights[j].weight_lo;
-    }
-    if (weight != 0.0) total += weight * eval(idx);
-  }
-  return total;
+  // Single algorithm, two entry points: the batched hot path calls the
+  // template directly with reused scratch; this overload is the convenient
+  // polymorphic form.
+  InterpolationScratch scratch;
+  return interpolate_t(x, eval, freeze, scratch);
 }
 
 void Discretization::serialize(SerialSink& sink) const {

@@ -1,0 +1,26 @@
+#include "linalg/fused.hpp"
+
+#include "util/check.hpp"
+#include "util/simd.hpp"
+
+namespace cpr::linalg {
+
+void fused_gram_rhs(const double* z, const double* w, std::size_t n_rows,
+                    std::size_t rank, Matrix& gram, Vector& rhs) {
+  CPR_CHECK(gram.rows() == rank && gram.cols() == rank && rhs.size() == rank);
+  for (std::size_t b = 0; b < n_rows; ++b) {
+    const double* __restrict__ zb = z + b * rank;
+    const double wb = w[b];
+    double* __restrict__ rhs_ptr = rhs.data();
+    CPR_SIMD
+    for (std::size_t r = 0; r < rank; ++r) rhs_ptr[r] += wb * zb[r];
+    for (std::size_t r = 0; r < rank; ++r) {
+      const double zr = zb[r];
+      double* __restrict__ gr = gram.row_ptr(r);
+      CPR_SIMD
+      for (std::size_t s = r; s < rank; ++s) gr[s] += zr * zb[s];
+    }
+  }
+}
+
+}  // namespace cpr::linalg

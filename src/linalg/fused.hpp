@@ -1,0 +1,37 @@
+#pragma once
+// Fused normal-equation assembly — part of the blocked SIMD kernel layer.
+//
+// The ALS row solve of the completion optimizers assembles, per factor row,
+// the rank x rank Gram matrix G = Z^T Z and the right-hand side b = Z^T w of
+// the ridge-regularized normal equations, where Z packs the Hadamard rows of
+// the row's observed entries. Calling syrk_tn + gemv_t separately streams Z
+// twice; this kernel fuses both products into a single pass over the row
+// block, with the rank loops vectorized over restrict-qualified pointers.
+// Per output element the accumulation order over block rows is the packed
+// order, so assembling a row's entries tile-by-tile reproduces the scalar
+// reference (one entry at a time) bitwise.
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+/// \brief One-pass accumulation of `gram += Z^T Z` (upper triangle only) and
+///        `rhs += Z^T w` over a packed row block.
+/// \param z      row-major n_rows x rank block (e.g. Hadamard rows).
+/// \param w      n_rows weights (e.g. observed tensor values).
+/// \param n_rows rows in the block.
+/// \param rank   columns of the block; `gram` must be rank x rank and `rhs`
+///               length rank.
+/// \param gram   accumulated Gram matrix; only the upper triangle (s >= r)
+///               is written — mirror it after the final tile.
+/// \param rhs    accumulated right-hand side.
+///
+/// Contributions accumulate row-by-row in block order: element (r, s) of
+/// `gram` receives z[b*rank+r] * z[b*rank+s] for b = 0..n_rows-1 in that
+/// exact order, matching the per-entry scalar assembly bitwise.
+void fused_gram_rhs(const double* z, const double* w, std::size_t n_rows,
+                    std::size_t rank, Matrix& gram, Vector& rhs);
+
+}  // namespace cpr::linalg

@@ -1,5 +1,8 @@
 #include "tensor/mttkrp.hpp"
 
+#include "tensor/mttkrp_blocked.hpp"
+#include "util/kernel_mode.hpp"
+
 #ifdef CPR_HAVE_OPENMP
 #include <omp.h>
 #endif
@@ -67,6 +70,10 @@ void sparse_mttkrp_serial(const SparseTensor& t, const CpModel& model,
 
 void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
                    linalg::Matrix& out) {
+  if (kernel_mode() == KernelMode::Blocked) {
+    sparse_mttkrp_blocked(t, model, mode, out);
+    return;
+  }
   const std::size_t rank = prepare_mttkrp_output(model, mode, out);
 #ifdef CPR_HAVE_OPENMP
   if (omp_get_max_threads() > 1) {

@@ -16,7 +16,11 @@ namespace cpr::tensor {
 linalg::Matrix khatri_rao(const linalg::Matrix& a, const linalg::Matrix& b);
 
 /// Sparse MTTKRP for the given mode; `out` must be dims[mode] x rank and is
-/// overwritten. Parallelized over entries with thread-local accumulators.
+/// overwritten. Dispatches on the runtime kernel mode (util/kernel_mode.hpp):
+/// `blocked` (default) runs the cache-blocked SIMD kernel of
+/// tensor/mttkrp_blocked.hpp; `CPR_KERNEL=serial` falls back to this file's
+/// scalar reference, parallelized over entries with thread-local
+/// accumulators. Both agree with `sparse_mttkrp_serial` within 1e-12.
 void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
                    linalg::Matrix& out);
 

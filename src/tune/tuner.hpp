@@ -61,19 +61,36 @@ struct TuningOutcome {
   common::RegressorPtr model;   ///< winner refit on the full dataset
 };
 
-/// The tools' default progress callback: one line per evaluated candidate
-/// ("rung R [N samples] config -> CV MLogQ x" / "-> failed: why") to `out`.
+/// \brief The tools' default progress callback.
+/// \param out stream receiving one line per evaluated candidate
+///            ("rung R [N samples] config -> CV MLogQ x" / "-> failed: why").
+/// \return a callback suitable for TunerOptions::progress.
 std::function<void(const Trial&)> stream_progress(std::ostream& out);
 
+/// \brief Successive-halving hyper-parameter search over any registered
+///        model family (see the file comment for strategy and determinism).
 class Tuner {
  public:
+  /// \brief Builds a tuner with the given budget/parallelism options.
+  /// \param options trial counts, rungs, folds, worker threads, and seed.
   explicit Tuner(TunerOptions options) : options_(std::move(options)) {}
 
-  /// Tunes `family` over its registered search space.
+  /// \brief Tunes `family` over its registered search space.
+  /// \param family registry family tag (e.g. "cpr", "rf").
+  /// \param base   ModelSpec template: parameter specs plus any pinned
+  ///               hyper-parameters (pinned keys are kept fixed).
+  /// \param data   full training dataset; rung budgets subsample it.
+  /// \return ranked trials, the winning spec, and the winner refit on all
+  ///         of `data`.
   TuningOutcome run(const std::string& family, const common::ModelSpec& base,
                     const common::Dataset& data) const;
 
-  /// Tunes `family` over an explicit space (CLI overrides, tests).
+  /// \brief Tunes `family` over an explicit space (CLI overrides, tests).
+  /// \param family registry family tag.
+  /// \param base   ModelSpec template as above.
+  /// \param data   full training dataset.
+  /// \param space  the axes to search instead of the registered space.
+  /// \return ranked trials, the winning spec, and the refit winner.
   TuningOutcome run(const std::string& family, const common::ModelSpec& base,
                     const common::Dataset& data, const SearchSpace& space) const;
 

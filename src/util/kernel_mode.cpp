@@ -1,0 +1,41 @@
+#include "util/kernel_mode.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace cpr {
+
+namespace {
+
+KernelMode initial_mode() {
+  const char* env = std::getenv("CPR_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelMode::Blocked;
+  return kernel_mode_from_string(env);
+}
+
+KernelMode& mode_slot() {
+  // Initialized on first use so a CheckError from a bad CPR_KERNEL value
+  // surfaces as a catchable exception in main, not a static-init abort.
+  static KernelMode mode = initial_mode();
+  return mode;
+}
+
+}  // namespace
+
+KernelMode kernel_mode() { return mode_slot(); }
+
+void set_kernel_mode(KernelMode mode) { mode_slot() = mode; }
+
+KernelMode kernel_mode_from_string(const std::string& name) {
+  if (name == "serial") return KernelMode::Serial;
+  if (name == "blocked") return KernelMode::Blocked;
+  CPR_CHECK_MSG(false, "CPR_KERNEL must be 'serial' or 'blocked', got '" << name << "'");
+  return KernelMode::Blocked;  // unreachable
+}
+
+const char* kernel_mode_name(KernelMode mode) {
+  return mode == KernelMode::Serial ? "serial" : "blocked";
+}
+
+}  // namespace cpr

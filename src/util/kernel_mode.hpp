@@ -1,0 +1,59 @@
+#pragma once
+// Runtime selection of the numerical-kernel implementation.
+//
+// The completion hot path ships two interchangeable kernel layers: the
+// scalar reference kernels of PR 1 (`serial`) and the cache-blocked,
+// explicitly vectorized kernels of the SIMD tentpole (`blocked`, the
+// default). The `CPR_KERNEL` environment variable overrides the choice at
+// process start; tests and benches pin it programmatically. Both layers
+// produce results within 1e-12 of each other (the blocked kernels preserve
+// the serial per-element accumulation order, see tests/kernels_test.cpp).
+
+#include <string>
+
+namespace cpr {
+
+/// \brief Which implementation the dispatching kernel entry points select.
+enum class KernelMode {
+  Serial,   ///< scalar reference kernels (the PR-1 implementations)
+  Blocked,  ///< cache-blocked, SIMD-vectorized kernels (default)
+};
+
+/// \brief The active kernel mode.
+///
+/// First call reads the `CPR_KERNEL` environment variable (`serial` or
+/// `blocked`; unset or empty means `blocked`) and caches the result;
+/// an unrecognized value throws CheckError. Later calls return the cached
+/// (or programmatically overridden) mode.
+KernelMode kernel_mode();
+
+/// \brief Overrides the active mode for the rest of the process.
+/// \param mode the implementation every dispatching kernel should use.
+///
+/// For tests and benches that compare both layers in one process. Not
+/// thread-safe against concurrent kernel launches — pin the mode before
+/// spawning parallel work.
+void set_kernel_mode(KernelMode mode);
+
+/// \brief Parses a `CPR_KERNEL` value; throws CheckError on anything other
+///        than "serial" or "blocked".
+/// \param name the environment-variable text.
+KernelMode kernel_mode_from_string(const std::string& name);
+
+/// \brief Display name ("serial" / "blocked") of a mode.
+const char* kernel_mode_name(KernelMode mode);
+
+/// \brief RAII guard restoring the ambient kernel mode on scope exit.
+///
+/// For tests and benches that pin a mode with set_kernel_mode() and must
+/// not leak the override past their scope (including on early return or
+/// exception).
+struct KernelModeGuard {
+  KernelMode saved = kernel_mode();
+  KernelModeGuard() = default;
+  KernelModeGuard(const KernelModeGuard&) = delete;
+  KernelModeGuard& operator=(const KernelModeGuard&) = delete;
+  ~KernelModeGuard() { set_kernel_mode(saved); }
+};
+
+}  // namespace cpr

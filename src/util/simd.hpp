@@ -1,0 +1,13 @@
+#pragma once
+// CPR_SIMD — `#pragma omp simd` where OpenMP is enabled, nothing otherwise
+// (without -fopenmp the pragma would only draw an unknown-pragma warning,
+// e.g. in the TSan build, which turns OpenMP off). The blocked kernel layer
+// puts it on elementwise rank loops over restrict-qualified pointers; it is
+// purely a vectorization hint — never a reduction — so results are
+// identical with or without it.
+
+#ifdef CPR_HAVE_OPENMP
+#define CPR_SIMD _Pragma("omp simd")
+#else
+#define CPR_SIMD
+#endif

@@ -1,0 +1,386 @@
+// Equivalence suite for the blocked SIMD kernel layer (the CPR_KERNEL
+// tentpole): every blocked kernel must match its scalar reference to
+// <= 1e-12 at 1, 2, and 8 threads, mirroring the PR-1 thread-invariance
+// tests. Where the blocked design guarantees the exact serial accumulation
+// order (MTTKRP row buckets, the fused normal-equation tile, the vectorized
+// CP evaluation) the tests assert bitwise equality outright.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "completion/als.hpp"
+#include "core/cpr_model.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/fused.hpp"
+#include "omp_test_utils.hpp"
+#include "tensor/mttkrp.hpp"
+#include "tensor/mttkrp_blocked.hpp"
+#include "test_data.hpp"
+#include "util/kernel_mode.hpp"
+#include "util/rng.hpp"
+
+#ifdef CPR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace cpr;
+using tensor::CpModel;
+using tensor::Dims;
+using tensor::Index;
+using tensor::SparseTensor;
+
+SparseTensor random_sparse(const Dims& dims, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  SparseTensor t(dims);
+  Index idx(dims.size(), 0);
+  do {
+    if (rng.uniform() < density) t.push_back(idx, rng.normal());
+  } while (tensor::next_index(idx, dims));
+  return t;
+}
+
+TEST(KernelMode, ParsesAndRejects) {
+  EXPECT_EQ(kernel_mode_from_string("serial"), KernelMode::Serial);
+  EXPECT_EQ(kernel_mode_from_string("blocked"), KernelMode::Blocked);
+  EXPECT_THROW(kernel_mode_from_string("simd"), CheckError);
+  EXPECT_THROW(kernel_mode_from_string(""), CheckError);
+  EXPECT_STREQ(kernel_mode_name(KernelMode::Serial), "serial");
+  EXPECT_STREQ(kernel_mode_name(KernelMode::Blocked), "blocked");
+}
+
+TEST(KernelMode, DispatchSelectsTheRequestedKernel) {
+  // Both dispatch arms must agree with the serial reference on the same
+  // input; this pins the CPR_KERNEL plumbing itself.
+  const Dims dims{7, 6, 5};
+  const auto t = random_sparse(dims, 0.5, 11);
+  CpModel m(dims, 4);
+  Rng rng(12);
+  m.init_random(rng);
+  linalg::Matrix reference(dims[0], 4);
+  tensor::sparse_mttkrp_serial(t, m, 0, reference);
+
+  KernelModeGuard guard;
+  for (const KernelMode mode : {KernelMode::Serial, KernelMode::Blocked}) {
+    set_kernel_mode(mode);
+    linalg::Matrix out(dims[0], 4);
+    tensor::sparse_mttkrp(t, m, 0, out);
+    EXPECT_LT(linalg::max_abs_diff(out, reference), 1e-12)
+        << "mode " << kernel_mode_name(mode);
+  }
+}
+
+TEST(BlockedMttkrp, RowBlocksPartitionIsStableAndComplete) {
+  const Dims dims{5, 4, 3};
+  const auto t = random_sparse(dims, 0.7, 21);
+  const tensor::RowBlocks blocks(t, 1, 8);
+  ASSERT_EQ(blocks.n_rows(), dims[1]);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks.n_rows(); ++i) {
+    const std::size_t* entries = blocks.row_entries(i);
+    const std::size_t count = blocks.row_entry_count(i);
+    total += count;
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(t.index(entries[k], 1), i) << "entry bucketed into the wrong row";
+      // Stability: ascending entry ids == the serial accumulation order.
+      if (k > 0) {
+        EXPECT_LT(entries[k - 1], entries[k]);
+      }
+    }
+  }
+  EXPECT_EQ(total, t.nnz());
+  // Blocks tile the row range exactly.
+  EXPECT_EQ(blocks.block_first_row(0), 0u);
+  EXPECT_EQ(blocks.block_last_row(blocks.n_blocks() - 1), blocks.n_rows());
+  for (std::size_t b = 1; b < blocks.n_blocks(); ++b) {
+    EXPECT_EQ(blocks.block_last_row(b - 1), blocks.block_first_row(b));
+  }
+}
+
+TEST(BlockedMttkrp, MatchesSerialAcrossOrdersRanksAndModes) {
+  // Orders 2..4 cover the specialized inner loops (2, 3) and the generic
+  // Hadamard-tile arm (4); the ranks cover scalar remainders of every SIMD
+  // width.
+  const std::vector<Dims> shapes{{9, 8}, {7, 6, 5}, {5, 4, 3, 3}};
+  for (const auto& dims : shapes) {
+    const auto t = random_sparse(dims, 0.5, 31 + dims.size());
+    ASSERT_GT(t.nnz(), 0u);
+    for (const std::size_t rank : {1u, 3u, 8u, 17u}) {
+      CpModel m(dims, rank);
+      Rng rng(41 + rank);
+      m.init_random(rng);
+      for (std::size_t mode = 0; mode < dims.size(); ++mode) {
+        linalg::Matrix reference(dims[mode], rank);
+        tensor::sparse_mttkrp_serial(t, m, mode, reference);
+        linalg::Matrix out(dims[mode], rank);
+        tensor::sparse_mttkrp_blocked(t, m, mode, out);
+        EXPECT_LT(linalg::max_abs_diff(out, reference), 1e-12)
+            << "order " << dims.size() << " rank " << rank << " mode " << mode;
+      }
+    }
+  }
+}
+
+TEST(BlockedMttkrp, BitwiseEqualToSerialInStorageOrder) {
+  // The design guarantee is stronger than 1e-12: stable row bucketing
+  // preserves the serial per-element accumulation order exactly.
+  const Dims dims{12, 11, 10};
+  const auto t = random_sparse(dims, 0.4, 51);
+  CpModel m(dims, 8);
+  Rng rng(52);
+  m.init_random(rng);
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    linalg::Matrix reference(dims[mode], 8);
+    tensor::sparse_mttkrp_serial(t, m, mode, reference);
+    linalg::Matrix out(dims[mode], 8);
+    tensor::sparse_mttkrp_blocked(t, m, mode, out);
+    EXPECT_EQ(linalg::max_abs_diff(out, reference), 0.0) << "mode " << mode;
+  }
+}
+
+TEST(BlockedMttkrp, ThreadCountInvariant) {
+  const Dims dims{16, 15, 14};
+  const auto t = random_sparse(dims, 0.3, 61);
+  CpModel m(dims, 6);
+  Rng rng(62);
+  m.init_random(rng);
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    linalg::Matrix reference(dims[mode], 6);
+    tensor::sparse_mttkrp_serial(t, m, mode, reference);
+#ifdef CPR_HAVE_OPENMP
+    const cpr::testing::ThreadCountGuard guard;
+    for (const int threads : {1, 2, 8}) {
+      omp_set_num_threads(threads);
+      linalg::Matrix out(dims[mode], 6);
+      tensor::sparse_mttkrp_blocked(t, m, mode, out);
+      EXPECT_LT(linalg::max_abs_diff(out, reference), 1e-12)
+          << "mode " << mode << ", " << threads << " threads";
+    }
+#else
+    linalg::Matrix out(dims[mode], 6);
+    tensor::sparse_mttkrp_blocked(t, m, mode, out);
+    EXPECT_LT(linalg::max_abs_diff(out, reference), 1e-12);
+#endif
+  }
+}
+
+TEST(BlockedMttkrp, HandlesUnobservedRowsAndSingleRowConcentration) {
+  // Rows with no nonzeros must stay zero; all nonzeros in one output row
+  // exercises a maximally unbalanced bucket.
+  const Dims dims{6, 50, 4};
+  SparseTensor t(dims);
+  Rng rng(71);
+  for (std::size_t k = 0; k < 40; ++k) {
+    t.push_back({k % dims[0], 17, k % dims[2]}, rng.normal());
+  }
+  CpModel m(dims, 5);
+  m.init_random(rng);
+  linalg::Matrix reference(dims[1], 5);
+  tensor::sparse_mttkrp_serial(t, m, 1, reference);
+  linalg::Matrix out(dims[1], 5);
+  tensor::sparse_mttkrp_blocked(t, m, 1, out);
+  EXPECT_EQ(linalg::max_abs_diff(out, reference), 0.0);
+  for (std::size_t i = 0; i < dims[1]; ++i) {
+    if (i == 17) continue;
+    for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(out(i, r), 0.0);
+  }
+}
+
+TEST(HadamardBlock, BitwiseEqualToHadamardRow) {
+  const Dims dims{5, 4, 3, 6};
+  const auto t = random_sparse(dims, 0.5, 81);
+  ASSERT_GT(t.nnz(), 3u);
+  CpModel m(dims, 7);
+  Rng rng(82);
+  m.init_random(rng);
+  std::vector<std::size_t> entries;
+  for (std::size_t e = 0; e < t.nnz(); ++e) entries.push_back(e);
+  for (std::size_t skip = 0; skip < dims.size(); ++skip) {
+    std::vector<double> block(entries.size() * 7);
+    tensor::hadamard_block(m, t, entries.data(), entries.size(), skip, block.data());
+    std::vector<double> reference(7);
+    for (std::size_t b = 0; b < entries.size(); ++b) {
+      tensor::hadamard_row(m, t, entries[b], skip, reference.data());
+      for (std::size_t r = 0; r < 7; ++r) {
+        EXPECT_EQ(block[b * 7 + r], reference[r]) << "entry " << b << " r " << r;
+      }
+    }
+  }
+}
+
+TEST(FusedGramRhs, BitwiseEqualToScalarAssembly) {
+  Rng rng(91);
+  const std::size_t rank = 9;
+  const std::size_t n_rows = 23;
+  std::vector<double> z(n_rows * rank);
+  std::vector<double> w(n_rows);
+  for (auto& v : z) v = rng.normal();
+  for (auto& v : w) v = rng.normal();
+
+  linalg::Matrix gram(rank, rank, 0.0);
+  linalg::Vector rhs(rank, 0.0);
+  linalg::fused_gram_rhs(z.data(), w.data(), n_rows, rank, gram, rhs);
+
+  // Scalar reference: the per-entry assembly of the serial ALS row solve.
+  linalg::Matrix gram_ref(rank, rank, 0.0);
+  linalg::Vector rhs_ref(rank, 0.0);
+  for (std::size_t b = 0; b < n_rows; ++b) {
+    const double* zb = z.data() + b * rank;
+    for (std::size_t r = 0; r < rank; ++r) {
+      rhs_ref[r] += w[b] * zb[r];
+      for (std::size_t s = r; s < rank; ++s) gram_ref(r, s) += zb[r] * zb[s];
+    }
+  }
+  for (std::size_t r = 0; r < rank; ++r) {
+    EXPECT_EQ(rhs[r], rhs_ref[r]);
+    for (std::size_t s = r; s < rank; ++s) EXPECT_EQ(gram(r, s), gram_ref(r, s));
+  }
+}
+
+TEST(FusedGramRhs, AccumulatesAcrossTiles) {
+  // Tile-by-tile accumulation must equal one big block (the ALS row solve
+  // feeds tiles of 64).
+  Rng rng(101);
+  const std::size_t rank = 5;
+  const std::size_t n_rows = 150;
+  std::vector<double> z(n_rows * rank);
+  std::vector<double> w(n_rows);
+  for (auto& v : z) v = rng.normal();
+  for (auto& v : w) v = rng.normal();
+
+  linalg::Matrix whole(rank, rank, 0.0);
+  linalg::Vector whole_rhs(rank, 0.0);
+  linalg::fused_gram_rhs(z.data(), w.data(), n_rows, rank, whole, whole_rhs);
+
+  linalg::Matrix tiled(rank, rank, 0.0);
+  linalg::Vector tiled_rhs(rank, 0.0);
+  for (std::size_t first = 0; first < n_rows; first += 64) {
+    const std::size_t n = std::min<std::size_t>(64, n_rows - first);
+    linalg::fused_gram_rhs(z.data() + first * rank, w.data() + first, n, rank, tiled,
+                           tiled_rhs);
+  }
+  for (std::size_t r = 0; r < rank; ++r) {
+    EXPECT_EQ(whole_rhs[r], tiled_rhs[r]);
+    for (std::size_t s = r; s < rank; ++s) EXPECT_EQ(whole(r, s), tiled(r, s));
+  }
+}
+
+TEST(BlockedAls, MatchesSerialModeAcrossThreadCounts) {
+  const Dims dims{10, 9, 8};
+  const auto t = [&] {
+    Rng rng(111);
+    SparseTensor raw(dims);
+    Index idx(3, 0);
+    do {
+      if (rng.uniform() < 0.35) raw.push_back(idx, std::exp(rng.normal()));
+    } while (tensor::next_index(idx, dims));
+    return raw;
+  }();
+  ASSERT_GT(t.nnz(), 0u);
+
+  completion::CompletionOptions options;
+  options.max_sweeps = 5;
+  options.tol = 0.0;
+
+  const auto run = [&](KernelMode mode) {
+    KernelModeGuard guard;
+    set_kernel_mode(mode);
+    CpModel model(dims, 4);
+    Rng rng(112);
+    model.init_ones(rng, 0.3);
+    completion::als_complete(t, model, options);
+    return model;
+  };
+
+  const CpModel reference = run(KernelMode::Serial);
+  const CpModel blocked = run(KernelMode::Blocked);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_LT(linalg::max_abs_diff(blocked.factor(j), reference.factor(j)), 1e-12)
+        << "factor " << j;
+  }
+
+#ifdef CPR_HAVE_OPENMP
+  const cpr::testing::ThreadCountGuard guard;
+  for (const int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    const CpModel threaded = run(KernelMode::Blocked);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_LT(linalg::max_abs_diff(threaded.factor(j), reference.factor(j)), 1e-12)
+          << threads << " threads, factor " << j;
+    }
+  }
+#endif
+}
+
+TEST(BlockedPredictBatch, BitwiseEqualToScalarPredictAcrossThreadCounts) {
+  const auto data = cpr::testdata::sample_power_law(600, 7);
+  core::CprOptions options;
+  options.rank = 4;
+  options.max_sweeps = 30;
+  core::CprModel model(cpr::testdata::power_law_grid(8), options);
+  model.fit(data);
+
+  Rng rng(121);
+  linalg::Matrix queries(257, 2);  // odd count: exercises a partial tile
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    for (std::size_t j = 0; j < 2; ++j) queries(i, j) = rng.log_uniform(32, 4096);
+  }
+
+  std::vector<double> reference(queries.rows());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    grid::Config x(queries.row_ptr(i), queries.row_ptr(i) + 2);
+    reference[i] = model.predict(x);
+  }
+
+  KernelModeGuard mode_guard;
+  for (const KernelMode mode : {KernelMode::Serial, KernelMode::Blocked}) {
+    set_kernel_mode(mode);
+#ifdef CPR_HAVE_OPENMP
+    const cpr::testing::ThreadCountGuard guard;
+    for (const int threads : {1, 2, 8}) {
+      omp_set_num_threads(threads);
+      const auto batch = model.predict_batch(queries);
+      for (std::size_t i = 0; i < queries.rows(); ++i) {
+        EXPECT_EQ(batch[i], reference[i])
+            << kernel_mode_name(mode) << ", " << threads << " threads, row " << i;
+      }
+    }
+#else
+    const auto batch = model.predict_batch(queries);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      EXPECT_EQ(batch[i], reference[i]) << kernel_mode_name(mode) << ", row " << i;
+    }
+#endif
+  }
+}
+
+TEST(BlockedPredictBatch, PropagatesDomainErrors) {
+  const auto data = cpr::testdata::sample_power_law(200, 9);
+  core::CprOptions options;
+  options.rank = 2;
+  options.max_sweeps = 5;
+  core::CprModel model(cpr::testdata::power_law_grid(6), options);
+  model.fit(data);
+
+  KernelModeGuard guard;
+  set_kernel_mode(KernelMode::Blocked);
+  // Wrong dimensionality: rejected on the calling thread before dispatch.
+  linalg::Matrix wrong_shape(3, 3);
+  EXPECT_THROW(model.predict_batch(wrong_shape), CheckError);
+
+  // A NaN coordinate survives the domain clamp and is rejected inside the
+  // tiled OpenMP region by interpolate_t — the error must be captured there
+  // and rethrown on the calling thread, not terminate the process.
+  linalg::Matrix poisoned(80, 2);
+  for (std::size_t i = 0; i < poisoned.rows(); ++i) {
+    poisoned(i, 0) = 100.0;
+    poisoned(i, 1) = 100.0;
+  }
+  poisoned(41, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model.predict_batch(poisoned), CheckError);
+}
+
+}  // namespace

@@ -9,8 +9,11 @@
 #include <set>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/perf_json.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/stopwatch.hpp"
@@ -291,6 +294,104 @@ TEST(Stopwatch, MeasuresNonNegativeTime) {
   EXPECT_GE(watch.seconds(), 0.0);
   watch.reset();
   EXPECT_GE(watch.milliseconds(), 0.0);
+}
+
+// --- perf JSON (the BENCH_*.json emitter/parser behind cpr_bench) ---------
+
+/// Temp file that removes itself; the emitter API is path-based.
+struct TempPerfFile {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("cpr_perf_json_test_" + std::to_string(::getpid()) + ".json");
+  ~TempPerfFile() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+TEST(PerfJson, RoundTripsRecordsThroughAFile) {
+  // The satellite guarantee: what --json writes, cpr_bench parses back with
+  // every schema field (suite/case/seconds/model_bytes) intact.
+  const std::vector<util::PerfRecord> records = {
+      {"micro_kernels", "BM_SparseMttkrpSerial/16", 3.9e-4, 0},
+      {"kernel_suite", "mttkrp/rank64", 2.81e-4, 0},
+      {"fig7_error_vs_modelsize", "MM/CPR/cells=16 rank=8", 1.25, 43112},
+  };
+  TempPerfFile file;
+  util::write_perf_json(file.path.string(), records);
+  const auto parsed = util::parse_perf_json_file(file.path.string());
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].suite, records[i].suite);
+    EXPECT_EQ(parsed[i].name, records[i].name);
+    EXPECT_NEAR(parsed[i].seconds, records[i].seconds,
+                1e-9 * std::abs(records[i].seconds));
+    EXPECT_EQ(parsed[i].model_bytes, records[i].model_bytes);
+  }
+}
+
+TEST(PerfJson, RoundTripsEscapedNamesAndEmptyArrays) {
+  const std::vector<util::PerfRecord> records = {
+      {"suite", "case with \"quotes\" and \\backslash", 1.0, 7}};
+  TempPerfFile file;
+  util::write_perf_json(file.path.string(), records);
+  const auto parsed = util::parse_perf_json_file(file.path.string());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "case with \"quotes\" and \\backslash");
+
+  util::write_perf_json(file.path.string(), {});
+  EXPECT_TRUE(util::parse_perf_json_file(file.path.string()).empty());
+}
+
+TEST(PerfJson, RejectsMalformedInputLoudly) {
+  // The regression gate must never "pass" on unreadable data.
+  EXPECT_THROW(util::parse_perf_json(""), CheckError);
+  EXPECT_THROW(util::parse_perf_json("{}"), CheckError);
+  EXPECT_THROW(util::parse_perf_json("[{\"suite\": \"s\"}]"), CheckError);  // missing fields
+  EXPECT_THROW(util::parse_perf_json("[{\"suite\": \"s\", \"case\": \"c\", "
+                                     "\"seconds\": nope, \"model_bytes\": 0}]"),
+               CheckError);
+  EXPECT_THROW(util::parse_perf_json("[{\"suite\": \"s\", \"case\": \"c\", "
+                                     "\"seconds\": 1, \"model_bytes\": 0, "
+                                     "\"extra\": 1}]"),
+               CheckError);
+  EXPECT_THROW(util::parse_perf_json("[{\"suite\": \"s\", \"case\": \"c\", "
+                                     "\"seconds\": 1, \"model_bytes\": -1}]"),
+               CheckError);  // double->size_t cast would be UB
+  EXPECT_THROW(util::parse_perf_json("[] trailing"), CheckError);
+  EXPECT_THROW(util::parse_perf_json_file("/nonexistent/perf.json"), CheckError);
+}
+
+TEST(PerfJson, DiffFlagsRegressionsNewCasesAndMissingBaselines) {
+  const std::vector<util::PerfRecord> baseline = {
+      {"kernel_suite", "stable", 1.0, 0},
+      {"kernel_suite", "slower", 1.0, 0},
+      {"kernel_suite", "faster", 1.0, 0},
+      {"kernel_suite", "skipped", 1.0, 0},
+  };
+  const std::vector<util::PerfRecord> current = {
+      {"kernel_suite", "stable", 1.10, 0},   // within the 15% budget
+      {"kernel_suite", "slower", 1.40, 0},   // regression
+      {"kernel_suite", "faster", 0.25, 0},   // improvement
+      {"kernel_suite", "brand_new", 9.0, 0}, // no baseline: never gates
+  };
+  const auto diff = util::diff_perf(current, baseline, 0.15);
+  ASSERT_EQ(diff.deltas.size(), 4u);
+  EXPECT_FALSE(diff.deltas[0].regression);
+  EXPECT_TRUE(diff.deltas[1].regression);
+  EXPECT_NEAR(diff.deltas[1].ratio, 1.40, 1e-12);
+  EXPECT_FALSE(diff.deltas[2].regression);
+  EXPECT_FALSE(diff.deltas[3].in_baseline);
+  EXPECT_FALSE(diff.deltas[3].regression);
+  EXPECT_EQ(diff.regressions, 1u);
+  ASSERT_EQ(diff.missing.size(), 1u);
+  EXPECT_EQ(diff.missing[0].name, "skipped");
+}
+
+TEST(PerfJson, DiffExactThresholdIsNotARegression) {
+  const std::vector<util::PerfRecord> baseline = {{"s", "c", 1.0, 0}};
+  const std::vector<util::PerfRecord> current = {{"s", "c", 1.15, 0}};
+  EXPECT_EQ(util::diff_perf(current, baseline, 0.15).regressions, 0u);
 }
 
 }  // namespace

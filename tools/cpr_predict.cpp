@@ -31,10 +31,15 @@ int main(int argc, char** argv) {
   const std::string configs_path = args.get_string("configs", "");
   if (args.has("help") || model_path.empty() || configs_path.empty()) {
     (args.has("help") ? std::cout : std::cerr)
-        << "usage: cpr_predict --model=model.cprm --configs=queries.csv "
-           "[--out=predictions.csv] [--threads=<n>]\n\n"
-           "  --threads=<n>  cap the OpenMP team used by predict_batch\n"
-           "                 (default: the OMP_NUM_THREADS environment)\n";
+        << "usage: cpr_predict --model=model.cprm --configs=queries.csv [flags]\n\n"
+           "Evaluates a trained archive of any registered family on the\n"
+           "configurations of a CSV (training layout minus 'seconds').\n\n"
+           "  --model=<path>    trained model archive (required)\n"
+           "  --configs=<path>  query CSV (required)\n"
+           "  --out=<path>      also write predictions as CSV\n"
+           "                    (default: print to stdout only)\n"
+           "  --threads=<n>     cap the OpenMP team used by predict_batch\n"
+           "                    (default: the OMP_NUM_THREADS environment)\n";
     return args.has("help") ? 0 : 1;
   }
 

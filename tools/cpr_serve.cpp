@@ -37,20 +37,25 @@ using namespace cpr;
 namespace {
 
 void usage(std::ostream& out) {
-  out << "usage: cpr_serve --models=<dir> [--socket=<path>] [--threads=<n>]\n"
-         "                 [--workers=2] [--max-batch=64] [--max-wait-us=200]\n"
-         "                 [--cache=4096] [--cache-shards=8]\n\n"
+  out << "usage: cpr_serve --models=<dir> [flags]\n\n"
          "Serves every <name>.cprm archive in --models over the line protocol\n"
          "  PREDICT <model> <v1,v2,...> -> OK <seconds>\n"
          "  LOAD <model> | UNLOAD <model> | STATS | QUIT\n"
-         "on stdin/stdout, or on a Unix stream socket with --socket.\n\n"
-         "  --threads=<n>     cap the OpenMP team used by predict_batch\n"
-         "                    (default: the OMP_NUM_THREADS environment)\n"
-         "  --workers=<n>     micro-batcher inference threads\n"
-         "  --max-batch=<n>   flush a batch at this many queued requests\n"
-         "  --max-wait-us=<n> flush an under-full batch after this wait\n"
-         "  --cache=<n>       prediction-cache entries (0 disables)\n"
-         "  --cache-shards=<n> cache lock shards\n";
+         "on stdin/stdout, or on a Unix stream socket with --socket\n"
+         "(see docs/SERVE_PROTOCOL.md for the normative spec).\n\n"
+         "  --models=<dir>      directory of model archives (required)\n"
+         "  --socket=<path>     listen on a Unix stream socket instead of stdio\n"
+         "                      (default: stdio)\n"
+         "  --threads=<n>       cap the OpenMP team used by predict_batch\n"
+         "                      (default: the OMP_NUM_THREADS environment)\n"
+         "  --workers=<n>       micro-batcher inference threads (default: 2)\n"
+         "  --max-batch=<n>     flush a batch at this many queued requests\n"
+         "                      (default: 64)\n"
+         "  --max-wait-us=<n>   flush an under-full batch after this wait\n"
+         "                      (default: 200)\n"
+         "  --cache=<n>         prediction-cache entries, 0 disables\n"
+         "                      (default: 4096)\n"
+         "  --cache-shards=<n>  cache lock shards (default: 8)\n";
 }
 
 /// Inventory pass: tell the operator what the directory offers and flag

@@ -46,11 +46,27 @@ std::vector<std::string> split_csv_flag(const std::string& text, char delimiter,
 }
 
 void usage(std::ostream& out) {
-  out << "usage: cpr_train --data=measurements.csv --out=model.cprm "
-               "[--model=<family>] [--cells=16] [--rank=8] [--lambda=1e-4] "
-               "[--log-dims=a,b] [--categorical=name:k,...] "
-               "[--hyper=key:value,...] [--tune] [--tune-threads=1] "
-               "[--seed=42]\n\nregistered model families:\n";
+  out << "usage: cpr_train --data=measurements.csv [--out=model.cprm] "
+         "[--model=<family>] [flags]\n\n"
+         "Fits a model of any registered family from a CSV of measurements\n"
+         "(parameter columns + a final 'seconds' column) and saves it as a\n"
+         "servable archive.\n\n"
+         "  --data=<path>          training CSV (required)\n"
+         "  --out=<path>           output archive (default: model.cprm)\n"
+         "  --model=<family>       model family (default: cpr; list below)\n"
+         "  --cells=<n>            grid cells per numerical dimension (default: 16)\n"
+         "  --rank=<n>             CP rank convenience for tensor families (default: 8)\n"
+         "  --lambda=<f>           regularization convenience (default: 1e-4)\n"
+         "  --log-dims=a,b,...     dimensions with logarithmic grid spacing\n"
+         "                         (default: none)\n"
+         "  --categorical=n:k,...  k-way categorical columns (default: none)\n"
+         "  --hyper=key:value,...  family-specific hyper-parameters (default: none)\n"
+         "  --tune                 search the family's registered hyper-parameter\n"
+         "                         space with the cross-validating tuner instead of\n"
+         "                         fitting one fixed configuration\n"
+         "  --tune-threads=<n>     tuner worker threads (default: 1)\n"
+         "  --seed=<n>             training/tuning seed (default: 42)\n\n"
+         "registered model families:\n";
   const auto& registry = common::ModelRegistry::instance();
   for (const auto& name : registry.family_names()) {
     out << "  " << name << " — " << registry.description(name) << "\n";

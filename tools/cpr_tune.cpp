@@ -36,12 +36,31 @@ using namespace cpr;
 namespace {
 
 void usage(std::ostream& out) {
-  out << "usage: cpr_tune --data=measurements.csv --model=<family> "
-         "[--out=tuned.cprm] [--trials=24] [--folds=3] [--rungs=3] [--eta=3] "
-         "[--threads=1] [--seed=42] [--cells=16] [--log-dims=a,b] "
-         "[--categorical=name:k,...] [--hyper=key:value,...] "
-         "[--space=name=lo..hi[:log|:int|:logint],name=v1|v2,...] "
-         "[--json=trials.json] [--csv=trials.csv]\n\nregistered model families:\n";
+  out << "usage: cpr_tune --data=measurements.csv --model=<family> [flags]\n\n"
+         "Autotunes any registered family by k-fold cross-validated MLogQ\n"
+         "under successive halving, refits the winner on the full data, and\n"
+         "saves it as a servable archive.\n\n"
+         "  --data=<path>          training CSV (required)\n"
+         "  --model=<family>       model family to tune (required; list below)\n"
+         "  --out=<path>           winner archive (default: tuned.cprm)\n"
+         "  --trials=<n>           rung-0 candidate count (default: 24)\n"
+         "  --folds=<n>            cross-validation folds per rung (default: 3)\n"
+         "  --rungs=<n>            successive-halving rounds (default: 3)\n"
+         "  --eta=<f>              survivor fraction / budget growth (default: 3)\n"
+         "  --threads=<n>          evaluation worker threads (default: 1;\n"
+         "                         results are bitwise-independent of this)\n"
+         "  --seed=<n>             sampling/fold seed (default: 42)\n"
+         "  --cells=<n>            pin the grid-cell axis (default: 16, tunable)\n"
+         "  --log-dims=a,b,...     dimensions with logarithmic grid spacing\n"
+         "                         (default: none)\n"
+         "  --categorical=n:k,...  k-way categorical columns (default: none)\n"
+         "  --hyper=key:value,...  pin hyper-parameter axes (default: none)\n"
+         "  --space=axis,...       override/add axes with the grammar\n"
+         "                         name=v1|v2|...  or  name=lo..hi[:log|:int|:logint]\n"
+         "                         (default: the family's registered space)\n"
+         "  --json=<path>          write the ranked trials as JSON (default: off)\n"
+         "  --csv=<path>           write the ranked trials as CSV (default: off)\n\n"
+         "registered model families:\n";
   const auto& registry = common::ModelRegistry::instance();
   for (const auto& name : registry.family_names()) {
     out << "  " << name << " — " << registry.description(name) << "\n";
