@@ -30,7 +30,11 @@
 #include "completion/als.hpp"
 #include "core/cpr_model.hpp"
 #include "grid/discretization.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/qr_tiled.hpp"
 #include "tensor/mttkrp.hpp"
 #include "tensor/mttkrp_blocked.hpp"
 #include "util/kernel_mode.hpp"
@@ -237,6 +241,84 @@ int main(int argc, char** argv) {
       set_kernel_mode(KernelMode::Serial);
       harness.run("predict_batch_serial/1024",
                   [&] { (void)model.predict_batch(queries); });
+    }
+
+    // --- dense linalg: tiled Cholesky / solve_spd / blocked QR ----------
+    {
+      Rng rng(seed + 6);
+      const std::size_t n = 512;
+      linalg::Matrix spd(n, n);
+      {
+        linalg::Matrix g(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+        }
+        linalg::syrk_tn(g, spd);
+        for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+      }
+      linalg::Vector b(n);
+      for (auto& v : b) v = rng.normal();
+
+      // Cross-check the tiled factorization and solves bitwise first.
+      const auto factor_under = [&](KernelMode mode) {
+        KernelModeGuard guard;
+        set_kernel_mode(mode);
+        return linalg::CholeskyFactorization::compute(spd);
+      };
+      const auto serial_fact = factor_under(KernelMode::Serial);
+      const auto blocked_fact = factor_under(KernelMode::Blocked);
+      if (!serial_fact || !blocked_fact ||
+          linalg::max_abs_diff(blocked_fact->factor(), serial_fact->factor()) != 0.0) {
+        std::cerr << "error: tiled Cholesky diverged from the serial reference\n";
+        return 1;
+      }
+      const linalg::Vector x_serial = serial_fact->solve(b);
+      const linalg::Vector x_blocked = blocked_fact->solve(b);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (x_serial[i] != x_blocked[i]) {
+          std::cerr << "error: tiled SPD solve diverged from the serial reference\n";
+          return 1;
+        }
+      }
+
+      const std::string size_suffix = "/n" + std::to_string(n);
+      const auto potrf = [&] {
+        (void)linalg::CholeskyFactorization::compute(spd);
+      };
+      const auto solve = [&] { (void)linalg::solve_spd(spd, b); };
+      harness.run("potrf" + size_suffix, potrf);
+      harness.run("solve_spd" + size_suffix, solve);
+      {
+        KernelModeGuard guard;
+        set_kernel_mode(KernelMode::Serial);
+        harness.run("potrf_serial" + size_suffix, potrf);
+        harness.run("solve_spd_serial" + size_suffix, solve);
+        set_kernel_mode(KernelMode::Blocked);
+        harness.run("potrf_blocked" + size_suffix, potrf);
+        harness.run("solve_spd_blocked" + size_suffix, solve);
+      }
+
+      const std::size_t qm = 384, qn = 256;
+      linalg::Matrix tall(qm, qn);
+      for (std::size_t i = 0; i < qm; ++i) {
+        for (std::size_t j = 0; j < qn; ++j) tall(i, j) = rng.normal();
+      }
+      const auto qr_serial = linalg::qr_factor_serial(tall);
+      const auto qr_blocked = linalg::qr_factor_blocked(tall);
+      if (linalg::max_abs_diff(qr_blocked.qr, qr_serial.qr) != 0.0) {
+        std::cerr << "error: blocked QR diverged from the serial reference\n";
+        return 1;
+      }
+      const std::string qr_suffix = "/" + std::to_string(qm) + "x" + std::to_string(qn);
+      const auto qr = [&] { (void)linalg::qr_factor(tall); };
+      harness.run("qr" + qr_suffix, qr);
+      {
+        KernelModeGuard guard;
+        set_kernel_mode(KernelMode::Serial);
+        harness.run("qr_serial" + qr_suffix, qr);
+        set_kernel_mode(KernelMode::Blocked);
+        harness.run("qr_blocked" + qr_suffix, qr);
+      }
     }
 
     bench::emit_json(args, harness.records);

@@ -115,9 +115,23 @@ void GaussianProcess::fit(const common::Dataset& train) {
   }
   linalg::Vector centered(n);
   for (std::size_t i = 0; i < n; ++i) centered[i] = data.y[i] - target_mean_;
-  auto solution = linalg::solve_spd(std::move(gram), std::move(centered));
-  CPR_CHECK_MSG(solution.has_value(), "GP kernel matrix not positive definite");
-  alpha_.assign(solution->begin(), solution->end());
+  // One factorization serves both the alpha solve and the log-determinant of
+  // the marginal likelihood (previously two O(n^3) factorizations).
+  const auto fact = linalg::CholeskyFactorization::compute(std::move(gram));
+  CPR_CHECK_MSG(fact.has_value(), "GP kernel matrix not positive definite");
+  const linalg::Vector solution = fact->solve(centered);
+  alpha_.assign(solution.begin(), solution.end());
+
+  double data_fit = 0.0;
+  for (std::size_t i = 0; i < n; ++i) data_fit += centered[i] * alpha_[i];
+  constexpr double kLog2Pi = 1.8378770664093454836;
+  log_marginal_ = -0.5 * data_fit - 0.5 * fact->logdet() -
+                  0.5 * static_cast<double>(n) * kLog2Pi;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  CPR_CHECK_MSG(!alpha_.empty(), "GP not fitted");
+  return log_marginal_;
 }
 
 double GaussianProcess::predict(const grid::Config& x) const {

@@ -8,6 +8,8 @@
 // via Cholesky. Training cost is O(n^3), so harnesses cap the sample count
 // (the paper likewise drops models that take >= 1000 s to optimize).
 
+#include <limits>
+
 #include "common/regressor.hpp"
 #include "linalg/matrix.hpp"
 
@@ -42,6 +44,15 @@ class GaussianProcess final : public common::Regressor {
   void save(SerialSink& sink) const override;
   static GaussianProcess deserialize(BufferSource& source);
 
+  /// \brief log p(y | X) of the retained training set under the fitted
+  ///        kernel: -0.5 y^T alpha - 0.5 log|K + sigma_n^2 I| - n/2 log(2 pi),
+  ///        with y target-centered.
+  ///
+  /// Computed during fit() from the same Cholesky factorization that solves
+  /// for alpha (one factor, both uses — see linalg::CholeskyFactorization).
+  /// Not serialized: NaN on a deserialized model until fit() is called.
+  double log_marginal_likelihood() const;
+
  private:
   double kernel(const double* a, const double* b, std::size_t d) const;
 
@@ -51,6 +62,7 @@ class GaussianProcess final : public common::Regressor {
   std::vector<double> mean_, inv_std_;
   double target_mean_ = 0.0;
   double length_scale_ = 1.0;
+  double log_marginal_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace cpr::baselines

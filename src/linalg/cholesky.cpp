@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "linalg/cholesky_tiled.hpp"
+#include "util/kernel_mode.hpp"
+
 namespace cpr::linalg {
 
 bool cholesky_factor(Matrix& a) {
@@ -56,56 +59,120 @@ double initial_jitter(const Matrix& a) {
 }
 }  // namespace
 
-std::optional<Vector> solve_spd(Matrix a, Vector b, int max_jitter_tries) {
-  CPR_CHECK(a.rows() == b.size());
-  const Matrix original = a;
-  double jitter = initial_jitter(a);
+std::optional<CholeskyFactorization> CholeskyFactorization::compute(
+    Matrix a, int max_jitter_tries) {
+  CPR_CHECK_MSG(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  // The tiled path only pays off past one tile; below that it would factor a
+  // single tile with the same arithmetic after a round-trip copy, so small
+  // systems (the ALS rank solves) stay on the serial path. Results are
+  // bitwise-identical either way, making the threshold invisible to callers.
+  const bool tiled =
+      kernel_mode() == KernelMode::Blocked && n > kDefaultTileSize;
+
+  CholeskyFactorization fact;
+  fact.n_ = n;
+  fact.tiled_ = tiled;
+
+  double next_jitter = initial_jitter(a);
   for (int attempt = 0; attempt <= max_jitter_tries; ++attempt) {
+    // Each attempt factors a fresh copy of the pristine input plus a single
+    // jitter term — never the half-factored or previously jittered buffer —
+    // so jitter cannot accumulate across retries.
+    double jitter = 0.0;
     if (attempt > 0) {
-      a = original;
-      for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += jitter;
-      jitter *= 100.0;
+      jitter = next_jitter;
+      next_jitter *= 100.0;
     }
-    if (cholesky_factor(a)) {
-      Vector y, x;
-      forward_substitute(a, b, y);
-      backward_substitute_t(a, y, x);
-      return x;
+    if (tiled) {
+      TiledMatrix work = TiledMatrix::from_matrix(a);
+      if (jitter != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) work(i, i) += jitter;
+      }
+      if (cholesky_factor_tiled(work)) {
+        fact.tiled_l_ = std::move(work);
+        fact.jitter_ = jitter;
+        return fact;
+      }
+    } else {
+      Matrix work = a;
+      if (jitter != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) work(i, i) += jitter;
+      }
+      if (cholesky_factor(work)) {
+        fact.serial_l_ = std::move(work);
+        fact.jitter_ = jitter;
+        return fact;
+      }
     }
   }
   return std::nullopt;
+}
+
+Vector CholeskyFactorization::solve(const Vector& b) const {
+  CPR_CHECK(b.size() == n_);
+  Vector y, x;
+  if (tiled_) {
+    forward_substitute_tiled(tiled_l_, b, y);
+    backward_substitute_t_tiled(tiled_l_, y, x);
+  } else {
+    forward_substitute(serial_l_, b, y);
+    backward_substitute_t(serial_l_, y, x);
+  }
+  return x;
+}
+
+Matrix CholeskyFactorization::solve_multi(const Matrix& b) const {
+  CPR_CHECK(b.rows() == n_);
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows()), y, xi;
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) column[i] = b(i, j);
+    if (tiled_) {
+      forward_substitute_tiled(tiled_l_, column, y);
+      backward_substitute_t_tiled(tiled_l_, y, xi);
+    } else {
+      forward_substitute(serial_l_, column, y);
+      backward_substitute_t(serial_l_, y, xi);
+    }
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xi[i];
+  }
+  return x;
+}
+
+double CholeskyFactorization::logdet() const {
+  double logdet = 0.0;
+  if (tiled_) {
+    for (std::size_t i = 0; i < n_; ++i) logdet += std::log(tiled_l_(i, i));
+  } else {
+    for (std::size_t i = 0; i < n_; ++i) logdet += std::log(serial_l_(i, i));
+  }
+  return 2.0 * logdet;
+}
+
+Matrix CholeskyFactorization::factor() const {
+  return tiled_ ? tiled_l_.to_matrix() : serial_l_;
+}
+
+std::optional<Vector> solve_spd(Matrix a, Vector b, int max_jitter_tries) {
+  CPR_CHECK(a.rows() == b.size());
+  const auto fact = CholeskyFactorization::compute(std::move(a), max_jitter_tries);
+  if (!fact) return std::nullopt;
+  return fact->solve(b);
 }
 
 std::optional<Matrix> solve_spd_multi(Matrix a, const Matrix& b, int max_jitter_tries) {
   CPR_CHECK(a.rows() == b.rows());
-  const Matrix original = a;
-  double jitter = initial_jitter(a);
-  for (int attempt = 0; attempt <= max_jitter_tries; ++attempt) {
-    if (attempt > 0) {
-      a = original;
-      for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += jitter;
-      jitter *= 100.0;
-    }
-    if (cholesky_factor(a)) {
-      Matrix x(b.rows(), b.cols());
-      Vector column(b.rows()), y, xi;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        for (std::size_t i = 0; i < b.rows(); ++i) column[i] = b(i, j);
-        forward_substitute(a, column, y);
-        backward_substitute_t(a, y, xi);
-        for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xi[i];
-      }
-      return x;
-    }
-  }
-  return std::nullopt;
+  const auto fact = CholeskyFactorization::compute(std::move(a), max_jitter_tries);
+  if (!fact) return std::nullopt;
+  return fact->solve_multi(b);
 }
 
 std::optional<double> logdet_spd(Matrix a) {
-  if (!cholesky_factor(a)) return std::nullopt;
-  double logdet = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i) logdet += std::log(a(i, i));
-  return 2.0 * logdet;
+  // No jitter here: logdet of a silently regularized matrix would be a lie.
+  const auto fact = CholeskyFactorization::compute(std::move(a), 0);
+  if (!fact) return std::nullopt;
+  return fact->logdet();
 }
 
 }  // namespace cpr::linalg

@@ -4,15 +4,25 @@
 // The ALS normal equations (G + lambda I) x = b with G = sum of outer
 // products are SPD by construction; Cholesky is the workhorse solver for
 // every per-row subproblem in completion/ and for GP regression.
+//
+// Two implementations sit behind the `CPR_KERNEL` dispatch
+// (util/kernel_mode.hpp): the serial reference below, and the task-graph
+// tiled factorization of linalg/cholesky_tiled.hpp, which `blocked` mode
+// uses for systems larger than one tile. Both are bitwise-equal, so the
+// dispatch is invisible to callers (asserted in tests/linalg_test.cpp and
+// tests/kernels_test.cpp).
 
 #include <optional>
 
 #include "linalg/matrix.hpp"
+#include "linalg/tiled_matrix.hpp"
 
 namespace cpr::linalg {
 
 /// In-place lower Cholesky factor of SPD matrix `a` (upper triangle
 /// untouched). Returns false if a non-positive pivot is encountered.
+/// This is the serial reference; `CholeskyFactorization::compute` is the
+/// dispatching entry point.
 bool cholesky_factor(Matrix& a);
 
 /// Solves L y = b (forward substitution) given lower-triangular L.
@@ -20,6 +30,59 @@ void forward_substitute(const Matrix& l, const Vector& b, Vector& y);
 
 /// Solves L^T x = y (back substitution) given lower-triangular L.
 void backward_substitute_t(const Matrix& l, const Vector& y, Vector& x);
+
+/// \brief A computed Cholesky factor that can be reused across solves.
+///
+/// `solve_spd` and `logdet_spd` each factor from scratch; code that needs
+/// both (e.g. GP marginal likelihood: solve for alpha *and* log det of the
+/// same kernel matrix) computes this object once instead of paying the
+/// O(n^3) factorization twice. The factor is stored tiled or row-major
+/// according to the kernel mode at compute() time, so solves run end-to-end
+/// on the representation the factorization produced.
+class CholeskyFactorization {
+ public:
+  /// \brief Factors SPD `a`, dispatching on the ambient kernel mode.
+  /// \param a the SPD matrix (taken by value; kept pristine internally so
+  ///          every jitter retry restarts from the original input).
+  /// \param max_jitter_tries failed factorizations are retried with
+  ///          geometrically increasing diagonal jitter this many times; pass
+  ///          0 to demand the unmodified matrix factor.
+  /// \return the factorization, or nullopt if every attempt hit a
+  ///         non-positive pivot.
+  static std::optional<CholeskyFactorization> compute(Matrix a,
+                                                      int max_jitter_tries = 6);
+
+  /// \brief Solves A x = b with the stored factor (two triangular solves).
+  Vector solve(const Vector& b) const;
+
+  /// \brief Solves A X = B column-by-column.
+  Matrix solve_multi(const Matrix& b) const;
+
+  /// \brief log(det(A)) = 2 sum_i log L_ii of the factored matrix.
+  double logdet() const;
+
+  /// \brief Order of the factored system.
+  std::size_t dimension() const { return n_; }
+
+  /// \brief Diagonal jitter added on the successful attempt (0.0 when the
+  ///        input factored as given). The factor corresponds to
+  ///        A + jitter_applied() * I.
+  double jitter_applied() const { return jitter_; }
+
+  /// \brief The factor as a row-major matrix: L in the lower triangle, the
+  ///        input's upper triangle untouched (copied out of tile storage
+  ///        when the blocked path computed it).
+  Matrix factor() const;
+
+ private:
+  CholeskyFactorization() = default;
+
+  std::size_t n_ = 0;
+  double jitter_ = 0.0;
+  bool tiled_ = false;     ///< which storage below holds the factor
+  Matrix serial_l_;        ///< serial-mode factor (row-major)
+  TiledMatrix tiled_l_;    ///< blocked-mode factor (tile-major)
+};
 
 /// Solves A x = b for SPD A via Cholesky. If factorization fails, retries
 /// with geometrically increasing diagonal jitter (up to `max_jitter_tries`).

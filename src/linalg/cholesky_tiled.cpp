@@ -1,0 +1,148 @@
+#include "linalg/cholesky_tiled.hpp"
+
+#include <atomic>
+
+#include "linalg/tile_kernels.hpp"
+
+namespace cpr::linalg {
+
+bool cholesky_factor_tiled(TiledMatrix& a) {
+  CPR_CHECK_MSG(a.rows() == a.cols(), "cholesky_tiled: matrix must be square");
+  const std::size_t nt = a.n_tile_rows();
+  const std::size_t tb = a.tile_size();
+  // A failed pivot poisons the run: later tasks drain without touching tiles
+  // (the factor is discarded on failure, so partial state is irrelevant).
+  std::atomic<bool> ok{true};
+
+#ifdef CPR_HAVE_OPENMP
+#pragma omp parallel default(shared)
+#pragma omp single
+  {
+    // Tasks are created in the serial tile order, so tasks with an inout
+    // dependence on the same tile run in exactly that order: every trailing
+    // tile receives its syrk/gemm updates in ascending k — the serial
+    // accumulation order — regardless of thread count. Loop locals (the tile
+    // pointers and extents) are implicitly firstprivate in the tasks; `ok`
+    // is shared from the enclosing parallel region.
+    for (std::size_t k = 0; k < nt; ++k) {
+      double* akk = a.tile(k, k);
+      const std::size_t kk = a.tile_row_extent(k);
+#pragma omp task depend(inout : akk[0])
+      {
+        if (ok.load(std::memory_order_relaxed) && !tile::potrf(akk, kk, tb)) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+      }
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        double* aik = a.tile(i, k);
+        const std::size_t ni = a.tile_row_extent(i);
+#pragma omp task depend(in : akk[0]) depend(inout : aik[0])
+        {
+          if (ok.load(std::memory_order_relaxed)) {
+            tile::trsm(akk, kk, tb, aik, ni, tb);
+          }
+        }
+      }
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        double* aik = a.tile(i, k);
+        double* aii = a.tile(i, i);
+        const std::size_t ni = a.tile_row_extent(i);
+#pragma omp task depend(in : aik[0]) depend(inout : aii[0])
+        {
+          if (ok.load(std::memory_order_relaxed)) {
+            tile::syrk(aik, ni, kk, tb, aii, tb);
+          }
+        }
+        for (std::size_t j = k + 1; j < i; ++j) {
+          double* ajk = a.tile(j, k);
+          double* aij = a.tile(i, j);
+          const std::size_t nj = a.tile_row_extent(j);
+#pragma omp task depend(in : aik[0], ajk[0]) depend(inout : aij[0])
+          {
+            if (ok.load(std::memory_order_relaxed)) {
+              tile::gemm(aik, ni, tb, ajk, nj, tb, kk, aij, tb);
+            }
+          }
+        }
+      }
+    }
+  }  // implicit barrier: all tasks complete
+#else
+  for (std::size_t k = 0; k < nt && ok.load(std::memory_order_relaxed); ++k) {
+    double* akk = a.tile(k, k);
+    const std::size_t kk = a.tile_row_extent(k);
+    if (!tile::potrf(akk, kk, tb)) {
+      ok.store(false, std::memory_order_relaxed);
+      break;
+    }
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      tile::trsm(akk, kk, tb, a.tile(i, k), a.tile_row_extent(i), tb);
+    }
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      const double* aik = a.tile(i, k);
+      const std::size_t ni = a.tile_row_extent(i);
+      tile::syrk(aik, ni, kk, tb, a.tile(i, i), tb);
+      for (std::size_t j = k + 1; j < i; ++j) {
+        tile::gemm(aik, ni, tb, a.tile(j, k), a.tile_row_extent(j), tb, kk,
+                   a.tile(i, j), tb);
+      }
+    }
+  }
+#endif
+  return ok.load(std::memory_order_relaxed);
+}
+
+void forward_substitute_tiled(const TiledMatrix& l, const Vector& b, Vector& y) {
+  const std::size_t n = l.rows();
+  CPR_CHECK(b.size() == n);
+  y.assign(n, 0.0);
+  const std::size_t tb = l.tile_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ti = i / tb;
+    const std::size_t li = i % tb;
+    double sum = b[i];
+    // Tiles left of the diagonal tile are full-width; then the in-tile
+    // remainder — global k ascending throughout, as in the serial routine.
+    for (std::size_t tk = 0; tk < ti; ++tk) {
+      const double* row = l.tile(ti, tk) + li * tb;
+      const double* yk = y.data() + tk * tb;
+      for (std::size_t k = 0; k < tb; ++k) sum -= row[k] * yk[k];
+    }
+    const double* row = l.tile(ti, ti) + li * tb;
+    const double* yk = y.data() + ti * tb;
+    for (std::size_t k = 0; k < li; ++k) sum -= row[k] * yk[k];
+    y[i] = sum / row[li];
+  }
+}
+
+void backward_substitute_t_tiled(const TiledMatrix& l, const Vector& y, Vector& x) {
+  const std::size_t n = l.rows();
+  CPR_CHECK(y.size() == n);
+  x.assign(n, 0.0);
+  const std::size_t tb = l.tile_size();
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    const std::size_t ti = i / tb;
+    const std::size_t li = i % tb;
+    double sum = y[i];
+    // Serial order is k = i+1 .. n-1 ascending: the remainder of the
+    // diagonal tile's column first, then the tiles below it.
+    const double* diag = l.tile(ti, ti);
+    {
+      const std::size_t nk = l.tile_row_extent(ti);
+      const double* xk = x.data() + ti * tb;
+      for (std::size_t lk = li + 1; lk < nk; ++lk) {
+        sum -= diag[lk * tb + li] * xk[lk];
+      }
+    }
+    for (std::size_t tk = ti + 1; tk < l.n_tile_rows(); ++tk) {
+      const double* t = l.tile(tk, ti);
+      const std::size_t nk = l.tile_row_extent(tk);
+      const double* xk = x.data() + tk * tb;
+      for (std::size_t lk = 0; lk < nk; ++lk) sum -= t[lk * tb + li] * xk[lk];
+    }
+    x[i] = sum / diag[li * tb + li];
+  }
+}
+
+}  // namespace cpr::linalg

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "linalg/qr_tiled.hpp"
+#include "util/kernel_mode.hpp"
+
 namespace cpr::linalg {
 
-QrFactorization qr_factor(Matrix a) {
+QrFactorization qr_factor_serial(Matrix a) {
   const std::size_t m = a.rows(), n = a.cols();
   CPR_CHECK_MSG(m >= n, "qr_factor requires rows >= cols");
   Vector tau(n, 0.0);
@@ -33,6 +36,16 @@ QrFactorization qr_factor(Matrix a) {
     }
   }
   return QrFactorization{std::move(a), std::move(tau)};
+}
+
+QrFactorization qr_factor(Matrix a) {
+  // Both paths are bitwise-equal (the blocked panel QR applies reflectors in
+  // the serial order; see linalg/qr_tiled.hpp), so the dispatch is invisible
+  // to callers.
+  if (kernel_mode() == KernelMode::Blocked) {
+    return qr_factor_blocked(std::move(a));
+  }
+  return qr_factor_serial(std::move(a));
 }
 
 void QrFactorization::apply_qt(Vector& v) const {

@@ -28,6 +28,13 @@ struct QrFactorization {
   Matrix r() const;
 };
 
+/// Serial reference Householder QR — one reflector at a time, applied to
+/// every trailing column immediately.
+QrFactorization qr_factor_serial(Matrix a);
+
+/// Dispatching entry point: `CPR_KERNEL=blocked` (the default) uses the
+/// panel-blocked factorization of linalg/qr_tiled.hpp, `serial` the reference
+/// above. Both produce bitwise-identical factorizations.
 QrFactorization qr_factor(Matrix a);
 
 /// Minimum-norm-ish least squares: minimizes ||A x - b||_2 for full-rank A

@@ -1,0 +1,30 @@
+#pragma once
+// Blocked Householder QR — the linalg/QR side of the `CPR_KERNEL=blocked`
+// layer (dispatched from `qr_factor`, linalg/qr.hpp).
+//
+// The columns are processed in panels: each panel is factored column-by-
+// column with the reference reflector arithmetic, then the panel's
+// reflectors are applied to the trailing columns in cache-sized column
+// tiles. Per trailing column the reflectors apply one at a time in ascending
+// k — the serial order — so no compact-WY aggregation is used (aggregating
+// into a T factor would reassociate the arithmetic and break the bitwise
+// contract). The win is locality and vectorization: the m x panel block
+// stays hot while the update streams each column tile once per panel, and
+// the gemm-shaped i-loops of the reflector application run `CPR_SIMD` over
+// contiguous trailing columns (the reduction per column stays sequential).
+// With OpenMP the independent column tiles of a panel update run in
+// parallel. Bitwise equality with `qr_factor_serial` is asserted in
+// tests/linalg_test.cpp. This TU shares the tile-kernel compile options
+// (-march=native where available, FP contraction off).
+
+#include "linalg/qr.hpp"
+
+namespace cpr::linalg {
+
+/// \brief Panel-blocked Householder QR of an m-by-n matrix (m >= n),
+///        bitwise-equal to `qr_factor_serial`.
+/// \param a the matrix to factor (taken by value, factored in place).
+/// \return the same compact representation `qr_factor_serial` produces.
+QrFactorization qr_factor_blocked(Matrix a);
+
+}  // namespace cpr::linalg

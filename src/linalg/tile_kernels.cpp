@@ -1,0 +1,196 @@
+#include "linalg/tile_kernels.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace cpr::linalg::tile {
+
+bool potrf(double* a, std::size_t n, std::size_t lda) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* __restrict__ rowj = a + j * lda;
+    double diag = rowj[j];
+    for (std::size_t k = 0; k < j; ++k) diag -= rowj[k] * rowj[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a[j * lda + j] = ljj;
+    const double inv_ljj = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double* __restrict__ rowi = a + i * lda;
+      double sum = rowi[j];
+      for (std::size_t k = 0; k < j; ++k) sum -= rowi[k] * rowj[k];
+      rowi[j] = sum * inv_ljj;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Accumulator block width: two AVX-512 (or four AVX2) vectors of doubles.
+/// A whole block of C elements lives in registers across the entire k loop;
+/// the subtractions still land per element in ascending k, so the chain is
+/// the serial one exactly.
+constexpr std::size_t kAccWidth = 16;
+
+/// C[0..w) -= sum_k aik * bt(k, 0..w) with per-element ascending-k chains,
+/// accumulated in registers. `bt` is k-major with row stride `ldb`.
+inline void acc_block(const double* __restrict__ ai,
+                      const double* __restrict__ bt, std::size_t ldb,
+                      std::size_t nk, double* __restrict__ ci, std::size_t w) {
+  if (w == kAccWidth) {
+    double acc[kAccWidth];
+    CPR_SIMD
+    for (std::size_t j = 0; j < kAccWidth; ++j) acc[j] = ci[j];
+    for (std::size_t k = 0; k < nk; ++k) {
+      const double aik = ai[k];
+      const double* __restrict__ btk = bt + k * ldb;
+      CPR_SIMD
+      for (std::size_t j = 0; j < kAccWidth; ++j) acc[j] -= aik * btk[j];
+    }
+    CPR_SIMD
+    for (std::size_t j = 0; j < kAccWidth; ++j) ci[j] = acc[j];
+  } else {
+    double acc[kAccWidth];
+    for (std::size_t j = 0; j < w; ++j) acc[j] = ci[j];
+    for (std::size_t k = 0; k < nk; ++k) {
+      const double aik = ai[k];
+      const double* __restrict__ btk = bt + k * ldb;
+      CPR_SIMD
+      for (std::size_t j = 0; j < w; ++j) acc[j] -= aik * btk[j];
+    }
+    for (std::size_t j = 0; j < w; ++j) ci[j] = acc[j];
+  }
+}
+
+/// Four-row variant of acc_block at full width: 4 x kAccWidth C elements in
+/// registers gives eight independent subtraction chains per k step, hiding
+/// the FP latency a single row's two chains cannot. Same per-element
+/// arithmetic and order as acc_block.
+inline void acc_rows4(const double* __restrict__ a, std::size_t lda,
+                      const double* __restrict__ bt, std::size_t ldb,
+                      std::size_t nk, double* __restrict__ c, std::size_t ldc) {
+  double acc[4][kAccWidth];
+  for (std::size_t r = 0; r < 4; ++r) {
+    CPR_SIMD
+    for (std::size_t j = 0; j < kAccWidth; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (std::size_t k = 0; k < nk; ++k) {
+    const double* __restrict__ btk = bt + k * ldb;
+    for (std::size_t r = 0; r < 4; ++r) {
+      const double ark = a[r * lda + k];
+      CPR_SIMD
+      for (std::size_t j = 0; j < kAccWidth; ++j) acc[r][j] -= ark * btk[j];
+    }
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    CPR_SIMD
+    for (std::size_t j = 0; j < kAccWidth; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+}  // namespace
+
+void trsm(const double* l, std::size_t nj, std::size_t ldl, double* a,
+          std::size_t ni, std::size_t lda) {
+  // Column-major pack of the panel: xt(j, i) = a(i, j). Every row's j-chain
+  // advances in lockstep, so the subtractions and the final reciprocal
+  // multiply vectorize across contiguous i while each element still sees the
+  // serial ascending-k order and the identical `sum * (1.0 / l(j, j))`.
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < ni * nj) scratch.resize(ni * nj);
+  double* __restrict__ xt = scratch.data();
+  for (std::size_t i = 0; i < ni; ++i) {
+    const double* __restrict__ rowi = a + i * lda;
+    for (std::size_t j = 0; j < nj; ++j) xt[j * ni + i] = rowi[j];
+  }
+  for (std::size_t j = 0; j < nj; ++j) {
+    const double* __restrict__ lj = l + j * ldl;
+    double* __restrict__ xj = xt + j * ni;
+    for (std::size_t k = 0; k < j; ++k) {
+      const double ljk = lj[k];
+      const double* __restrict__ xk = xt + k * ni;
+      CPR_SIMD
+      for (std::size_t i = 0; i < ni; ++i) xj[i] -= ljk * xk[i];
+    }
+    const double inv_ljj = 1.0 / lj[j];
+    CPR_SIMD
+    for (std::size_t i = 0; i < ni; ++i) xj[i] *= inv_ljj;
+  }
+  for (std::size_t i = 0; i < ni; ++i) {
+    double* __restrict__ rowi = a + i * lda;
+    for (std::size_t j = 0; j < nj; ++j) rowi[j] = xt[j * ni + i];
+  }
+}
+
+void syrk(const double* a, std::size_t ni, std::size_t nk, std::size_t lda,
+          double* c, std::size_t ldc) {
+  // Pack A^T (k-major) once, then run the register-accumulator kernel on
+  // each lower-triangle block of C; the diagonal block is a partial width.
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < nk * ni) scratch.resize(nk * ni);
+  double* __restrict__ at = scratch.data();
+  for (std::size_t j = 0; j < ni; ++j) {
+    const double* __restrict__ aj = a + j * lda;
+    for (std::size_t k = 0; k < nk; ++k) at[k * ni + j] = aj[k];
+  }
+  std::size_t i0 = 0;
+  for (; i0 + 4 <= ni; i0 += 4) {
+    // Blocks fully below the diagonal of all four rows take the 4-row
+    // kernel; the diagonal-straddling tail of each row runs per-row.
+    const std::size_t n_full = (i0 + 1) / kAccWidth;
+    for (std::size_t t = 0; t < n_full; ++t) {
+      acc_rows4(a + i0 * lda, lda, at + t * kAccWidth, ni, nk,
+                c + i0 * ldc + t * kAccWidth, ldc);
+    }
+    for (std::size_t r = 0; r < 4; ++r) {
+      const std::size_t i = i0 + r;
+      for (std::size_t j0 = n_full * kAccWidth; j0 <= i; j0 += kAccWidth) {
+        const std::size_t w = std::min(kAccWidth, i + 1 - j0);
+        acc_block(a + i * lda, at + j0, ni, nk, c + i * ldc + j0, w);
+      }
+    }
+  }
+  for (; i0 < ni; ++i0) {
+    for (std::size_t j0 = 0; j0 <= i0; j0 += kAccWidth) {
+      const std::size_t w = std::min(kAccWidth, i0 + 1 - j0);
+      acc_block(a + i0 * lda, at + j0, ni, nk, c + i0 * ldc + j0, w);
+    }
+  }
+}
+
+void gemm(const double* a, std::size_t ni, std::size_t lda, const double* b,
+          std::size_t nj, std::size_t ldb, std::size_t nk, double* c,
+          std::size_t ldc) {
+  // Pack B^T (k-major) so the accumulator kernel reads contiguously:
+  // bt(k, j) = b(j, k).
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < nk * nj) scratch.resize(nk * nj);
+  double* __restrict__ bt = scratch.data();
+  for (std::size_t j = 0; j < nj; ++j) {
+    const double* __restrict__ bj = b + j * ldb;
+    for (std::size_t k = 0; k < nk; ++k) bt[k * nj + j] = bj[k];
+  }
+  const std::size_t nj_full = (nj / kAccWidth) * kAccWidth;
+  std::size_t i0 = 0;
+  for (; i0 + 4 <= ni; i0 += 4) {
+    for (std::size_t j0 = 0; j0 < nj_full; j0 += kAccWidth) {
+      acc_rows4(a + i0 * lda, lda, bt + j0, nj, nk, c + i0 * ldc + j0, ldc);
+    }
+    if (nj_full < nj) {
+      for (std::size_t r = 0; r < 4; ++r) {
+        acc_block(a + (i0 + r) * lda, bt + nj_full, nj, nk,
+                  c + (i0 + r) * ldc + nj_full, nj - nj_full);
+      }
+    }
+  }
+  for (; i0 < ni; ++i0) {
+    for (std::size_t j0 = 0; j0 < nj; j0 += kAccWidth) {
+      const std::size_t w = std::min(kAccWidth, nj - j0);
+      acc_block(a + i0 * lda, bt + j0, nj, nk, c + i0 * ldc + j0, w);
+    }
+  }
+}
+
+}  // namespace cpr::linalg::tile

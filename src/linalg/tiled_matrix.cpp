@@ -1,0 +1,56 @@
+#include "linalg/tiled_matrix.hpp"
+
+namespace cpr::linalg {
+
+namespace {
+// Validated before tile_rows_/tile_cols_ divide by it in the initializer list.
+std::size_t checked_tile(std::size_t tile_size) {
+  CPR_CHECK_MSG(tile_size >= 1, "TiledMatrix: tile size must be >= 1");
+  return tile_size;
+}
+}  // namespace
+
+TiledMatrix::TiledMatrix(std::size_t rows, std::size_t cols, std::size_t tile_size)
+    : rows_(rows),
+      cols_(cols),
+      tile_(checked_tile(tile_size)),
+      tile_rows_((rows + tile_ - 1) / tile_),
+      tile_cols_((cols + tile_ - 1) / tile_),
+      data_(tile_rows_ * tile_cols_ * tile_ * tile_, 0.0) {}
+
+TiledMatrix TiledMatrix::from_matrix(const Matrix& m, std::size_t tile_size) {
+  TiledMatrix out(m.rows(), m.cols(), tile_size);
+  const std::size_t tb = out.tile_;
+  for (std::size_t ti = 0; ti < out.tile_rows_; ++ti) {
+    const std::size_t ni = out.tile_row_extent(ti);
+    for (std::size_t tj = 0; tj < out.tile_cols_; ++tj) {
+      const std::size_t nj = out.tile_col_extent(tj);
+      double* t = out.tile(ti, tj);
+      for (std::size_t i = 0; i < ni; ++i) {
+        const double* src = m.row_ptr(ti * tb + i) + tj * tb;
+        double* dst = t + i * tb;
+        for (std::size_t j = 0; j < nj; ++j) dst[j] = src[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix TiledMatrix::to_matrix() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t ti = 0; ti < tile_rows_; ++ti) {
+    const std::size_t ni = tile_row_extent(ti);
+    for (std::size_t tj = 0; tj < tile_cols_; ++tj) {
+      const std::size_t nj = tile_col_extent(tj);
+      const double* t = tile(ti, tj);
+      for (std::size_t i = 0; i < ni; ++i) {
+        const double* src = t + i * tile_;
+        double* dst = out.row_ptr(ti * tile_ + i) + tj * tile_;
+        for (std::size_t j = 0; j < nj; ++j) dst[j] = src[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpr::linalg

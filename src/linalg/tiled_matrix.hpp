@@ -1,0 +1,99 @@
+#pragma once
+// Tile-major dense matrix storage for the task-graph blocked factorizations.
+//
+// A TiledMatrix partitions an n_rows x n_cols matrix into square tiles of a
+// configurable size; each tile is a contiguous row-major block, and tiles are
+// laid out row-major in one allocation. Tile contiguity is what makes the
+// blocked Cholesky a task graph: every potrf/trsm/syrk/gemm task reads and
+// writes whole tiles, so one pointer per tile is both the working set handle
+// and the OpenMP `depend` clause address (linalg/cholesky_tiled.hpp).
+// Edge tiles are zero-padded up to the full tile footprint — kernels loop to
+// the effective extents, so the padding is never read or written.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cpr::linalg {
+
+/// \brief Default tile edge for the blocked factorizations: a 64 x 64 tile of
+///        doubles is a 32 KiB block, sized so one output tile plus the two
+///        operand tiles of a gemm task sit inside a typical L1d + L2 budget.
+inline constexpr std::size_t kDefaultTileSize = 64;
+
+/// \brief Dense matrix stored as contiguous tile-major blocks.
+///
+/// Conversion to/from the row-major `Matrix` copies values verbatim, so a
+/// round trip is bitwise lossless. The element accessors address single
+/// entries through the tile layout and are meant for the O(n^2) triangular
+/// solves and for tests; the O(n^3) kernels go through `tile()` pointers.
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+
+  /// \brief Zero-initialized rows-by-cols matrix tiled at `tile_size`.
+  /// \param rows      matrix rows.
+  /// \param cols      matrix columns.
+  /// \param tile_size tile edge length (>= 1).
+  TiledMatrix(std::size_t rows, std::size_t cols,
+              std::size_t tile_size = kDefaultTileSize);
+
+  /// \brief Tiles a row-major matrix (values copied bitwise).
+  /// \param m         the source matrix.
+  /// \param tile_size tile edge length (>= 1).
+  static TiledMatrix from_matrix(const Matrix& m,
+                                 std::size_t tile_size = kDefaultTileSize);
+
+  /// \brief Converts back to a row-major matrix (values copied bitwise).
+  Matrix to_matrix() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t tile_size() const { return tile_; }
+
+  /// \brief Number of tile rows (= ceil(rows / tile_size)).
+  std::size_t n_tile_rows() const { return tile_rows_; }
+  /// \brief Number of tile columns (= ceil(cols / tile_size)).
+  std::size_t n_tile_cols() const { return tile_cols_; }
+
+  /// \brief Contiguous row-major block of tile (ti, tj); stride tile_size().
+  double* tile(std::size_t ti, std::size_t tj) {
+    CPR_DCHECK(ti < tile_rows_ && tj < tile_cols_);
+    return data_.data() + (ti * tile_cols_ + tj) * tile_ * tile_;
+  }
+  const double* tile(std::size_t ti, std::size_t tj) const {
+    CPR_DCHECK(ti < tile_rows_ && tj < tile_cols_);
+    return data_.data() + (ti * tile_cols_ + tj) * tile_ * tile_;
+  }
+
+  /// \brief Effective row extent of tile row `ti` (tile_size except at the
+  ///        bottom edge).
+  std::size_t tile_row_extent(std::size_t ti) const {
+    return ti + 1 == tile_rows_ ? rows_ - ti * tile_ : tile_;
+  }
+  /// \brief Effective column extent of tile column `tj`.
+  std::size_t tile_col_extent(std::size_t tj) const {
+    return tj + 1 == tile_cols_ ? cols_ - tj * tile_ : tile_;
+  }
+
+  /// \brief Element access through the tile layout.
+  double operator()(std::size_t i, std::size_t j) const {
+    CPR_DCHECK(i < rows_ && j < cols_);
+    return tile(i / tile_, j / tile_)[(i % tile_) * tile_ + (j % tile_)];
+  }
+  double& operator()(std::size_t i, std::size_t j) {
+    CPR_DCHECK(i < rows_ && j < cols_);
+    return tile(i / tile_, j / tile_)[(i % tile_) * tile_ + (j % tile_)];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t tile_ = kDefaultTileSize;
+  std::size_t tile_rows_ = 0;
+  std::size_t tile_cols_ = 0;
+  std::vector<double> data_;  ///< tile-major blocks, zero-padded at the edges
+};
+
+}  // namespace cpr::linalg

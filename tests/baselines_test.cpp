@@ -410,6 +410,23 @@ TEST(Gp, InterpolatesTrainingPointsWithLowNoise) {
   EXPECT_LT(max_error, 1e-3);
 }
 
+TEST(Gp, LogMarginalLikelihoodComesFromTheFitFactorization) {
+  GpOptions options;
+  options.kernel = GpKernel::Rbf;
+  GaussianProcess model(options);
+  EXPECT_THROW(model.log_marginal_likelihood(), CheckError);  // before fit
+  const Dataset train = affine_data(200, 44);
+  model.fit(train);
+  const double lml = model.log_marginal_likelihood();
+  EXPECT_TRUE(std::isfinite(lml));
+  // Much larger noise misexplains near-noiseless data: the evidence drops.
+  GpOptions noisy = options;
+  noisy.noise = 10.0;
+  GaussianProcess noisy_model(noisy);
+  noisy_model.fit(train);
+  EXPECT_LT(noisy_model.log_marginal_likelihood(), lml);
+}
+
 TEST(Gp, SubsamplesLargeTrainingSets) {
   GpOptions options;
   options.max_samples = 128;

@@ -13,7 +13,9 @@
 #include "completion/als.hpp"
 #include "core/cpr_model.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
 #include "linalg/fused.hpp"
+#include "linalg/qr.hpp"
 #include "omp_test_utils.hpp"
 #include "tensor/mttkrp.hpp"
 #include "tensor/mttkrp_blocked.hpp"
@@ -354,6 +356,87 @@ TEST(BlockedPredictBatch, BitwiseEqualToScalarPredictAcrossThreadCounts) {
       EXPECT_EQ(batch[i], reference[i]) << kernel_mode_name(mode) << ", row " << i;
     }
 #endif
+  }
+}
+
+TEST(LinalgDispatch, SolveSpdAndLogdetMatchSerialAcrossModesAndThreads) {
+  // The dispatching Cholesky entry points must be bitwise-invisible: blocked
+  // mode routes n > 64 through the task-graph tiled factorization, and its
+  // results must equal the serial path exactly at any thread count.
+  Rng rng(131);
+  const std::size_t n = 100;
+  linalg::Matrix a(n, n);
+  {
+    linalg::Matrix g(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+    }
+    linalg::syrk_tn(g, a);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  }
+  linalg::Vector b(n);
+  for (auto& v : b) v = rng.normal();
+
+  KernelModeGuard mode_guard;
+  set_kernel_mode(KernelMode::Serial);
+  const auto x_ref = linalg::solve_spd(a, b);
+  const auto logdet_ref = linalg::logdet_spd(a);
+  ASSERT_TRUE(x_ref.has_value() && logdet_ref.has_value());
+
+  const auto check = [&] {
+    const auto x = linalg::solve_spd(a, b);
+    const auto logdet = linalg::logdet_spd(a);
+    ASSERT_TRUE(x.has_value() && logdet.has_value());
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ((*x)[i], (*x_ref)[i]);
+    EXPECT_EQ(*logdet, *logdet_ref);
+  };
+
+  set_kernel_mode(KernelMode::Blocked);
+#ifdef CPR_HAVE_OPENMP
+  const cpr::testing::ThreadCountGuard guard;
+  for (const int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    check();
+  }
+#else
+  check();
+#endif
+}
+
+TEST(LinalgDispatch, QrFactorMatchesSerialAcrossModes) {
+  Rng rng(132);
+  linalg::Matrix a(100, 70);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  }
+  const auto reference = linalg::qr_factor_serial(a);
+  KernelModeGuard guard;
+  for (const KernelMode mode : {KernelMode::Serial, KernelMode::Blocked}) {
+    set_kernel_mode(mode);
+    const auto fact = linalg::qr_factor(a);
+    EXPECT_EQ(linalg::max_abs_diff(fact.qr, reference.qr), 0.0)
+        << kernel_mode_name(mode);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      ASSERT_EQ(fact.tau[k], reference.tau[k]) << kernel_mode_name(mode);
+    }
+  }
+}
+
+TEST(LinalgDispatch, NonSpdFailurePropagatesInBothModes) {
+  // A matrix that is indefinite only in its trailing block: the blocked
+  // path's failing pivot sits in the last diagonal tile, after the whole
+  // task graph has executed.
+  Rng rng(133);
+  const std::size_t n = 100;
+  linalg::Matrix bad(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) bad(i, i) = 1.0;
+  bad(n - 1, n - 1) = -1.0;
+  linalg::Vector b(n, 1.0);
+  KernelModeGuard guard;
+  for (const KernelMode mode : {KernelMode::Serial, KernelMode::Blocked}) {
+    set_kernel_mode(mode);
+    EXPECT_FALSE(linalg::solve_spd(bad, b, 0).has_value()) << kernel_mode_name(mode);
+    EXPECT_FALSE(linalg::logdet_spd(bad).has_value()) << kernel_mode_name(mode);
   }
 }
 

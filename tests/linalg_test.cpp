@@ -14,11 +14,15 @@
 #include "linalg/blas.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/cholesky_tiled.hpp"
 #include "linalg/eigen_sym.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
+#include "linalg/qr_tiled.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/tiled_matrix.hpp"
+#include "util/kernel_mode.hpp"
 #include "util/rng.hpp"
 
 namespace cpr::linalg {
@@ -502,6 +506,239 @@ TEST(Lu, DetectsSingular) {
   Matrix a{{1, 2}, {2, 4}};
   EXPECT_FALSE(solve_lu(a, {1.0, 2.0}).has_value());
 }
+
+// ---------------------------------------------------------------------------
+// Tiled linalg layer (the CPR_KERNEL=blocked dense factorizations). The
+// design contract is bitwise equality with the serial references, so these
+// tests compare with EXPECT_EQ / max_abs_diff == 0, not a tolerance.
+
+TEST(TiledMatrix, RoundTripIsBitwiseLossless) {
+  Rng rng(201);
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes{
+      {1, 1}, {5, 3}, {64, 64}, {65, 64}, {100, 81}, {129, 200}};
+  for (const auto& [rows, cols] : shapes) {
+    const Matrix a = random_matrix(rows, cols, rng);
+    for (const std::size_t tile : {4u, 16u, 64u}) {
+      const TiledMatrix t = TiledMatrix::from_matrix(a, tile);
+      EXPECT_EQ(t.rows(), rows);
+      EXPECT_EQ(t.cols(), cols);
+      EXPECT_EQ(max_abs_diff(t.to_matrix(), a), 0.0)
+          << rows << "x" << cols << " tile " << tile;
+      // Element accessor reads through the tile layout.
+      EXPECT_EQ(t(rows - 1, cols - 1), a(rows - 1, cols - 1));
+      EXPECT_EQ(t(0, cols - 1), a(0, cols - 1));
+    }
+  }
+}
+
+TEST(TiledMatrix, RejectsZeroTileSize) {
+  EXPECT_THROW(TiledMatrix(4, 4, 0), CheckError);
+}
+
+class TiledCholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TiledCholeskySizes, FactorAndSolvesBitwiseEqualSerial) {
+  const std::size_t n = GetParam();
+  Rng rng(300 + n);
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+
+  Matrix serial = a;
+  ASSERT_TRUE(cholesky_factor(serial));
+  Vector y_ref, x_ref;
+  forward_substitute(serial, b, y_ref);
+  backward_substitute_t(serial, y_ref, x_ref);
+
+  for (const std::size_t tile : {4u, 16u, 64u}) {
+    TiledMatrix tiled = TiledMatrix::from_matrix(a, tile);
+    ASSERT_TRUE(cholesky_factor_tiled(tiled)) << "n " << n << " tile " << tile;
+    EXPECT_EQ(max_abs_diff(tiled.to_matrix(), serial), 0.0)
+        << "n " << n << " tile " << tile;
+    Vector y, x;
+    forward_substitute_tiled(tiled, b, y);
+    backward_substitute_t_tiled(tiled, y, x);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(y[i], y_ref[i]) << "n " << n << " tile " << tile << " i " << i;
+      ASSERT_EQ(x[i], x_ref[i]) << "n " << n << " tile " << tile << " i " << i;
+    }
+  }
+}
+
+// Every size through one default tile, plus multi-tile sizes with remainders
+// (odd, prime, exact-multiple, one-past-multiple).
+INSTANTIATE_TEST_SUITE_P(Sizes, TiledCholeskySizes,
+                         ::testing::Range<std::size_t>(1, 65));
+INSTANTIATE_TEST_SUITE_P(MultiTileSizes, TiledCholeskySizes,
+                         ::testing::Values(65, 81, 100, 127, 128, 129));
+
+#ifdef CPR_HAVE_OPENMP
+TEST(TiledCholesky, ThreadCountInvariant) {
+  // The task graph serializes same-tile updates in task-creation order, so
+  // the factor must be bitwise-stable across thread counts.
+  Rng rng(401);
+  const std::size_t n = 129;
+  const Matrix a = random_spd(n, rng);
+  Matrix serial = a;
+  ASSERT_TRUE(cholesky_factor(serial));
+
+  const cpr::testing::ThreadCountGuard guard;
+  for (const int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    for (const std::size_t tile : {16u, 64u}) {
+      TiledMatrix tiled = TiledMatrix::from_matrix(a, tile);
+      ASSERT_TRUE(cholesky_factor_tiled(tiled));
+      EXPECT_EQ(max_abs_diff(tiled.to_matrix(), serial), 0.0)
+          << threads << " threads, tile " << tile;
+    }
+  }
+}
+#endif  // CPR_HAVE_OPENMP
+
+TEST(TiledCholesky, FailsOnNonSpdWhereSerialFails) {
+  // Indefiniteness planted in the last diagonal tile: the failing pivot is
+  // only reached after the full task graph has run panels and updates.
+  Rng rng(402);
+  Matrix a = random_spd(80, rng);
+  a(79, 79) = -5.0;
+  Matrix serial = a;
+  ASSERT_FALSE(cholesky_factor(serial));
+  for (const std::size_t tile : {16u, 64u}) {
+    TiledMatrix tiled = TiledMatrix::from_matrix(a, tile);
+    EXPECT_FALSE(cholesky_factor_tiled(tiled)) << "tile " << tile;
+  }
+}
+
+TEST(CholeskyFactorization, MatchesFreeFunctionsAcrossModes) {
+  Rng rng(403);
+  const std::size_t n = 100;  // past the tiled dispatch threshold
+  const Matrix a = random_spd(n, rng);
+  const Matrix b_multi = random_matrix(n, 3, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+
+  KernelModeGuard guard;
+  set_kernel_mode(KernelMode::Serial);
+  const auto ref = CholeskyFactorization::compute(a);
+  ASSERT_TRUE(ref.has_value());
+  const Vector x_ref = ref->solve(b);
+  const Matrix xm_ref = ref->solve_multi(b_multi);
+  const double logdet_ref = ref->logdet();
+
+  for (const KernelMode mode : {KernelMode::Serial, KernelMode::Blocked}) {
+    set_kernel_mode(mode);
+    const auto fact = CholeskyFactorization::compute(a);
+    ASSERT_TRUE(fact.has_value());
+    EXPECT_EQ(fact->dimension(), n);
+    EXPECT_EQ(fact->jitter_applied(), 0.0);
+    // One factorization serves solve, multi-solve, and logdet; each must be
+    // bitwise-equal to the serial reference and to the free functions.
+    const Vector x = fact->solve(b);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(x[i], x_ref[i]);
+    EXPECT_EQ(max_abs_diff(fact->solve_multi(b_multi), xm_ref), 0.0);
+    EXPECT_EQ(fact->logdet(), logdet_ref);
+    EXPECT_EQ(max_abs_diff(fact->factor(), ref->factor()), 0.0);
+
+    const auto x_free = solve_spd(a, b);
+    ASSERT_TRUE(x_free.has_value());
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ((*x_free)[i], x_ref[i]);
+    const auto xm_free = solve_spd_multi(a, b_multi);
+    ASSERT_TRUE(xm_free.has_value());
+    EXPECT_EQ(max_abs_diff(*xm_free, xm_ref), 0.0);
+    const auto ld_free = logdet_spd(a);
+    ASSERT_TRUE(ld_free.has_value());
+    EXPECT_EQ(*ld_free, logdet_ref);
+  }
+}
+
+TEST(CholeskyFactorization, JitterIsNotAccumulatedAcrossRetries) {
+  // This matrix needs several escalations before it factors; each retry must
+  // start from the pristine input plus ONE jitter term. If retries ever
+  // compounded (re-jittering an already-jittered buffer), the reported
+  // jitter would not reproduce the factor from the original matrix.
+  const Matrix a{{-1e-3, 0.0}, {0.0, 1.0}};
+  const auto fact = CholeskyFactorization::compute(a);
+  ASSERT_TRUE(fact.has_value());
+  const double jitter = fact->jitter_applied();
+  ASSERT_GT(jitter, 1e-3);  // must out-scale the negative diagonal entry
+
+  // jitter = initial * 100^k exactly for some integer k >= 1.
+  const double initial = std::max(1e-12, 1e-10 * (1e-3 + 1.0) / 2.0);
+  double expected = initial;
+  while (expected < jitter) expected *= 100.0;
+  EXPECT_EQ(jitter, expected);
+
+  // The factor is exactly the serial factor of (original + jitter I).
+  Matrix manual = a;
+  for (std::size_t i = 0; i < 2; ++i) manual(i, i) += jitter;
+  ASSERT_TRUE(cholesky_factor(manual));
+  EXPECT_EQ(max_abs_diff(fact->factor(), manual), 0.0);
+}
+
+TEST(CholeskyFactorization, FailurePropagatesAcrossModes) {
+  Rng rng(404);
+  Matrix bad = random_spd(100, rng);
+  bad(99, 99) = -100.0;  // indefinite, and only in the last tile
+  Vector b(100, 1.0);
+  KernelModeGuard guard;
+  for (const KernelMode mode : {KernelMode::Serial, KernelMode::Blocked}) {
+    set_kernel_mode(mode);
+    // With zero retries the non-SPD failure must surface, not be papered
+    // over by jitter.
+    EXPECT_FALSE(CholeskyFactorization::compute(bad, 0).has_value())
+        << kernel_mode_name(mode);
+    EXPECT_FALSE(solve_spd(bad, b, 0).has_value()) << kernel_mode_name(mode);
+    EXPECT_FALSE(logdet_spd(bad).has_value()) << kernel_mode_name(mode);
+  }
+}
+
+TEST(QrBlocked, BitwiseEqualToSerial) {
+  Rng rng(405);
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes{
+      {1, 1}, {5, 3}, {33, 20}, {40, 33}, {64, 64}, {70, 50}, {129, 65}};
+  for (const auto& [m, n] : shapes) {
+    const Matrix a = random_matrix(m, n, rng);
+    const auto serial = qr_factor_serial(a);
+    const auto blocked = qr_factor_blocked(a);
+    EXPECT_EQ(max_abs_diff(blocked.qr, serial.qr), 0.0) << m << "x" << n;
+    ASSERT_EQ(blocked.tau.size(), serial.tau.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(blocked.tau[k], serial.tau[k]) << m << "x" << n << " k " << k;
+    }
+  }
+}
+
+TEST(QrBlocked, HandlesZeroColumns) {
+  // A zero column takes the tau = 0 early-out; the blocked panel must skip
+  // it identically.
+  Rng rng(406);
+  Matrix a = random_matrix(50, 40, rng);
+  for (std::size_t i = 0; i < 50; ++i) a(i, 17) = 0.0;
+  // Zeroing the trailing rows of column 3 keeps a nonzero reflector but
+  // exercises the norm accumulation over a sparse tail.
+  for (std::size_t i = 10; i < 50; ++i) a(i, 3) = 0.0;
+  const auto serial = qr_factor_serial(a);
+  const auto blocked = qr_factor_blocked(a);
+  EXPECT_EQ(max_abs_diff(blocked.qr, serial.qr), 0.0);
+  for (std::size_t k = 0; k < 40; ++k) ASSERT_EQ(blocked.tau[k], serial.tau[k]);
+}
+
+#ifdef CPR_HAVE_OPENMP
+TEST(QrBlocked, ThreadCountInvariant) {
+  Rng rng(407);
+  const Matrix a = random_matrix(150, 120, rng);
+  const auto serial = qr_factor_serial(a);
+  const cpr::testing::ThreadCountGuard guard;
+  for (const int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    const auto blocked = qr_factor_blocked(a);
+    EXPECT_EQ(max_abs_diff(blocked.qr, serial.qr), 0.0) << threads << " threads";
+    for (std::size_t k = 0; k < 120; ++k) {
+      ASSERT_EQ(blocked.tau[k], serial.tau[k]) << threads << " threads, k " << k;
+    }
+  }
+}
+#endif  // CPR_HAVE_OPENMP
 
 TEST(Lu, AgreesWithCholeskyOnSpd) {
   Rng rng(20);

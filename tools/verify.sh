@@ -16,10 +16,11 @@
 #
 # --tsan additionally configures a ThreadSanitizer build (<build-dir>-tsan,
 # CPR_TSAN=ON) and runs the concurrency-heavy suites (serve_test +
-# completion_test) there. OpenMP is disabled in that build: libgomp is not
-# TSan-instrumented and reports false positives on its own synchronization;
-# the std::thread concurrency of the serving layer is the verification
-# target.
+# completion_test + linalg_test) there. OpenMP is disabled in that build:
+# libgomp is not TSan-instrumented and reports false positives on its own
+# synchronization; the std::thread concurrency of the serving layer is the
+# verification target (the task-graph tiled factorizations compile to their
+# sequential fallbacks there, still exercising the tile kernels).
 #
 # --bench additionally runs the cpr_bench performance-regression gate over
 # the stable kernel_suite cases: the merged BENCH_<date>.json is written to
@@ -76,9 +77,9 @@ if [[ "$tsan" -eq 1 ]]; then
   tsan_dir="${build_dir}-tsan"
   cmake -B "$tsan_dir" -S "$repo_root" -DCPR_TSAN=ON -DCPR_ENABLE_OPENMP=OFF \
     -DCPR_BUILD_BENCH=OFF -DCPR_BUILD_EXAMPLES=OFF
-  cmake --build "$tsan_dir" -j --target serve_test completion_test
-  ctest --test-dir "$tsan_dir" --output-on-failure -R '^(serve_test|completion_test)$'
-  echo "verify.sh: TSan configure + build + ctest (serve_test, completion_test) green"
+  cmake --build "$tsan_dir" -j --target serve_test completion_test linalg_test
+  ctest --test-dir "$tsan_dir" --output-on-failure -R '^(serve_test|completion_test|linalg_test)$'
+  echo "verify.sh: TSan configure + build + ctest (serve_test, completion_test, linalg_test) green"
 fi
 
 if [[ "$bench" -eq 1 ]]; then
