@@ -10,15 +10,22 @@
 //
 // Besides the --benchmark_* flags, accepts --json=<path>: per-benchmark
 // wall seconds per request in the same BENCH_*.json trajectory format as
-// fig7/micro_kernels. Items-per-second in the console output is the
-// serving QPS.
+// fig7/micro_kernels, plus the client-observed per-request latency
+// distribution (cases ".../client_p50|p99|p999") — the same percentile
+// schema bench/serve_latency emits for its open-loop TCP runs, so closed-
+// and open-loop latency land in one comparable trajectory.
+// Items-per-second in the console output is the serving QPS.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <string_view>
 #include <unistd.h>
 
@@ -114,8 +121,53 @@ serve::ServerOptions server_options(std::size_t cache_capacity) {
   return options;
 }
 
-void issue(serve::Server& server, const std::string& line) {
+/// Client-observed latency samples, merged across threads and trials per
+/// benchmark case; drained into perf records at exit.
+class LatencyCollector {
+ public:
+  static LatencyCollector& instance() {
+    static LatencyCollector collector;
+    return collector;
+  }
+
+  void add(const std::string& case_name, std::vector<double>& samples) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& all = by_case_[case_name];
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+
+  /// p50/p99/p99.9 of every case, in the serve_latency percentile schema.
+  std::vector<bench::JsonRecord> records() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<bench::JsonRecord> records;
+    for (auto& [case_name, samples] : by_case_) {
+      if (samples.empty()) continue;
+      std::sort(samples.begin(), samples.end());
+      for (const auto& [tag, q] :
+           {std::pair<const char*, double>{"client_p50", 0.50},
+            {"client_p99", 0.99},
+            {"client_p999", 0.999}}) {
+        const auto rank = static_cast<std::size_t>(
+            q * static_cast<double>(samples.size() - 1) + 0.5);
+        records.push_back({"serve_throughput", case_name + "/" + tag,
+                           samples[std::min(rank, samples.size() - 1)], 0});
+      }
+    }
+    return records;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::vector<double>> by_case_;
+};
+
+void issue(serve::Server& server, const std::string& line,
+           std::vector<double>& latencies) {
+  const auto start = std::chrono::steady_clock::now();
   const auto reply = server.handle_line(line);
+  latencies.push_back(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   if (reply.text.rfind("OK ", 0) != 0) {
     // A failing request invalidates the whole measurement — abort loudly.
     std::cerr << "serve_throughput: request failed: " << line << " -> " << reply.text
@@ -125,6 +177,22 @@ void issue(serve::Server& server, const std::string& line) {
   benchmark::DoNotOptimize(reply.text.data());
 }
 
+/// The per-thread latency buffer: filled inside the timing loop, merged
+/// into the collector (under "<case>/threads:<n>") once the loop ends.
+class ThreadLatencies {
+ public:
+  ThreadLatencies(const char* case_name, const benchmark::State& state)
+      : key_(std::string(case_name) + "/threads:" + std::to_string(state.threads())) {
+    samples_.reserve(1 << 14);
+  }
+  ~ThreadLatencies() { LatencyCollector::instance().add(key_, samples_); }
+  std::vector<double>& samples() { return samples_; }
+
+ private:
+  std::string key_;
+  std::vector<double> samples_;
+};
+
 /// Closed-loop clients over disjoint query slices: every request is a cache
 /// miss (or a first-touch fill), measuring store + batcher + inference.
 void BM_ServePredict(benchmark::State& state) {
@@ -133,9 +201,10 @@ void BM_ServePredict(benchmark::State& state) {
   const std::size_t thread = static_cast<std::size_t>(state.thread_index());
   const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
                            ServeFixtureState::kPerThread;
+  ThreadLatencies latencies("BM_ServePredict", state);
   std::size_t i = 0;
   for (auto _ : state) {
-    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)]);
+    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -150,9 +219,10 @@ void BM_ServePredictNoCache(benchmark::State& state) {
   const std::size_t thread = static_cast<std::size_t>(state.thread_index());
   const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
                            ServeFixtureState::kPerThread;
+  ThreadLatencies latencies("BM_ServePredictNoCache", state);
   std::size_t i = 0;
   for (auto _ : state) {
-    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)]);
+    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -163,9 +233,10 @@ BENCHMARK(BM_ServePredictNoCache)->Threads(1)->Threads(4)->Threads(16)->UseRealT
 void BM_ServePredictCacheHit(benchmark::State& state) {
   static serve::Server* server = new serve::Server(server_options(4096));
   const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
+  ThreadLatencies latencies("BM_ServePredictCacheHit", state);
   std::size_t i = 0;
   for (auto _ : state) {
-    issue(*server, lines[i++ % 16]);  // 16 hot configurations, shared by all
+    issue(*server, lines[i++ % 16], latencies.samples());  // 16 hot configurations, shared by all
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -180,10 +251,11 @@ void BM_ServePredictTwoModels(benchmark::State& state) {
   const std::size_t thread = static_cast<std::size_t>(state.thread_index());
   const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
                            ServeFixtureState::kPerThread;
+  ThreadLatencies latencies("BM_ServePredictTwoModels", state);
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& lines = (i % 2 == 0) ? cpr_lines : knn_lines;
-    issue(*server, lines[base + (i++ / 2) % ServeFixtureState::kPerThread]);
+    issue(*server, lines[base + (i++ / 2) % ServeFixtureState::kPerThread], latencies.samples());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -224,6 +296,9 @@ int main(int argc, char** argv) {
   cpr::JsonCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  const auto latency_records = cpr::LatencyCollector::instance().records();
+  reporter.records.insert(reporter.records.end(), latency_records.begin(),
+                          latency_records.end());
   cpr::bench::emit_json(args, reporter.records);
   std::filesystem::remove_all(cpr::ServeFixtureState::instance().dir());
   return 0;

@@ -1,0 +1,129 @@
+#include "serve/event_loop.hpp"
+
+#include <cstring>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace cpr::serve {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  CPR_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1(): " << std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const int saved = errno;
+    ::close(epoll_fd_);
+    CPR_CHECK_MSG(false, "eventfd(): " << std::strerror(saved));
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  CPR_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) == 0,
+                "epoll_ctl(ADD wake): " << std::strerror(errno));
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, Callback callback) {
+  CPR_CHECK_MSG(
+      callbacks_.emplace(fd, std::make_shared<Callback>(std::move(callback))).second,
+      "fd " << fd << " is already registered with this loop");
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    const int saved = errno;
+    callbacks_.erase(fd);
+    CPR_CHECK_MSG(false, "epoll_ctl(ADD " << fd << "): " << std::strerror(saved));
+  }
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  CPR_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0,
+                "epoll_ctl(MOD " << fd << "): " << std::strerror(errno));
+}
+
+void EventLoop::remove(int fd) {
+  if (callbacks_.erase(fd) == 0) return;
+  // The fd may already be closed by the caller; a failing DEL is harmless.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; short writes cannot happen.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+bool EventLoop::in_loop_thread() const {
+  return loop_thread_.load(std::memory_order_acquire) == std::this_thread::get_id();
+}
+
+void EventLoop::run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CPR_CHECK_MSG(false, "epoll_wait(): " << std::strerror(errno));
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t count;
+        while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+        }
+        continue;
+      }
+      // Re-lookup per event: an earlier callback in this batch may have
+      // removed this fd, in which case its stale readiness is dropped. The
+      // shared_ptr copy keeps the callable alive even when it remove()s its
+      // own fd from inside the call.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<Callback> callback = it->second;
+      (*callback)(events[i].events);
+    }
+    drain_posted();
+  }
+  // Final drain so completions posted concurrently with stop() still run
+  // (their connections get flushed by the shutdown path afterwards).
+  drain_posted();
+  loop_thread_.store(std::thread::id{}, std::memory_order_release);
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace cpr::serve

@@ -1,0 +1,84 @@
+#pragma once
+// A minimal epoll reactor for the TCP serving front end.
+//
+// One EventLoop owns one epoll instance and runs on one thread: fds are
+// registered with a callback that fires with the ready-event mask, and
+// other threads hand work to the loop thread through post() (a mutex-guarded
+// task list flushed via an eventfd wakeup). All connection state in
+// tcp_server.cpp is mutated only from its owning loop thread — cross-thread
+// completion (the dispatch pool finishing a request) goes through post(),
+// which is what keeps the per-connection state machines lock-free and the
+// whole front end clean under ThreadSanitizer.
+//
+// The loop is level-triggered: callbacks drain their fd until EAGAIN, and
+// writability interest (EPOLLOUT) is toggled explicitly by the connection
+// state machine only while a write buffer is pending, so an idle loop
+// never spins.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpr::serve {
+
+class EventLoop {
+ public:
+  /// Ready-event callback; `events` is the raw epoll mask (EPOLLIN etc.).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  /// Creates the epoll instance and the wakeup eventfd; throws CheckError
+  /// when either kernel resource cannot be allocated.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events`; the callback fires on the loop thread.
+  /// The fd stays owned by the caller (remove() does not close it).
+  void add(int fd, std::uint32_t events, Callback callback);
+
+  /// Changes the event interest of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Unregisters a fd; safe to call from its own callback.
+  void remove(int fd);
+
+  /// Runs the loop on the calling thread until stop().
+  void run();
+
+  /// Asks the loop to exit; thread-safe, returns immediately.
+  void stop();
+
+  /// Queues `task` to run on the loop thread (thread-safe); tasks run
+  /// between epoll batches in post order. Posting after stop() is a no-op
+  /// beyond the final drain.
+  void post(std::function<void()> task);
+
+  /// True when called from the thread currently inside run().
+  bool in_loop_thread() const;
+
+ private:
+  void wake();
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+  // fd -> callback; epoll events carry the fd, and every dispatch re-looks
+  // the fd up so a callback that remove()s a peer fd mid-batch can never
+  // reach a dangling callback. Callbacks are held by shared_ptr and pinned
+  // for the duration of each invocation, so a callback that remove()s its
+  // OWN fd (connection close) does not destroy itself mid-call.
+  std::map<int, std::shared_ptr<Callback>> callbacks_;
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace cpr::serve

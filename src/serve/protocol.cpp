@@ -55,6 +55,12 @@ Request parse_request(const std::string& line) {
   } else if (command == "QUIT") {
     expect_arity(tokens, 1);
     request.kind = RequestKind::Quit;
+  } else if (command == "FRAME") {
+    // The TCP transport intercepts a well-formed `FRAME BINARY` before
+    // dispatch; reaching the parser means the transport does not support
+    // framing (stdio/Unix socket) or the argument is wrong.
+    CPR_CHECK_MSG(false,
+                  "FRAME BINARY is only available on the TCP transport");
   } else {
     CPR_CHECK_MSG(false, "unknown request '" << command
                                              << "' (PREDICT/LOAD/UNLOAD/STATS/QUIT)");
@@ -66,6 +72,51 @@ std::string format_prediction(double seconds) {
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "OK %.17g", seconds);
   return buffer;
+}
+
+bool is_frame_binary_request(const std::string& line) {
+  const auto tokens = tokenize(line);
+  return tokens.size() == 2 && tokens[0] == "FRAME" && tokens[1] == "BINARY";
+}
+
+std::string encode_frame(std::string_view payload) {
+  CPR_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                "frame payload of " << payload.size() << " bytes exceeds the "
+                                    << kMaxFrameBytes << "-byte frame limit");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame(4, '\0');
+  frame[0] = static_cast<char>(length & 0xff);
+  frame[1] = static_cast<char>((length >> 8) & 0xff);
+  frame[2] = static_cast<char>((length >> 16) & 0xff);
+  frame[3] = static_cast<char>((length >> 24) & 0xff);
+  frame.append(payload);
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(std::uint32_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  CPR_CHECK_MSG(max_frame_bytes_ > 0, "frame size limit must be positive");
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+bool FrameDecoder::next(std::string& payload) {
+  CPR_CHECK_MSG(!poisoned_, "binary frame stream already failed — close the connection");
+  if (buffer_.size() < 4) return false;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[1])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[2])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[3])) << 24);
+  if (length == 0 || length > max_frame_bytes_) {
+    poisoned_ = true;
+    CPR_CHECK_MSG(false, "invalid binary frame length " << length << " (limit "
+                                                        << max_frame_bytes_ << ")");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) return false;
+  payload.assign(buffer_, 4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  return true;
 }
 
 std::string format_error(const std::string& what) {

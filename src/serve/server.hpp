@@ -38,6 +38,9 @@ class Server {
 
   ModelStore& store() { return store_; }
   const ServerStats& request_stats() const { return stats_; }
+  /// Mutable telemetry access for transport frontends (connection gauge,
+  /// BUSY-shed counter); request accounting stays internal to handle_line.
+  ServerStats& stats() { return stats_; }
   PredictionCache::Counters cache_counters() const { return cache_.counters(); }
   MicroBatcher::Stats batcher_stats() const { return batcher_.stats(); }
 

@@ -54,13 +54,16 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     snap.errors = errors_;
     samples = reservoir_;
   }
+  snap.sheds = sheds_.load(std::memory_order_relaxed);
+  snap.connections = connections_.load(std::memory_order_relaxed);
   snap.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   snap.qps = snap.elapsed_seconds > 0.0
                  ? static_cast<double>(snap.predicts) / snap.elapsed_seconds
                  : 0.0;
   snap.p50_seconds = percentile(samples, 0.50);
-  snap.p99_seconds = percentile(std::move(samples), 0.99);
+  snap.p99_seconds = percentile(samples, 0.99);
+  snap.p999_seconds = percentile(std::move(samples), 0.999);
   return snap;
 }
 
@@ -75,6 +78,9 @@ Table render_stats_table(const ServerStats::Snapshot& requests,
   table.add_row({"qps", Table::fmt(requests.qps, 1)});
   table.add_row({"latency_p50_us", Table::fmt(requests.p50_seconds * 1e6, 1)});
   table.add_row({"latency_p99_us", Table::fmt(requests.p99_seconds * 1e6, 1)});
+  table.add_row({"latency_p999_us", Table::fmt(requests.p999_seconds * 1e6, 1)});
+  table.add_row({"connections", Table::fmt(requests.connections)});
+  table.add_row({"busy_shed", Table::fmt(requests.sheds)});
   table.add_row({"cache_hits", Table::fmt(cache.hits)});
   table.add_row({"cache_misses", Table::fmt(cache.misses)});
   table.add_row({"cache_evictions", Table::fmt(cache.evictions)});

@@ -1,11 +1,15 @@
 #pragma once
-// Serving telemetry: request counts, QPS, and latency quantiles.
+// Serving telemetry: request counts, QPS, latency quantiles, and the TCP
+// front end's connection/shedding gauges.
 //
 // Latencies are kept in a fixed-size reservoir (Vitter's algorithm R with a
-// deterministic seed) so p50/p99 stay O(1) in memory over unbounded request
-// streams; the STATS command renders a snapshot — together with cache and
-// batcher counters — through util/table.
+// deterministic seed) so p50/p99/p99.9 stay O(1) in memory over unbounded
+// request streams; the STATS command renders a snapshot — together with
+// cache and batcher counters — through util/table. The connection gauge and
+// BUSY-shed counter are plain atomics so transport threads (event loops,
+// connection threads) can bump them without taking the reservoir lock.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -31,13 +35,27 @@ class ServerStats {
   /// Records a request answered with ERR.
   void record_error();
 
+  /// Records a request shed with a BUSY reply (admission control).
+  void record_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Transport connection lifecycle (TCP/Unix-socket frontends).
+  void record_connection_open() {
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_connection_close() {
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   struct Snapshot {
     std::uint64_t predicts = 0;
     std::uint64_t errors = 0;
+    std::uint64_t sheds = 0;        ///< requests answered BUSY, never executed
+    std::int64_t connections = 0;   ///< transport connections open right now
     double elapsed_seconds = 0.0;  ///< since the stats object was created
     double qps = 0.0;              ///< predicts / elapsed
     double p50_seconds = 0.0;
     double p99_seconds = 0.0;
+    double p999_seconds = 0.0;
   };
   Snapshot snapshot() const;
 
@@ -47,6 +65,8 @@ class ServerStats {
   std::uint64_t predicts_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t latencies_seen_ = 0;
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::int64_t> connections_{0};
   std::vector<double> reservoir_;
   Rng rng_;
   std::chrono::steady_clock::time_point start_;

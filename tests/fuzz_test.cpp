@@ -85,6 +85,67 @@ TEST(ProtocolFuzz, TruncatedAndMutatedValidLinesNeverCrash) {
   }
 }
 
+TEST(ProtocolFuzz, BinaryFrameDecoderIsTotalOnRandomBytes) {
+  // Random byte streams fed in random-sized chunks: the decoder must either
+  // produce frames, wait for more bytes, or throw CheckError — and once it
+  // has thrown (the stream is unsynchronisable) it must stay poisoned.
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    serve::FrameDecoder decoder;
+    std::string stream = random_bytes(rng, 256);
+    bool poisoned = false;
+    while (!stream.empty()) {
+      const auto chunk = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(stream.size())));
+      decoder.feed(std::string_view(stream).substr(0, chunk));
+      stream.erase(0, chunk);
+      try {
+        std::string payload;
+        while (decoder.next(payload)) {
+          EXPECT_LE(payload.size(), serve::kMaxFrameBytes);
+        }
+        EXPECT_FALSE(poisoned) << "a poisoned decoder must keep throwing";
+      } catch (const CheckError&) {
+        poisoned = true;
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TruncatedAndMutatedValidFramesNeverCrash) {
+  const std::string frames[] = {
+      serve::encode_frame("PREDICT mm 1024,512,8"),
+      serve::encode_frame("STATS"),
+      serve::encode_frame(std::string(1000, 'x')),
+  };
+  // Every truncation point of a valid frame: the decoder must simply wait.
+  for (const auto& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      serve::FrameDecoder decoder;
+      decoder.feed(std::string_view(frame).substr(0, cut));
+      std::string payload;
+      EXPECT_FALSE(decoder.next(payload)) << "cut=" << cut;
+    }
+  }
+  // Single-byte mutations (mostly of the length prefix): total behaviour.
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    std::string frame = frames[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    frame[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    serve::FrameDecoder decoder;
+    decoder.feed(frame);
+    try {
+      std::string payload;
+      while (decoder.next(payload)) {
+      }
+    } catch (const CheckError&) {
+      // Declared-length violations are the documented failure mode.
+    }
+  }
+}
+
 TEST(ServerFuzz, RandomSessionsAlwaysGetOkOrErrReplies) {
   TempModelDir dir("fuzz_server");
   auto model = ModelRegistry::instance().create("knn", testdata::zoo_spec("knn"));

@@ -7,16 +7,25 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
 #include "serve/server.hpp"
+#include "serve/tcp_server.hpp"
 #include "test_data.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace cpr {
@@ -408,6 +417,373 @@ TEST(Server, LazyLoadOnPredictAndConcurrentClients) {
   const auto snapshot = server.request_stats().snapshot();
   EXPECT_EQ(snapshot.predicts, kClients * kRequests);
   EXPECT_EQ(snapshot.errors, 0u);
+}
+
+// -------------------------------------------------------- TCP front end
+
+/// Minimal blocking loopback client for the TCP front end: raw sends plus
+/// newline- and binary-framed reads over one internal buffer.
+class TcpClient {
+ public:
+  explicit TcpClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    CPR_CHECK(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    CPR_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
+    int nodelay = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  }
+  ~TcpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  void send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+  void send_frame(const std::string& payload) {
+    send_raw(serve::encode_frame(payload));
+  }
+
+  /// Blocking read of one newline-framed reply (strips the newline);
+  /// returns false on EOF.
+  bool read_line(std::string& line) {
+    std::size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      if (!fill()) return false;
+    }
+    line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return true;
+  }
+
+  /// Blocking read of one binary-framed reply; returns false on EOF.
+  bool read_frame(std::string& payload) {
+    for (;;) {
+      if (buffer_.size() >= 4) {
+        const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+        const std::uint32_t length = static_cast<std::uint32_t>(bytes[0]) |
+                                     (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                                     (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                                     (static_cast<std::uint32_t>(bytes[3]) << 24);
+        if (buffer_.size() >= 4u + length) {
+          payload = buffer_.substr(4, length);
+          buffer_.erase(0, 4u + length);
+          return true;
+        }
+      }
+      if (!fill()) return false;
+    }
+  }
+
+  /// True once the server has closed the connection (drains the buffer).
+  bool at_eof() {
+    while (fill()) {
+    }
+    return true;  // fill() returned false: read() saw EOF
+  }
+
+  /// Negotiates binary framing and checks the ack comes in the old framing.
+  void negotiate_binary() {
+    send_line("FRAME BINARY");
+    std::string ack;
+    ASSERT_TRUE(read_line(ack));
+    ASSERT_EQ(ack, "OK frame=binary");
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// A server over a fitted model directory plus its TCP front end.
+struct TcpFixture {
+  explicit TcpFixture(serve::TcpServerOptions tcp_options = {},
+                      std::uint64_t batcher_max_wait_us = 50,
+                      std::size_t cache_capacity = 64)
+      : dir("tcp"), model(fit_family("cpr")) {
+    dir.save("pl", *model);
+    serve::ServerOptions options;
+    options.model_dir = dir.path();
+    options.batcher.workers = 2;
+    options.batcher.max_wait_us = batcher_max_wait_us;
+    options.cache_capacity = cache_capacity;
+    server = std::make_unique<serve::Server>(options);
+    tcp = std::make_unique<serve::TcpServer>(*server, tcp_options);
+  }
+
+  TempModelDir dir;
+  common::RegressorPtr model;
+  std::unique_ptr<serve::Server> server;
+  std::unique_ptr<serve::TcpServer> tcp;
+};
+
+TEST(TcpServer, LoopbackSessionMatchesHandleLineBitwise) {
+  TcpFixture fixture;
+  // The reference server runs the same archives through handle_line —
+  // exactly what the stdio and Unix-socket frontends write to a client.
+  serve::ServerOptions reference_options;
+  reference_options.model_dir = fixture.dir.path();
+  reference_options.batcher.workers = 2;
+  reference_options.batcher.max_wait_us = 50;
+  serve::Server reference(reference_options);
+
+  TcpClient client(fixture.tcp->port());
+  std::vector<std::string> lines = {"LOAD pl"};
+  Rng rng(21);
+  for (std::size_t i = 0; i < 24; ++i) {
+    const Config config = random_config(rng);
+    std::ostringstream line;
+    line.precision(17);
+    line << "PREDICT pl " << config[0] << "," << config[1];
+    lines.push_back(line.str());
+  }
+  lines.push_back("PREDICT nosuch 1,2");   // ERR replies must match too
+  lines.push_back("PREDICT pl 1,2,3");
+  lines.push_back("garbage");
+
+  for (const auto& line : lines) {
+    client.send_line(line);
+    std::string reply;
+    ASSERT_TRUE(client.read_line(reply)) << line;
+    EXPECT_EQ(reply, reference.handle_line(line).text) << line;
+  }
+}
+
+TEST(TcpServer, BinaryFramingMatchesNewlineReplies) {
+  TcpFixture fixture;
+  TcpClient newline_client(fixture.tcp->port());
+  TcpClient binary_client(fixture.tcp->port());
+  binary_client.negotiate_binary();
+
+  Rng rng(33);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const Config config = random_config(rng);
+    std::ostringstream line;
+    line.precision(17);
+    line << "PREDICT pl " << config[0] << "," << config[1];
+    newline_client.send_line(line.str());
+    binary_client.send_frame(line.str());
+    std::string newline_reply, binary_reply;
+    ASSERT_TRUE(newline_client.read_line(newline_reply));
+    ASSERT_TRUE(binary_client.read_frame(binary_reply));
+    EXPECT_EQ(binary_reply, newline_reply) << line.str();
+  }
+
+  // Negotiating twice is an application-level ERR, not a framing violation:
+  // the connection stays up.
+  binary_client.send_frame("FRAME BINARY");
+  std::string reply;
+  ASSERT_TRUE(binary_client.read_frame(reply));
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+  binary_client.send_frame("PREDICT pl 100,100");
+  ASSERT_TRUE(binary_client.read_frame(reply));
+  EXPECT_EQ(reply.rfind("OK ", 0), 0u);
+}
+
+TEST(TcpServer, MalformedBinaryFramesGetErrThenCloseNeverDeath) {
+  TcpFixture fixture;
+
+  {  // zero-length frame: fatal framing violation
+    TcpClient client(fixture.tcp->port());
+    client.negotiate_binary();
+    client.send_raw(std::string(4, '\0'));
+    std::string reply;
+    ASSERT_TRUE(client.read_frame(reply));
+    EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+    EXPECT_TRUE(client.at_eof());
+  }
+
+  {  // oversize declared length: fatal before any payload arrives
+    TcpClient client(fixture.tcp->port());
+    client.negotiate_binary();
+    const std::uint32_t huge = serve::kMaxFrameBytes + 1;
+    std::string header(4, '\0');
+    header[0] = static_cast<char>(huge & 0xff);
+    header[1] = static_cast<char>((huge >> 8) & 0xff);
+    header[2] = static_cast<char>((huge >> 16) & 0xff);
+    header[3] = static_cast<char>((huge >> 24) & 0xff);
+    client.send_raw(header);
+    std::string reply;
+    ASSERT_TRUE(client.read_frame(reply));
+    EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+    EXPECT_TRUE(client.at_eof());
+  }
+
+  {  // truncated frame then close: the server just drops the connection
+    TcpClient client(fixture.tcp->port());
+    client.negotiate_binary();
+    const std::string frame = serve::encode_frame("PREDICT pl 100,100");
+    client.send_raw(frame.substr(0, frame.size() - 3));
+  }
+
+  {  // garbage payload inside a VALID frame: framed ERR, connection lives
+    TcpClient client(fixture.tcp->port());
+    client.negotiate_binary();
+    client.send_frame("\x01\x02 not a protocol line \xff");
+    std::string reply;
+    ASSERT_TRUE(client.read_frame(reply));
+    EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+    client.send_frame("PREDICT pl 100,100");
+    ASSERT_TRUE(client.read_frame(reply));
+    EXPECT_EQ(reply.rfind("OK ", 0), 0u);
+  }
+
+  // After every abuse above the front end still serves new clients.
+  TcpClient survivor(fixture.tcp->port());
+  survivor.send_line("PREDICT pl 100,100");
+  std::string reply;
+  ASSERT_TRUE(survivor.read_line(reply));
+  EXPECT_EQ(reply.rfind("OK ", 0), 0u);
+}
+
+TEST(TcpServer, OversizeNewlineLineIsFatal) {
+  serve::TcpServerOptions tcp_options;
+  tcp_options.max_line_bytes = 128;
+  TcpFixture fixture(tcp_options);
+  TcpClient client(fixture.tcp->port());
+  client.send_raw(std::string(256, 'x'));  // no newline within the limit
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(TcpServer, BusySheddingKeepsReplyOrderUnderSaturation) {
+  serve::TcpServerOptions tcp_options;
+  tcp_options.max_inflight = 2;  // tiny admission cap: shedding is certain
+  // A slow batcher (5ms flush) with no cache keeps admitted requests
+  // in flight long enough that a pipelined burst must overrun the cap.
+  TcpFixture fixture(tcp_options, /*batcher_max_wait_us=*/5000,
+                     /*cache_capacity=*/0);
+  TcpClient client(fixture.tcp->port());
+
+  constexpr std::size_t kBurst = 100;
+  std::string burst;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    burst += "PREDICT pl 100," + std::to_string(100 + i) + "\n";
+  }
+  client.send_raw(burst);
+
+  std::size_t ok = 0, busy = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    std::string reply;
+    ASSERT_TRUE(client.read_line(reply)) << "reply " << i;
+    if (reply == serve::kBusyReply) {
+      ++busy;
+    } else {
+      ASSERT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok + busy, kBurst);
+  EXPECT_GT(ok, 0u);    // the cap admits work, it does not starve
+  EXPECT_GT(busy, 0u);  // and the overload was actually shed
+  EXPECT_EQ(fixture.server->request_stats().snapshot().sheds, busy);
+}
+
+TEST(TcpServer, PartialWriteResumptionWithTinySndbuf) {
+  serve::TcpServerOptions tcp_options;
+  tcp_options.sndbuf = 1;  // kernel clamps to its floor; still forces
+                           // many partial write() returns per reply
+  TcpFixture fixture(tcp_options);
+  TcpClient client(fixture.tcp->port());
+  client.negotiate_binary();
+
+  // Pipeline multi-kilobyte STATS replies without reading a byte, then
+  // drain: every frame must arrive complete and in order.
+  constexpr std::size_t kRequests = 50;
+  for (std::size_t i = 0; i < kRequests; ++i) client.send_frame("STATS");
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    std::string reply;
+    ASSERT_TRUE(client.read_frame(reply)) << "reply " << i;
+    EXPECT_NE(reply.find("predicts"), std::string::npos);
+    EXPECT_EQ(reply.substr(reply.size() - 2), "OK");
+  }
+}
+
+TEST(TcpServer, QuitClosesOnlyItsOwnConnection) {
+  TcpFixture fixture;
+  TcpClient quitter(fixture.tcp->port());
+  TcpClient bystander(fixture.tcp->port());
+
+  std::string reply;
+  bystander.send_line("PREDICT pl 100,100");
+  ASSERT_TRUE(bystander.read_line(reply));
+  const std::string expected = reply;
+
+  quitter.send_line("QUIT");
+  ASSERT_TRUE(quitter.read_line(reply));
+  EXPECT_EQ(reply, "OK bye");
+  EXPECT_TRUE(quitter.at_eof());
+
+  // The other connection — and the whole front end — keeps serving.
+  bystander.send_line("PREDICT pl 100,100");
+  ASSERT_TRUE(bystander.read_line(reply));
+  EXPECT_EQ(reply, expected);
+  TcpClient fresh(fixture.tcp->port());
+  fresh.send_line("PREDICT pl 100,100");
+  ASSERT_TRUE(fresh.read_line(reply));
+  EXPECT_EQ(reply, expected);
+}
+
+TEST(TcpServer, DrainShutdownFlushesInflightReplies) {
+  // 100ms batch flush: the reply is guaranteed still in flight when the
+  // drain starts, so it must be completed and flushed by the drain.
+  TcpFixture fixture({}, /*batcher_max_wait_us=*/100'000, /*cache_capacity=*/0);
+  TcpClient client(fixture.tcp->port());
+  client.send_line("PREDICT pl 100,100");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // parsed+dispatched
+  fixture.tcp->shutdown(/*drain=*/true);
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_EQ(reply, serve::format_prediction(fixture.model->predict({100.0, 100.0})));
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(TcpServer, ConnectionGaugeTracksOpenSockets) {
+  TcpFixture fixture;
+  auto connections = [&] {
+    return fixture.server->request_stats().snapshot().connections;
+  };
+  EXPECT_EQ(connections(), 0);
+  {
+    TcpClient a(fixture.tcp->port());
+    TcpClient b(fixture.tcp->port());
+    // The gauge updates when the loop registers/unregisters the socket.
+    std::string reply;
+    a.send_line("PREDICT pl 100,100");
+    ASSERT_TRUE(a.read_line(reply));
+    b.send_line("PREDICT pl 100,100");
+    ASSERT_TRUE(b.read_line(reply));
+    EXPECT_EQ(connections(), 2);
+  }
+  for (int i = 0; i < 200 && connections() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(connections(), 0);
 }
 
 }  // namespace

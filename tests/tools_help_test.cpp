@@ -58,7 +58,8 @@ const std::vector<ToolSpec> kTools = {
      true},
     {"cpr_predict", {"--model", "--configs", "--out", "--threads"}, true},
     {"cpr_serve",
-     {"--models", "--socket", "--threads", "--workers", "--max-batch",
+     {"--models", "--socket", "--tcp", "--io-threads", "--max-inflight",
+      "--max-backlog", "--threads", "--workers", "--max-batch",
       "--max-wait-us", "--cache", "--cache-shards"},
      true},
     // cpr_bench without arguments would launch the full bench run, so only

@@ -40,7 +40,7 @@ namespace {
 /// suites are the paper-reproduction set.
 const std::vector<std::string> kKnownSuites = {
     "kernel_suite",    "micro_kernels",
-    "serve_throughput",
+    "serve_throughput", "serve_latency",
     "ablation_cpr",    "ext_online_updates",
     "ext_sampling_strategies", "ext_tucker_vs_cp",
     "fig1_svd_logtransform",   "fig3_discretization",

@@ -1,13 +1,18 @@
 // cpr_serve — long-lived multi-model inference server over a directory of
 // registry archives (src/serve). Speaks the newline-delimited protocol
-// (serve/protocol.hpp) on stdin/stdout, or on a Unix stream socket with
+// (serve/protocol.hpp) on stdin/stdout, on a Unix stream socket with
 // --socket=<path> (one thread per connection; QUIT from any connection
-// shuts the server down).
+// shuts the server down), or on a TCP port with --tcp=<port> (epoll event
+// loop, tens of thousands of connections, optional binary framing via
+// FRAME BINARY, bounded admission shedding with BUSY; QUIT closes only its
+// own connection). SIGINT/SIGTERM drain gracefully on every transport:
+// stop accepting, finish and flush in-flight requests, exit 0.
 //
 // Usage:
-//   cpr_serve --models=<dir> [--socket=/tmp/cpr.sock] [--threads=<n>]
-//       [--workers=2] [--max-batch=64] [--max-wait-us=200]
-//       [--cache=4096] [--cache-shards=8]
+//   cpr_serve --models=<dir> [--socket=/tmp/cpr.sock | --tcp=<port>]
+//       [--threads=<n>] [--workers=2] [--max-batch=64] [--max-wait-us=200]
+//       [--cache=4096] [--cache-shards=8] [--io-threads=2]
+//       [--max-inflight=1024] [--max-backlog=1048576]
 //
 // Example session (stdio):
 //   LOAD mm-cpr
@@ -16,6 +21,7 @@
 //   QUIT
 
 #include <atomic>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -23,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -30,6 +37,7 @@
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
 #include "serve/server.hpp"
+#include "serve/tcp_server.hpp"
 #include "util/cli.hpp"
 
 using namespace cpr;
@@ -41,11 +49,22 @@ void usage(std::ostream& out) {
          "Serves every <name>.cprm archive in --models over the line protocol\n"
          "  PREDICT <model> <v1,v2,...> -> OK <seconds>\n"
          "  LOAD <model> | UNLOAD <model> | STATS | QUIT\n"
-         "on stdin/stdout, or on a Unix stream socket with --socket\n"
-         "(see docs/SERVE_PROTOCOL.md for the normative spec).\n\n"
+         "on stdin/stdout, a Unix stream socket (--socket), or a TCP port\n"
+         "(--tcp; epoll event loop, supports FRAME BINARY length-prefixed\n"
+         "framing and sheds with BUSY under overload — see\n"
+         "docs/SERVE_PROTOCOL.md for the normative spec). SIGINT/SIGTERM\n"
+         "drain gracefully: stop accepting, flush in-flight work, exit 0.\n\n"
          "  --models=<dir>      directory of model archives (required)\n"
          "  --socket=<path>     listen on a Unix stream socket instead of stdio\n"
          "                      (default: stdio)\n"
+         "  --tcp=<port>        listen on a TCP port (0 picks an ephemeral\n"
+         "                      port, printed on stderr); excludes --socket\n"
+         "  --io-threads=<n>    TCP event-loop threads (default: 2)\n"
+         "  --max-inflight=<n>  TCP admission cap: requests dispatched but\n"
+         "                      unanswered before new ones get BUSY\n"
+         "                      (default: 1024)\n"
+         "  --max-backlog=<n>   TCP per-connection write-backlog bytes before\n"
+         "                      requests get BUSY (default: 1048576)\n"
          "  --threads=<n>       cap the OpenMP team used by predict_batch\n"
          "                      (default: the OMP_NUM_THREADS environment)\n"
          "  --workers=<n>       micro-batcher inference threads (default: 2)\n"
@@ -77,6 +96,37 @@ void report_inventory(const std::string& dir) {
   }
 }
 
+// ------------------------------------------------------------------ signals
+// SIGINT/SIGTERM write one byte to a self-pipe (the only async-signal-safe
+// channel); transports watch the read end and drain gracefully.
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_shutdown_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void install_signal_handlers() {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "warning: pipe() failed, signals will not drain gracefully\n";
+    return;
+  }
+  struct sigaction action{};
+  action.sa_handler = on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/poll must wake
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
+}
+
+bool shutdown_signalled() {
+  if (g_signal_pipe[0] < 0) return false;
+  pollfd probe{g_signal_pipe[0], POLLIN, 0};
+  return ::poll(&probe, 1, 0) > 0;
+}
+
 /// Writes the whole buffer, resuming across short writes and EINTR.
 bool write_all(int fd, const std::string& text) {
   std::size_t sent = 0;
@@ -92,13 +142,17 @@ bool write_all(int fd, const std::string& text) {
 }
 
 /// Serves one established connection until QUIT/EOF. Returns true when the
-/// client asked the whole server to quit.
+/// client asked the whole server to quit. Handling is synchronous per line,
+/// so when a drain closes the read side every accepted request has already
+/// been answered and flushed.
 bool serve_stream(serve::Server& server, int fd) {
+  server.stats().record_connection_open();
   std::string pending;
   char buffer[4096];
+  bool quit = false;
   for (;;) {
     const ssize_t got = ::read(fd, buffer, sizeof(buffer));
-    if (got <= 0) return false;  // EOF or error: drop the connection
+    if (got <= 0) break;  // EOF, drain shutdown, or error: drop the connection
     pending.append(buffer, static_cast<std::size_t>(got));
     std::size_t newline;
     while ((newline = pending.find('\n')) != std::string::npos) {
@@ -107,10 +161,19 @@ bool serve_stream(serve::Server& server, int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       const auto reply = server.handle_line(line);
-      if (!write_all(fd, reply.text + "\n")) return false;
-      if (reply.quit) return true;
+      if (!write_all(fd, reply.text + "\n")) {
+        server.stats().record_connection_close();
+        return false;
+      }
+      if (reply.quit) {
+        quit = true;
+        break;
+      }
     }
+    if (quit) break;
   }
+  server.stats().record_connection_close();
+  return quit;
 }
 
 int run_socket_server(serve::Server& server, const std::string& path) {
@@ -147,6 +210,7 @@ int run_socket_server(serve::Server& server, const std::string& path) {
   std::mutex connections_mu;
   std::vector<std::unique_ptr<Connection>> connections;
   std::atomic<bool> quit{false};
+  std::atomic<bool> draining{false};
 
   // Joins and closes every finished connection (all of them when `all`).
   const auto reap = [&](bool all) {
@@ -171,8 +235,17 @@ int run_socket_server(serve::Server& server, const std::string& path) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (quit.load()) break;
-      if (errno == EINTR) continue;
+      if (quit.load() || draining.load()) break;
+      if (errno == EINTR) {
+        if (!shutdown_signalled()) continue;
+        // Graceful drain: stop accepting; close only the READ side of every
+        // live connection so its in-flight reply still flushes, then fall
+        // through to the reap below.
+        draining.store(true);
+        std::lock_guard<std::mutex> lock(connections_mu);
+        for (const auto& other : connections) ::shutdown(other->fd, SHUT_RD);
+        break;
+      }
       std::cerr << "error: accept(): " << std::strerror(errno) << "\n";
       break;
     }
@@ -196,8 +269,9 @@ int run_socket_server(serve::Server& server, const std::string& path) {
     // A connection can race the QUIT sweep in either order: the sweep runs
     // after quit is set, so whichever of (push, sweep) came second closes it.
     if (quit.load()) ::shutdown(raw->fd, SHUT_RDWR);
+    if (draining.load()) ::shutdown(raw->fd, SHUT_RD);
   }
-  {
+  if (!draining.load()) {
     // The loop can also end on an accept() error (e.g. EMFILE); unblock
     // every live connection read so the final reap's joins cannot hang.
     std::lock_guard<std::mutex> lock(connections_mu);
@@ -206,18 +280,71 @@ int run_socket_server(serve::Server& server, const std::string& path) {
   reap(/*all=*/true);
   ::close(listen_fd);
   ::unlink(path.c_str());
+  if (draining.load()) std::cerr << "cpr_serve: drained, exiting\n";
   return 0;
 }
 
-void run_stdio_server(serve::Server& server) {
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    const auto reply = server.handle_line(line);
-    std::cout << reply.text << "\n" << std::flush;
-    if (reply.quit) break;
+/// stdio transport with the same graceful-drain contract: poll stdin and
+/// the signal pipe together, so SIGINT/SIGTERM stops reading after the
+/// current request's reply has flushed instead of dying mid-write.
+int run_stdio_server(serve::Server& server) {
+  std::string pending;
+  char buffer[4096];
+  for (;;) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    const nfds_t nfds = g_signal_pipe[0] >= 0 ? 2 : 1;
+    const int ready = ::poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR && !shutdown_signalled()) continue;
+      break;  // signal: drain (no request is in flight between lines)
+    }
+    if (nfds == 2 && (fds[1].revents & POLLIN)) break;
+    if (!(fds[0].revents & (POLLIN | POLLHUP))) continue;
+    const ssize_t got = ::read(STDIN_FILENO, buffer, sizeof(buffer));
+    if (got <= 0) break;  // EOF
+    pending.append(buffer, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const auto reply = server.handle_line(line);
+      std::cout << reply.text << "\n" << std::flush;
+      if (reply.quit) return 0;
+    }
   }
+  return 0;
+}
+
+int run_tcp_server(serve::Server& server, const CliArgs& args) {
+  serve::TcpServerOptions options;
+  options.port = static_cast<std::uint16_t>(args.get_int("tcp", 0));
+  options.io_threads = static_cast<std::size_t>(args.get_int("io-threads", 2));
+  options.max_inflight = static_cast<std::size_t>(args.get_int("max-inflight", 1024));
+  options.max_write_backlog =
+      static_cast<std::size_t>(args.get_int("max-backlog", 1 << 20));
+  serve::TcpServer tcp(server, options);
+  std::cerr << "cpr_serve: listening on TCP port " << tcp.port()
+            << " (SIGINT/SIGTERM drains; QUIT closes its connection)\n";
+
+  // Drain on SIGINT/SIGTERM: the watcher blocks on the signal pipe, so the
+  // main thread can simply wait for the front end to finish.
+  std::thread signal_watcher([&tcp] {
+    char byte;
+    if (g_signal_pipe[0] >= 0) {
+      while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+    }
+    std::cerr << "cpr_serve: draining...\n";
+    tcp.shutdown(/*drain=*/true);
+  });
+  tcp.wait();
+  // Unblock the watcher if shutdown came from elsewhere (e.g. a fatal error).
+  on_shutdown_signal(0);
+  signal_watcher.join();
+  std::cerr << "cpr_serve: drained, exiting\n";
+  return 0;
 }
 
 }  // namespace
@@ -248,11 +375,16 @@ int main(int argc, char** argv) {
 
     serve::Server server(options);
     report_inventory(model_dir);
+    install_signal_handlers();
 
     const std::string socket_path = args.get_string("socket", "");
+    if (args.has("tcp") && !socket_path.empty()) {
+      std::cerr << "error: --tcp and --socket are mutually exclusive\n";
+      return 1;
+    }
+    if (args.has("tcp")) return run_tcp_server(server, args);
     if (!socket_path.empty()) return run_socket_server(server, socket_path);
-    run_stdio_server(server);
-    return 0;
+    return run_stdio_server(server);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

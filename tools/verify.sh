@@ -16,20 +16,24 @@
 #
 # --tsan additionally configures a ThreadSanitizer build (<build-dir>-tsan,
 # CPR_TSAN=ON) and runs the concurrency-heavy suites (serve_test +
-# completion_test + linalg_test) there. OpenMP is disabled in that build:
-# libgomp is not TSan-instrumented and reports false positives on its own
-# synchronization; the std::thread concurrency of the serving layer is the
-# verification target (the task-graph tiled factorizations compile to their
-# sequential fallbacks there, still exercising the tile kernels).
+# completion_test + linalg_test) there. serve_test includes the TCP
+# event-loop front end (epoll loops, dispatch pool, ordered reply tickets,
+# drain shutdown), so the whole cross-thread handoff surface of the serving
+# layer runs under TSan. OpenMP is disabled in that build: libgomp is not
+# TSan-instrumented and reports false positives on its own synchronization;
+# the std::thread concurrency of the serving layer is the verification
+# target (the task-graph tiled factorizations compile to their sequential
+# fallbacks there, still exercising the tile kernels).
 #
 # --bench additionally runs the cpr_bench performance-regression gate over
-# the stable kernel_suite cases: the merged BENCH_<date>.json is written to
-# the repo root and compared against the committed bench/baseline.json. The
-# gate threshold here is 35% (not cpr_bench's 15% default) to absorb
-# shared-runner timing noise — the regressions it hunts are kernel-level
-# (2x+), not scheduler jitter. Run it on an otherwise-idle machine:
-# timings taken while another build or test run shares the CPU are
-# meaningless and will trip the gate spuriously.
+# the stable kernel_suite cases plus the serve_latency open-loop tail-latency
+# cases (fixed offered-QPS points, p50/p99/p99.9): the merged
+# BENCH_<date>.json is written to the repo root and compared against the
+# committed bench/baseline.json. The gate threshold here is 35% (not
+# cpr_bench's 15% default) to absorb shared-runner timing noise — the
+# regressions it hunts are kernel-level (2x+), not scheduler jitter. Run it
+# on an otherwise-idle machine: timings taken while another build or test
+# run shares the CPU are meaningless and will trip the gate spuriously.
 #
 # --docs additionally runs a doxygen lint over src/ in warnings-as-errors
 # mode (malformed \param names, broken doc references). Skipped with a
@@ -83,7 +87,7 @@ if [[ "$tsan" -eq 1 ]]; then
 fi
 
 if [[ "$bench" -eq 1 ]]; then
-  "$build_dir/tools/cpr_bench" --quick \
+  "$build_dir/tools/cpr_bench" --suites=kernel_suite,serve_latency \
     --bench-dir="$build_dir/bench" \
     --baseline="$repo_root/bench/baseline.json" \
     --out="$repo_root/BENCH_$(date +%F).json" \
