@@ -35,6 +35,8 @@
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/qr_tiled.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "tensor/mttkrp.hpp"
 #include "tensor/mttkrp_blocked.hpp"
 #include "util/kernel_mode.hpp"
@@ -319,6 +321,24 @@ int main(int argc, char** argv) {
         set_kernel_mode(KernelMode::Blocked);
         harness.run("qr_blocked" + qr_suffix, qr);
       }
+    }
+
+    // --- observability primitives ---------------------------------------
+    // The kernel cases above double as the compiled-in-but-unsampled
+    // overhead assertion: MTTKRP, the fused assembly, potrf, QR and
+    // predict_batch all carry CPR_PROFILE_SCOPE markers now, so a
+    // regression in the disabled path trips their gated cases. The two
+    // cases here track the primitive costs directly.
+    {
+      obs::Histogram histogram;
+      double v = 1e-4;
+      harness.run("obs/histogram_record", [&] {
+        histogram.record(v);
+        v = v < 1.0 ? v * 1.0001 : 1e-4;  // sweep the bucket range
+      });
+      harness.run("obs/profile_scope_disabled", [&] {
+        CPR_PROFILE_SCOPE("bench_disabled_scope");
+      });
     }
 
     bench::emit_json(args, harness.records);

@@ -182,6 +182,87 @@ void stop_server(const ServerChild& child) {
   }
 }
 
+// ------------------------------------------------------- stage attribution
+// Between phases the bench asks the server child for its METRICS exposition
+// over a one-shot newline-framed connection and diffs the per-stage
+// histogram `_sum`/`_count` pairs: the extra table columns attribute the
+// client-observed latency to admission wait, batch wait, predict, and flush
+// as the SERVER saw them — the same mergeable histograms the METRICS verb
+// and `--metrics-out` expose.
+
+struct StageStat {
+  double sum_seconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct StageSnapshot {
+  StageStat admit, batch, predict, flush;
+};
+
+/// Extracts `<metric>_sum` / `<metric>_count` from a text exposition.
+StageStat parse_stage(const std::string& text, const std::string& metric) {
+  StageStat stat;
+  const auto value_of = [&](const std::string& suffix, double* out) {
+    const std::string key = metric + suffix + " ";
+    std::size_t pos = text.rfind(key, 0) == 0 ? 0 : text.find("\n" + key);
+    if (pos == std::string::npos) return;
+    if (pos != 0) ++pos;  // skip the leading newline
+    *out = std::stod(text.substr(pos + key.size()));
+  };
+  double sum = 0.0;
+  double count = 0.0;
+  value_of("_sum", &sum);
+  value_of("_count", &count);
+  stat.sum_seconds = sum;
+  stat.count = static_cast<std::uint64_t>(count);
+  return stat;
+}
+
+/// One-shot blocking METRICS query; the reply is the exposition text with a
+/// trailing "OK" line in newline framing.
+StageSnapshot fetch_stage_snapshot(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) die("socket() failed for the METRICS probe");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    die("connect() failed for the METRICS probe");
+  }
+  const std::string request = "METRICS\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    die("METRICS probe send failed");
+  }
+  std::string text;
+  char buffer[16384];
+  while (text.size() < 4 || text.compare(text.size() - 4, 4, "\nOK\n") != 0) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("METRICS probe read failed");
+    }
+    if (n == 0) die("server closed the METRICS probe connection");
+    text.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  StageSnapshot snapshot;
+  snapshot.admit = parse_stage(text, "cpr_admission_wait_seconds");
+  snapshot.batch = parse_stage(text, "cpr_batch_wait_seconds");
+  snapshot.predict = parse_stage(text, "cpr_predict_seconds");
+  snapshot.flush = parse_stage(text, "cpr_flush_seconds");
+  return snapshot;
+}
+
+/// Mean microseconds spent in one stage over the window between snapshots.
+std::string stage_mean_us(const StageStat& before, const StageStat& after) {
+  if (after.count <= before.count) return "-";
+  const double mean = (after.sum_seconds - before.sum_seconds) /
+                      static_cast<double>(after.count - before.count);
+  return Table::fmt(mean * 1e6, 1);
+}
+
 // ------------------------------------------------------------ epoll client
 
 struct ClientConn {
@@ -482,7 +563,8 @@ int main(int argc, char** argv) {
   build_fixture_dir(dir);
   const auto lines = render_lines(1024, seed);
   std::vector<bench::JsonRecord> records;
-  Table table({"phase", "offered_qps", "sent", "busy", "p50_us", "p99_us", "p999_us"});
+  Table table({"phase", "offered_qps", "sent", "busy", "p50_us", "p99_us", "p999_us",
+               "admit_us", "batch_us", "predict_us", "flush_us"});
 
   {
     // Open-loop points: a well-provisioned server (default admission caps,
@@ -493,9 +575,11 @@ int main(int argc, char** argv) {
     OpenLoopClient client(server.port, connections, seed);
     std::cerr << "serve_latency: " << client.connections()
               << " connections to 127.0.0.1:" << server.port << "\n";
+    StageSnapshot before = fetch_stage_snapshot(server.port);
     for (const double qps : qps_points) {
       PhaseResult result =
           client.run_phase(lines, qps, warmup_seconds, duration_seconds);
+      const StageSnapshot after = fetch_stage_snapshot(server.port);
       const double p50 = percentile(result.latencies, 0.50);
       const double p99 = percentile(result.latencies, 0.99);
       const double p999 = percentile(result.latencies, 0.999);
@@ -505,7 +589,12 @@ int main(int argc, char** argv) {
       records.push_back({"serve_latency", name + "/p999", p999, 0});
       table.add_row({"open_loop", Table::fmt(qps, 0), std::to_string(result.sent),
                      std::to_string(result.busy), Table::fmt(p50 * 1e6, 1),
-                     Table::fmt(p99 * 1e6, 1), Table::fmt(p999 * 1e6, 1)});
+                     Table::fmt(p99 * 1e6, 1), Table::fmt(p999 * 1e6, 1),
+                     stage_mean_us(before.admit, after.admit),
+                     stage_mean_us(before.batch, after.batch),
+                     stage_mean_us(before.predict, after.predict),
+                     stage_mean_us(before.flush, after.flush)});
+      before = after;
     }
     stop_server(server);
   }
@@ -520,8 +609,10 @@ int main(int argc, char** argv) {
                                             /*cache_capacity=*/0);
     OpenLoopClient client(server.port, std::min<std::size_t>(connections, 64), seed);
     const double overload_qps = 20000.0;
+    const StageSnapshot before = fetch_stage_snapshot(server.port);
     PhaseResult result =
         client.run_phase(lines, overload_qps, warmup_seconds, duration_seconds);
+    const StageSnapshot after = fetch_stage_snapshot(server.port);
     if (result.busy == 0) die("overload run shed no BUSY replies");
     if (result.latencies.empty()) die("overload run admitted no requests");
     const double p999 = percentile(result.latencies, 0.999);
@@ -529,7 +620,11 @@ int main(int argc, char** argv) {
     table.add_row({"overload", Table::fmt(overload_qps, 0), std::to_string(result.sent),
                    std::to_string(result.busy), Table::fmt(percentile(result.latencies, 0.5) * 1e6, 1),
                    Table::fmt(percentile(result.latencies, 0.99) * 1e6, 1),
-                   Table::fmt(p999 * 1e6, 1)});
+                   Table::fmt(p999 * 1e6, 1),
+                   stage_mean_us(before.admit, after.admit),
+                   stage_mean_us(before.batch, after.batch),
+                   stage_mean_us(before.predict, after.predict),
+                   stage_mean_us(before.flush, after.flush)});
     stop_server(server);
   }
 

@@ -32,6 +32,7 @@
 #include "bench_common.hpp"
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 
@@ -121,6 +122,56 @@ serve::ServerOptions server_options(std::size_t cache_capacity) {
   return options;
 }
 
+/// Lazily-constructed servers keyed by benchmark case, shared across thread
+/// counts and repetitions. The servers are deliberately leaked (joining the
+/// batcher workers during static destruction would race google-benchmark's
+/// own teardown); main() walks the registry after the run to print per-stage
+/// attribution out of each server's mergeable latency histograms — the same
+/// data the METRICS verb exposes.
+class ServerRegistry {
+ public:
+  static ServerRegistry& instance() {
+    static ServerRegistry registry;
+    return registry;
+  }
+
+  serve::Server& get(const std::string& name, std::size_t cache_capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(name);
+    if (it == servers_.end()) {
+      it = servers_.emplace(name, new serve::Server(server_options(cache_capacity)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// One row per server: requests handled plus the mean server-side time in
+  /// each stage, attributing the client-observed latencies above to batch
+  /// wait vs inference.
+  void print_stage_attribution(std::ostream& os) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (servers_.empty()) return;
+    Table table({"server", "requests", "batch_wait_us", "predict_us"});
+    for (auto& [name, server] : servers_) {
+      const auto latency = server->stats().request_latency().snapshot();
+      table.add_row({name, Table::fmt(latency.count()),
+                     mean_us(server->stats().batch_wait().snapshot()),
+                     mean_us(server->stats().predict_time().snapshot())});
+    }
+    os << "\nstage attribution (server-side histograms, mean per request):\n";
+    table.print(os);
+  }
+
+ private:
+  static std::string mean_us(const obs::HistogramSnapshot& snap) {
+    if (snap.count() == 0) return "-";
+    return Table::fmt(snap.sum_seconds() / static_cast<double>(snap.count()) * 1e6, 1);
+  }
+
+  std::mutex mu_;
+  std::map<std::string, serve::Server*> servers_;
+};
+
 /// Client-observed latency samples, merged across threads and trials per
 /// benchmark case; drained into perf records at exit.
 class LatencyCollector {
@@ -196,7 +247,7 @@ class ThreadLatencies {
 /// Closed-loop clients over disjoint query slices: every request is a cache
 /// miss (or a first-touch fill), measuring store + batcher + inference.
 void BM_ServePredict(benchmark::State& state) {
-  static serve::Server* server = new serve::Server(server_options(4096));
+  serve::Server& server = ServerRegistry::instance().get("BM_ServePredict", 4096);
   const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
   const std::size_t thread = static_cast<std::size_t>(state.thread_index());
   const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
@@ -204,7 +255,7 @@ void BM_ServePredict(benchmark::State& state) {
   ThreadLatencies latencies("BM_ServePredict", state);
   std::size_t i = 0;
   for (auto _ : state) {
-    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
+    issue(server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -214,7 +265,7 @@ BENCHMARK(BM_ServePredict)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
 /// query stream starts repeating (every loop after the first is all-hit
 /// in BM_ServePredict, all-miss here).
 void BM_ServePredictNoCache(benchmark::State& state) {
-  static serve::Server* server = new serve::Server(server_options(0));
+  serve::Server& server = ServerRegistry::instance().get("BM_ServePredictNoCache", 0);
   const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
   const std::size_t thread = static_cast<std::size_t>(state.thread_index());
   const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
@@ -222,7 +273,7 @@ void BM_ServePredictNoCache(benchmark::State& state) {
   ThreadLatencies latencies("BM_ServePredictNoCache", state);
   std::size_t i = 0;
   for (auto _ : state) {
-    issue(*server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
+    issue(server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -231,12 +282,12 @@ BENCHMARK(BM_ServePredictNoCache)->Threads(1)->Threads(4)->Threads(16)->UseRealT
 /// The autotuner pattern: all clients hammer one small neighborhood, so
 /// nearly every request is answered from the sharded LRU.
 void BM_ServePredictCacheHit(benchmark::State& state) {
-  static serve::Server* server = new serve::Server(server_options(4096));
+  serve::Server& server = ServerRegistry::instance().get("BM_ServePredictCacheHit", 4096);
   const auto& lines = ServeFixtureState::instance().lines("pl-cpr");
   ThreadLatencies latencies("BM_ServePredictCacheHit", state);
   std::size_t i = 0;
   for (auto _ : state) {
-    issue(*server, lines[i++ % 16], latencies.samples());  // 16 hot configurations, shared by all
+    issue(server, lines[i++ % 16], latencies.samples());  // 16 hot configurations, shared by all
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -245,7 +296,7 @@ BENCHMARK(BM_ServePredictCacheHit)->Threads(1)->Threads(4)->Threads(16)->UseReal
 /// Two model families interleaved per client: the batcher must split
 /// batches per model while both stay resident in the store.
 void BM_ServePredictTwoModels(benchmark::State& state) {
-  static serve::Server* server = new serve::Server(server_options(4096));
+  serve::Server& server = ServerRegistry::instance().get("BM_ServePredictTwoModels", 4096);
   const auto& cpr_lines = ServeFixtureState::instance().lines("pl-cpr");
   const auto& knn_lines = ServeFixtureState::instance().lines("pl-knn");
   const std::size_t thread = static_cast<std::size_t>(state.thread_index());
@@ -255,7 +306,7 @@ void BM_ServePredictTwoModels(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& lines = (i % 2 == 0) ? cpr_lines : knn_lines;
-    issue(*server, lines[base + (i++ / 2) % ServeFixtureState::kPerThread], latencies.samples());
+    issue(server, lines[base + (i++ / 2) % ServeFixtureState::kPerThread], latencies.samples());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -296,6 +347,7 @@ int main(int argc, char** argv) {
   cpr::JsonCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  cpr::ServerRegistry::instance().print_stage_attribution(std::cout);
   const auto latency_records = cpr::LatencyCollector::instance().records();
   reporter.records.insert(reporter.records.end(), latency_records.begin(),
                           latency_records.end());

@@ -8,6 +8,7 @@
 
 #include "completion/ccd.hpp"
 #include "completion/sgd.hpp"
+#include "obs/profile.hpp"
 #include "util/kernel_mode.hpp"
 #include "util/simd.hpp"
 #include "util/log.hpp"
@@ -205,6 +206,8 @@ std::vector<double> CprModel::predict_batch(const linalg::Matrix& configs) const
   CPR_CHECK_MSG(fitted_, "CprModel::predict_batch before fit");
   CPR_CHECK_MSG(configs.cols() == discretization_.order(),
                 "config batch dimensionality does not match the discretization");
+  // Declared before the dispatch so the scope covers both kernel paths.
+  CPR_PROFILE_SCOPE("predict_batch");
   if (kernel_mode() == KernelMode::Blocked) return predict_batch_blocked(configs);
   std::vector<double> out(configs.rows());
   // Exceptions must not unwind out of an OpenMP region (that terminates the

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/cholesky_tiled.hpp"
+#include "obs/profile.hpp"
 #include "util/kernel_mode.hpp"
 
 namespace cpr::linalg {
@@ -61,6 +62,7 @@ double initial_jitter(const Matrix& a) {
 
 std::optional<CholeskyFactorization> CholeskyFactorization::compute(
     Matrix a, int max_jitter_tries) {
+  CPR_PROFILE_SCOPE("potrf");
   CPR_CHECK_MSG(a.rows() == a.cols(), "cholesky: matrix must be square");
   const std::size_t n = a.rows();
   // The tiled path only pays off past one tile; below that it would factor a

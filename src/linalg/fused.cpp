@@ -1,5 +1,6 @@
 #include "linalg/fused.hpp"
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 #include "util/simd.hpp"
 
@@ -8,6 +9,7 @@ namespace cpr::linalg {
 void fused_gram_rhs(const double* z, const double* w, std::size_t n_rows,
                     std::size_t rank, Matrix& gram, Vector& rhs) {
   CPR_CHECK(gram.rows() == rank && gram.cols() == rank && rhs.size() == rank);
+  CPR_PROFILE_SCOPE("fused_gram_rhs");
   for (std::size_t b = 0; b < n_rows; ++b) {
     const double* __restrict__ zb = z + b * rank;
     const double wb = w[b];

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/qr_tiled.hpp"
+#include "obs/profile.hpp"
 #include "util/kernel_mode.hpp"
 
 namespace cpr::linalg {
@@ -39,6 +40,7 @@ QrFactorization qr_factor_serial(Matrix a) {
 }
 
 QrFactorization qr_factor(Matrix a) {
+  CPR_PROFILE_SCOPE("qr");
   // Both paths are bitwise-equal (the blocked panel QR applies reflectors in
   // the serial order; see linalg/qr_tiled.hpp), so the dispatch is invisible
   // to callers.

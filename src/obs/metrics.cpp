@@ -1,0 +1,332 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cpr::obs {
+namespace {
+
+constexpr std::size_t kFiniteBuckets = 108;  // 1e-6 * 2^(107/4) ~= 113 s
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_boundary(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+std::uint64_t HistogramSnapshot::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  return total;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.empty()) buckets.assign(other.buckets.size(), 0);
+  CPR_CHECK_MSG(buckets.size() == other.buckets.size(),
+                "histogram merge: mismatched bucket layouts");
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  sum_ns += other.sum_ns;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  const auto& bounds = Histogram::boundaries();
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Overflow samples report the last finite boundary: still deterministic
+      // and clearly pinned at "at least the top of the scale".
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.back();
+}
+
+const std::vector<double>& Histogram::boundaries() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    b.reserve(kFiniteBuckets);
+    for (std::size_t i = 0; i < kFiniteBuckets; ++i) {
+      b.push_back(1e-6 * std::exp2(static_cast<double>(i) * 0.25));
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+Histogram::Histogram() {
+  for (auto& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(kFiniteBuckets + 1);
+    for (std::size_t i = 0; i <= kFiniteBuckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::record(double seconds) {
+  if (!(seconds > 0.0)) seconds = 0.0;  // negatives and NaN clamp to bucket 0
+  const auto& bounds = boundaries();
+  // First bucket whose upper bound is >= the sample (`le` semantics); past
+  // the last finite bound the sample lands in the overflow slot.
+  const std::size_t index = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin());
+  Shard& shard = shards_[thread_shard()];
+  shard.buckets[index].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ns =
+      seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kFiniteBuckets + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i <= kFiniteBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum_ns += shard.sum_ns.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+Registry::Entry& Registry::entry(const std::string& name, const std::string& help) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) it->second.help = help;
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help);
+  CPR_CHECK_MSG(!e.gauge && !e.histogram && !e.fn,
+                "metric '" + name + "' already registered with a different type");
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help);
+  CPR_CHECK_MSG(!e.counter && !e.histogram && !e.fn,
+                "metric '" + name + "' already registered with a different type");
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help);
+  CPR_CHECK_MSG(!e.counter && !e.gauge && !e.fn,
+                "metric '" + name + "' already registered with a different type");
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+void Registry::callback(const std::string& name, const std::string& help,
+                        CallbackKind kind, std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, help);
+  CPR_CHECK_MSG(!e.counter && !e.gauge && !e.histogram && !e.fn,
+                "metric '" + name + "' already registered");
+  e.fn = std::move(fn);
+  e.fn_kind = kind;
+}
+
+std::string Registry::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {  // std::map: sorted by name
+    out << "# HELP " << name << ' ' << e.help << '\n';
+    if (e.counter || (e.fn && e.fn_kind == CallbackKind::Counter)) {
+      out << "# TYPE " << name << " counter\n";
+      const double value =
+          e.counter ? static_cast<double>(e.counter->value()) : e.fn();
+      out << name << ' ' << format_double(value) << '\n';
+    } else if (e.gauge || (e.fn && e.fn_kind == CallbackKind::Gauge)) {
+      out << "# TYPE " << name << " gauge\n";
+      const double value = e.gauge ? static_cast<double>(e.gauge->value()) : e.fn();
+      out << name << ' ' << format_double(value) << '\n';
+    } else if (e.histogram) {
+      out << "# TYPE " << name << " histogram\n";
+      const HistogramSnapshot snap = e.histogram->snapshot();
+      const auto& bounds = Histogram::boundaries();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += snap.buckets[i];
+        out << name << "_bucket{le=\"" << format_boundary(bounds[i]) << "\"} "
+            << cumulative << '\n';
+      }
+      cumulative += snap.buckets.back();
+      out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+      out << name << "_sum " << format_double(snap.sum_seconds()) << '\n';
+      out << name << "_count " << cumulative << '\n';
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+struct Sample {
+  std::string name;
+  std::string le;  // empty when no le label
+  double value = 0.0;
+  bool has_le = false;
+};
+
+bool parse_sample(const std::string& line, Sample* out, std::string* error) {
+  std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos || name_end == 0) {
+    return fail(error, "malformed sample line: '" + line + "'");
+  }
+  out->name = line.substr(0, name_end);
+  std::size_t value_begin = name_end;
+  if (line[name_end] == '{') {
+    const std::size_t close = line.find('}', name_end);
+    if (close == std::string::npos) {
+      return fail(error, "unterminated label set: '" + line + "'");
+    }
+    const std::string labels = line.substr(name_end + 1, close - name_end - 1);
+    const std::string prefix = "le=\"";
+    if (labels.rfind(prefix, 0) == 0 && labels.size() > prefix.size() &&
+        labels.back() == '"') {
+      out->has_le = true;
+      out->le = labels.substr(prefix.size(), labels.size() - prefix.size() - 1);
+    }
+    value_begin = close + 1;
+  }
+  const std::string value_text = line.substr(value_begin);
+  char* end = nullptr;
+  out->value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str()) {
+    return fail(error, "sample without a numeric value: '" + line + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_prometheus_text(const std::string& text, std::string* error) {
+  std::map<std::string, std::string> types;  // base name -> declared type
+  // Per histogram: running cumulative check + bookkeeping for +Inf/_sum/_count.
+  struct HistState {
+    double last_bucket = -1.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool saw_sum = false;
+    bool saw_count = false;
+    double count_value = 0.0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, keyword, name, rest;
+      meta >> hash >> keyword >> name;
+      if (keyword == "TYPE") {
+        meta >> rest;
+        if (name.empty() || rest.empty()) {
+          return fail(error, "malformed TYPE line: '" + line + "'");
+        }
+        if (rest != "counter" && rest != "gauge" && rest != "histogram") {
+          return fail(error, "unknown metric type '" + rest + "' for " + name);
+        }
+        types[name] = rest;
+      } else if (keyword != "HELP") {
+        return fail(error, "unknown comment keyword in '" + line + "'");
+      }
+      continue;
+    }
+    Sample sample;
+    if (!parse_sample(line, &sample, error)) return false;
+    // Resolve the base metric: histogram series use _bucket/_sum/_count.
+    std::string base = sample.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0) {
+        const std::string candidate = base.substr(0, base.size() - s.size());
+        auto it = types.find(candidate);
+        if (it != types.end() && it->second == "histogram") {
+          base = candidate;
+          HistState& h = hists[base];
+          if (s == "_bucket") {
+            if (!sample.has_le) {
+              return fail(error, base + "_bucket sample missing le label");
+            }
+            if (h.saw_inf) {
+              return fail(error, base + ": bucket after le=\"+Inf\"");
+            }
+            if (sample.value < h.last_bucket) {
+              return fail(error, base + ": bucket counts are not cumulative");
+            }
+            h.last_bucket = sample.value;
+            if (sample.le == "+Inf") {
+              h.saw_inf = true;
+              h.inf_value = sample.value;
+            }
+          } else if (s == "_sum") {
+            h.saw_sum = true;
+          } else {
+            h.saw_count = true;
+            h.count_value = sample.value;
+          }
+        }
+        break;
+      }
+    }
+    if (base == sample.name && types.find(base) == types.end()) {
+      return fail(error, "sample '" + sample.name + "' has no preceding # TYPE");
+    }
+  }
+  for (const auto& [name, h] : hists) {
+    if (!h.saw_inf) return fail(error, name + ": missing le=\"+Inf\" bucket");
+    if (!h.saw_sum) return fail(error, name + ": missing _sum");
+    if (!h.saw_count) return fail(error, name + ": missing _count");
+    if (h.count_value != h.inf_value) {
+      return fail(error, name + ": _count disagrees with the +Inf bucket");
+    }
+  }
+  for (const auto& [name, type] : types) {
+    if (type == "histogram" && hists.find(name) == hists.end()) {
+      return fail(error, name + ": histogram declared but no series emitted");
+    }
+  }
+  return true;
+}
+
+}  // namespace cpr::obs

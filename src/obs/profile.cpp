@@ -1,0 +1,123 @@
+#include "obs/profile.hpp"
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace cpr::obs {
+namespace {
+
+// Dense per-thread index for event attribution (distinct from thread_shard,
+// which folds threads into kMetricShards slots).
+std::uint32_t profile_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::set_enabled(bool timing, bool capture) {
+  int flags = 0;
+  if (timing || capture) flags |= kTimingBit;
+  if (capture) flags |= kCaptureBit;
+  flags_.store(flags, std::memory_order_relaxed);
+}
+
+std::size_t Profiler::register_phase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count = phase_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (phases_[i].name == name) return i;
+  }
+  CPR_CHECK_MSG(count < kMaxPhases, "profiler: too many distinct phases");
+  phases_[count].name = name;
+  // Release so a record() that read this index sees the name published.
+  phase_count_.store(count + 1, std::memory_order_release);
+  return count;
+}
+
+void Profiler::record(std::size_t phase, std::uint64_t start_ns, std::uint64_t end_ns) {
+  if (phase >= phase_count_.load(std::memory_order_acquire)) return;
+  if (end_ns < start_ns) end_ns = start_ns;
+  Cell& cell = phases_[phase].cells[thread_shard()];
+  cell.calls.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(end_ns - start_ns, std::memory_order_relaxed);
+  if (capturing()) {
+    Event event;
+    event.phase = static_cast<std::uint32_t>(phase);
+    event.tid = profile_thread_id();
+    event.start_ns = start_ns;
+    event.end_ns = end_ns;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= kMaxEvents) {
+      events_dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      events_.push_back(event);
+    }
+  }
+}
+
+std::vector<Profiler::PhaseStat> Profiler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count = phase_count_.load(std::memory_order_acquire);
+  std::vector<PhaseStat> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    PhaseStat stat;
+    stat.name = phases_[i].name;
+    for (const Cell& cell : phases_[i].cells) {
+      stat.calls += cell.calls.load(std::memory_order_relaxed);
+      stat.total_ns += cell.total_ns.load(std::memory_order_relaxed);
+    }
+    if (stat.calls > 0) out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+Table Profiler::render_table() const {
+  Table table({"phase", "calls", "total_ms", "mean_us"});
+  for (const PhaseStat& stat : stats()) {
+    const double total_ms = static_cast<double>(stat.total_ns) * 1e-6;
+    const double mean_us =
+        static_cast<double>(stat.total_ns) * 1e-3 / static_cast<double>(stat.calls);
+    table.add_row({stat.name, Table::fmt(stat.calls), Table::fmt(total_ms, 3),
+                   Table::fmt(mean_us, 3)});
+  }
+  return table;
+}
+
+std::string Profiler::render_chrome_json() const {
+  std::vector<ChromeEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events.reserve(events_.size());
+    for (const Event& event : events_) {
+      ChromeEvent out;
+      out.name = phases_[event.phase].name;
+      out.tid = event.tid;
+      out.start_ns = event.start_ns;
+      out.end_ns = event.end_ns;
+      events.push_back(std::move(out));
+    }
+  }
+  return render_chrome_events(std::move(events));
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count = phase_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (Cell& cell : phases_[i].cells) {
+      cell.calls.store(0, std::memory_order_relaxed);
+      cell.total_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+  events_.clear();
+  events_dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cpr::obs

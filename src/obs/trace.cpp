@@ -1,0 +1,418 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace cpr::obs {
+
+TraceHandle TraceCollector::maybe_start() {
+  const std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return nullptr;
+  const std::uint64_t n = sequence_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return nullptr;
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<RequestTrace>(id, monotonic_ns());
+}
+
+void TraceCollector::finish(const TraceHandle& trace) {
+  if (!trace) return;
+  TraceSpan root;
+  root.name = "request";
+  root.start_ns = trace->start_ns();
+  root.end_ns = monotonic_ns();
+  trace->add_span(std::move(root));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done_.size() >= kMaxTraces) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  done_.push_back(trace);
+}
+
+std::size_t TraceCollector::collected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_.size();
+}
+
+std::string TraceCollector::render_chrome_json() const {
+  std::vector<TraceHandle> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = done_;
+  }
+  std::vector<ChromeEvent> events;
+  for (const TraceHandle& trace : done) {
+    for (TraceSpan& span : trace->spans()) {
+      ChromeEvent event;
+      event.name = std::move(span.name);
+      event.tid = trace->id();
+      event.start_ns = span.start_ns;
+      event.end_ns = span.end_ns;
+      event.args = std::move(span.args);
+      events.push_back(std::move(event));
+    }
+  }
+  return render_chrome_events(std::move(events));
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// ts/dur in integer-nanosecond-derived microseconds with three decimals:
+// deterministic text for identical inputs, sub-µs spans stay non-zero.
+std::string format_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chrome_events(std::vector<ChromeEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChromeEvent& a, const ChromeEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.start_ns < b.start_ns;
+                   });
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ChromeEvent& event : events) {
+    if (!first) out << ',';
+    first = false;
+    const std::uint64_t end = std::max(event.end_ns, event.start_ns);
+    // The validator requires a non-empty name; keep the serializer total.
+    out << "{\"name\":\""
+        << (event.name.empty() ? "(unnamed)" : json_escape(event.name))
+        << "\",\"ph\":\"X\",\"pid\":1"
+        << ",\"tid\":" << event.tid << ",\"ts\":" << format_us(event.start_ns)
+        << ",\"dur\":" << format_us(end - event.start_ns);
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out << ',';
+        first_arg = false;
+        out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+// Minimal recursive-descent JSON reader: just enough structure to validate
+// the trace export without pulling in a dependency.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing bytes after JSON document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_ && error_->empty()) {
+      *error_ = message + " (offset " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (++depth_ > 64) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"':
+        out->type = JsonValue::Type::String;
+        ok = parse_string(&out->text);
+        break;
+      case 't':
+      case 'f': ok = parse_keyword(out); break;
+      case 'n': ok = parse_keyword(out); break;
+      default: ok = parse_number(out);
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parse_keyword(JsonValue* out) {
+    static const struct { const char* word; JsonValue::Type type; bool b; } kWords[] = {
+        {"true", JsonValue::Type::Bool, true},
+        {"false", JsonValue::Type::Bool, false},
+        {"null", JsonValue::Type::Null, false},
+    };
+    for (const auto& w : kWords) {
+      const std::size_t len = std::string(w.word).size();
+      if (text_.compare(pos_, len, w.word) == 0) {
+        out->type = w.type;
+        out->boolean = w.b;
+        pos_ += len;
+        return true;
+      }
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    out->type = JsonValue::Type::Number;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return fail("bad \\u escape");
+            for (std::size_t i = pos_ + 2; i < pos_ + 6; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[i]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            *out += '?';  // code point identity is irrelevant for validation
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character");
+      *out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(&item)) return false;
+      out->items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->fields.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+bool trace_fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string* error) {
+  if (error) error->clear();
+  JsonValue root;
+  JsonParser parser(json, error);
+  if (!parser.parse(&root)) return false;
+  if (root.type != JsonValue::Type::Object) {
+    return trace_fail(error, "top level is not an object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (!events || events->type != JsonValue::Type::Array) {
+    return trace_fail(error, "missing traceEvents array");
+  }
+  std::map<std::uint64_t, double> last_ts;  // per-tid monotonicity
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& event = events->items[i];
+    const std::string where = "event " + std::to_string(i);
+    if (event.type != JsonValue::Type::Object) {
+      return trace_fail(error, where + " is not an object");
+    }
+    const JsonValue* name = event.find("name");
+    if (!name || name->type != JsonValue::Type::String || name->text.empty()) {
+      return trace_fail(error, where + ": missing name");
+    }
+    const JsonValue* ph = event.find("ph");
+    if (!ph || ph->type != JsonValue::Type::String) {
+      return trace_fail(error, where + ": missing ph");
+    }
+    const JsonValue* ts = event.find("ts");
+    if (!ts || ts->type != JsonValue::Type::Number || ts->number < 0) {
+      return trace_fail(error, where + " ('" + name->text +
+                                    "'): missing or negative ts");
+    }
+    // Complete events must carry a duration — this is the "every span
+    // closed" check: an unclosed span would have no dur to emit.
+    if (ph->text == "X") {
+      const JsonValue* dur = event.find("dur");
+      if (!dur || dur->type != JsonValue::Type::Number || dur->number < 0) {
+        return trace_fail(error, where + " ('" + name->text +
+                                      "'): missing or negative dur");
+      }
+    }
+    std::uint64_t tid = 0;
+    if (const JsonValue* t = event.find("tid");
+        t && t->type == JsonValue::Type::Number && t->number >= 0) {
+      tid = static_cast<std::uint64_t>(t->number);
+    }
+    auto [it, inserted] = last_ts.try_emplace(tid, ts->number);
+    if (!inserted) {
+      if (ts->number < it->second) {
+        return trace_fail(error, where + " ('" + name->text +
+                                      "'): ts not monotone within tid");
+      }
+      it->second = ts->number;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpr::obs

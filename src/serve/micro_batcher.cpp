@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/matrix.hpp"
+#include "util/kernel_mode.hpp"
 
 namespace cpr::serve {
 
@@ -27,7 +28,8 @@ MicroBatcher::~MicroBatcher() {
   for (auto& worker : workers_) worker.join();
 }
 
-std::future<double> MicroBatcher::submit(ModelHandle model, grid::Config config) {
+std::future<double> MicroBatcher::submit(ModelHandle model, grid::Config config,
+                                         obs::TraceHandle trace) {
   CPR_CHECK_MSG(model && model->model, "submit() needs a loaded model");
   CPR_CHECK_MSG(config.size() == model->model->input_dims(),
                 "query has " << config.size() << " values; model '" << model->name
@@ -35,6 +37,8 @@ std::future<double> MicroBatcher::submit(ModelHandle model, grid::Config config)
   Job job;
   job.model = std::move(model);
   job.config = std::move(config);
+  job.trace = std::move(trace);
+  job.submitted_ns = obs::monotonic_ns();
   std::future<double> result = job.result.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -65,7 +69,25 @@ void MicroBatcher::sweep_locked(std::vector<Job>& batch, const LoadedModel* key)
   }
 }
 
-void MicroBatcher::run_batch(std::vector<Job>& batch) {
+void MicroBatcher::run_batch(std::vector<Job>& batch) const {
+  // Batch-wait closes when the batch starts executing: every member waited
+  // from its own submit until now.
+  const std::uint64_t picked_up_ns = obs::monotonic_ns();
+  const std::string batch_size = std::to_string(batch.size());
+  for (const Job& job : batch) {
+    if (options_.batch_wait_histogram) {
+      options_.batch_wait_histogram->record(
+          static_cast<double>(picked_up_ns - job.submitted_ns) * 1e-9);
+    }
+    if (job.trace) {
+      obs::TraceSpan span;
+      span.name = "batch_wait";
+      span.start_ns = job.submitted_ns;
+      span.end_ns = picked_up_ns;
+      job.trace->add_span(std::move(span));
+    }
+  }
+
   const common::Regressor& model = *batch.front().model->model;
   try {
     linalg::Matrix queries(batch.size(), model.input_dims());
@@ -73,7 +95,22 @@ void MicroBatcher::run_batch(std::vector<Job>& batch) {
       std::copy(batch[i].config.begin(), batch[i].config.end(), queries.row_ptr(i));
     }
     const std::vector<double> predictions = model.predict_batch(queries);
+    const std::uint64_t done_ns = obs::monotonic_ns();
+    if (options_.predict_histogram) {
+      options_.predict_histogram->record(
+          static_cast<double>(done_ns - picked_up_ns) * 1e-9);
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].trace) {
+        obs::TraceSpan span;
+        span.name = "predict";
+        span.start_ns = picked_up_ns;
+        span.end_ns = done_ns;
+        span.args.emplace_back("batch", batch_size);
+        span.args.emplace_back("kernel", kernel_mode_name(kernel_mode()));
+        span.args.emplace_back("model", batch[i].model->name);
+        batch[i].trace->add_span(std::move(span));
+      }
       batch[i].result.set_value(predictions[i]);
     }
   } catch (...) {

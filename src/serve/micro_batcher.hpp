@@ -12,6 +12,7 @@
 // invisible to clients: results are identical to serial evaluation no
 // matter how requests interleave.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -20,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/model_store.hpp"
 
 namespace cpr::serve {
@@ -31,6 +34,11 @@ class MicroBatcher {
     std::size_t max_batch = 64;      ///< flush a batch at this many requests
     std::uint64_t max_wait_us = 200; ///< flush an under-full batch after this
     std::size_t queue_capacity = 4096;  ///< submit() blocks when full
+
+    /// Optional stage histograms (owned by ServerStats): per-request queue
+    /// wait and per-batch predict_batch time. Null leaves them unrecorded.
+    obs::Histogram* batch_wait_histogram = nullptr;
+    obs::Histogram* predict_histogram = nullptr;
   };
 
   struct Stats {
@@ -55,8 +63,11 @@ class MicroBatcher {
   /// Enqueues one prediction; the future yields exactly
   /// model->predict(config) (bitwise) or rethrows the model's error.
   /// `config` must match the model's input_dims(). Blocks while the queue
-  /// is at capacity; throws CheckError after shutdown has begun.
-  std::future<double> submit(ModelHandle model, grid::Config config);
+  /// is at capacity; throws CheckError after shutdown has begun. A sampled
+  /// request passes its trace handle so the worker can stamp batch_wait
+  /// and predict spans; null means unsampled.
+  std::future<double> submit(ModelHandle model, grid::Config config,
+                             obs::TraceHandle trace = nullptr);
 
   Stats stats() const;
 
@@ -67,12 +78,14 @@ class MicroBatcher {
     ModelHandle model;
     grid::Config config;
     std::promise<double> result;
+    obs::TraceHandle trace;  ///< null unless the request is trace-sampled
+    std::uint64_t submitted_ns = 0;
   };
 
   void worker_loop();
   /// Moves queued same-model jobs into `batch` up to max_batch; `mu_` held.
   void sweep_locked(std::vector<Job>& batch, const LoadedModel* key);
-  static void run_batch(std::vector<Job>& batch);
+  void run_batch(std::vector<Job>& batch) const;
 
   Options options_;
   mutable std::mutex mu_;

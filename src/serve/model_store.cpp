@@ -1,6 +1,7 @@
 #include "serve/model_store.hpp"
 
 #include "core/model_file.hpp"
+#include "util/log.hpp"
 
 namespace cpr::serve {
 
@@ -58,10 +59,23 @@ ModelHandle ModelStore::acquire(const std::string& name) {
   // Load with the lock released: a slow archive read must not stall
   // requests for other (or the resident) models.
   try {
-    return publish(load_archive(name), resident.get(), /*force=*/false);
-  } catch (...) {
+    ModelHandle handle = publish(load_archive(name), resident.get(), /*force=*/false);
+    if (resident && handle.get() != resident.get()) {
+      log_line(LogLevel::Info, "hot-reloaded model",
+               {{"model", handle->name},
+                {"generation", std::to_string(handle->generation)}});
+    }
+    return handle;
+  } catch (const std::exception& e) {
     // A half-rewritten archive must not take a healthy model out of
     // service: keep the resident instance and retry after the throttle.
+    if (resident) {
+      log_line(LogLevel::Warn, "hot reload failed; keeping resident model",
+               {{"model", name}, {"error", e.what()}});
+      return resident;
+    }
+    throw;
+  } catch (...) {
     if (resident) return resident;
     throw;
   }

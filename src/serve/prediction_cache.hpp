@@ -55,6 +55,8 @@ class PredictionCache {
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
     }
   };
+  /// Totals across shards, each read under its shard mutex: safe to call
+  /// concurrently with traffic (the STATS/METRICS render path does).
   Counters counters() const;
 
   bool enabled() const { return !shards_.empty(); }

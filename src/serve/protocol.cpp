@@ -52,6 +52,9 @@ Request parse_request(const std::string& line) {
   } else if (command == "STATS") {
     expect_arity(tokens, 1);
     request.kind = RequestKind::Stats;
+  } else if (command == "METRICS") {
+    expect_arity(tokens, 1);
+    request.kind = RequestKind::Metrics;
   } else if (command == "QUIT") {
     expect_arity(tokens, 1);
     request.kind = RequestKind::Quit;
@@ -62,8 +65,9 @@ Request parse_request(const std::string& line) {
     CPR_CHECK_MSG(false,
                   "FRAME BINARY is only available on the TCP transport");
   } else {
-    CPR_CHECK_MSG(false, "unknown request '" << command
-                                             << "' (PREDICT/LOAD/UNLOAD/STATS/QUIT)");
+    CPR_CHECK_MSG(false,
+                  "unknown request '"
+                      << command << "' (PREDICT/LOAD/UNLOAD/STATS/METRICS/QUIT)");
   }
   return request;
 }

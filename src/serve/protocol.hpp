@@ -6,12 +6,14 @@
 //   LOAD <model>                  force-(re)load <model>.cprm from the dir
 //   UNLOAD <model>                drop the resident instance
 //   STATS                         telemetry table
+//   METRICS                       Prometheus text exposition
 //   QUIT                          end the session
 //   FRAME BINARY                  switch to binary framing (TCP only; the
 //                                 transport intercepts it before dispatch)
 //
 // Responses: `OK ...` on success (`OK <seconds>` for PREDICT, with full
 // round-trip precision), `ERR <reason>` on failure; STATS emits its table
+// lines before the final `OK`; METRICS emits the Prometheus exposition
 // lines before the final `OK`; the TCP front end may answer `BUSY` when
 // admission limits shed a request (see kBusyReply). Parsing is strict and
 // total: wrong arity, empty/NaN/non-numeric values, and unknown commands
@@ -34,7 +36,7 @@
 
 namespace cpr::serve {
 
-enum class RequestKind { Predict, Load, Unload, Stats, Quit };
+enum class RequestKind { Predict, Load, Unload, Stats, Metrics, Quit };
 
 /// Reply sent by the TCP front end when admission control sheds a request
 /// (global in-flight cap or per-connection write backlog exceeded). The

@@ -4,13 +4,67 @@
 
 namespace cpr::serve {
 
+namespace {
+
+const char* verb_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Predict: return "PREDICT";
+    case RequestKind::Load: return "LOAD";
+    case RequestKind::Unload: return "UNLOAD";
+    case RequestKind::Stats: return "STATS";
+    case RequestKind::Metrics: return "METRICS";
+    case RequestKind::Quit: return "QUIT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MicroBatcher::Options Server::batcher_options() {
+  MicroBatcher::Options batcher = options_.batcher;
+  batcher.batch_wait_histogram = &stats_.batch_wait();
+  batcher.predict_histogram = &stats_.predict_time();
+  return batcher;
+}
+
 Server::Server(ServerOptions options)
     : options_(options),
       store_(options.model_dir, options.reload_check),
       cache_(options.cache_capacity, options.cache_shards),
-      batcher_(options.batcher) {}
+      stats_(registry_),
+      batcher_(batcher_options()) {
+  traces_.set_sample_every(options_.trace_sample);
+  // Component counters owned elsewhere surface in METRICS as render-time
+  // callbacks; all the underlying accessors are thread-safe.
+  using Kind = obs::Registry::CallbackKind;
+  registry_.callback("cpr_cache_hits_total", "prediction cache hits", Kind::Counter,
+                     [this] { return static_cast<double>(cache_.counters().hits); });
+  registry_.callback("cpr_cache_misses_total", "prediction cache misses",
+                     Kind::Counter,
+                     [this] { return static_cast<double>(cache_.counters().misses); });
+  registry_.callback(
+      "cpr_cache_evictions_total", "prediction cache LRU evictions", Kind::Counter,
+      [this] { return static_cast<double>(cache_.counters().evictions); });
+  registry_.callback("cpr_cache_entries", "prediction cache resident entries",
+                     Kind::Gauge,
+                     [this] { return static_cast<double>(cache_.counters().entries); });
+  registry_.callback(
+      "cpr_batch_requests_total", "requests accepted by the micro-batcher",
+      Kind::Counter,
+      [this] { return static_cast<double>(batcher_.stats().submitted); });
+  registry_.callback("cpr_batches_total", "predict_batch calls issued",
+                     Kind::Counter,
+                     [this] { return static_cast<double>(batcher_.stats().batches); });
+  registry_.callback(
+      "cpr_batch_max_size", "largest batch executed so far", Kind::Gauge,
+      [this] { return static_cast<double>(batcher_.stats().max_batch_seen); });
+  registry_.callback("cpr_models_loaded", "models currently resident", Kind::Gauge,
+                     [this] { return static_cast<double>(store_.loaded_names().size()); });
+}
 
-std::string Server::handle_predict(const Request& request) {
+std::string Server::handle_predict(const Request& request,
+                                   const obs::TraceHandle& trace,
+                                   obs::SpanTimer& span) {
   const auto start = std::chrono::steady_clock::now();
   const ModelHandle model = store_.acquire(request.model);
   CPR_CHECK_MSG(request.values.size() == model->model->input_dims(),
@@ -25,8 +79,10 @@ std::string Server::handle_predict(const Request& request) {
   double prediction = 0.0;
   if (const auto cached = cache_.get(key)) {
     prediction = *cached;
+    span.arg("cache", "hit");
   } else {
-    prediction = batcher_.submit(model, request.values).get();
+    span.arg("cache", "miss");
+    prediction = batcher_.submit(model, request.values, trace).get();
     cache_.put(key, prediction);
   }
   stats_.record_predict(
@@ -35,12 +91,22 @@ std::string Server::handle_predict(const Request& request) {
 }
 
 Server::Reply Server::handle_line(const std::string& line) {
+  const obs::TraceHandle trace = traces_.maybe_start();
+  Reply reply = handle_line(line, trace);
+  traces_.finish(trace);
+  return reply;
+}
+
+Server::Reply Server::handle_line(const std::string& line,
+                                  const obs::TraceHandle& trace) {
   Reply reply;
   try {
     const Request request = parse_request(line);
+    obs::SpanTimer span(trace, "handle");
+    span.arg("verb", verb_name(request.kind));
     switch (request.kind) {
       case RequestKind::Predict:
-        reply.text = handle_predict(request);
+        reply.text = handle_predict(request, trace, span);
         break;
       case RequestKind::Load: {
         const ModelHandle model = store_.load(request.model);
@@ -64,6 +130,9 @@ Server::Reply Server::handle_line(const std::string& line) {
         reply.text = os.str();
         break;
       }
+      case RequestKind::Metrics:
+        reply.text = metrics_text() + "OK";
+        break;
       case RequestKind::Quit:
         reply.text = "OK bye";
         reply.quit = true;

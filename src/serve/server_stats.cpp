@@ -1,69 +1,46 @@
 #include "serve/server_stats.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace cpr::serve {
 
-namespace {
-
-/// Nearest-rank percentile over an unsorted copy of the reservoir.
-double percentile(std::vector<double> samples, double fraction) {
-  if (samples.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(fraction * static_cast<double>(samples.size())));
-  const std::size_t index = rank == 0 ? 0 : rank - 1;
-  std::nth_element(samples.begin(),
-                   samples.begin() + static_cast<std::ptrdiff_t>(index), samples.end());
-  return samples[index];
-}
-
-}  // namespace
-
-ServerStats::ServerStats(std::size_t reservoir)
-    : reservoir_capacity_(reservoir), rng_(42), start_(std::chrono::steady_clock::now()) {
-  CPR_CHECK_MSG(reservoir_capacity_ > 0, "latency reservoir needs capacity >= 1");
-  reservoir_.reserve(reservoir_capacity_);
-}
-
-void ServerStats::record_predict(double latency_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++predicts_;
-  ++latencies_seen_;
-  if (reservoir_.size() < reservoir_capacity_) {
-    reservoir_.push_back(latency_seconds);
-    return;
-  }
-  // Algorithm R: keep each of the n samples with probability capacity/n.
-  const auto slot = static_cast<std::uint64_t>(rng_.uniform_int(
-      0, static_cast<std::int64_t>(latencies_seen_) - 1));
-  if (slot < reservoir_capacity_) reservoir_[slot] = latency_seconds;
-}
-
-void ServerStats::record_error() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++errors_;
-}
+ServerStats::ServerStats(obs::Registry& registry)
+    : predicts_(&registry.counter("cpr_predicts_total",
+                                  "PREDICT requests answered OK")),
+      errors_(&registry.counter("cpr_request_errors_total",
+                                "requests answered ERR")),
+      sheds_(&registry.counter("cpr_busy_shed_total",
+                               "requests shed with BUSY by admission control")),
+      connections_(&registry.gauge("cpr_connections_open",
+                                   "transport connections currently open")),
+      latency_(&registry.histogram("cpr_request_latency_seconds",
+                                   "client-observed PREDICT handling latency")),
+      admission_wait_(&registry.histogram(
+          "cpr_admission_wait_seconds",
+          "dispatch-queue wait between frame parse and handling")),
+      batch_wait_(&registry.histogram(
+          "cpr_batch_wait_seconds",
+          "micro-batcher queue wait between submit and batch pickup")),
+      predict_time_(&registry.histogram("cpr_predict_seconds",
+                                        "predict_batch execution time per batch")),
+      flush_time_(&registry.histogram(
+          "cpr_flush_seconds",
+          "reply-ticket wait between dispatch completion and reply render")),
+      start_(std::chrono::steady_clock::now()) {}
 
 ServerStats::Snapshot ServerStats::snapshot() const {
   Snapshot snap;
-  std::vector<double> samples;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    snap.predicts = predicts_;
-    snap.errors = errors_;
-    samples = reservoir_;
-  }
-  snap.sheds = sheds_.load(std::memory_order_relaxed);
-  snap.connections = connections_.load(std::memory_order_relaxed);
+  snap.predicts = predicts_->value();
+  snap.errors = errors_->value();
+  snap.sheds = sheds_->value();
+  snap.connections = connections_->value();
   snap.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   snap.qps = snap.elapsed_seconds > 0.0
                  ? static_cast<double>(snap.predicts) / snap.elapsed_seconds
                  : 0.0;
-  snap.p50_seconds = percentile(samples, 0.50);
-  snap.p99_seconds = percentile(samples, 0.99);
-  snap.p999_seconds = percentile(std::move(samples), 0.999);
+  const obs::HistogramSnapshot latency = latency_->snapshot();
+  snap.p50_seconds = latency.percentile(0.50);
+  snap.p99_seconds = latency.percentile(0.99);
+  snap.p999_seconds = latency.percentile(0.999);
   return snap;
 }
 

@@ -1,50 +1,58 @@
 #pragma once
 // Serving telemetry: request counts, QPS, latency quantiles, and the TCP
-// front end's connection/shedding gauges.
+// front end's connection/shedding gauges — all backed by the obs registry.
 //
-// Latencies are kept in a fixed-size reservoir (Vitter's algorithm R with a
-// deterministic seed) so p50/p99/p99.9 stay O(1) in memory over unbounded
-// request streams; the STATS command renders a snapshot — together with
-// cache and batcher counters — through util/table. The connection gauge and
-// BUSY-shed counter are plain atomics so transport threads (event loops,
-// connection threads) can bump them without taking the reservoir lock.
+// Latencies land in obs::Histogram's exact log-scale buckets instead of the
+// sampling reservoir this replaced: p50/p99/p99.9 are now a deterministic
+// function of every recorded request (bitwise-reproducible for the same
+// workload), still O(1) memory over unbounded streams, and the very same
+// state renders through both the STATS table and the Prometheus METRICS
+// exposition. The stage histograms (admission wait, batch wait, predict,
+// reply flush) are owned here too, so transports and the batcher attribute
+// each request's latency to pipeline stages without new plumbing.
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/prediction_cache.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace cpr::serve {
 
 class ServerStats {
  public:
-  /// `reservoir` bounds the latency sample kept for quantiles.
-  explicit ServerStats(std::size_t reservoir = 4096);
+  /// Registers the request counters and latency/stage histograms on
+  /// `registry`, which must outlive this object.
+  explicit ServerStats(obs::Registry& registry);
 
   /// Records one answered PREDICT (latency includes batching wait); hit/miss
   /// accounting lives in the PredictionCache counters.
-  void record_predict(double latency_seconds);
+  void record_predict(double latency_seconds) {
+    predicts_->inc();
+    latency_->record(latency_seconds);
+  }
 
   /// Records a request answered with ERR.
-  void record_error();
+  void record_error() { errors_->inc(); }
 
   /// Records a request shed with a BUSY reply (admission control).
-  void record_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+  void record_shed() { sheds_->inc(); }
 
   /// Transport connection lifecycle (TCP/Unix-socket frontends).
-  void record_connection_open() {
-    connections_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void record_connection_close() {
-    connections_.fetch_sub(1, std::memory_order_relaxed);
-  }
+  void record_connection_open() { connections_->add(1); }
+  void record_connection_close() { connections_->add(-1); }
+
+  /// Stage histograms recorded by the transports and the micro-batcher;
+  /// exposed via METRICS as cpr_*_seconds for stage attribution.
+  obs::Histogram& admission_wait() { return *admission_wait_; }
+  obs::Histogram& batch_wait() { return *batch_wait_; }
+  obs::Histogram& predict_time() { return *predict_time_; }
+  obs::Histogram& flush_time() { return *flush_time_; }
+  const obs::Histogram& request_latency() const { return *latency_; }
 
   struct Snapshot {
     std::uint64_t predicts = 0;
@@ -60,15 +68,15 @@ class ServerStats {
   Snapshot snapshot() const;
 
  private:
-  std::size_t reservoir_capacity_;
-  mutable std::mutex mu_;
-  std::uint64_t predicts_ = 0;
-  std::uint64_t errors_ = 0;
-  std::uint64_t latencies_seen_ = 0;
-  std::atomic<std::uint64_t> sheds_{0};
-  std::atomic<std::int64_t> connections_{0};
-  std::vector<double> reservoir_;
-  Rng rng_;
+  obs::Counter* predicts_;
+  obs::Counter* errors_;
+  obs::Counter* sheds_;
+  obs::Gauge* connections_;
+  obs::Histogram* latency_;
+  obs::Histogram* admission_wait_;
+  obs::Histogram* batch_wait_;
+  obs::Histogram* predict_time_;
+  obs::Histogram* flush_time_;
   std::chrono::steady_clock::time_point start_;
 };
 

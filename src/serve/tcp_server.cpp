@@ -26,6 +26,11 @@ struct Ticket {
   std::string text;
   bool close_after = false;
   bool force_newline = false;  ///< the FRAME BINARY ack ships in old framing
+  obs::TraceHandle trace;      ///< sampled at parse; null otherwise
+  /// Dispatch-completion stamp for the flush histogram/span; written before
+  /// the done.store(release), read after done.load(acquire). 0 = completed
+  /// inline (BUSY/ack), which records no flush time.
+  std::uint64_t done_ns = 0;
 };
 
 using TicketPtr = std::shared_ptr<Ticket>;
@@ -55,6 +60,7 @@ struct Work {
   TicketPtr ticket;
   std::string line;
   std::weak_ptr<Connection> conn;
+  std::uint64_t enqueued_ns = 0;  ///< admission-wait start (parse time)
 };
 
 }  // namespace
@@ -168,6 +174,21 @@ struct TcpServer::Impl {
       const TicketPtr ticket = conn->pending.front();
       conn->pending.pop_front();
       render_reply(conn, *ticket);
+      if (ticket->done_ns != 0) {  // dispatched (not completed inline)
+        const std::uint64_t now = obs::monotonic_ns();
+        server.stats().flush_time().record(
+            static_cast<double>(now - ticket->done_ns) * 1e-9);
+        if (ticket->trace) {
+          obs::TraceSpan span;
+          span.name = "flush";
+          span.start_ns = ticket->done_ns;
+          span.end_ns = now;
+          ticket->trace->add_span(std::move(span));
+          // The reply bytes are rendered: the request's story is complete.
+          server.traces().finish(ticket->trace);
+          ticket->trace.reset();
+        }
+      }
       if (ticket->close_after) {
         conn->closing = true;  // QUIT/fatal: later pipelined replies are moot
         conn->pending.clear();
@@ -215,11 +236,14 @@ struct TcpServer::Impl {
       return;
     }
     auto ticket = std::make_shared<Ticket>();
+    // The trace (when this request is sampled) starts here, at frame parse.
+    ticket->trace = server.traces().maybe_start();
     conn->pending.push_back(ticket);
     inflight.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(queue_mu);
-      queue.push_back(Work{std::move(ticket), std::move(line), conn});
+      queue.push_back(
+          Work{std::move(ticket), std::move(line), conn, obs::monotonic_ns()});
     }
     queue_cv.notify_one();
   }
@@ -357,9 +381,20 @@ struct TcpServer::Impl {
         work = std::move(queue.front());
         queue.pop_front();
       }
-      const Server::Reply reply = server.handle_line(work.line);
+      const std::uint64_t picked_up_ns = obs::monotonic_ns();
+      server.stats().admission_wait().record(
+          static_cast<double>(picked_up_ns - work.enqueued_ns) * 1e-9);
+      if (work.ticket->trace) {
+        obs::TraceSpan span;
+        span.name = "admission_wait";
+        span.start_ns = work.enqueued_ns;
+        span.end_ns = picked_up_ns;
+        work.ticket->trace->add_span(std::move(span));
+      }
+      const Server::Reply reply = server.handle_line(work.line, work.ticket->trace);
       work.ticket->text = reply.text;
       work.ticket->close_after = reply.quit;  // QUIT closes only this connection
+      work.ticket->done_ns = obs::monotonic_ns();
       work.ticket->done.store(true, std::memory_order_release);
       inflight.fetch_sub(1, std::memory_order_relaxed);
       if (ConnPtr conn = work.conn.lock()) {

@@ -1,5 +1,6 @@
 #include "tensor/mttkrp.hpp"
 
+#include "obs/profile.hpp"
 #include "tensor/mttkrp_blocked.hpp"
 #include "util/kernel_mode.hpp"
 
@@ -70,6 +71,7 @@ void sparse_mttkrp_serial(const SparseTensor& t, const CpModel& model,
 
 void sparse_mttkrp(const SparseTensor& t, const CpModel& model, std::size_t mode,
                    linalg::Matrix& out) {
+  CPR_PROFILE_SCOPE("mttkrp");
   if (kernel_mode() == KernelMode::Blocked) {
     sparse_mttkrp_blocked(t, model, mode, out);
     return;

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <thread>
 
+#include "obs/profile.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -76,11 +78,15 @@ bool better_trial(const Trial& a, const Trial& b) {
 
 std::function<void(const Trial&)> stream_progress(std::ostream& out) {
   return [&out](const Trial& trial) {
-    out << "  rung " << trial.rung << " [" << trial.samples << " samples] "
-        << trial.config << " -> "
-        << (trial.failed() ? "failed: " + trial.error
-                           : "CV MLogQ " + Table::fmt(trial.mlogq, 4))
-        << "\n";
+    // Build the complete line first and write it with one << so progress
+    // from interleaved sources can never split a line mid-way.
+    std::ostringstream line;
+    line << "  rung " << trial.rung << " [" << trial.samples << " samples] "
+         << trial.config << " -> "
+         << (trial.failed() ? "failed: " + trial.error
+                            : "CV MLogQ " + Table::fmt(trial.mlogq, 4))
+         << "\n";
+    out << line.str();
   };
 }
 
@@ -127,6 +133,7 @@ TuningOutcome Tuner::run(const std::string& family, const common::ModelSpec& bas
     const std::vector<FoldSplit> folds =
         kfold_splits(budgets[r], options_.folds, hash_combine(options_.seed, kFoldSalt + r));
 
+    CPR_PROFILE_SCOPE("tune_rung");
     parallel_indexed(survivors.size(), options_.threads, [&](std::size_t s) {
       Trial& trial = trials[survivors[s]];
       trial.rung = r;
@@ -194,7 +201,10 @@ TuningOutcome Tuner::run(const std::string& family, const common::ModelSpec& bas
   outcome.best_mlogq = ranked.front().mlogq;
   outcome.ranked = std::move(ranked);
   outcome.model = common::ModelRegistry::instance().create(family, outcome.best_spec);
-  outcome.model->fit(data);
+  {
+    CPR_PROFILE_SCOPE("tune_refit");
+    outcome.model->fit(data);
+  }
   return outcome;
 }
 

@@ -1,32 +1,212 @@
 #include "util/log.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace cpr {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 const char* level_name(LogLevel level) {
   switch (level) {
-    case LogLevel::Debug: return "DEBUG";
-    case LogLevel::Info: return "INFO";
-    case LogLevel::Warn: return "WARN";
-    case LogLevel::Error: return "ERROR";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
     default: return "?";
   }
 }
+
+struct EnvConfig {
+  int level = static_cast<int>(LogLevel::Warn);
+  bool level_from_env = false;
+  int format = static_cast<int>(LogFormat::Text);
+};
+
+EnvConfig read_env() {
+  EnvConfig config;
+  if (const char* level = std::getenv("CPR_LOG_LEVEL")) {
+    const std::string v = level;
+    config.level_from_env = true;
+    if (v == "debug") config.level = static_cast<int>(LogLevel::Debug);
+    else if (v == "info") config.level = static_cast<int>(LogLevel::Info);
+    else if (v == "warn") config.level = static_cast<int>(LogLevel::Warn);
+    else if (v == "error") config.level = static_cast<int>(LogLevel::Error);
+    else if (v == "off") config.level = static_cast<int>(LogLevel::Off);
+    else config.level_from_env = false;  // unrecognized: keep the default
+  }
+  if (const char* fmt = std::getenv("CPR_LOG")) {
+    if (std::string(fmt) == "json") config.format = static_cast<int>(LogFormat::Json);
+  }
+  return config;
+}
+
+const EnvConfig& env_config() {
+  static const EnvConfig config = read_env();
+  return config;
+}
+
+std::atomic<int>& level_cell() {
+  static std::atomic<int> level{env_config().level};
+  return level;
+}
+
+std::atomic<int>& format_cell() {
+  static std::atomic<int> format{env_config().format};
+  return format;
+}
+
+// JSON string-content escaping; duplicated from obs/ on purpose — util/
+// sits below obs/ in the layering and must not include it.
+void append_json_escaped(std::string* out, const std::string& text) {
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string render_line(LogLevel level, const std::string& message,
+                        const LogField* fields, std::size_t n_fields) {
+  std::string line;
+  line.reserve(64 + message.size());
+  if (log_format() == LogFormat::Json) {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now);
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%lld.%03lld",
+                  static_cast<long long>(ms.count() / 1000),
+                  static_cast<long long>(ms.count() % 1000));
+    line += "{\"ts\":";
+    line += ts;
+    line += ",\"level\":\"";
+    line += level_name(level);
+    line += "\",\"msg\":\"";
+    append_json_escaped(&line, message);
+    line += '"';
+    for (std::size_t i = 0; i < n_fields; ++i) {
+      line += ",\"";
+      append_json_escaped(&line, fields[i].first);
+      line += "\":\"";
+      append_json_escaped(&line, fields[i].second);
+      line += '"';
+    }
+    line += "}\n";
+  } else {
+    line += "[cpr ";
+    // Historic text format keeps upper-case level tags.
+    for (const char* p = level_name(level); *p; ++p) {
+      line += static_cast<char>(std::toupper(static_cast<unsigned char>(*p)));
+    }
+    line += "] ";
+    line += message;
+    for (std::size_t i = 0; i < n_fields; ++i) {
+      line += ' ';
+      line += fields[i].first;
+      line += '=';
+      if (needs_quoting(fields[i].second)) {
+        line += '"';
+        for (char c : fields[i].second) {
+          if (c == '"' || c == '\\') line += '\\';
+          line += c;
+        }
+        line += '"';
+      } else {
+        line += fields[i].second;
+      }
+    }
+    line += '\n';
+  }
+  return line;
+}
+
+void write_stderr(const std::string& line) {
+  // One write(2) per record: atomic with respect to other writers for
+  // lines under PIPE_BUF, and never interleaved mid-line by this process
+  // because the full line is a single syscall (resuming only if the kernel
+  // short-writes, which pipes/files don't do for these sizes).
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stderr gone; nothing sane to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void emit(LogLevel level, const std::string& message, const LogField* fields,
+          std::size_t n_fields) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  write_stderr(render_line(level, message, fields, n_fields));
+}
+
 }  // namespace
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_cell().load(std::memory_order_relaxed));
+}
 
 void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  level_cell().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_level_from_env() { return env_config().level_from_env; }
+
+LogFormat log_format() {
+  return static_cast<LogFormat>(format_cell().load(std::memory_order_relaxed));
+}
+
+void set_log_format(LogFormat format) {
+  format_cell().store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message,
+              std::initializer_list<LogField> fields) {
+  emit(level, message, fields.begin(), fields.size());
+}
+
+void log_line(LogLevel level, const std::string& message,
+              const std::vector<LogField>& fields) {
+  emit(level, message, fields.data(), fields.size());
 }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::cerr << "[cpr " << level_name(level) << "] " << message << '\n';
+  emit(level, message, nullptr, 0);
 }
 }  // namespace detail
 

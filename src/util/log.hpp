@@ -1,20 +1,49 @@
 #pragma once
-// Leveled stderr logging with a global verbosity switch.
+// Leveled structured logging with a global verbosity switch.
 //
-// Training loops log per-sweep residuals at Debug; benches log progress at
-// Info. Default level is Warn so test output stays clean.
+// Training loops log per-sweep residuals at Debug; benches and the serving
+// tools log progress at Info. Default level is Warn so test output stays
+// clean; `CPR_LOG_LEVEL=debug|info|warn|error|off` overrides it and
+// `CPR_LOG=json` switches the format from human-readable text to JSONL
+// (one JSON object per line, machine-parsable).
+//
+// Every record — message plus optional key=value fields — is rendered into
+// one complete line and emitted with a single write(2) to stderr, so
+// concurrent loggers (dispatch workers, the hot-reload path, tuner
+// progress) never interleave mid-line.
 
-#include <iostream>
+#include <initializer_list>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cpr {
 
 enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+enum class LogFormat : int { Text = 0, Json = 1 };
 
-/// Global log threshold (messages below it are dropped).
+/// Global log threshold (messages below it are dropped). Initialized from
+/// `CPR_LOG_LEVEL` on first use.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// True when `CPR_LOG_LEVEL` was set in the environment (tools that bump
+/// their default verbosity check this so the operator's choice wins).
+bool log_level_from_env();
+
+/// Output format. Initialized from `CPR_LOG` (`json` selects JSONL).
+LogFormat log_format();
+void set_log_format(LogFormat format);
+
+using LogField = std::pair<std::string, std::string>;
+
+/// Structured record: message plus key/value fields, one atomic line.
+/// Drops below the threshold like the macros do.
+void log_line(LogLevel level, const std::string& message,
+              std::initializer_list<LogField> fields);
+void log_line(LogLevel level, const std::string& message,
+              const std::vector<LogField>& fields);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

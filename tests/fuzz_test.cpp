@@ -15,6 +15,8 @@
 
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "test_data.hpp"
@@ -179,6 +181,96 @@ TEST(ServerFuzz, RandomSessionsAlwaysGetOkOrErrReplies) {
   }
   EXPECT_GE(ok_replies, 120u);  // the interleaved valid PREDICTs all served
   EXPECT_EQ(server.handle_line("PREDICT pl 100,200").text.rfind("OK ", 0), 0u);
+}
+
+TEST(ServerFuzz, MetricsVerbStaysValidThroughHostileTraffic) {
+  // The METRICS exposition and the trace serializer must stay well-formed
+  // no matter what garbage the session mixed in before them.
+  TempModelDir dir("fuzz_metrics");
+  auto model = ModelRegistry::instance().create("knn", testdata::zoo_spec("knn"));
+  model->fit(testdata::sample_noisy_power_law(128, 11));
+  dir.save("pl", *model);
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 2;
+  options.batcher.max_wait_us = 50;
+  options.trace_sample = 1;
+  serve::Server server(options);
+
+  Rng rng(12);
+  for (int i = 0; i < 300; ++i) {
+    std::string line;
+    if (i % 7 == 0) {
+      line = "PREDICT pl 100,200";
+    } else if (i % 7 == 3) {
+      line = "METRICS";
+    } else {
+      line = random_bytes(rng, 48);
+    }
+    const auto reply = server.handle_line(line);
+    ASSERT_FALSE(reply.text.empty());
+    if (line == "METRICS") {
+      ASSERT_EQ(reply.text.substr(reply.text.size() - 2), "OK");
+      std::string error;
+      ASSERT_TRUE(obs::validate_prometheus_text(
+          reply.text.substr(0, reply.text.size() - 2), &error))
+          << "iteration " << i << ": " << error;
+    }
+  }
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(server.traces().render_chrome_json(), &error))
+      << error;
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(TraceFuzz, SerializerIsTotalOverRandomSpans) {
+  // Arbitrary bytes in names/args/timestamps must always render to JSON the
+  // structural validator accepts (escaping is total, end < start clamps).
+  Rng rng(13);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::vector<obs::ChromeEvent> events;
+    const auto count = static_cast<std::size_t>(rng.uniform_int(0, 20));
+    for (std::size_t i = 0; i < count; ++i) {
+      obs::ChromeEvent event;
+      event.name = random_bytes(rng, 24);
+      event.tid = static_cast<std::uint64_t>(rng.uniform_int(0, 3));
+      event.start_ns = static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000));
+      event.end_ns = static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000));
+      const auto args = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      for (std::size_t a = 0; a < args; ++a) {
+        event.args.emplace_back(random_bytes(rng, 12), random_bytes(rng, 12));
+      }
+      events.push_back(std::move(event));
+    }
+    const std::string json = obs::render_chrome_events(std::move(events));
+    std::string error;
+    ASSERT_TRUE(obs::validate_chrome_trace(json, &error))
+        << "iteration " << iteration << ": " << error << "\n" << json;
+  }
+}
+
+TEST(TraceFuzz, ValidatorIsTotalOnRandomDocuments) {
+  // The validator itself must never crash on arbitrary bytes — it reads
+  // untrusted files in cpr_obscheck.
+  Rng rng(14);
+  std::string error;
+  for (int i = 0; i < 3000; ++i) {
+    obs::validate_chrome_trace(random_bytes(rng, 128), &error);
+    obs::validate_prometheus_text(random_bytes(rng, 128), &error);
+  }
+  // Mutations of a valid document exercise deeper parser states.
+  const std::string valid =
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":3,"
+      "\"ts\":10.500,\"dur\":2.000,\"args\":{\"k\":\"v\"}}]}";
+  for (int i = 0; i < 2000; ++i) {
+    std::string doc = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+    doc[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    obs::validate_chrome_trace(doc, &error);
+  }
 }
 
 // ---------------------------------------------------------------- archive

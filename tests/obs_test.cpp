@@ -1,0 +1,364 @@
+// Tests for the observability layer (src/obs): histogram bucket placement
+// and exact counts, merge associativity/determinism across thread splits,
+// the Prometheus exposition and its structural validator, span tracing with
+// sampling and Chrome-trace export, and the training profiler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace cpr::obs {
+namespace {
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, BoundariesAreSharedLogScale) {
+  const auto& bounds = Histogram::boundaries();
+  ASSERT_EQ(bounds.size(), 108u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+    // Four buckets per octave: the ratio is exactly 2^(1/4).
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], std::exp2(0.25), 1e-12);
+  }
+  // Coverage reaches the "slow request" regime before the overflow bucket.
+  EXPECT_GT(bounds.back(), 100.0);
+}
+
+TEST(Histogram, RecordPlacesSamplesInExactBuckets) {
+  const auto& bounds = Histogram::boundaries();
+  Histogram h;
+  h.record(0.0);                // below the first bound: bucket 0
+  h.record(1e-9);               // still bucket 0
+  h.record(bounds[0]);          // exactly on a bound: that bucket (le contract)
+  h.record(bounds[5]);          // bucket 5
+  h.record(bounds[5] * 1.001);  // just past it: bucket 6
+  h.record(bounds.back() * 2);  // beyond the last bound: overflow
+  h.record(-1.0);               // negative clamps into bucket 0
+  h.record(std::nan(""));       // NaN clamps into bucket 0
+
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), bounds.size() + 1);
+  EXPECT_EQ(snap.buckets[0], 5u);  // 0.0, 1e-9, bounds[0] (le), -1, NaN
+  EXPECT_EQ(snap.buckets[5], 1u);
+  EXPECT_EQ(snap.buckets[6], 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  EXPECT_EQ(snap.count(), 8u);
+}
+
+TEST(Histogram, SumIsExactIntegerNanoseconds) {
+  Histogram h;
+  h.record(0.001);  // 1 ms
+  h.record(0.002);
+  h.record(std::nan(""));  // contributes 0 ns
+  EXPECT_EQ(h.snapshot().sum_ns, 3'000'000u);
+  EXPECT_DOUBLE_EQ(h.snapshot().sum_seconds(), 0.003);
+}
+
+TEST(Histogram, CountsAreExactUnderConcurrentRecording) {
+  Histogram h;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) h.record(1e-4);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Exact counts, not a reservoir: nothing is lost or double-counted.
+  EXPECT_EQ(h.snapshot().count(), kThreads * kPerThread);
+  EXPECT_EQ(h.snapshot().sum_ns, kThreads * kPerThread * 100'000u);
+}
+
+/// Records `values` split across `ways` histograms (simulating per-thread
+/// or per-process shards) and returns the merged snapshot.
+HistogramSnapshot record_split(const std::vector<double>& values, std::size_t ways) {
+  std::vector<Histogram> shards(ways);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    shards[i % ways].record(values[i]);
+  }
+  HistogramSnapshot merged = shards[0].snapshot();
+  for (std::size_t s = 1; s < ways; ++s) merged.merge(shards[s].snapshot());
+  return merged;
+}
+
+TEST(Histogram, MergeIsAssociativeAndSplitInvariant) {
+  std::vector<double> values;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    values.push_back(1e-6 * static_cast<double>(1 + i * 37 % 5000));
+  }
+  const HistogramSnapshot one = record_split(values, 1);
+  const HistogramSnapshot two = record_split(values, 2);
+  const HistogramSnapshot eight = record_split(values, 8);
+
+  // The same workload through any shard split merges to bitwise-identical
+  // state — the property that makes percentiles reproducible across runs.
+  EXPECT_EQ(one.buckets, two.buckets);
+  EXPECT_EQ(one.buckets, eight.buckets);
+  EXPECT_EQ(one.sum_ns, two.sum_ns);
+  EXPECT_EQ(one.sum_ns, eight.sum_ns);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(one.percentile(q), two.percentile(q));
+    EXPECT_EQ(one.percentile(q), eight.percentile(q));
+  }
+}
+
+TEST(Histogram, PercentileIsNearestRankOverBuckets) {
+  const auto& bounds = Histogram::boundaries();
+  HistogramSnapshot empty;
+  empty.buckets.assign(bounds.size() + 1, 0);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+  Histogram h;
+  for (int i = 0; i < 9; ++i) h.record(1e-5);  // bucket with bound ~1e-5
+  h.record(1.0);                               // one slow outlier
+  // p50 over 10 samples: rank 5 is in the 1e-5 bucket.
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 1e-5 * 0.999);
+  EXPECT_LT(p50, 2e-5);
+  // p99/p100: rank 10 is the outlier's bucket.
+  EXPECT_GE(h.percentile(0.99), 1.0);
+  // Overflow samples report the last finite boundary, never infinity.
+  Histogram overflow;
+  overflow.record(1e9);
+  EXPECT_EQ(overflow.percentile(0.5), bounds.back());
+}
+
+// --------------------------------------------------------- counter/gauge
+
+TEST(Counter, SumsShardsExactlyUnderConcurrency) {
+  Counter counter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, TracksLevelUpAndDown) {
+  Gauge gauge;
+  gauge.add(5);
+  gauge.add(-2);
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.set(-7);
+  EXPECT_EQ(gauge.value(), -7);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, RendersValidPrometheusExposition) {
+  Registry registry;
+  registry.counter("cpr_test_events_total", "events seen").inc(3);
+  registry.gauge("cpr_test_level", "current level").set(-2);
+  Histogram& h = registry.histogram("cpr_test_latency_seconds", "latency");
+  h.record(0.001);
+  h.record(0.004);
+  registry.callback("cpr_test_pulled", "render-time value",
+                    Registry::CallbackKind::Counter, [] { return 42.0; });
+
+  const std::string text = registry.render();
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(text, &error)) << error;
+
+  EXPECT_NE(text.find("# TYPE cpr_test_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("cpr_test_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cpr_test_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("cpr_test_level -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cpr_test_latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("cpr_test_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cpr_test_latency_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("cpr_test_latency_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("cpr_test_pulled 42"), std::string::npos);
+}
+
+TEST(Registry, RegistrationIsIdempotentAndKindChecked) {
+  Registry registry;
+  Counter& a = registry.counter("cpr_dup_total", "first");
+  Counter& b = registry.counter("cpr_dup_total", "second wins nothing");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(registry.gauge("cpr_dup_total", "wrong kind"), CheckError);
+  EXPECT_THROW(registry.histogram("cpr_dup_total", "wrong kind"), CheckError);
+}
+
+TEST(Registry, ValidatorRejectsStructuralViolations) {
+  std::string error;
+  // Sample with no preceding TYPE comment.
+  EXPECT_FALSE(validate_prometheus_text("cpr_orphan_total 1\n", &error));
+  // Histogram whose cumulative bucket counts decrease.
+  const std::string shrinking =
+      "# TYPE cpr_h histogram\n"
+      "cpr_h_bucket{le=\"0.1\"} 5\n"
+      "cpr_h_bucket{le=\"0.2\"} 3\n"
+      "cpr_h_bucket{le=\"+Inf\"} 5\n"
+      "cpr_h_sum 1\n"
+      "cpr_h_count 5\n";
+  EXPECT_FALSE(validate_prometheus_text(shrinking, &error));
+  // Histogram missing the +Inf bucket.
+  const std::string no_inf =
+      "# TYPE cpr_h histogram\n"
+      "cpr_h_bucket{le=\"0.1\"} 5\n"
+      "cpr_h_sum 1\n"
+      "cpr_h_count 5\n";
+  EXPECT_FALSE(validate_prometheus_text(no_inf, &error));
+  // _count disagreeing with the +Inf bucket.
+  const std::string bad_count =
+      "# TYPE cpr_h histogram\n"
+      "cpr_h_bucket{le=\"0.1\"} 5\n"
+      "cpr_h_bucket{le=\"+Inf\"} 5\n"
+      "cpr_h_sum 1\n"
+      "cpr_h_count 7\n";
+  EXPECT_FALSE(validate_prometheus_text(bad_count, &error));
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, NullHandleIsANoOp) {
+  TraceHandle null;
+  SpanTimer timer(null, "anything");
+  timer.arg("key", "value");  // must not crash
+}
+
+TEST(Trace, SamplerHonorsEveryN) {
+  TraceCollector off;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(off.maybe_start(), nullptr);
+
+  TraceCollector all;
+  all.set_sample_every(1);
+  for (int i = 0; i < 10; ++i) EXPECT_NE(all.maybe_start(), nullptr);
+
+  TraceCollector third;
+  third.set_sample_every(3);
+  std::size_t sampled = 0;
+  for (int i = 0; i < 9; ++i) sampled += third.maybe_start() != nullptr;
+  EXPECT_EQ(sampled, 3u);
+}
+
+TEST(Trace, RenderedJsonValidatesAndCarriesSpans) {
+  TraceCollector collector;
+  collector.set_sample_every(1);
+  for (int i = 0; i < 3; ++i) {
+    TraceHandle trace = collector.maybe_start();
+    ASSERT_NE(trace, nullptr);
+    {
+      SpanTimer span(trace, "handle");
+      span.arg("verb", "PREDICT");
+      SpanTimer inner(trace, "predict");
+    }
+    collector.finish(trace);
+  }
+  EXPECT_EQ(collector.collected(), 3u);
+
+  const std::string json = collector.render_chrome_json();
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(json, &error)) << error;
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"handle\""), std::string::npos);
+  EXPECT_NE(json.find("\"verb\":\"PREDICT\""), std::string::npos);
+}
+
+TEST(Trace, SerializerIsTotalOverHostileStrings) {
+  // Span names/args containing quotes, backslashes, control bytes, and
+  // non-ASCII bytes must still render to parseable, valid trace JSON.
+  std::vector<ChromeEvent> events;
+  const std::string hostile = "q\"b\\s\nnl\ttab\x01\x1f\xff";
+  ChromeEvent event;
+  event.name = hostile;
+  event.tid = 7;
+  event.start_ns = 1000;
+  event.end_ns = 2500;
+  event.args.emplace_back(hostile, hostile);
+  events.push_back(event);
+  const std::string json = render_chrome_events(std::move(events));
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(json, &error)) << error << "\n" << json;
+}
+
+TEST(Trace, JsonEscapeHandlesEveryByteClass) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Trace, ValidatorRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(validate_chrome_trace("not json at all", &error));
+  EXPECT_FALSE(validate_chrome_trace("{}", &error));  // no traceEvents
+  EXPECT_FALSE(validate_chrome_trace(
+      "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1,\"dur\":1}]}", &error));  // no name
+  // Timestamps must be monotone within one tid lane.
+  EXPECT_FALSE(validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"tid\":1,\"ts\":100,\"dur\":1},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"tid\":1,\"ts\":50,\"dur\":1}]}",
+      &error));
+  // But separate lanes are independent.
+  EXPECT_TRUE(validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"tid\":1,\"ts\":100,\"dur\":1},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"tid\":2,\"ts\":50,\"dur\":1}]}",
+      &error))
+      << error;
+}
+
+// --------------------------------------------------------------- profiler
+
+TEST(Profiler, AccumulatesPhasesAndResets) {
+  Profiler& profiler = Profiler::instance();
+  profiler.reset();
+  profiler.set_enabled(true, /*capture=*/true);
+
+  const std::size_t phase = profiler.register_phase("obs_test_phase");
+  EXPECT_EQ(profiler.register_phase("obs_test_phase"), phase);  // idempotent
+  profiler.record(phase, 1000, 3000);
+  profiler.record(phase, 5000, 6000);
+
+  bool found = false;
+  for (const auto& stat : profiler.stats()) {
+    if (stat.name != "obs_test_phase") continue;
+    found = true;
+    EXPECT_EQ(stat.calls, 2u);
+    EXPECT_EQ(stat.total_ns, 3000u);
+  }
+  EXPECT_TRUE(found);
+
+  const std::string json = profiler.render_chrome_json();
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(json, &error)) << error;
+  EXPECT_NE(json.find("obs_test_phase"), std::string::npos);
+
+  profiler.set_enabled(false);
+  profiler.reset();
+  for (const auto& stat : profiler.stats()) EXPECT_NE(stat.name, "obs_test_phase");
+}
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  Profiler& profiler = Profiler::instance();
+  profiler.set_enabled(false);
+  profiler.reset();
+  for (int i = 0; i < 100; ++i) {
+    CPR_PROFILE_SCOPE("obs_test_disabled");
+  }
+  for (const auto& stat : profiler.stats()) {
+    EXPECT_NE(stat.name, "obs_test_disabled");
+  }
+}
+
+}  // namespace
+}  // namespace cpr::obs

@@ -22,6 +22,8 @@
 
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/tcp_server.hpp"
 #include "test_data.hpp"
@@ -761,6 +763,184 @@ TEST(TcpServer, DrainShutdownFlushesInflightReplies) {
   ASSERT_TRUE(client.read_line(reply));
   EXPECT_EQ(reply, serve::format_prediction(fixture.model->predict({100.0, 100.0})));
   EXPECT_TRUE(client.at_eof());
+}
+
+// ---------------------------------------------------------- observability
+
+TEST(Server, MetricsVerbRendersValidExposition) {
+  TempModelDir dir("metrics");
+  dir.save("pl", *fit_family("cpr"));
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.max_wait_us = 50;
+  serve::Server server(options);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(server.handle_line("PREDICT pl 100,200").text.rfind("OK ", 0), 0u);
+  }
+  server.handle_line("PREDICT nosuch 1,2");  // one error
+
+  const auto reply = server.handle_line("METRICS");
+  ASSERT_GE(reply.text.size(), 2u);
+  EXPECT_EQ(reply.text.substr(reply.text.size() - 2), "OK");
+  EXPECT_FALSE(reply.quit);
+
+  const std::string exposition = reply.text.substr(0, reply.text.size() - 2);
+  std::string error;
+  EXPECT_TRUE(obs::validate_prometheus_text(exposition, &error)) << error;
+  EXPECT_NE(exposition.find("cpr_predicts_total 5"), std::string::npos);
+  EXPECT_NE(exposition.find("cpr_request_errors_total 1"), std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE cpr_request_latency_seconds histogram"),
+            std::string::npos);
+  // Cache callbacks: the repeated PREDICT missed once, then hit 4 times
+  // (the unknown-model request fails before it touches the cache).
+  EXPECT_NE(exposition.find("cpr_cache_hits_total 4"), std::string::npos);
+  EXPECT_NE(exposition.find("cpr_cache_misses_total 1"), std::string::npos);
+  // Direct render and the verb agree (modulo samples recorded in between).
+  EXPECT_NE(server.metrics_text().find("cpr_predicts_total"), std::string::npos);
+}
+
+TEST(Server, StatsHistogramPercentilesAreReproducible) {
+  TempModelDir dir("reprod");
+  dir.save("pl", *fit_family("cpr"));
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.max_wait_us = 50;
+  serve::Server server(options);
+  for (int i = 0; i < 32; ++i) {
+    server.handle_line("PREDICT pl 100," + std::to_string(100 + i));
+  }
+  // Percentiles are a pure function of the exact bucket counts: reading
+  // them twice — or merging snapshot copies in any order — cannot differ.
+  const auto first = server.request_stats().snapshot();
+  const auto second = server.request_stats().snapshot();
+  EXPECT_EQ(first.p50_seconds, second.p50_seconds);
+  EXPECT_EQ(first.p99_seconds, second.p99_seconds);
+  EXPECT_EQ(first.p999_seconds, second.p999_seconds);
+
+  const auto snap = server.request_stats().request_latency().snapshot();
+  auto merged = snap;
+  merged.merge(snap);  // doubled counts: same nearest-rank boundaries
+  EXPECT_EQ(merged.count(), 2 * snap.count());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(merged.percentile(q), snap.percentile(q));
+  }
+}
+
+TEST(Server, TraceSamplingCapturesSpanTaxonomy) {
+  TempModelDir dir("trace");
+  dir.save("pl", *fit_family("cpr"));
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.max_wait_us = 50;
+  options.trace_sample = 1;
+  serve::Server server(options);
+
+  ASSERT_EQ(server.handle_line("PREDICT pl 100,200").text.rfind("OK ", 0), 0u);
+  ASSERT_EQ(server.handle_line("PREDICT pl 100,200").text.rfind("OK ", 0), 0u);
+  EXPECT_EQ(server.traces().collected(), 2u);
+
+  const std::string json = server.traces().render_chrome_json();
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  // First request: cache miss through the batcher; second: cache hit.
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"handle\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"batch_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"predict\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":\"miss\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":\"hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"pl\""), std::string::npos);
+  EXPECT_NE(json.find("\"verb\":\"PREDICT\""), std::string::npos);
+}
+
+TEST(Server, TraceSamplingOffCollectsNothing) {
+  TempModelDir dir("notrace");
+  dir.save("pl", *fit_family("cpr"));
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.max_wait_us = 50;
+  serve::Server server(options);  // trace_sample defaults to 0
+
+  for (int i = 0; i < 8; ++i) server.handle_line("PREDICT pl 100,200");
+  EXPECT_EQ(server.traces().collected(), 0u);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(server.traces().render_chrome_json(), &error))
+      << error;
+}
+
+TEST(TcpServer, TracedRequestsCarryAdmissionAndFlushSpans) {
+  TcpFixture fixture;
+  fixture.server->traces().set_sample_every(1);
+  TcpClient client(fixture.tcp->port());
+  std::string reply;
+  for (int i = 0; i < 4; ++i) {
+    client.send_line("PREDICT pl 100," + std::to_string(100 + i));
+    ASSERT_TRUE(client.read_line(reply));
+    ASSERT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  }
+  // read_line returning means the reply was flushed, which is also where
+  // the trace is finished — no extra synchronization needed here.
+  EXPECT_EQ(fixture.server->traces().collected(), 4u);
+  const std::string json = fixture.server->traces().render_chrome_json();
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  EXPECT_NE(json.find("\"name\":\"admission_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flush\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+
+  // Stage histograms cover every dispatched request, sampled or not.
+  EXPECT_EQ(fixture.server->stats().admission_wait().snapshot().count(), 4u);
+  EXPECT_EQ(fixture.server->stats().flush_time().snapshot().count(), 4u);
+}
+
+TEST(Server, ConcurrentMetricsAndStatsWithTraffic) {
+  // Hammers the exposition/stats render paths while PREDICT traffic records
+  // into the same counters and histograms: the lock-free registry must hold
+  // up under --tsan (this test is in the sanitizer serve suite).
+  TempModelDir dir("hammer");
+  dir.save("pl", *fit_family("cpr"));
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.max_wait_us = 50;
+  options.trace_sample = 2;
+  serve::Server server(options);
+
+  constexpr std::size_t kTraffic = 4;
+  constexpr std::size_t kRequests = 64;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kTraffic; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        const auto reply = server.handle_line(
+            "PREDICT pl 100," + std::to_string(100 + (t * kRequests + i) % 32));
+        ASSERT_EQ(reply.text.rfind("OK ", 0), 0u) << reply.text;
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < 32; ++i) {
+      const auto reply = server.handle_line("METRICS");
+      ASSERT_EQ(reply.text.substr(reply.text.size() - 2), "OK");
+      std::string error;
+      ASSERT_TRUE(obs::validate_prometheus_text(
+          reply.text.substr(0, reply.text.size() - 2), &error))
+          << error;
+    }
+  });
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < 32; ++i) {
+      ASSERT_NE(server.handle_line("STATS").text.find("predicts"), std::string::npos);
+      server.traces().render_chrome_json();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(server.request_stats().snapshot().predicts, kTraffic * kRequests);
+  EXPECT_EQ(server.request_stats().snapshot().errors, 0u);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(server.traces().render_chrome_json(), &error))
+      << error;
 }
 
 TEST(TcpServer, ConnectionGaugeTracksOpenSockets) {

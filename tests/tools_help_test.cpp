@@ -49,19 +49,22 @@ struct ToolSpec {
 const std::vector<ToolSpec> kTools = {
     {"cpr_train",
      {"--data", "--out", "--model", "--cells", "--rank", "--lambda", "--log-dims",
-      "--categorical", "--hyper", "--tune", "--tune-threads", "--seed"},
+      "--categorical", "--hyper", "--tune", "--tune-threads", "--seed",
+      "--profile", "--trace-out"},
      true},
     {"cpr_tune",
      {"--data", "--model", "--out", "--trials", "--folds", "--rungs", "--eta",
       "--threads", "--seed", "--cells", "--log-dims", "--categorical", "--hyper",
-      "--space", "--json", "--csv"},
+      "--space", "--json", "--csv", "--profile", "--trace-out"},
      true},
     {"cpr_predict", {"--model", "--configs", "--out", "--threads"}, true},
     {"cpr_serve",
      {"--models", "--socket", "--tcp", "--io-threads", "--max-inflight",
       "--max-backlog", "--threads", "--workers", "--max-batch",
-      "--max-wait-us", "--cache", "--cache-shards"},
+      "--max-wait-us", "--cache", "--cache-shards", "--trace-sample",
+      "--trace-out", "--metrics-out"},
      true},
+    {"cpr_obscheck", {"--metrics", "--trace"}, true},
     // cpr_bench without arguments would launch the full bench run, so only
     // its --help surface is audited.
     {"cpr_bench",

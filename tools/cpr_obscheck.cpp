@@ -1,0 +1,88 @@
+// cpr_obscheck — validate observability artifacts produced by the serving
+// and training tools: Prometheus text expositions (cpr_serve --metrics-out
+// or the METRICS verb) and Chrome trace-event JSON (cpr_serve --trace-out,
+// cpr_train/cpr_tune --trace-out). Used by `tools/verify.sh --obs` to gate
+// the exporters end to end; exits 0 only when every given artifact is
+// well-formed.
+//
+// Usage:
+//   cpr_obscheck [--metrics=<path>] [--trace=<path>]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+using namespace cpr;
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: cpr_obscheck [--metrics=<path>] [--trace=<path>]\n\n"
+         "Validates observability artifacts; at least one flag is required\n"
+         "(default: none — giving no artifact is a usage error).\n\n"
+         "  --metrics=<path>  Prometheus text exposition to check: TYPE\n"
+         "                    comments precede samples, histogram buckets\n"
+         "                    are cumulative and end in le=\"+Inf\", _sum\n"
+         "                    and _count are present and consistent\n"
+         "  --trace=<path>    Chrome trace-event JSON to check: parsable,\n"
+         "                    every span closed (non-negative dur), and\n"
+         "                    timestamps monotone per thread lane\n";
+}
+
+bool read_file(const std::string& path, std::string& text) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  text = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    usage(std::cout);
+    return 0;
+  }
+  const std::string metrics_path = args.get_string("metrics", "");
+  const std::string trace_path = args.get_string("trace", "");
+  if (metrics_path.empty() && trace_path.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  int rc = 0;
+  if (!metrics_path.empty()) {
+    std::string text, error;
+    if (!read_file(metrics_path, text)) {
+      rc = 1;
+    } else if (obs::validate_prometheus_text(text, &error)) {
+      std::cout << metrics_path << ": valid Prometheus exposition\n";
+    } else {
+      std::cerr << metrics_path << ": INVALID: " << error << "\n";
+      rc = 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    std::string text, error;
+    if (!read_file(trace_path, text)) {
+      rc = 1;
+    } else if (obs::validate_chrome_trace(text, &error)) {
+      std::cout << trace_path << ": valid Chrome trace\n";
+    } else {
+      std::cerr << trace_path << ": INVALID: " << error << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}

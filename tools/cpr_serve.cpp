@@ -13,6 +13,8 @@
 //       [--threads=<n>] [--workers=2] [--max-batch=64] [--max-wait-us=200]
 //       [--cache=4096] [--cache-shards=8] [--io-threads=2]
 //       [--max-inflight=1024] [--max-backlog=1048576]
+//       [--trace-sample=<n>] [--trace-out=trace.json]
+//       [--metrics-out=metrics.prom]
 //
 // Example session (stdio):
 //   LOAD mm-cpr
@@ -23,6 +25,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -39,6 +42,7 @@
 #include "serve/server.hpp"
 #include "serve/tcp_server.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 using namespace cpr;
 
@@ -74,24 +78,37 @@ void usage(std::ostream& out) {
          "                      (default: 200)\n"
          "  --cache=<n>         prediction-cache entries, 0 disables\n"
          "                      (default: 4096)\n"
-         "  --cache-shards=<n>  cache lock shards (default: 8)\n";
+         "  --cache-shards=<n>  cache lock shards (default: 8)\n"
+         "  --trace-sample=<n>  trace every n-th request end to end\n"
+         "                      (default: 0 = tracing off)\n"
+         "  --trace-out=<path>  write sampled traces as Chrome trace-event\n"
+         "                      JSON on exit, viewable in Perfetto\n"
+         "                      (default: off)\n"
+         "  --metrics-out=<path> write the Prometheus exposition (same text\n"
+         "                      the METRICS verb returns) on exit\n"
+         "                      (default: off)\n\n"
+         "Operational messages go to stderr via the structured logger\n"
+         "(CPR_LOG_LEVEL=debug|info|warn|error|off, CPR_LOG=json).\n";
 }
 
 /// Inventory pass: tell the operator what the directory offers and flag
 /// archives this build cannot load before any client connects.
 void report_inventory(const std::string& dir) {
   const auto names = core::list_model_archives(dir);
-  std::cerr << "cpr_serve: " << names.size() << " archive(s) in " << dir << "\n";
+  log_line(LogLevel::Info, "model inventory",
+           {{"dir", dir}, {"archives", std::to_string(names.size())}});
   for (const auto& name : names) {
     try {
       const std::string tag = core::peek_model_type(core::model_file_path(dir, name));
       if (common::ModelRegistry::instance().has_loader(tag)) {
-        std::cerr << "  " << name << " (" << tag << ")\n";
+        log_line(LogLevel::Info, "model archive", {{"model", name}, {"type", tag}});
       } else {
-        std::cerr << "  " << name << " (unloadable: unknown type tag '" << tag << "')\n";
+        log_line(LogLevel::Warn, "unloadable model archive: unknown type tag",
+                 {{"model", name}, {"type", tag}});
       }
     } catch (const std::exception& e) {
-      std::cerr << "  " << name << " (unreadable: " << e.what() << ")\n";
+      log_line(LogLevel::Warn, "unreadable model archive",
+               {{"model", name}, {"error", e.what()}});
     }
   }
 }
@@ -109,7 +126,7 @@ extern "C" void on_shutdown_signal(int) {
 
 void install_signal_handlers() {
   if (::pipe(g_signal_pipe) != 0) {
-    std::cerr << "warning: pipe() failed, signals will not drain gracefully\n";
+    CPR_LOG_WARN("pipe() failed, signals will not drain gracefully");
     return;
   }
   struct sigaction action{};
@@ -180,25 +197,26 @@ int run_socket_server(serve::Server& server, const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
-    std::cerr << "error: socket path too long: " << path << "\n";
+    log_line(LogLevel::Error, "socket path too long", {{"path", path}});
     return 1;
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
 
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
-    std::cerr << "error: socket(): " << std::strerror(errno) << "\n";
+    log_line(LogLevel::Error, "socket() failed", {{"error", std::strerror(errno)}});
     return 1;
   }
   ::unlink(path.c_str());  // stale socket from a previous run
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(listen_fd, 64) < 0) {
-    std::cerr << "error: cannot listen on " << path << ": " << std::strerror(errno)
-              << "\n";
+    log_line(LogLevel::Error, "cannot listen on socket",
+             {{"path", path}, {"error", std::strerror(errno)}});
     ::close(listen_fd);
     return 1;
   }
-  std::cerr << "cpr_serve: listening on " << path << " (QUIT shuts down)\n";
+  log_line(LogLevel::Info, "listening on unix socket (QUIT shuts down)",
+           {{"path", path}});
 
   // Per-connection bookkeeping. fds are closed only after the owning thread
   // is joined, so a QUIT-triggered shutdown() can never hit a recycled fd.
@@ -246,7 +264,7 @@ int run_socket_server(serve::Server& server, const std::string& path) {
         for (const auto& other : connections) ::shutdown(other->fd, SHUT_RD);
         break;
       }
-      std::cerr << "error: accept(): " << std::strerror(errno) << "\n";
+      log_line(LogLevel::Error, "accept() failed", {{"error", std::strerror(errno)}});
       break;
     }
     reap(/*all=*/false);  // bound resources on long-lived servers
@@ -280,7 +298,7 @@ int run_socket_server(serve::Server& server, const std::string& path) {
   reap(/*all=*/true);
   ::close(listen_fd);
   ::unlink(path.c_str());
-  if (draining.load()) std::cerr << "cpr_serve: drained, exiting\n";
+  if (draining.load()) CPR_LOG_INFO("drained, exiting");
   return 0;
 }
 
@@ -325,8 +343,8 @@ int run_tcp_server(serve::Server& server, const CliArgs& args) {
   options.max_write_backlog =
       static_cast<std::size_t>(args.get_int("max-backlog", 1 << 20));
   serve::TcpServer tcp(server, options);
-  std::cerr << "cpr_serve: listening on TCP port " << tcp.port()
-            << " (SIGINT/SIGTERM drains; QUIT closes its connection)\n";
+  log_line(LogLevel::Info, "listening on TCP (SIGINT/SIGTERM drains)",
+           {{"port", std::to_string(tcp.port())}});
 
   // Drain on SIGINT/SIGTERM: the watcher blocks on the signal pipe, so the
   // main thread can simply wait for the front end to finish.
@@ -336,15 +354,29 @@ int run_tcp_server(serve::Server& server, const CliArgs& args) {
       while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
       }
     }
-    std::cerr << "cpr_serve: draining...\n";
+    CPR_LOG_INFO("draining...");
     tcp.shutdown(/*drain=*/true);
   });
   tcp.wait();
   // Unblock the watcher if shutdown came from elsewhere (e.g. a fatal error).
   on_shutdown_signal(0);
   signal_watcher.join();
-  std::cerr << "cpr_serve: drained, exiting\n";
+  CPR_LOG_INFO("drained, exiting");
   return 0;
+}
+
+/// Writes the given text to a file, logging the outcome; used for the
+/// --metrics-out / --trace-out artifact dumps on drain.
+void dump_artifact(const std::string& path, const std::string& text,
+                   const char* what) {
+  std::ofstream out(path);
+  out << text;
+  out.flush();
+  if (out.good()) {
+    log_line(LogLevel::Info, std::string(what) + " written", {{"path", path}});
+  } else {
+    log_line(LogLevel::Error, std::string("cannot write ") + what, {{"path", path}});
+  }
 }
 
 }  // namespace
@@ -355,6 +387,9 @@ int main(int argc, char** argv) {
     usage(std::cout);
     return 0;
   }
+  // A server's operational messages (inventory, listen address, drain) are
+  // worth seeing by default; an explicit CPR_LOG_LEVEL still wins.
+  if (!log_level_from_env()) set_log_level(LogLevel::Info);
   const std::string model_dir = args.get_string("models", "");
   if (model_dir.empty()) {
     usage(std::cerr);
@@ -372,6 +407,8 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.get_int("max-wait-us", 200));
     options.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 4096));
     options.cache_shards = static_cast<std::size_t>(args.get_int("cache-shards", 8));
+    options.trace_sample =
+        static_cast<std::uint64_t>(args.get_int("trace-sample", 0));
 
     serve::Server server(options);
     report_inventory(model_dir);
@@ -379,14 +416,31 @@ int main(int argc, char** argv) {
 
     const std::string socket_path = args.get_string("socket", "");
     if (args.has("tcp") && !socket_path.empty()) {
-      std::cerr << "error: --tcp and --socket are mutually exclusive\n";
+      CPR_LOG_ERROR("--tcp and --socket are mutually exclusive");
       return 1;
     }
-    if (args.has("tcp")) return run_tcp_server(server, args);
-    if (!socket_path.empty()) return run_socket_server(server, socket_path);
-    return run_stdio_server(server);
+    int rc;
+    if (args.has("tcp")) {
+      rc = run_tcp_server(server, args);
+    } else if (!socket_path.empty()) {
+      rc = run_socket_server(server, socket_path);
+    } else {
+      rc = run_stdio_server(server);
+    }
+
+    // Every transport returns with the server drained but still alive, so
+    // the final exposition/trace snapshots see all completed requests.
+    const std::string metrics_path = args.get_string("metrics-out", "");
+    if (!metrics_path.empty()) {
+      dump_artifact(metrics_path, server.metrics_text(), "metrics");
+    }
+    const std::string trace_path = args.get_string("trace-out", "");
+    if (!trace_path.empty()) {
+      dump_artifact(trace_path, server.traces().render_chrome_json(), "trace");
+    }
+    return rc;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    CPR_LOG_ERROR(e.what());
     return 1;
   }
 }

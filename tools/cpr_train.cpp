@@ -5,6 +5,7 @@
 //   cpr_train --data=measurements.csv --out=model.cprm [--model=cpr]
 //       [--cells=16] [--rank=8] [--lambda=1e-4] [--log-dims=m,n,k]
 //       [--categorical=solver:4] [--hyper=key:value,...] [--tune]
+//       [--profile] [--trace-out=trace.json]
 //
 // The CSV layout is one header row naming the parameters plus a final
 // "seconds" column (see common/dataset_io.hpp). Parameter ranges are taken
@@ -22,6 +23,7 @@
 // the same file format.
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -29,6 +31,7 @@
 #include "common/evaluation.hpp"
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
+#include "obs/profile.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -65,7 +68,13 @@ void usage(std::ostream& out) {
          "                         space with the cross-validating tuner instead of\n"
          "                         fitting one fixed configuration\n"
          "  --tune-threads=<n>     tuner worker threads (default: 1)\n"
-         "  --seed=<n>             training/tuning seed (default: 42)\n\n"
+         "  --seed=<n>             training/tuning seed (default: 42)\n"
+         "  --profile              print a per-phase kernel time table\n"
+         "                         (MTTKRP, fused Gram+RHS, potrf, QR, ...)\n"
+         "                         after the fit (default: off)\n"
+         "  --trace-out=<path>     also capture per-scope events and write\n"
+         "                         them as Chrome trace-event JSON, viewable\n"
+         "                         in Perfetto (default: off)\n\n"
          "registered model families:\n";
   const auto& registry = common::ModelRegistry::instance();
   for (const auto& name : registry.family_names()) {
@@ -93,6 +102,12 @@ int main(int argc, char** argv) {
     CPR_CHECK_MSG(common::ModelRegistry::instance().has_family(model_name),
                   "unknown model family '" << model_name
                                            << "' (run with --help for the list)");
+
+    const bool profile = args.has("profile");
+    const std::string trace_path = args.get_string("trace-out", "");
+    if (profile || !trace_path.empty()) {
+      obs::Profiler::instance().set_enabled(true, /*capture=*/!trace_path.empty());
+    }
 
     const auto loaded = common::load_dataset_csv(data_path);
     const auto& names = loaded.parameter_names;
@@ -145,6 +160,16 @@ int main(int argc, char** argv) {
     std::cout << "fitted " << model->name() << " (family '" << model_name << "')\n";
     std::cout << "training MLogQ (resubstitution): "
               << common::evaluate_mlogq(*model, loaded.data) << "\n";
+    if (profile || !trace_path.empty()) {
+      std::cout << "profile (per-phase wall time):\n";
+      obs::Profiler::instance().render_table().print(std::cout);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream trace_out(trace_path);
+      trace_out << obs::Profiler::instance().render_chrome_json();
+      CPR_CHECK_MSG(trace_out.good(), "cannot write trace to " << trace_path);
+      std::cout << "profile trace written to " << trace_path << "\n";
+    }
     core::save_model_file(*model, out_path);
     std::cout << "wrote " << model->model_size_bytes() << "-byte model to " << out_path
               << "\n";

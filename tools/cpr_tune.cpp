@@ -6,7 +6,7 @@
 //       [--trials=24] [--folds=3] [--rungs=3] [--eta=3] [--threads=1]
 //       [--seed=42] [--cells=16] [--log-dims=a,b] [--categorical=name:k,...]
 //       [--hyper=key:value,...] [--space=axis,...] [--json=trials.json]
-//       [--csv=trials.csv]
+//       [--csv=trials.csv] [--profile] [--trace-out=trace.json]
 //
 // The search space comes from the family's registry declaration; --hyper
 // pins keys (they are removed from the space and fixed at the given value),
@@ -27,6 +27,7 @@
 #include "common/dataset_io.hpp"
 #include "common/evaluation.hpp"
 #include "core/model_file.hpp"
+#include "obs/profile.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -59,7 +60,13 @@ void usage(std::ostream& out) {
          "                         name=v1|v2|...  or  name=lo..hi[:log|:int|:logint]\n"
          "                         (default: the family's registered space)\n"
          "  --json=<path>          write the ranked trials as JSON (default: off)\n"
-         "  --csv=<path>           write the ranked trials as CSV (default: off)\n\n"
+         "  --csv=<path>           write the ranked trials as CSV (default: off)\n"
+         "  --profile              print a per-phase time table (tune_rung,\n"
+         "                         tune_refit, and the kernels underneath)\n"
+         "                         after the tune (default: off)\n"
+         "  --trace-out=<path>     also capture per-scope events and write\n"
+         "                         them as Chrome trace-event JSON, viewable\n"
+         "                         in Perfetto (default: off)\n\n"
          "registered model families:\n";
   const auto& registry = common::ModelRegistry::instance();
   for (const auto& name : registry.family_names()) {
@@ -138,6 +145,12 @@ int main(int argc, char** argv) {
                   "unknown model family '" << model_name
                                            << "' (run with --help for the list)");
 
+    const bool profile = args.has("profile");
+    const std::string trace_path = args.get_string("trace-out", "");
+    if (profile || !trace_path.empty()) {
+      obs::Profiler::instance().set_enabled(true, /*capture=*/!trace_path.empty());
+    }
+
     const auto loaded = common::load_dataset_csv(data_path);
     std::cout << "loaded " << loaded.data.size() << " measurements of "
               << loaded.parameter_names.size() << " parameters from " << data_path
@@ -203,6 +216,16 @@ int main(int argc, char** argv) {
               << Table::fmt(outcome.best_mlogq, 4) << ")\n";
     std::cout << "training MLogQ (resubstitution): "
               << common::evaluate_mlogq(*outcome.model, loaded.data) << "\n";
+    if (profile || !trace_path.empty()) {
+      std::cout << "profile (per-phase wall time):\n";
+      obs::Profiler::instance().render_table().print(std::cout);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream trace_out(trace_path);
+      trace_out << obs::Profiler::instance().render_chrome_json();
+      CPR_CHECK_MSG(trace_out.good(), "cannot write trace to " << trace_path);
+      std::cout << "profile trace written to " << trace_path << "\n";
+    }
     const std::string out_path = args.get_string("out", "tuned.cprm");
     core::save_model_file(*outcome.model, out_path);
     std::cout << "wrote " << outcome.model->model_size_bytes() << "-byte "

@@ -2,8 +2,8 @@
 # One-command tier-1 gate: configure + build + ctest, exactly as CI and the
 # ROADMAP "Tier-1 verify" line run it. Exits nonzero on the first failure.
 #
-# Usage: tools/verify.sh [--fast] [--sanitize] [--tsan] [--bench] [--docs]
-#                        [build-dir]   (default: build)
+# Usage: tools/verify.sh [--fast] [--sanitize] [--tsan] [--bench] [--obs]
+#                        [--docs] [build-dir]   (default: build)
 #
 # --fast runs only the ctest suites labeled `quick` (everything except the
 # long tuner/serving suites tune_test + serve_test) — the inner-loop gate
@@ -35,6 +35,12 @@
 # on an otherwise-idle machine: timings taken while another build or test
 # run shares the CPU are meaningless and will trip the gate spuriously.
 #
+# --obs additionally smoke-tests the observability surface end to end:
+# train a tiny model with --profile/--trace-out, run a scripted cpr_serve
+# session with tracing on and --metrics-out/--trace-out, then validate every
+# artifact with cpr_obscheck (structural Prometheus-exposition and
+# Chrome-trace checks). Fails if any artifact is missing or malformed.
+#
 # --docs additionally runs a doxygen lint over src/ in warnings-as-errors
 # mode (malformed \param names, broken doc references). Skipped with a
 # notice when doxygen is not installed.
@@ -45,6 +51,7 @@ fast=0
 sanitize=0
 tsan=0
 bench=0
+obs=0
 docs=0
 build_dir=build
 for arg in "$@"; do
@@ -53,6 +60,7 @@ for arg in "$@"; do
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --bench) bench=1 ;;
+    --obs) obs=1 ;;
     --docs) docs=1 ;;
     *) build_dir="$arg" ;;
   esac
@@ -93,6 +101,35 @@ if [[ "$bench" -eq 1 ]]; then
     --out="$repo_root/BENCH_$(date +%F).json" \
     --threshold=0.35
   echo "verify.sh: cpr_bench regression gate green"
+fi
+
+if [[ "$obs" -eq 1 ]]; then
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "$obs_dir"' EXIT
+  mkdir -p "$obs_dir/models"
+  # Tiny matrix-multiply-shaped sweep: 48 rows over a 4x4x3 grid.
+  {
+    echo "m,n,k,seconds"
+    for m in 64 128 256 512; do
+      for n in 64 128 256 512; do
+        for k in 8 16 32; do
+          awk -v m="$m" -v n="$n" -v k="$k" \
+            'BEGIN { printf "%d,%d,%d,%.9f\n", m, n, k, 2.0e-10 * m * n * k }'
+        done
+      done
+    done
+  } > "$obs_dir/data.csv"
+  "$build_dir/tools/cpr_train" --data="$obs_dir/data.csv" \
+    --out="$obs_dir/models/mm.cprm" --cells=2 --rank=2 --log-dims=0,1,2 \
+    --profile --trace-out="$obs_dir/train_trace.json" > /dev/null
+  printf 'PREDICT mm 128,128,16\nPREDICT mm 128,128,16\nMETRICS\nQUIT\n' | \
+    "$build_dir/tools/cpr_serve" --models="$obs_dir/models" --trace-sample=1 \
+      --metrics-out="$obs_dir/metrics.prom" \
+      --trace-out="$obs_dir/serve_trace.json" > /dev/null
+  "$build_dir/tools/cpr_obscheck" --metrics="$obs_dir/metrics.prom" \
+    --trace="$obs_dir/serve_trace.json"
+  "$build_dir/tools/cpr_obscheck" --trace="$obs_dir/train_trace.json"
+  echo "verify.sh: observability smoke (train profile, serve metrics + traces, cpr_obscheck) green"
 fi
 
 if [[ "$docs" -eq 1 ]]; then
