@@ -7,6 +7,16 @@ void Regressor::save(SerialSink&) const {
                                         << "' does not support serialization");
 }
 
+void Regressor::observe(const grid::Config&, double) {
+  CPR_CHECK_MSG(false, "model family '" << type_tag()
+                                        << "' does not support online observation");
+}
+
+void Regressor::refresh() {
+  CPR_CHECK_MSG(false, "model family '" << type_tag()
+                                        << "' does not support online refresh");
+}
+
 std::vector<double> Regressor::predict_batch(const linalg::Matrix& x) const {
   std::vector<double> out(x.rows());
 #ifdef CPR_HAVE_OPENMP

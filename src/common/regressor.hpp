@@ -44,6 +44,20 @@ class Regressor {
   /// persisted keep the default, which throws CheckError.
   virtual void save(SerialSink& sink) const;
 
+  /// Online-learning hooks behind the serving path's OBSERVE/REFIT verbs.
+  /// A family that can ingest single observations and recompute its fitted
+  /// state warm (OnlineCprModel) overrides all three; anything built on the
+  /// defaults is refused by the server with an ERR instead of a crash.
+  virtual bool supports_observe() const { return false; }
+
+  /// Streams one observation (configuration, measured seconds) into the
+  /// model's running statistics. Default throws CheckError.
+  virtual void observe(const grid::Config& x, double seconds);
+
+  /// Recomputes the fitted state from everything observed so far — a warm
+  /// restart, not a cold refit. Default throws CheckError.
+  virtual void refresh();
+
   /// Predicts every row of `x` (n-by-d). The default parallelizes the
   /// scalar predict() over rows; families with an allocation-free batched
   /// path (CPR) override it. Row i always equals predict(row i) bitwise.

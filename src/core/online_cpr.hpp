@@ -39,13 +39,16 @@ class OnlineCprModel final : public common::Regressor {
   /// Batch interface: resets state and ingests the whole dataset.
   void fit(const common::Dataset& train) override;
 
+  /// The serving path may OBSERVE/REFIT this family (warm restarts).
+  bool supports_observe() const override { return true; }
+
   /// Streams one observation; triggers an automatic refresh every
   /// `refresh_interval` observations once a model exists.
-  void observe(const grid::Config& x, double seconds);
+  void observe(const grid::Config& x, double seconds) override;
 
   /// Recomputes the factors now: cold ALS on the first call, warm-started
   /// `refresh_sweeps` afterwards. No-op without observations.
-  void refresh();
+  void refresh() override;
 
   double predict(const grid::Config& x) const override;
 

@@ -1,0 +1,41 @@
+#include "serve/drift_tracker.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cpr::serve {
+
+DriftTracker::DriftTracker(std::size_t window) : ring_(window) {
+  CPR_CHECK_MSG(window > 0, "drift window needs at least one slot");
+}
+
+void DriftTracker::record(double predicted, double observed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (!(predicted > 0.0) || !(observed > 0.0) || !std::isfinite(predicted) ||
+      !std::isfinite(observed)) {
+    return;  // no log ratio; keep the window's history intact
+  }
+  ring_[next_] = std::log(predicted / observed);
+  next_ = (next_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+}
+
+DriftTracker::Snapshot DriftTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.observations = total_;
+  snap.window = filled_;
+  if (filled_ == 0) return snap;
+  double sum = 0.0, abs_sum = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    sum += ring_[i];
+    abs_sum += std::fabs(ring_[i]);
+  }
+  snap.signed_log_error = sum / static_cast<double>(filled_);
+  snap.abs_log_error = abs_sum / static_cast<double>(filled_);
+  return snap;
+}
+
+}  // namespace cpr::serve

@@ -1,0 +1,46 @@
+#pragma once
+// Rolling drift telemetry for the online-learning serving path.
+//
+// Every OBSERVE carries ground truth: the measured seconds for a
+// configuration the model would have predicted. DriftTracker keeps the
+// signed log-error log(predicted / observed) of the most recent
+// observations in a fixed ring, so the server can expose how far its
+// resident generation has drifted from the live workload — and how far a
+// refit pulled it back. Signed mean ≈ systematic bias (positive =
+// over-prediction); mean magnitude ≈ MLogQ against the live stream, the
+// same error the paper's figures use.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cpr::serve {
+
+class DriftTracker {
+ public:
+  /// `window` is the number of most-recent observations the rolling means
+  /// cover; the default matches OnlineCprModel's refresh interval.
+  explicit DriftTracker(std::size_t window = 256);
+
+  /// Records one prediction/ground-truth pair. Pairs that have no
+  /// well-defined log ratio (non-positive or non-finite values) are counted
+  /// but excluded from the window.
+  void record(double predicted, double observed);
+
+  struct Snapshot {
+    std::uint64_t observations = 0;  ///< lifetime record() calls
+    std::size_t window = 0;          ///< samples currently in the ring
+    double signed_log_error = 0.0;   ///< mean log(pred/observed) over window
+    double abs_log_error = 0.0;      ///< mean |log(pred/observed)| over window
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cpr::serve

@@ -1,23 +1,50 @@
 #include "serve/model_store.hpp"
 
+#include <cmath>
+#include <iterator>
+
+#include "common/model_registry.hpp"
 #include "core/model_file.hpp"
 #include "util/log.hpp"
+#include "util/serialize.hpp"
 
 namespace cpr::serve {
 
-ModelStore::ModelStore(std::string directory, std::chrono::milliseconds reload_check)
-    : directory_(std::move(directory)), reload_check_(reload_check) {}
+namespace {
+
+/// Stats the archive identity used for hot-reload detection. Returns false
+/// (without touching the outputs) when either stat fails — the archive is
+/// mid-rewrite or transiently missing.
+bool stat_archive(const std::string& path, std::filesystem::file_time_type& mtime,
+                  std::uintmax_t& size) {
+  std::error_code ec;
+  const auto m = std::filesystem::last_write_time(path, ec);
+  if (ec) return false;
+  const auto s = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  mtime = m;
+  size = s;
+  return true;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(std::string directory, std::chrono::milliseconds reload_check,
+                       std::size_t observe_buffer)
+    : directory_(std::move(directory)),
+      reload_check_(reload_check),
+      observe_buffer_(observe_buffer) {
+  CPR_CHECK_MSG(observe_buffer_ > 0, "observation buffer needs at least one slot");
+}
 
 std::shared_ptr<LoadedModel> ModelStore::load_archive(const std::string& name) const {
   const std::string path = core::model_file_path(directory_, name);
-  std::error_code ec;
-  const auto mtime = std::filesystem::last_write_time(path, ec);
-  CPR_CHECK_MSG(!ec, "unknown model '" << name << "': cannot stat " << path);
   auto loaded = std::make_shared<LoadedModel>();
+  CPR_CHECK_MSG(stat_archive(path, loaded->mtime, loaded->size),
+                "unknown model '" << name << "': cannot stat " << path);
   loaded->name = name;
   loaded->path = path;
   loaded->generation = 0;  // assigned when published
-  loaded->mtime = mtime;
   loaded->model = core::load_model_file(path);
   CPR_CHECK_MSG(loaded->model->input_dims() > 0,
                 path << ": archive holds an unfitted model");
@@ -33,7 +60,10 @@ ModelHandle ModelStore::publish(std::shared_ptr<LoadedModel> loaded,
   }
   loaded->generation = next_generation_++;
   ModelHandle handle = std::move(loaded);
-  entries_[handle->name] = Entry{handle, std::chrono::steady_clock::now()};
+  // Update in place: pending observations survive reloads and refits.
+  Entry& entry = entries_[handle->name];
+  entry.handle = handle;
+  entry.last_check = std::chrono::steady_clock::now();
   return handle;
 }
 
@@ -47,12 +77,22 @@ ModelHandle ModelStore::acquire(const std::string& name) {
       // instance. The stat is throttled so acquire() stays cheap.
       const auto now = std::chrono::steady_clock::now();
       if (now - it->second.last_check < reload_check_) return it->second.handle;
+      std::filesystem::file_time_type mtime;
+      std::uintmax_t size = 0;
+      if (!stat_archive(it->second.handle->path, mtime, size)) {
+        // Transient stat failure (mid-rewrite, racing unlink): keep serving
+        // the resident instance, but leave last_check untouched so the next
+        // acquire retries immediately instead of pinning a possibly stale
+        // handle for a whole throttle interval.
+        return it->second.handle;
+      }
       it->second.last_check = now;
-      std::error_code ec;
-      const auto mtime = std::filesystem::last_write_time(it->second.handle->path, ec);
-      // A transiently missing file (mid-rewrite) keeps serving the resident
-      // instance; the next acquire past the throttle re-checks.
-      if (ec || mtime == it->second.handle->mtime) return it->second.handle;
+      // Compare (mtime, size), not mtime alone: a rewrite landing within
+      // the file system's mtime granularity still changes the byte size in
+      // practice, and either difference must trigger a reload.
+      if (mtime == it->second.handle->mtime && size == it->second.handle->size) {
+        return it->second.handle;
+      }
       resident = it->second.handle;
     }
   }
@@ -87,7 +127,89 @@ ModelHandle ModelStore::load(const std::string& name) {
 
 void ModelStore::unload(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  CPR_CHECK_MSG(entries_.erase(name) == 1, "model '" << name << "' is not loaded");
+  const auto it = entries_.find(name);
+  CPR_CHECK_MSG(it != entries_.end(), "model '" << name << "' is not loaded");
+  dropped_unloaded_ += it->second.dropped;
+  entries_.erase(it);
+}
+
+ModelStore::ObserveResult ModelStore::observe(const std::string& name,
+                                              const grid::Config& x, double seconds) {
+  CPR_CHECK_MSG(std::isfinite(seconds) && seconds > 0.0,
+                "OBSERVE seconds must be a positive finite number");
+  ObserveResult result;
+  result.handle = acquire(name);
+  const common::Regressor& model = *result.handle->model;
+  CPR_CHECK_MSG(model.supports_observe(),
+                "model '" << name << "' (family " << model.type_tag()
+                          << ") does not support OBSERVE");
+  CPR_CHECK_MSG(x.size() == model.input_dims(),
+                "model '" << name << "' expects " << model.input_dims()
+                          << " values, got " << x.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  CPR_CHECK_MSG(it != entries_.end(), "model '" << name << "' is not loaded");
+  Entry& entry = it->second;
+  if (entry.pending.size() >= observe_buffer_) {
+    entry.pending.pop_front();  // bounded buffer: the freshest signal wins
+    ++entry.dropped;
+  }
+  entry.pending.push_back(Observation{x, seconds});
+  result.buffered = entry.pending.size();
+  return result;
+}
+
+ModelStore::RefitResult ModelStore::refit(const std::string& name) {
+  const ModelHandle resident = acquire(name);
+  const common::Regressor& model = *resident->model;
+  CPR_CHECK_MSG(model.supports_observe(),
+                "model '" << name << "' (family " << model.type_tag()
+                          << ") does not support REFIT");
+  std::vector<Observation> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    CPR_CHECK_MSG(it != entries_.end(), "model '" << name << "' is not loaded");
+    batch.assign(std::make_move_iterator(it->second.pending.begin()),
+                 std::make_move_iterator(it->second.pending.end()));
+    it->second.pending.clear();
+  }
+  // Clone through the registry archive round-trip: the resident instance is
+  // shared with in-flight predicts and must stay immutable, and the round
+  // trip restores the exact streaming state — so replaying the buffer below
+  // is bitwise-equal to an offline model fed the same observations.
+  BufferSink sink;
+  model.save(sink);
+  BufferSource source(sink.buffer());
+  common::RegressorPtr clone =
+      common::ModelRegistry::instance().load(model.type_tag(), source);
+  for (const Observation& obs : batch) clone->observe(obs.x, obs.seconds);
+  clone->refresh();
+
+  auto loaded = std::make_shared<LoadedModel>();
+  loaded->name = resident->name;
+  loaded->path = resident->path;
+  loaded->mtime = resident->mtime;  // disk identity unchanged: refit is in-memory
+  loaded->size = resident->size;
+  loaded->model = std::move(clone);
+  RefitResult result;
+  result.handle = publish(std::move(loaded), nullptr, /*force=*/true);
+  result.observations = batch.size();
+  return result;
+}
+
+std::size_t ModelStore::buffered_observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry.pending.size();
+  return total;
+}
+
+std::uint64_t ModelStore::dropped_observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = dropped_unloaded_;
+  for (const auto& [name, entry] : entries_) total += entry.dropped;
+  return total;
 }
 
 std::vector<std::string> ModelStore::loaded_names() const {

@@ -9,9 +9,18 @@
 // instance carries a store-unique generation number; the prediction cache
 // keys on it, which turns reload-invalidation into plain LRU aging instead
 // of a cross-shard purge.
+//
+// Online learning (the OBSERVE/REFIT verbs) also lives here: observe()
+// appends measured (configuration, seconds) pairs to a bounded per-model
+// buffer, and refit() — called from the background trainer thread, never a
+// request thread — drains that buffer into a clone of the resident model,
+// warm-refreshes it, and publishes the result as a new generation. The
+// resident instance is never mutated: concurrent predicts keep reading it
+// until the atomic publish, and their ref-counted handles stay valid after.
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -30,22 +39,33 @@ struct LoadedModel {
   std::string path;           ///< archive the instance was loaded from
   std::uint64_t generation;   ///< store-unique, bumps on every (re)load
   std::filesystem::file_time_type mtime;  ///< archive mtime at load
+  std::uintmax_t size = 0;    ///< archive byte size at load (reload detection)
   common::RegressorPtr model;
 };
 
 using ModelHandle = std::shared_ptr<const LoadedModel>;
 
+/// One measured data point streamed in through OBSERVE.
+struct Observation {
+  grid::Config x;
+  double seconds = 0.0;
+};
+
 class ModelStore {
  public:
   /// `reload_check` throttles the hot-reload stat(): a model's archive
   /// mtime is re-checked at most once per interval (zero = every acquire).
+  /// `observe_buffer` bounds the per-model observation buffer; once full,
+  /// the oldest pending observation is dropped (and counted) per append.
   explicit ModelStore(std::string directory,
-                      std::chrono::milliseconds reload_check = std::chrono::milliseconds(100));
+                      std::chrono::milliseconds reload_check = std::chrono::milliseconds(100),
+                      std::size_t observe_buffer = 4096);
 
   /// Returns a handle to `name`, loading `<dir>/<name>.cprm` on first use
-  /// and reloading it when the archive changed on disk since. Throws
-  /// CheckError on an unknown model (missing/corrupt archive) or a name
-  /// containing path components.
+  /// and reloading it when the archive changed on disk since — detected as
+  /// a change of (mtime, byte size), so a rewrite within the file system's
+  /// mtime granularity is still picked up. Throws CheckError on an unknown
+  /// model (missing/corrupt archive) or a name containing path components.
   ModelHandle acquire(const std::string& name);
 
   /// Forces a fresh load of `name` (LOAD command): always re-reads the
@@ -53,8 +73,43 @@ class ModelStore {
   ModelHandle load(const std::string& name);
 
   /// Drops the resident instance (UNLOAD command); in-flight handles keep
-  /// it alive. Throws CheckError when `name` is not loaded.
+  /// it alive. Pending observations for the model are discarded too.
+  /// Throws CheckError when `name` is not loaded.
   void unload(const std::string& name);
+
+  struct ObserveResult {
+    ModelHandle handle;        ///< resident instance the observation targets
+    std::size_t buffered = 0;  ///< pending observations after the append
+  };
+
+  /// Buffers one observation for `name` (OBSERVE command), lazily loading
+  /// the model like acquire(). Throws CheckError when the model's family
+  /// does not support online observation, on a dimension mismatch, or on a
+  /// non-positive/non-finite measurement. Buffered observations survive hot
+  /// reloads and refits (they drain into the next refit) but not UNLOAD.
+  ObserveResult observe(const std::string& name, const grid::Config& x, double seconds);
+
+  struct RefitResult {
+    ModelHandle handle;          ///< the freshly published generation
+    std::size_t observations = 0;  ///< pending observations replayed into it
+  };
+
+  /// Drains the pending observations into a clone of the resident model,
+  /// warm-refreshes it, and atomically publishes the clone as a new
+  /// generation (REFIT command; runs on the background trainer thread).
+  /// The clone is made through the registry archive round-trip, so the
+  /// result is bitwise-identical to an offline model fed the same
+  /// observations in the same order. A refit force-publishes: it wins over
+  /// a concurrent disk reload of the same model. Observations that arrive
+  /// while the refit is running stay buffered for the next one.
+  RefitResult refit(const std::string& name);
+
+  /// Pending (not yet refit) observations across all models — the
+  /// cpr_observations_buffered gauge.
+  std::size_t buffered_observations() const;
+
+  /// Observations dropped because a model's buffer was full (lifetime).
+  std::uint64_t dropped_observations() const;
 
   /// Names currently resident, sorted.
   std::vector<std::string> loaded_names() const;
@@ -67,7 +122,9 @@ class ModelStore {
  private:
   struct Entry {
     ModelHandle handle;
-    std::chrono::steady_clock::time_point last_check;  ///< of the mtime stat
+    std::chrono::steady_clock::time_point last_check;  ///< of the reload stat
+    std::deque<Observation> pending;  ///< bounded OBSERVE buffer
+    std::uint64_t dropped = 0;        ///< lifetime buffer-overflow drops
   };
 
   /// Reads + deserializes the archive for `name`. Pure I/O — called with
@@ -75,18 +132,21 @@ class ModelStore {
   /// The generation is assigned at publish time.
   std::shared_ptr<LoadedModel> load_archive(const std::string& name) const;
 
-  /// Registers a freshly loaded instance under `mu_`. When `force` is
-  /// false and the resident instance is no longer `expected_current`
-  /// (a concurrent load won the race), the resident one is returned and
-  /// `loaded` is discarded — callers never publish stale duplicates.
+  /// Registers a freshly loaded instance under `mu_`, preserving any
+  /// pending observations for the name. When `force` is false and the
+  /// resident instance is no longer `expected_current` (a concurrent load
+  /// won the race), the resident one is returned and `loaded` is discarded
+  /// — callers never publish stale duplicates.
   ModelHandle publish(std::shared_ptr<LoadedModel> loaded,
                       const LoadedModel* expected_current, bool force);
 
   std::string directory_;
   std::chrono::milliseconds reload_check_;
+  std::size_t observe_buffer_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   std::uint64_t next_generation_ = 1;
+  std::uint64_t dropped_unloaded_ = 0;  ///< drops from since-unloaded models
 };
 
 }  // namespace cpr::serve

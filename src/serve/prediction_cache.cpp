@@ -1,5 +1,6 @@
 #include "serve/prediction_cache.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/check.hpp"
@@ -24,11 +25,21 @@ std::string PredictionCache::make_key(std::string_view model, std::uint64_t gene
   key.push_back('#');
   key.append(std::to_string(generation));
   char buffer[32];
-  for (const double v : values) {
+  for (double v : values) {
+    key.push_back(';');
+    // NaN compares unequal to everything, so any NaN payload/sign would
+    // render ("nan"/"-nan") into a key that can only ever miss — collapse
+    // them all into one token instead of leaking formatter variants.
+    if (std::isnan(v)) {
+      key.append("nan");
+      continue;
+    }
+    // -0.0 == 0.0 and predicts identically, but %.12g renders "-0" vs "0";
+    // normalize so the two never split into distinct entries.
+    if (v == 0.0) v = 0.0;
     // 12 significant digits: textually-identical requests always collapse,
     // while sub-1e-12 relative float noise cannot split cache entries.
     std::snprintf(buffer, sizeof(buffer), "%.12g", v);
-    key.push_back(';');
     key.append(buffer);
   }
   return key;

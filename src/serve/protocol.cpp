@@ -41,6 +41,21 @@ Request parse_request(const std::string& line) {
       request.values.push_back(common::parse_number(field, "PREDICT value list"));
     }
     CPR_CHECK_MSG(!request.values.empty(), "PREDICT needs at least one value");
+  } else if (command == "OBSERVE") {
+    expect_arity(tokens, 4);
+    request.kind = RequestKind::Observe;
+    request.model = tokens[1];
+    for (const auto& field :
+         common::split_fields(tokens[2], ',', "OBSERVE value list")) {
+      request.values.push_back(common::parse_number(field, "OBSERVE value list"));
+    }
+    CPR_CHECK_MSG(!request.values.empty(), "OBSERVE needs at least one value");
+    request.seconds = common::parse_number(tokens[3], "OBSERVE seconds");
+    CPR_CHECK_MSG(request.seconds > 0.0, "OBSERVE seconds must be positive");
+  } else if (command == "REFIT") {
+    expect_arity(tokens, 2);
+    request.kind = RequestKind::Refit;
+    request.model = tokens[1];
   } else if (command == "LOAD") {
     expect_arity(tokens, 2);
     request.kind = RequestKind::Load;
@@ -65,9 +80,10 @@ Request parse_request(const std::string& line) {
     CPR_CHECK_MSG(false,
                   "FRAME BINARY is only available on the TCP transport");
   } else {
-    CPR_CHECK_MSG(false,
-                  "unknown request '"
-                      << command << "' (PREDICT/LOAD/UNLOAD/STATS/METRICS/QUIT)");
+    CPR_CHECK_MSG(
+        false, "unknown request '"
+                   << command
+                   << "' (PREDICT/OBSERVE/REFIT/LOAD/UNLOAD/STATS/METRICS/QUIT)");
   }
   return request;
 }

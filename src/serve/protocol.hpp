@@ -3,6 +3,12 @@
 //
 // Request grammar (one request per line, tokens separated by spaces):
 //   PREDICT <model> <v1,v2,...>   predict one configuration
+//   OBSERVE <model> <v1,v2,...> <seconds>
+//                                 stream one measured data point (buffered
+//                                 per model until the next refit)
+//   REFIT <model>                 refit from the buffered observations on
+//                                 the background trainer; replies when the
+//                                 new generation is published
 //   LOAD <model>                  force-(re)load <model>.cprm from the dir
 //   UNLOAD <model>                drop the resident instance
 //   STATS                         telemetry table
@@ -12,7 +18,8 @@
 //                                 transport intercepts it before dispatch)
 //
 // Responses: `OK ...` on success (`OK <seconds>` for PREDICT, with full
-// round-trip precision), `ERR <reason>` on failure; STATS emits its table
+// round-trip precision; `OK observed ...`/`OK refit ...` for the online
+// verbs), `ERR <reason>` on failure; STATS emits its table
 // lines before the final `OK`; METRICS emits the Prometheus exposition
 // lines before the final `OK`; the TCP front end may answer `BUSY` when
 // admission limits shed a request (see kBusyReply). Parsing is strict and
@@ -36,7 +43,7 @@
 
 namespace cpr::serve {
 
-enum class RequestKind { Predict, Load, Unload, Stats, Metrics, Quit };
+enum class RequestKind { Predict, Observe, Refit, Load, Unload, Stats, Metrics, Quit };
 
 /// Reply sent by the TCP front end when admission control sheds a request
 /// (global in-flight cap or per-connection write backlog exceeded). The
@@ -85,8 +92,9 @@ class FrameDecoder {
 
 struct Request {
   RequestKind kind;
-  std::string model;    ///< PREDICT/LOAD/UNLOAD only
-  grid::Config values;  ///< PREDICT only
+  std::string model;     ///< PREDICT/OBSERVE/REFIT/LOAD/UNLOAD only
+  grid::Config values;   ///< PREDICT/OBSERVE only
+  double seconds = 0.0;  ///< OBSERVE only: the measured execution time
 };
 
 /// Parses one request line; throws CheckError on any grammar violation.

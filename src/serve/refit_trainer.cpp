@@ -1,0 +1,96 @@
+#include "serve/refit_trainer.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace cpr::serve {
+
+RefitTrainer::RefitTrainer(ModelStore& store, Hooks hooks)
+    : store_(store), hooks_(hooks), worker_([this] { run(); }) {}
+
+RefitTrainer::~RefitTrainer() {
+  std::deque<Job> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    orphaned.swap(queue_);
+    queued_.clear();
+  }
+  cv_.notify_all();
+  worker_.join();
+  for (Job& job : orphaned) {
+    Outcome outcome;
+    outcome.error = "server shutting down";
+    job.promise->set_value(std::move(outcome));
+  }
+}
+
+std::shared_future<RefitTrainer::Outcome> RefitTrainer::request(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    // Shutdown already began: answer immediately instead of enqueueing a
+    // job nobody will run.
+    std::promise<Outcome> promise;
+    Outcome outcome;
+    outcome.error = "server shutting down";
+    promise.set_value(std::move(outcome));
+    return promise.get_future().share();
+  }
+  const auto it = queued_.find(name);
+  if (it != queued_.end()) return it->second;  // coalesce onto the queued job
+  Job job;
+  job.name = name;
+  job.promise = std::make_shared<std::promise<Outcome>>();
+  job.future = job.promise->get_future().share();
+  queued_.emplace(name, job.future);
+  queue_.push_back(job);
+  cv_.notify_one();
+  return queue_.back().future;
+}
+
+void RefitTrainer::run() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // the destructor fails whatever is still queued
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      // Un-queue before running: a request() arriving mid-refit must start
+      // a fresh job to cover observations this one's snapshot misses.
+      queued_.erase(job.name);
+    }
+    Outcome outcome;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const ModelStore::RefitResult result = store_.refit(job.name);
+      outcome.ok = true;
+      outcome.generation = result.handle->generation;
+      outcome.observations = result.observations;
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "unknown refit failure";
+    }
+    outcome.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (hooks_.duration) hooks_.duration->record(outcome.seconds);
+    if (outcome.ok) {
+      if (hooks_.refits) hooks_.refits->inc();
+      log_line(LogLevel::Info, "refit published",
+               {{"model", job.name},
+                {"generation", std::to_string(outcome.generation)},
+                {"observations", std::to_string(outcome.observations)}});
+    } else {
+      if (hooks_.failures) hooks_.failures->inc();
+      log_line(LogLevel::Warn, "refit failed",
+               {{"model", job.name}, {"error", outcome.error}});
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise->set_value(std::move(outcome));
+  }
+}
+
+}  // namespace cpr::serve

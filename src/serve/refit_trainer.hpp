@@ -1,0 +1,89 @@
+#pragma once
+// The background refit trainer: one shared worker thread that executes
+// ModelStore::refit() off the request path.
+//
+// request() enqueues a refit for a model and returns a shared_future every
+// interested party can wait on: the REFIT verb blocks its own request on
+// it (only that request — concurrent PREDICTs keep flowing, and the refit
+// itself runs on the trainer thread), while the --refit-after auto-policy
+// fires and forgets. Requests for a model that is already queued coalesce
+// onto the pending job instead of piling up — an OBSERVE burst schedules
+// exactly one refit, which drains the whole buffer when it runs. A request
+// arriving while that model's refit is mid-flight starts a fresh job:
+// observations recorded after the running refit snapshotted its buffer
+// still get trained in.
+//
+// Refit failures never throw out of the trainer: the outcome carries the
+// error text and the server renders it as a protocol ERR.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "serve/model_store.hpp"
+
+namespace cpr::serve {
+
+class RefitTrainer {
+ public:
+  /// Result of one refit job, delivered through the shared_future.
+  struct Outcome {
+    bool ok = false;
+    std::string error;             ///< failure cause when !ok
+    std::uint64_t generation = 0;  ///< published generation when ok
+    std::size_t observations = 0;  ///< buffered observations replayed
+    double seconds = 0.0;          ///< refit wall time
+  };
+
+  /// Telemetry sinks recorded per completed job; any pointer may be null.
+  struct Hooks {
+    obs::Counter* refits = nullptr;        ///< successful refits
+    obs::Counter* failures = nullptr;      ///< failed refits
+    obs::Histogram* duration = nullptr;    ///< refit wall time
+  };
+
+  /// `store` must outlive the trainer; `hooks` sinks may be null.
+  RefitTrainer(ModelStore& store, Hooks hooks);
+
+  /// Fails every queued job with a shutdown outcome and joins the worker.
+  ~RefitTrainer();
+
+  RefitTrainer(const RefitTrainer&) = delete;
+  RefitTrainer& operator=(const RefitTrainer&) = delete;
+
+  /// Schedules a refit of `name` (coalescing with a queued one) and returns
+  /// the future its outcome will arrive on. Never blocks on the refit.
+  std::shared_future<Outcome> request(const std::string& name);
+
+  /// Jobs completed so far (success or failure) — test/telemetry hook.
+  std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Job {
+    std::string name;
+    std::shared_ptr<std::promise<Outcome>> promise;
+    std::shared_future<Outcome> future;
+  };
+
+  void run();
+
+  ModelStore& store_;
+  Hooks hooks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<Job> queue_;
+  /// Queued (not yet running) jobs by model, for request() coalescing.
+  std::map<std::string, std::shared_future<Outcome>> queued_;
+  std::atomic<std::uint64_t> completed_{0};
+  std::thread worker_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace cpr::serve

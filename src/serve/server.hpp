@@ -17,10 +17,12 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/drift_tracker.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/model_store.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/protocol.hpp"
+#include "serve/refit_trainer.hpp"
 #include "serve/server_stats.hpp"
 
 namespace cpr::serve {
@@ -32,6 +34,10 @@ struct ServerOptions {
   std::size_t cache_shards = 8;
   std::chrono::milliseconds reload_check{100};  ///< hot-reload stat throttle
   std::uint64_t trace_sample = 0;  ///< trace every Nth request; 0 disables
+  std::size_t refit_after = 0;     ///< auto-refit every N buffered observations;
+                                   ///< 0 = only explicit REFIT
+  std::size_t observe_buffer = 4096;  ///< per-model OBSERVE buffer bound
+  std::size_t drift_window = 256;  ///< rolling drift-error window size
 };
 
 class Server {
@@ -64,6 +70,12 @@ class Server {
   /// Request-trace sampling and export (cpr_serve --trace-sample/--trace-out).
   obs::TraceCollector& traces() { return traces_; }
 
+  /// Rolling OBSERVE-error telemetry (also exposed via METRICS/STATS).
+  DriftTracker::Snapshot drift() const { return drift_.snapshot(); }
+
+  /// The background refit trainer (test hook: completed-job count).
+  const RefitTrainer& trainer() const { return trainer_; }
+
   /// The Prometheus text exposition behind the METRICS verb and
   /// `cpr_serve --metrics-out` (without the protocol's trailing OK).
   std::string metrics_text() const { return registry_.render(); }
@@ -71,7 +83,10 @@ class Server {
  private:
   std::string handle_predict(const Request& request, const obs::TraceHandle& trace,
                              obs::SpanTimer& span);
+  std::string handle_observe(const Request& request);
+  std::string handle_refit(const Request& request);
   MicroBatcher::Options batcher_options();
+  RefitTrainer::Hooks trainer_hooks();
 
   ServerOptions options_;
   obs::Registry registry_;
@@ -80,6 +95,8 @@ class Server {
   PredictionCache cache_;
   ServerStats stats_;   // registers its metrics; must precede batcher_
   MicroBatcher batcher_;  // borrows stage histograms owned via stats_
+  DriftTracker drift_;
+  RefitTrainer trainer_;  // last: its worker uses store_/stats_ until joined
 };
 
 }  // namespace cpr::serve

@@ -9,6 +9,12 @@ ServerStats::ServerStats(obs::Registry& registry)
                                 "requests answered ERR")),
       sheds_(&registry.counter("cpr_busy_shed_total",
                                "requests shed with BUSY by admission control")),
+      observes_(&registry.counter("cpr_observes_total",
+                                  "OBSERVE requests accepted (observation buffered)")),
+      refits_(&registry.counter("cpr_refits_total",
+                                "background refits published as new generations")),
+      refit_failures_(&registry.counter("cpr_refit_failures_total",
+                                        "background refits that failed")),
       connections_(&registry.gauge("cpr_connections_open",
                                    "transport connections currently open")),
       latency_(&registry.histogram("cpr_request_latency_seconds",
@@ -24,6 +30,9 @@ ServerStats::ServerStats(obs::Registry& registry)
       flush_time_(&registry.histogram(
           "cpr_flush_seconds",
           "reply-ticket wait between dispatch completion and reply render")),
+      refit_duration_(&registry.histogram(
+          "cpr_refit_seconds",
+          "background refit wall time (clone + replay + warm refresh)")),
       start_(std::chrono::steady_clock::now()) {}
 
 ServerStats::Snapshot ServerStats::snapshot() const {
@@ -31,6 +40,9 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   snap.predicts = predicts_->value();
   snap.errors = errors_->value();
   snap.sheds = sheds_->value();
+  snap.observes = observes_->value();
+  snap.refits = refits_->value();
+  snap.refit_failures = refit_failures_->value();
   snap.connections = connections_->value();
   snap.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
@@ -47,7 +59,9 @@ ServerStats::Snapshot ServerStats::snapshot() const {
 Table render_stats_table(const ServerStats::Snapshot& requests,
                          const PredictionCache::Counters& cache,
                          const MicroBatcher::Stats& batcher,
-                         const std::vector<std::string>& loaded_models) {
+                         const std::vector<std::string>& loaded_models,
+                         const DriftTracker::Snapshot& drift,
+                         std::size_t buffered_observations) {
   Table table({"metric", "value"});
   table.add_row({"predicts", Table::fmt(requests.predicts)});
   table.add_row({"errors", Table::fmt(requests.errors)});
@@ -66,6 +80,12 @@ Table render_stats_table(const ServerStats::Snapshot& requests,
   table.add_row({"batches", Table::fmt(batcher.batches)});
   table.add_row({"mean_batch", Table::fmt(batcher.mean_batch(), 2)});
   table.add_row({"max_batch", Table::fmt(batcher.max_batch_seen)});
+  table.add_row({"observes", Table::fmt(requests.observes)});
+  table.add_row({"obs_buffered", Table::fmt(buffered_observations)});
+  table.add_row({"refits", Table::fmt(requests.refits)});
+  table.add_row({"refit_failures", Table::fmt(requests.refit_failures)});
+  table.add_row({"drift_abs_logerr", Table::fmt(drift.abs_log_error, 4)});
+  table.add_row({"drift_signed_logerr", Table::fmt(drift.signed_log_error, 4)});
   std::string models;
   for (const auto& name : loaded_models) {
     if (!models.empty()) models += ' ';

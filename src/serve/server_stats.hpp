@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/drift_tracker.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/prediction_cache.hpp"
 #include "util/table.hpp"
@@ -39,6 +40,9 @@ class ServerStats {
   /// Records a request answered with ERR.
   void record_error() { errors_->inc(); }
 
+  /// Records one accepted OBSERVE (the observation was buffered).
+  void record_observe() { observes_->inc(); }
+
   /// Records a request shed with a BUSY reply (admission control).
   void record_shed() { sheds_->inc(); }
 
@@ -54,10 +58,18 @@ class ServerStats {
   obs::Histogram& flush_time() { return *flush_time_; }
   const obs::Histogram& request_latency() const { return *latency_; }
 
+  /// Background-trainer telemetry, wired into RefitTrainer::Hooks.
+  obs::Counter& refits() { return *refits_; }
+  obs::Counter& refit_failures() { return *refit_failures_; }
+  obs::Histogram& refit_duration() { return *refit_duration_; }
+
   struct Snapshot {
     std::uint64_t predicts = 0;
     std::uint64_t errors = 0;
     std::uint64_t sheds = 0;        ///< requests answered BUSY, never executed
+    std::uint64_t observes = 0;     ///< OBSERVE requests accepted
+    std::uint64_t refits = 0;       ///< refits published
+    std::uint64_t refit_failures = 0;
     std::int64_t connections = 0;   ///< transport connections open right now
     double elapsed_seconds = 0.0;  ///< since the stats object was created
     double qps = 0.0;              ///< predicts / elapsed
@@ -71,19 +83,27 @@ class ServerStats {
   obs::Counter* predicts_;
   obs::Counter* errors_;
   obs::Counter* sheds_;
+  obs::Counter* observes_;
+  obs::Counter* refits_;
+  obs::Counter* refit_failures_;
   obs::Gauge* connections_;
   obs::Histogram* latency_;
   obs::Histogram* admission_wait_;
   obs::Histogram* batch_wait_;
   obs::Histogram* predict_time_;
   obs::Histogram* flush_time_;
+  obs::Histogram* refit_duration_;
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Renders one STATS table from the server's component counters.
+/// Renders one STATS table from the server's component counters. `drift` is
+/// the rolling OBSERVE-error window and `buffered_observations` the pending
+/// (not yet refit) observation count across models.
 Table render_stats_table(const ServerStats::Snapshot& requests,
                          const PredictionCache::Counters& cache,
                          const MicroBatcher::Stats& batcher,
-                         const std::vector<std::string>& loaded_models);
+                         const std::vector<std::string>& loaded_models,
+                         const DriftTracker::Snapshot& drift = {},
+                         std::size_t buffered_observations = 0);
 
 }  // namespace cpr::serve

@@ -66,7 +66,9 @@ TEST(ProtocolFuzz, RandomLinesNeverCrashTheParser) {
 
 TEST(ProtocolFuzz, TruncatedAndMutatedValidLinesNeverCrash) {
   const std::string valid[] = {
-      "PREDICT mm 1024,512,8", "LOAD mm", "UNLOAD mm", "STATS", "QUIT",
+      "PREDICT mm 1024,512,8", "OBSERVE mm 1024,512,8 0.25", "REFIT mm",
+      "LOAD mm",               "UNLOAD mm",                  "STATS",
+      "QUIT",
   };
   // Every prefix of every valid line (truncated mid-token, mid-number, ...).
   for (const auto& line : valid) {
@@ -78,7 +80,7 @@ TEST(ProtocolFuzz, TruncatedAndMutatedValidLinesNeverCrash) {
   // Random single-byte mutations.
   Rng rng(2);
   for (int i = 0; i < 2000; ++i) {
-    std::string line = valid[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    std::string line = valid[static_cast<std::size_t>(rng.uniform_int(0, 6))];
     const auto pos =
         static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
     line[pos] = static_cast<char>(rng.uniform_int(0, 255));
@@ -181,6 +183,49 @@ TEST(ServerFuzz, RandomSessionsAlwaysGetOkOrErrReplies) {
   }
   EXPECT_GE(ok_replies, 120u);  // the interleaved valid PREDICTs all served
   EXPECT_EQ(server.handle_line("PREDICT pl 100,200").text.rfind("OK ", 0), 0u);
+}
+
+TEST(ServerFuzz, ObserveRefitTrafficIsTotal) {
+  // The online-learning verbs under hostile traffic: valid OBSERVE/REFIT/
+  // PREDICT interleaved with single-byte mutants of an OBSERVE line. Every
+  // reply must be OK or ERR; a small buffer exercises the overflow path.
+  TempModelDir dir("fuzz_observe");
+  auto model =
+      ModelRegistry::instance().create("cpr-online", testdata::zoo_spec("cpr-online"));
+  model->fit(testdata::sample_noisy_power_law(128, 7));
+  dir.save("ol", *model);
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 1;
+  options.observe_buffer = 32;
+  serve::Server server(options);
+
+  Rng rng(5);
+  std::size_t ok_replies = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::string line = "OBSERVE ol 100,200 0.25";
+    switch (i % 6) {
+      case 0: break;
+      case 1: line = "PREDICT ol 100,200"; break;
+      case 2: line = "REFIT ol"; break;
+      default: {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+        line[pos] = static_cast<char>(rng.uniform_int(0, 255));
+        break;
+      }
+    }
+    const auto reply = server.handle_line(line);
+    ASSERT_FALSE(reply.text.empty());
+    const bool ok = reply.text.rfind("OK", 0) == 0;
+    const bool err = reply.text.rfind("ERR ", 0) == 0;
+    EXPECT_TRUE(ok || err) << "unexpected reply '" << reply.text << "'";
+    if (ok) ++ok_replies;
+    ASSERT_FALSE(reply.quit);
+  }
+  EXPECT_GE(ok_replies, 200u);  // all the unmutated traffic served
+  EXPECT_EQ(server.handle_line("PREDICT ol 100,200").text.rfind("OK ", 0), 0u);
 }
 
 TEST(ServerFuzz, MetricsVerbStaysValidThroughHostileTraffic) {

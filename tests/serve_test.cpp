@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -49,6 +51,37 @@ common::RegressorPtr fit_family(const std::string& family, std::uint64_t seed = 
   auto model = ModelRegistry::instance().create(family, zoo_spec(family));
   model->fit(sample_power_law(256, seed));
   return model;
+}
+
+/// The online-serving fixture: a streaming CPR fit for OBSERVE/REFIT tests.
+/// Noise-free samples keep the pre-drift fit tight.
+common::RegressorPtr fit_online(std::size_t n = 256, std::uint64_t seed = 7) {
+  auto model =
+      ModelRegistry::instance().create("cpr-online", zoo_spec("cpr-online"));
+  model->fit(testdata::sample_power_law(n, seed));
+  return model;
+}
+
+/// The drifted truth OBSERVEs report: a constant factor above the law the
+/// archive was fitted on (log-space shift of ln 8 ≈ 2.08).
+double shifted_truth(const Config& config) {
+  return 8.0 * testdata::power_law(config);
+}
+
+std::string predict_line(const std::string& name, const Config& config) {
+  std::ostringstream line;
+  line.precision(17);
+  line << "PREDICT " << name << " " << config[0] << "," << config[1];
+  return line.str();
+}
+
+std::string observe_line(const std::string& name, const Config& config,
+                         double seconds) {
+  std::ostringstream line;
+  line.precision(17);
+  line << "OBSERVE " << name << " " << config[0] << "," << config[1] << " "
+       << seconds;
+  return line.str();
 }
 
 /// Wraps a fitted model in a store-style handle without touching disk.
@@ -200,6 +233,21 @@ TEST(PredictionCache, KeyQuantizationCollapsesFloatNoiseOnly) {
             serve::PredictionCache::make_key("n", 1, base));
 }
 
+TEST(PredictionCache, KeyNormalizesSignedZeroAndNan) {
+  // -0.0 == 0.0 yet prints differently: the key must collapse them, or two
+  // inputs the model cannot distinguish would occupy distinct entries.
+  EXPECT_EQ(serve::PredictionCache::make_key("m", 1, Config{0.0, 5.0}),
+            serve::PredictionCache::make_key("m", 1, Config{-0.0, 5.0}));
+  // Every NaN payload and sign collapses to one fixed token instead of
+  // leaking whatever printf renders ("nan" vs "-nan(0x...)").
+  const double quiet = std::numeric_limits<double>::quiet_NaN();
+  const double negative_payload = std::copysign(std::nan("0x7ff"), -1.0);
+  EXPECT_EQ(serve::PredictionCache::make_key("m", 1, Config{quiet}),
+            serve::PredictionCache::make_key("m", 1, Config{negative_payload}));
+  EXPECT_NE(serve::PredictionCache::make_key("m", 1, Config{quiet}),
+            serve::PredictionCache::make_key("m", 1, Config{0.0}));
+}
+
 // ------------------------------------------------------------------ store
 
 TEST(ModelStore, LazyLoadUnloadAndRefCounting) {
@@ -273,6 +321,52 @@ TEST(ModelStore, CorruptRewriteKeepsServingTheResidentInstance) {
   EXPECT_THROW(store.acquire("pl"), CheckError);
 }
 
+TEST(ModelStore, SameMtimeRewriteIsCaughtBySizeChange) {
+  TempModelDir dir("samemtime");
+  const std::string path = dir.save("pl", *fit_family("cpr"));
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(0));
+  const serve::ModelHandle first = store.acquire("pl");
+  const auto mtime = std::filesystem::last_write_time(path);
+
+  // Rewrite the archive within the filesystem's timestamp granularity: a
+  // different family yields a different byte size, and the mtime is pinned
+  // back to the original value. An mtime-only change check serves stale.
+  dir.save("pl", *fit_family("knn"));
+  ASSERT_NE(std::filesystem::file_size(path), first->size);
+  std::filesystem::last_write_time(path, mtime);
+
+  const serve::ModelHandle second = store.acquire("pl");
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_GT(second->generation, first->generation);
+  // The rewritten archive really got loaded (knn rides the log-space wrapper).
+  EXPECT_NE(second->model->type_tag(), first->model->type_tag());
+}
+
+TEST(ModelStore, TransientStatErrorRetriesInsteadOfArmingThrottle) {
+  TempModelDir dir("statretry");
+  const std::string path = dir.save("pl", *fit_family("cpr", /*seed=*/7));
+  const std::string replacement = dir.save("next", *fit_family("cpr", /*seed=*/8));
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(50));
+  const serve::ModelHandle first = store.acquire("pl");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // pass the throttle
+
+  // An atomic-rename rewrite caught in the gap where the archive is absent:
+  // acquire keeps serving the resident instance, and the failed stat must
+  // not count as a completed freshness check.
+  std::filesystem::rename(path, path + ".gone");
+  EXPECT_EQ(store.acquire("pl").get(), first.get());
+
+  std::filesystem::rename(replacement, path);
+  std::filesystem::last_write_time(path, first->mtime + std::chrono::seconds(2));
+  // Immediately inside the 50ms window after the failed stat: had the error
+  // armed the throttle, this acquire would pin the stale instance.
+  const serve::ModelHandle second = store.acquire("pl");
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_GT(second->generation, first->generation);
+}
+
 // --------------------------------------------------------------- protocol
 
 TEST(Protocol, ParsesWellFormedRequests) {
@@ -280,6 +374,15 @@ TEST(Protocol, ParsesWellFormedRequests) {
   EXPECT_EQ(predict.kind, serve::RequestKind::Predict);
   EXPECT_EQ(predict.model, "mm");
   EXPECT_EQ(predict.values, (Config{1024.0, 512.0, 8.0}));
+
+  const auto observe = serve::parse_request("OBSERVE mm 1024,512,8 0.125");
+  EXPECT_EQ(observe.kind, serve::RequestKind::Observe);
+  EXPECT_EQ(observe.model, "mm");
+  EXPECT_EQ(observe.values, (Config{1024.0, 512.0, 8.0}));
+  EXPECT_EQ(observe.seconds, 0.125);
+
+  EXPECT_EQ(serve::parse_request("REFIT mm").kind, serve::RequestKind::Refit);
+  EXPECT_EQ(serve::parse_request("REFIT mm").model, "mm");
 
   EXPECT_EQ(serve::parse_request("LOAD mm").kind, serve::RequestKind::Load);
   EXPECT_EQ(serve::parse_request("UNLOAD mm").model, "mm");
@@ -298,6 +401,17 @@ TEST(Protocol, RejectsMalformedLines) {
       "PREDICT mm 1,inf",       // infinite value
       "PREDICT mm 1,zzz",       // non-numeric value
       "PREDICT mm 1.5e2junk",   // trailing junk
+      "OBSERVE",                // missing everything
+      "OBSERVE mm",             // missing values + seconds
+      "OBSERVE mm 1,2",         // missing seconds
+      "OBSERVE mm 1,2 0",       // non-positive seconds
+      "OBSERVE mm 1,2 -1.5",    // negative seconds
+      "OBSERVE mm 1,2 nan",     // NaN seconds
+      "OBSERVE mm 1,2 inf",     // infinite seconds
+      "OBSERVE mm 1,nan 3",     // NaN value
+      "OBSERVE mm 1,2 3 4",     // stray token
+      "REFIT",                  // missing model
+      "REFIT mm now",           // stray token
       "LOAD",                   // missing model
       "LOAD a b",               // stray token
       "STATS now",              // stray token
@@ -419,6 +533,221 @@ TEST(Server, LazyLoadOnPredictAndConcurrentClients) {
   const auto snapshot = server.request_stats().snapshot();
   EXPECT_EQ(snapshot.predicts, kClients * kRequests);
   EXPECT_EQ(snapshot.errors, 0u);
+}
+
+// ------------------------------------------- online learning (OBSERVE/REFIT)
+
+TEST(Server, ObserveRefitPredictMatchesOfflineReplayBitwise) {
+  TempModelDir dir("online");
+  const std::string path = dir.save("pl", *fit_online());
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 2;
+  options.batcher.max_wait_us = 50;
+  serve::Server server(options);
+
+  // The offline twin: the same archive replaying the same observations in
+  // the same order, refreshed once. Serving must match it bitwise.
+  const common::RegressorPtr offline = core::load_model_file(path);
+
+  Rng rng(21);
+  std::vector<Config> probes;
+  for (int i = 0; i < 12; ++i) probes.push_back(random_config(rng));
+  std::vector<std::string> before;  // pre-refit replies prime the cache
+  for (const Config& probe : probes) {
+    const auto reply = server.handle_line(predict_line("pl", probe));
+    ASSERT_EQ(reply.text.rfind("OK ", 0), 0u) << reply.text;
+    before.push_back(reply.text);
+  }
+
+  for (int i = 0; i < 48; ++i) {
+    const Config config = random_config(rng);
+    const double seconds = shifted_truth(config);
+    const auto reply = server.handle_line(observe_line("pl", config, seconds));
+    ASSERT_EQ(reply.text, "OK observed pl buffered=" + std::to_string(i + 1));
+    offline->observe(config, seconds);
+  }
+  const auto refit = server.handle_line("REFIT pl");
+  ASSERT_EQ(refit.text.rfind("OK refit pl generation=", 0), 0u) << refit.text;
+  EXPECT_NE(refit.text.find("observations=48"), std::string::npos) << refit.text;
+  offline->refresh();
+
+  // Post-refit predictions are bitwise-identical to the offline replay, and
+  // the generation-keyed cache entries of the old model never resurface.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto reply = server.handle_line(predict_line("pl", probes[i]));
+    ASSERT_EQ(reply.text.rfind("OK ", 0), 0u) << reply.text;
+    EXPECT_EQ(std::stod(reply.text.substr(3)), offline->predict(probes[i]));
+    EXPECT_NE(reply.text, before[i]) << "stale pre-refit cache entry served";
+  }
+
+  const auto snapshot = server.request_stats().snapshot();
+  EXPECT_EQ(snapshot.observes, 48u);
+  EXPECT_EQ(snapshot.refits, 1u);
+  EXPECT_EQ(snapshot.refit_failures, 0u);
+  EXPECT_EQ(server.store().buffered_observations(), 0u);  // refit drained it
+}
+
+TEST(Server, RefitReducesRollingDriftError) {
+  TempModelDir dir("drift");
+  // A small initial fit so the streamed observations dominate the refit.
+  dir.save("pl", *fit_online(/*n=*/64));
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 1;
+  options.drift_window = 64;
+  serve::Server server(options);
+
+  Rng rng(31);
+  const auto stream = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const Config config = random_config(rng);
+      const auto reply =
+          server.handle_line(observe_line("pl", config, shifted_truth(config)));
+      ASSERT_EQ(reply.text.rfind("OK observed", 0), 0u) << reply.text;
+    }
+  };
+
+  stream(192);
+  const double before = server.drift().abs_log_error;
+  EXPECT_GT(before, 1.0);  // the 8x shift is ln 8 ≈ 2.08 in log space
+
+  ASSERT_EQ(server.handle_line("REFIT pl").text.rfind("OK refit", 0), 0u);
+
+  stream(64);  // the same drifted truth, now scored against the refit model
+  const double after = server.drift().abs_log_error;
+  EXPECT_LT(after, before * 0.5) << "refit did not recover the drift error";
+
+  const std::string metrics = server.handle_line("METRICS").text;
+  EXPECT_NE(metrics.find("cpr_drift_abs_log_error"), std::string::npos);
+  EXPECT_NE(metrics.find("cpr_drift_signed_log_error"), std::string::npos);
+  EXPECT_NE(metrics.find("cpr_refits_total 1"), std::string::npos);
+  // The post-refit stream is buffered awaiting the next refit.
+  EXPECT_NE(metrics.find("cpr_observations_buffered 64"), std::string::npos);
+}
+
+TEST(Server, AutoRefitPolicyFiresOffTheRequestPath) {
+  TempModelDir dir("autorefit");
+  dir.save("pl", *fit_online());
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 1;
+  options.refit_after = 8;
+  serve::Server server(options);
+
+  Rng rng(41);
+  for (int i = 0; i < 8; ++i) {
+    const Config config = random_config(rng);
+    const auto reply =
+        server.handle_line(observe_line("pl", config, shifted_truth(config)));
+    ASSERT_EQ(reply.text.rfind("OK observed", 0), 0u) << reply.text;
+  }
+  // The eighth OBSERVE scheduled a background refit; wait for it to land.
+  for (int i = 0; i < 500 && server.trainer().completed() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.trainer().completed(), 1u);
+  EXPECT_EQ(server.request_stats().snapshot().refits, 1u);
+  EXPECT_GT(server.store().acquire("pl")->generation, 1u);
+  EXPECT_EQ(server.store().buffered_observations(), 0u);
+}
+
+TEST(Server, ObserveAndRefitFailuresAreErrReplies) {
+  TempModelDir dir("onlineerr");
+  dir.save("static", *fit_family("cpr"));  // family without observe support
+  dir.save("pl", *fit_online());
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 1;
+  serve::Server server(options);
+
+  EXPECT_EQ(server.handle_line("OBSERVE nosuch 1,2 3").text.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.handle_line("OBSERVE pl 1,2,3 4").text.rfind("ERR ", 0), 0u);
+  const auto unsupported = server.handle_line("OBSERVE static 100,200 0.5");
+  EXPECT_EQ(unsupported.text.rfind("ERR ", 0), 0u);
+  EXPECT_NE(unsupported.text.find("does not support"), std::string::npos)
+      << unsupported.text;
+  EXPECT_EQ(server.handle_line("REFIT static").text.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.handle_line("REFIT nosuch").text.rfind("ERR ", 0), 0u);
+
+  // Failed refits surface in telemetry; nothing was buffered or published.
+  EXPECT_EQ(server.request_stats().snapshot().refit_failures, 2u);
+  EXPECT_EQ(server.store().buffered_observations(), 0u);
+
+  // REFIT with an empty buffer is a (trivial) success: warm refresh only.
+  const auto empty = server.handle_line("REFIT pl");
+  EXPECT_EQ(empty.text.rfind("OK refit pl ", 0), 0u) << empty.text;
+  EXPECT_NE(empty.text.find("observations=0"), std::string::npos) << empty.text;
+}
+
+TEST(Server, GenerationSwapsStayBitwiseUnderConcurrentPredicts) {
+  TempModelDir dir("swap");
+  const std::string path = dir.save("pl", *fit_online());
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 2;
+  options.batcher.max_wait_us = 50;
+  options.cache_capacity = 64;  // small: swaps + evictions under load
+  serve::Server server(options);
+
+  constexpr std::size_t kClients = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::string> failures[kClients];
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(200 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto reply = server.handle_line(predict_line("pl", random_config(rng)));
+        if (reply.text.rfind("OK ", 0) != 0) failures[c].push_back(reply.text);
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Drive three full observe→refit cycles while the clients hammer away,
+  // mirroring every call on an offline twin for the final bitwise check.
+  // EXPECT (not ASSERT) inside this section: the client threads must join
+  // before the test body may return.
+  const common::RegressorPtr offline = core::load_model_file(path);
+  Rng rng(51);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      const Config config = random_config(rng);
+      const double seconds = shifted_truth(config);
+      const auto reply = server.handle_line(observe_line("pl", config, seconds));
+      EXPECT_EQ(reply.text.rfind("OK observed", 0), 0u) << reply.text;
+      offline->observe(config, seconds);
+    }
+    const auto refit = server.handle_line("REFIT pl");
+    EXPECT_EQ(refit.text.rfind("OK refit pl ", 0), 0u) << refit.text;
+    offline->refresh();
+  }
+  stop.store(true);
+  for (auto& client : clients) client.join();
+
+  for (const auto& f : failures) {
+    EXPECT_TRUE(f.empty()) << f.size() << " ERR replies, first: " << f.front();
+  }
+  EXPECT_GT(served.load(), 0u);
+
+  // Every in-flight PREDICT rode some published generation; the final one
+  // answers bitwise-identically to the offline replay.
+  Rng probe_rng(52);
+  for (int i = 0; i < 8; ++i) {
+    const Config config = random_config(probe_rng);
+    const auto reply = server.handle_line(predict_line("pl", config));
+    ASSERT_EQ(reply.text.rfind("OK ", 0), 0u) << reply.text;
+    EXPECT_EQ(std::stod(reply.text.substr(3)), offline->predict(config));
+  }
+  EXPECT_EQ(server.request_stats().snapshot().refits, 3u);
+  EXPECT_EQ(server.request_stats().snapshot().errors, 0u);
 }
 
 // -------------------------------------------------------- TCP front end

@@ -61,8 +61,8 @@ const std::vector<ToolSpec> kTools = {
     {"cpr_serve",
      {"--models", "--socket", "--tcp", "--io-threads", "--max-inflight",
       "--max-backlog", "--threads", "--workers", "--max-batch",
-      "--max-wait-us", "--cache", "--cache-shards", "--trace-sample",
-      "--trace-out", "--metrics-out"},
+      "--max-wait-us", "--cache", "--cache-shards", "--refit-after",
+      "--observe-buffer", "--trace-sample", "--trace-out", "--metrics-out"},
      true},
     {"cpr_obscheck", {"--metrics", "--trace"}, true},
     // cpr_bench without arguments would launch the full bench run, so only

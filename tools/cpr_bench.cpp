@@ -41,6 +41,7 @@ namespace {
 const std::vector<std::string> kKnownSuites = {
     "kernel_suite",    "micro_kernels",
     "serve_throughput", "serve_latency",
+    "serve_drift",
     "ablation_cpr",    "ext_online_updates",
     "ext_sampling_strategies", "ext_tucker_vs_cp",
     "fig1_svd_logtransform",   "fig3_discretization",

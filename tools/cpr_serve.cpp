@@ -52,7 +52,8 @@ void usage(std::ostream& out) {
   out << "usage: cpr_serve --models=<dir> [flags]\n\n"
          "Serves every <name>.cprm archive in --models over the line protocol\n"
          "  PREDICT <model> <v1,v2,...> -> OK <seconds>\n"
-         "  LOAD <model> | UNLOAD <model> | STATS | QUIT\n"
+         "  OBSERVE <model> <v1,v2,...> <seconds> | REFIT <model>\n"
+         "  LOAD <model> | UNLOAD <model> | STATS | METRICS | QUIT\n"
          "on stdin/stdout, a Unix stream socket (--socket), or a TCP port\n"
          "(--tcp; epoll event loop, supports FRAME BINARY length-prefixed\n"
          "framing and sheds with BUSY under overload — see\n"
@@ -79,6 +80,12 @@ void usage(std::ostream& out) {
          "  --cache=<n>         prediction-cache entries, 0 disables\n"
          "                      (default: 4096)\n"
          "  --cache-shards=<n>  cache lock shards (default: 8)\n"
+         "  --refit-after=<n>   auto-refit a model once it has this many\n"
+         "                      buffered observations; REFIT always works\n"
+         "                      (default: 0 = explicit REFIT only)\n"
+         "  --observe-buffer=<n> per-model observation-buffer bound; once\n"
+         "                      full the oldest observation is dropped\n"
+         "                      (default: 4096)\n"
          "  --trace-sample=<n>  trace every n-th request end to end\n"
          "                      (default: 0 = tracing off)\n"
          "  --trace-out=<path>  write sampled traces as Chrome trace-event\n"
@@ -409,6 +416,9 @@ int main(int argc, char** argv) {
     options.cache_shards = static_cast<std::size_t>(args.get_int("cache-shards", 8));
     options.trace_sample =
         static_cast<std::uint64_t>(args.get_int("trace-sample", 0));
+    options.refit_after = static_cast<std::size_t>(args.get_int("refit-after", 0));
+    options.observe_buffer =
+        static_cast<std::size_t>(args.get_int("observe-buffer", 4096));
 
     serve::Server server(options);
     report_inventory(model_dir);

@@ -26,8 +26,10 @@
 # fallbacks there, still exercising the tile kernels).
 #
 # --bench additionally runs the cpr_bench performance-regression gate over
-# the stable kernel_suite cases plus the serve_latency open-loop tail-latency
-# cases (fixed offered-QPS points, p50/p99/p99.9): the merged
+# the stable kernel_suite cases, the serve_latency open-loop tail-latency
+# cases (fixed offered-QPS points, p50/p99/p99.9), and the serve_drift
+# online-learning cases (deterministic drift-recovery errors plus refit wall
+# time and PREDICT p99 under concurrent refits): the merged
 # BENCH_<date>.json is written to the repo root and compared against the
 # committed bench/baseline.json. The gate threshold here is 35% (not
 # cpr_bench's 15% default) to absorb shared-runner timing noise — the
@@ -37,9 +39,11 @@
 #
 # --obs additionally smoke-tests the observability surface end to end:
 # train a tiny model with --profile/--trace-out, run a scripted cpr_serve
-# session with tracing on and --metrics-out/--trace-out, then validate every
-# artifact with cpr_obscheck (structural Prometheus-exposition and
-# Chrome-trace checks). Fails if any artifact is missing or malformed.
+# session with tracing on and --metrics-out/--trace-out — including an
+# OBSERVE → REFIT → PREDICT round trip against a cpr-online archive — then
+# validate every artifact with cpr_obscheck (structural Prometheus-exposition
+# and Chrome-trace checks) and require the refit/drift metrics to appear in
+# the exposition. Fails if any artifact is missing or malformed.
 #
 # --docs additionally runs a doxygen lint over src/ in warnings-as-errors
 # mode (malformed \param names, broken doc references). Skipped with a
@@ -95,7 +99,7 @@ if [[ "$tsan" -eq 1 ]]; then
 fi
 
 if [[ "$bench" -eq 1 ]]; then
-  "$build_dir/tools/cpr_bench" --suites=kernel_suite,serve_latency \
+  "$build_dir/tools/cpr_bench" --suites=kernel_suite,serve_latency,serve_drift \
     --bench-dir="$build_dir/bench" \
     --baseline="$repo_root/bench/baseline.json" \
     --out="$repo_root/BENCH_$(date +%F).json" \
@@ -122,14 +126,37 @@ if [[ "$obs" -eq 1 ]]; then
   "$build_dir/tools/cpr_train" --data="$obs_dir/data.csv" \
     --out="$obs_dir/models/mm.cprm" --cells=2 --rank=2 --log-dims=0,1,2 \
     --profile --trace-out="$obs_dir/train_trace.json" > /dev/null
-  printf 'PREDICT mm 128,128,16\nPREDICT mm 128,128,16\nMETRICS\nQUIT\n' | \
+  # A second, online-capable archive for the OBSERVE/REFIT round trip.
+  "$build_dir/tools/cpr_train" --data="$obs_dir/data.csv" \
+    --out="$obs_dir/models/mm-online.cprm" --model=cpr-online \
+    --cells=2 --rank=2 --log-dims=0,1,2 > /dev/null
+  printf '%s\n' \
+    'PREDICT mm 128,128,16' \
+    'PREDICT mm 128,128,16' \
+    'OBSERVE mm-online 128,128,16 0.0008' \
+    'OBSERVE mm-online 256,256,32 0.006' \
+    'REFIT mm-online' \
+    'PREDICT mm-online 128,128,16' \
+    'METRICS' \
+    'QUIT' | \
     "$build_dir/tools/cpr_serve" --models="$obs_dir/models" --trace-sample=1 \
       --metrics-out="$obs_dir/metrics.prom" \
-      --trace-out="$obs_dir/serve_trace.json" > /dev/null
+      --trace-out="$obs_dir/serve_trace.json" > "$obs_dir/session.out"
+  if grep -q '^ERR' "$obs_dir/session.out"; then
+    echo "verify.sh: observe/refit session got an ERR reply:" >&2
+    grep '^ERR' "$obs_dir/session.out" >&2
+    exit 1
+  fi
+  grep -q '^OK refit mm-online generation=' "$obs_dir/session.out"
   "$build_dir/tools/cpr_obscheck" --metrics="$obs_dir/metrics.prom" \
     --trace="$obs_dir/serve_trace.json"
   "$build_dir/tools/cpr_obscheck" --trace="$obs_dir/train_trace.json"
-  echo "verify.sh: observability smoke (train profile, serve metrics + traces, cpr_obscheck) green"
+  # The online-learning telemetry must be present in the final exposition.
+  grep -q '^cpr_refits_total 1$' "$obs_dir/metrics.prom"
+  grep -q '^cpr_observes_total 2$' "$obs_dir/metrics.prom"
+  grep -q '^cpr_drift_abs_log_error ' "$obs_dir/metrics.prom"
+  grep -q '^cpr_refit_seconds_count 1$' "$obs_dir/metrics.prom"
+  echo "verify.sh: observability smoke (train profile, observe/refit round trip, serve metrics + traces, cpr_obscheck) green"
 fi
 
 if [[ "$docs" -eq 1 ]]; then
