@@ -241,12 +241,13 @@ BestScore tune_and_score(const std::string& family_tag, const apps::BenchmarkApp
   options.seed = seed;
 
   Stopwatch watch;
-  const auto outcome = tune::Tuner(options).run(family_tag, base, train);
+  auto outcome = tune::Tuner(options).run(family_tag, base, train);
   BestScore best;
   best.config = "tuned: " + outcome.ranked.front().config;
   best.score.seconds = watch.seconds();
   best.score.mlogq = common::evaluate_mlogq(*outcome.model, test);
   best.score.bytes = outcome.model->model_size_bytes();
+  best.model = std::move(outcome.model);
   return best;
 }
 

@@ -66,9 +66,13 @@ FitScore fit_and_score(const ModelCandidate& candidate, const common::Dataset& t
 
 /// Best (minimum-error) score across a candidate list — the paper's
 /// "minimum error achieved by exhaustively exploring hyper-parameters".
+/// `model` carries the scored instance when the producer has one
+/// (tune_and_score's refit winner; best_over leaves it null) so callers can
+/// re-encode it, e.g. fig7's quantized error-vs-size points.
 struct BestScore {
   FitScore score;
   std::string config;
+  common::RegressorPtr model;
 };
 BestScore best_over(const std::vector<ModelCandidate>& candidates,
                     const common::Dataset& train, const common::Dataset& test,

@@ -16,8 +16,32 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "common/model_registry.hpp"
+#include "core/model_file.hpp"
+#include "util/quantize.hpp"
+#include "util/serialize.hpp"
 
 using namespace cpr;
+
+namespace {
+
+/// Round-trips a fitted model through a quantized in-memory archive body —
+/// the same encoding save_model_file writes — and returns the reloaded
+/// instance, i.e. exactly what serving would predict with after
+/// `--quantize=<mode>`.
+common::RegressorPtr quantized_round_trip(const common::Regressor& model,
+                                          QuantMode mode) {
+  BufferSink sink;
+  sink.set_quant_mode(mode);
+  model.save(sink);
+  BufferSource source(sink.buffer());
+  source.set_quant_mode(mode, /*quantized_framing=*/true);
+  auto reloaded = common::ModelRegistry::instance().load(model.type_tag(), source);
+  reloaded->set_archive_quant_mode(mode);
+  return reloaded;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
@@ -73,6 +97,24 @@ int main(int argc, char** argv) {
         perf_records.push_back({"fig7_error_vs_modelsize",
                                 app_name + "/" + family + "/tuned",
                                 tuned.score.seconds, tuned.score.bytes});
+        // The error-vs-size trade of lossy archives, per family: score the
+        // tuned winner reloaded from each quantized encoding against the
+        // same test set. The fp64 row is the tuned point itself; lossy rows
+        // show how much accuracy each factor-of-N size cut costs.
+        for (const QuantMode mode :
+             {QuantMode::F32, QuantMode::F16, QuantMode::I8}) {
+          const std::string mode_name = util::quant_mode_name(mode);
+          const auto reloaded = quantized_round_trip(*tuned.model, mode);
+          const double mlogq = common::evaluate_mlogq(*reloaded, test);
+          const std::size_t bytes = core::model_archive_bytes(*tuned.model, mode);
+          // seconds stays 0 (no fit happened); the record carries the
+          // per-mode archive size, the table/CSV the error.
+          perf_records.push_back({"fig7_error_vs_modelsize",
+                                  app_name + "/" + family + "/tuned-" + mode_name,
+                                  0.0, bytes, mode_name});
+          table.add_row({app_name, family, tuned.config + " [" + mode_name + "]",
+                         Table::fmt(bytes), Table::fmt(mlogq, 4)});
+        }
         if (tuned.score.bytes >= kMaxBytes) continue;
         family_points[family].emplace_back(tuned.score.bytes, tuned.score.mlogq);
         table.add_row({app_name, family, tuned.config, Table::fmt(tuned.score.bytes),

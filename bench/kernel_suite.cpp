@@ -20,6 +20,7 @@
 //   --seed=<n>         dataset seed (default 1)
 
 #include <cmath>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -29,6 +30,7 @@
 #include "bench_common.hpp"
 #include "completion/als.hpp"
 #include "core/cpr_model.hpp"
+#include "core/model_file.hpp"
 #include "grid/discretization.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -40,6 +42,7 @@
 #include "tensor/mttkrp.hpp"
 #include "tensor/mttkrp_blocked.hpp"
 #include "util/kernel_mode.hpp"
+#include "util/quantize.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -89,11 +92,12 @@ struct Harness {
         min_time_ms(args.get_double("min-time-ms", 50.0)),
         filter(args.get_string("filter", "")) {}
 
-  void run(const std::string& name, const std::function<void()>& body) {
+  void run(const std::string& name, const std::function<void()>& body,
+           std::size_t model_bytes = 0, const std::string& quant_mode = "fp64") {
     if (!filter.empty() && name.find(filter) == std::string::npos) return;
     const double seconds = time_case(body, repeats, min_time_ms);
     std::cout << "kernel_suite/" << name << ": " << seconds * 1e6 << " us\n";
-    records.push_back({"kernel_suite", name, seconds, 0});
+    records.push_back({"kernel_suite", name, seconds, model_bytes, quant_mode});
   }
 
   int repeats;
@@ -102,13 +106,13 @@ struct Harness {
   std::vector<bench::JsonRecord> records;
 };
 
-core::CprModel fitted_cpr(std::uint64_t seed) {
+core::CprModel fitted_cpr(std::uint64_t seed, std::size_t rank = 8) {
   std::vector<grid::ParameterSpec> specs{
       grid::ParameterSpec::numerical_log("m", 32, 4096, true),
       grid::ParameterSpec::numerical_log("n", 32, 4096, true),
       grid::ParameterSpec::numerical_log("k", 32, 4096, true)};
   core::CprOptions options;
-  options.rank = 8;
+  options.rank = rank;
   core::CprModel model(grid::Discretization(specs, 16), options);
   Rng rng(seed);
   common::Dataset train;
@@ -243,6 +247,50 @@ int main(int argc, char** argv) {
       set_kernel_mode(KernelMode::Serial);
       harness.run("predict_batch_serial/1024",
                   [&] { (void)model.predict_batch(queries); });
+    }
+
+    // --- quantized-archive CPR inference --------------------------------
+    // One case per payload encoding: save a rank-32 CPR model through the
+    // versioned archive, reload it, and time the blocked batch predict the
+    // serving path runs. The fp32 case exercises the dequantize-free float
+    // tile loop; fp16/int8 dequantize on load, so their steady-state cost
+    // should match fp64. model_bytes carries the archive size so the JSON
+    // doubles as the size-vs-mode record.
+    {
+      const auto model = fitted_cpr(seed + 4, /*rank=*/32);
+      Rng rng(seed + 7);
+      linalg::Matrix queries(1024, 3);
+      for (std::size_t i = 0; i < queries.rows(); ++i) {
+        for (std::size_t j = 0; j < 3; ++j) queries(i, j) = rng.log_uniform(32, 4096);
+      }
+      const auto temp_dir = std::filesystem::temp_directory_path();
+      for (const QuantMode mode :
+           {QuantMode::F64, QuantMode::F32, QuantMode::F16, QuantMode::I8}) {
+        const std::string mode_name = util::quant_mode_name(mode);
+        const auto path =
+            (temp_dir / ("kernel_suite_quant_" + mode_name + ".cprm")).string();
+        core::save_model_file(model, path, mode);
+        const auto loaded = core::load_model_file(path);
+        std::filesystem::remove(path);
+        const std::size_t bytes = core::model_archive_bytes(model, mode);
+        // The serial/blocked bitwise invariant must hold for every loaded
+        // encoding (including the fp32-storage predict path).
+        KernelModeGuard guard;
+        set_kernel_mode(KernelMode::Blocked);
+        const auto blocked = loaded->predict_batch(queries);
+        set_kernel_mode(KernelMode::Serial);
+        const auto serial = loaded->predict_batch(queries);
+        for (std::size_t i = 0; i < queries.rows(); ++i) {
+          if (blocked[i] != serial[i]) {
+            std::cerr << "error: blocked " << mode_name
+                      << " predict_batch diverged from the serial path\n";
+            return 1;
+          }
+        }
+        set_kernel_mode(KernelMode::Blocked);
+        harness.run("predict_batch_" + mode_name + "/1024",
+                    [&] { (void)loaded->predict_batch(queries); }, bytes, mode_name);
+      }
     }
 
     // --- dense linalg: tiled Cholesky / solve_spd / blocked QR ----------

@@ -66,7 +66,9 @@ class ServeFixtureState {
   /// Pre-rendered "PREDICT <model> v1,v2" lines, one disjoint slice per
   /// client thread (up to 64 threads x 512 lines each).
   const std::vector<std::string>& lines(const std::string& model) const {
-    return model == "pl-knn" ? knn_lines_ : cpr_lines_;
+    if (model == "pl-knn") return knn_lines_;
+    if (model == "pl-cpr-int8") return int8_lines_;
+    return cpr_lines_;
   }
 
   static constexpr std::size_t kPerThread = 512;
@@ -80,18 +82,24 @@ class ServeFixtureState {
     std::filesystem::create_directories(dir_);
     save_model("pl-cpr", "cpr");
     save_model("pl-knn", "knn");
+    // Same family and data as pl-cpr but through the int8-quantized archive:
+    // the serving path is identical after load, so any throughput delta
+    // against BM_ServePredict is pure encoding cost.
+    save_model("pl-cpr-int8", "cpr", QuantMode::I8);
     cpr_lines_ = render_lines("pl-cpr", 1);
     knn_lines_ = render_lines("pl-knn", 2);
+    int8_lines_ = render_lines("pl-cpr-int8", 1);
   }
 
-  void save_model(const std::string& name, const std::string& family) {
+  void save_model(const std::string& name, const std::string& family,
+                  QuantMode quant_mode = QuantMode::F64) {
     common::ModelSpec spec;
     spec.params = {grid::ParameterSpec::numerical_log("x", 32.0, 4096.0),
                    grid::ParameterSpec::numerical_log("y", 32.0, 4096.0)};
     spec.cells = 8;
     auto model = common::ModelRegistry::instance().create(family, spec);
     model->fit(sample_power_law(512, 7));
-    core::save_model_file(*model, core::model_file_path(dir_, name));
+    core::save_model_file(*model, core::model_file_path(dir_, name), quant_mode);
   }
 
   std::vector<std::string> render_lines(const std::string& model, std::uint64_t seed) {
@@ -110,6 +118,7 @@ class ServeFixtureState {
   std::string dir_;
   std::vector<std::string> cpr_lines_;
   std::vector<std::string> knn_lines_;
+  std::vector<std::string> int8_lines_;
 };
 
 serve::ServerOptions server_options(std::size_t cache_capacity) {
@@ -201,7 +210,10 @@ class LatencyCollector {
         const auto rank = static_cast<std::size_t>(
             q * static_cast<double>(samples.size() - 1) + 0.5);
         records.push_back({"serve_throughput", case_name + "/" + tag,
-                           samples[std::min(rank, samples.size() - 1)], 0});
+                           samples[std::min(rank, samples.size() - 1)], 0,
+                           case_name.rfind("BM_ServePredictQuantized", 0) == 0
+                               ? "int8"
+                               : "fp64"});
       }
     }
     return records;
@@ -293,6 +305,25 @@ void BM_ServePredictCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServePredictCacheHit)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
 
+/// The pl-cpr workload served from an int8-quantized archive: the factors
+/// were dequantized to fp64 at load, so this should track BM_ServePredict
+/// within noise — a gap means the quantized load path leaked into serving.
+void BM_ServePredictQuantized(benchmark::State& state) {
+  serve::Server& server =
+      ServerRegistry::instance().get("BM_ServePredictQuantized", 4096);
+  const auto& lines = ServeFixtureState::instance().lines("pl-cpr-int8");
+  const std::size_t thread = static_cast<std::size_t>(state.thread_index());
+  const std::size_t base = (thread % ServeFixtureState::kMaxThreads) *
+                           ServeFixtureState::kPerThread;
+  ThreadLatencies latencies("BM_ServePredictQuantized", state);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    issue(server, lines[base + (i++ % ServeFixtureState::kPerThread)], latencies.samples());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePredictQuantized)->Threads(1)->Threads(4)->UseRealTime();
+
 /// Two model families interleaved per client: the batcher must split
 /// batches per model while both stay resident in the store.
 void BM_ServePredictTwoModels(benchmark::State& state) {
@@ -321,9 +352,11 @@ class JsonCollectingReporter final : public benchmark::ConsoleReporter {
       if (run.error_occurred || !run.aggregate_name.empty() || run.iterations == 0) {
         continue;
       }
-      records.push_back({"serve_throughput", run.benchmark_name(),
+      const std::string name = run.benchmark_name();
+      const bool quantized = name.rfind("BM_ServePredictQuantized", 0) == 0;
+      records.push_back({"serve_throughput", name,
                          run.real_accumulated_time / static_cast<double>(run.iterations),
-                         0});
+                         0, quantized ? "int8" : "fp64"});
     }
     ConsoleReporter::ReportRuns(reports);
   }

@@ -67,6 +67,17 @@ class Regressor {
   std::vector<double> predict_all(const linalg::Matrix& x) const {
     return predict_batch(x);
   }
+
+  /// Encoding of the archive this instance was loaded from (F64 for freshly
+  /// fitted models and version-1 archives). The serving path refuses
+  /// OBSERVE/REFIT on anything but F64: replaying observations on top of
+  /// quantized (lossy) parameters would silently diverge from offline
+  /// training.
+  QuantMode archive_quant_mode() const { return archive_quant_mode_; }
+  void set_archive_quant_mode(QuantMode mode) { archive_quant_mode_ = mode; }
+
+ private:
+  QuantMode archive_quant_mode_ = QuantMode::F64;
 };
 
 using RegressorPtr = std::unique_ptr<Regressor>;

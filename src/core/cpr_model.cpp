@@ -18,14 +18,36 @@ namespace cpr::core {
 
 namespace {
 
-/// Vectorized CP element evaluation with caller scratch `z` (size rank):
-/// elementwise products of the factor rows, then an in-order scalar sum.
-/// The multiply sequence per component and the summation order are exactly
-/// those of CpModel::eval, so the result is bitwise equal to it.
+/// Vectorized CP element evaluation with caller scratch (`z` for fp64
+/// storage, `zf` for fp32 storage; both sized rank): elementwise products of
+/// the factor rows, then an in-order scalar sum. The multiply sequence per
+/// component and the summation order are exactly those of CpModel::eval in
+/// the matching storage mode, so the result is bitwise equal to it. The
+/// fp32 arm runs SIMD over the float tiles directly — no widening copy.
 double eval_cp_vectorized(const tensor::CpModel& cp, const tensor::Index& idx,
-                          std::vector<double>& z) {
+                          std::vector<double>& z, std::vector<float>& zf) {
   const std::size_t rank = cp.rank();
   const std::size_t order = cp.order();
+  if (cp.f32_storage()) {
+    float* __restrict__ zp = zf.data();
+    const float* __restrict__ f0 = cp.f32_row_ptr(0, idx[0]);
+    if (order == 1) {
+      double total = 0.0;
+      for (std::size_t r = 0; r < rank; ++r) total += static_cast<double>(f0[r]);
+      return total;
+    }
+    const float* __restrict__ f1 = cp.f32_row_ptr(1, idx[1]);
+    CPR_SIMD
+    for (std::size_t r = 0; r < rank; ++r) zp[r] = f0[r] * f1[r];
+    for (std::size_t j = 2; j < order; ++j) {
+      const float* __restrict__ fj = cp.f32_row_ptr(j, idx[j]);
+      CPR_SIMD
+      for (std::size_t r = 0; r < rank; ++r) zp[r] *= fj[r];
+    }
+    double total = 0.0;
+    for (std::size_t r = 0; r < rank; ++r) total += static_cast<double>(zp[r]);
+    return total;
+  }
   double* __restrict__ zp = z.data();
   const double* __restrict__ f0 = cp.factor(0).row_ptr(idx[0]);
   if (order == 1) {
@@ -258,6 +280,7 @@ std::vector<double> CprModel::predict_batch_blocked(const linalg::Matrix& config
     grid::Config scratch;
     grid::InterpolationScratch interp;
     std::vector<double> z(cp_.rank());
+    std::vector<float> zf(cp_.rank());
 #ifdef CPR_HAVE_OPENMP
 #pragma omp for schedule(dynamic)
 #endif
@@ -267,7 +290,7 @@ std::vector<double> CprModel::predict_batch_blocked(const linalg::Matrix& config
       try {
         for (std::size_t i = begin; i < end; ++i) {
           scratch.assign(configs.row_ptr(i), configs.row_ptr(i) + configs.cols());
-          out[i] = predict_in_place_blocked(scratch, interp, z);
+          out[i] = predict_in_place_blocked(scratch, interp, z, zf);
         }
       } catch (...) {
 #ifdef CPR_HAVE_OPENMP
@@ -283,7 +306,8 @@ std::vector<double> CprModel::predict_batch_blocked(const linalg::Matrix& config
 
 double CprModel::predict_in_place_blocked(grid::Config& clamped,
                                           grid::InterpolationScratch& interp,
-                                          std::vector<double>& z) const {
+                                          std::vector<double>& z,
+                                          std::vector<float>& zf) const {
   // Mirrors predict_in_place statement for statement; the only differences
   // are the statically-dispatched interpolate_t and the vectorized (but
   // bitwise-identical) CP evaluation.
@@ -294,8 +318,8 @@ double CprModel::predict_in_place_blocked(grid::Config& clamped,
   if (options_.interpolation == CprInterpolation::ExpSpace) {
     const double prediction = discretization_.interpolate_t(
         clamped,
-        [this, &z](const tensor::Index& idx) {
-          return std::exp(eval_cp_vectorized(cp_, idx, z) + log_offset_);
+        [this, &z, &zf](const tensor::Index& idx) {
+          return std::exp(eval_cp_vectorized(cp_, idx, z, zf) + log_offset_);
         },
         nullptr, interp);
     return std::max(prediction, 1e-16);
@@ -303,8 +327,8 @@ double CprModel::predict_in_place_blocked(grid::Config& clamped,
   double log_prediction =
       discretization_.interpolate_t(
           clamped,
-          [this, &z](const tensor::Index& idx) {
-            return eval_cp_vectorized(cp_, idx, z);
+          [this, &z, &zf](const tensor::Index& idx) {
+            return eval_cp_vectorized(cp_, idx, z, zf);
           },
           nullptr, interp) +
       log_offset_;

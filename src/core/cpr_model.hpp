@@ -109,11 +109,11 @@ class CprModel final : public common::Regressor {
   /// multiply/add order — every output is bitwise equal to predict().
   std::vector<double> predict_batch_blocked(const linalg::Matrix& configs) const;
 
-  /// predict_in_place with caller-owned scratch (`interp` for Eq. 5, `z` of
-  /// size rank for the CP evaluation); semantics mirror predict_in_place
-  /// exactly.
+  /// predict_in_place with caller-owned scratch (`interp` for Eq. 5, `z` /
+  /// `zf` of size rank for the fp64 / fp32 CP evaluation); semantics mirror
+  /// predict_in_place exactly.
   double predict_in_place_blocked(grid::Config& x, grid::InterpolationScratch& interp,
-                                  std::vector<double>& z) const;
+                                  std::vector<double>& z, std::vector<float>& zf) const;
 
   grid::Discretization discretization_;
   CprOptions options_;

@@ -12,14 +12,30 @@ namespace cpr::core {
 namespace {
 constexpr char kMagic[8] = {'C', 'P', 'R', 'A', 'R', 'C', 'H', '1'};
 constexpr char kLegacyMagic[8] = {'C', 'P', 'R', 'M', 'O', 'D', 'L', '1'};
-constexpr std::uint64_t kFormatVersion = 1;
+constexpr std::uint64_t kFp64Version = 1;       // fp64 matrix payloads
+constexpr std::uint64_t kQuantizedVersion = 2;  // tagged quantized blocks
+constexpr std::uint64_t kMaxVersion = kQuantizedVersion;
+
+/// Renders the archive body (tag, version, mode byte for v2, payload) into
+/// `sink`, which carries the quantization request into Matrix::serialize.
+void render_body(SerialSink& sink, const common::Regressor& model,
+                 QuantMode quant_mode) {
+  sink.set_quant_mode(quant_mode);
+  sink.write_string(model.type_tag());
+  if (quant_mode == QuantMode::F64) {
+    sink.write_u64(kFp64Version);
+  } else {
+    sink.write_u64(kQuantizedVersion);
+    sink.write_pod(static_cast<std::uint8_t>(quant_mode));
+  }
+  model.save(sink);
+}
 }  // namespace
 
-void save_model_file(const common::Regressor& model, const std::string& path) {
+void save_model_file(const common::Regressor& model, const std::string& path,
+                     QuantMode quant_mode) {
   BufferSink sink;
-  sink.write_string(model.type_tag());
-  sink.write_u64(kFormatVersion);
-  model.save(sink);
+  render_body(sink, model, quant_mode);
   std::ofstream out(path, std::ios::binary);
   CPR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
   out.write(kMagic, sizeof(kMagic));
@@ -28,6 +44,12 @@ void save_model_file(const common::Regressor& model, const std::string& path) {
   out.write(reinterpret_cast<const char*>(sink.buffer().data()),
             static_cast<std::streamsize>(size));
   CPR_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+std::size_t model_archive_bytes(const common::Regressor& model, QuantMode quant_mode) {
+  ByteCountSink sink;
+  render_body(sink, model, quant_mode);
+  return sizeof(kMagic) + sizeof(std::uint64_t) + sink.count();
 }
 
 common::RegressorPtr load_model_file(const std::string& path) {
@@ -64,9 +86,24 @@ common::RegressorPtr load_model_file(const std::string& path) {
   } else {
     const std::string type_tag = source.read_string();
     const std::uint64_t version = source.read_u64();
-    CPR_CHECK_MSG(version == kFormatVersion,
-                  path << ": unsupported archive version " << version);
+    // Name the found version and the supported range: "archive version 3
+    // (this build reads versions 1..2)" tells an operator to upgrade the
+    // binary, where a generic "corrupt archive" would send them chasing
+    // disk corruption.
+    CPR_CHECK_MSG(version >= kFp64Version && version <= kMaxVersion,
+                  path << ": unsupported archive version " << version
+                       << " (this build reads versions " << kFp64Version << ".."
+                       << kMaxVersion << ")");
+    QuantMode quant_mode = QuantMode::F64;
+    if (version == kQuantizedVersion) {
+      const auto mode = source.read_pod<std::uint8_t>();
+      CPR_CHECK_MSG(mode <= static_cast<std::uint8_t>(QuantMode::I8),
+                    path << ": unknown quantization mode " << static_cast<unsigned>(mode));
+      quant_mode = static_cast<QuantMode>(mode);
+      source.set_quant_mode(quant_mode, /*quantized_framing=*/true);
+    }
     model = common::ModelRegistry::instance().load(type_tag, source);
+    model->set_archive_quant_mode(quant_mode);
   }
   // Trailing bytes mean a corrupt body (e.g. a mangled inner length prefix
   // that made the loader stop short) — reject rather than serve it.

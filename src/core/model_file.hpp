@@ -1,12 +1,19 @@
 #pragma once
 // File persistence for fitted models of any registered family.
 //
-// Archive layout (version 1):
+// Archive layout:
 //   magic   "CPRARCH1"                   (8 bytes)
 //   size    u64                          (byte count of the archive body)
 //   body    type tag (length-prefixed string)
-//           format version (u64, currently 1)
+//           format version (u64: 1 = fp64, 2 = quantized)
+//           [version 2 only] requested quantization mode (u8, QuantMode)
 //           family payload (Regressor::save)
+//
+// Version-1 bodies are byte-identical to pre-quantization archives: every
+// matrix is framed as rows/cols plus a length-prefixed fp64 vector.
+// Version-2 bodies store matrices as tagged quantized blocks
+// (util/quantize.hpp) — fp32, fp16, or per-column-affine int8, with
+// per-block fallback to wider encodings when values would not survive.
 //
 // load_model_file dispatches on the persisted type tag through the
 // ModelRegistry, so trained models of every family — CPR, CPR-online, the
@@ -26,9 +33,18 @@ namespace cpr::core {
 /// directory is servable as model `<name>` (serve/model_store).
 inline constexpr const char* kModelFileExtension = ".cprm";
 
-/// Writes a fitted model to `path` (overwrites). Throws CheckError on I/O
-/// failure, an unfitted model, or a family without serialization support.
-void save_model_file(const common::Regressor& model, const std::string& path);
+/// Writes a fitted model to `path` (overwrites). `quant_mode` selects the
+/// matrix payload encoding: F64 writes a version-1 archive byte-identical
+/// to the pre-quantization format; any other mode writes a version-2
+/// archive with tagged quantized blocks. Throws CheckError on I/O failure,
+/// an unfitted model, or a family without serialization support.
+void save_model_file(const common::Regressor& model, const std::string& path,
+                     QuantMode quant_mode = QuantMode::F64);
+
+/// Full on-disk archive size (header + body) `model` would occupy at
+/// `quant_mode`, computed without writing a file — the Fig 7 model_bytes
+/// axis for quantized encodings.
+std::size_t model_archive_bytes(const common::Regressor& model, QuantMode quant_mode);
 
 /// Loads a model written by save_model_file (either archive generation).
 /// Throws CheckError on missing file, bad magic, unknown type tag,

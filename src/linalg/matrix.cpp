@@ -77,14 +77,28 @@ Matrix& Matrix::operator*=(double scalar) {
 void Matrix::serialize(SerialSink& sink) const {
   sink.write_u64(rows_);
   sink.write_u64(cols_);
-  sink.write_doubles(data_);
+  if (sink.quant_mode() == QuantMode::F64) {
+    // Version-1 framing, byte-identical to pre-quantization archives.
+    sink.write_doubles(data_);
+    return;
+  }
+  util::write_quantized_block(sink, data_, cols_, sink.quant_mode());
 }
 
 Matrix Matrix::deserialize(BufferSource& source) {
   Matrix m;
   m.rows_ = source.read_u64();
   m.cols_ = source.read_u64();
-  m.data_ = source.read_doubles();
+  if (source.quantized_framing()) {
+    // The element count is implied by the shape; bound it against the
+    // remaining bytes (at the smallest possible element footprint) before
+    // read_quantized_block allocates.
+    CPR_CHECK_MSG(m.cols_ == 0 || m.rows_ <= source.remaining() / m.cols_,
+                  "serialized buffer underrun");
+    m.data_ = util::read_quantized_block(source, m.rows_ * m.cols_, m.cols_);
+  } else {
+    m.data_ = source.read_doubles();
+  }
   CPR_CHECK(m.data_.size() == m.rows_ * m.cols_);
   return m;
 }

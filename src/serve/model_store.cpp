@@ -6,11 +6,25 @@
 #include "common/model_registry.hpp"
 #include "core/model_file.hpp"
 #include "util/log.hpp"
+#include "util/quantize.hpp"
 #include "util/serialize.hpp"
 
 namespace cpr::serve {
 
 namespace {
+
+/// OBSERVE/REFIT replay observations on top of the loaded parameters; doing
+/// that over quantized (lossy) factors would silently diverge from offline
+/// training, so anything but an fp64 archive is refused by name.
+void check_refittable(const std::string& name, const common::Regressor& model,
+                      const char* verb) {
+  CPR_CHECK_MSG(model.archive_quant_mode() == QuantMode::F64,
+                "model '" << name << "' was loaded from an archive quantized as "
+                          << util::quant_mode_name(model.archive_quant_mode())
+                          << " and cannot " << verb
+                          << ": refit of lossy models is out of scope (save the "
+                             "archive with --quantize=fp64 to refit)");
+}
 
 /// Stats the archive identity used for hot-reload detection. Returns false
 /// (without touching the outputs) when either stat fails — the archive is
@@ -143,6 +157,7 @@ ModelStore::ObserveResult ModelStore::observe(const std::string& name,
   CPR_CHECK_MSG(model.supports_observe(),
                 "model '" << name << "' (family " << model.type_tag()
                           << ") does not support OBSERVE");
+  check_refittable(name, model, "OBSERVE");
   CPR_CHECK_MSG(x.size() == model.input_dims(),
                 "model '" << name << "' expects " << model.input_dims()
                           << " values, got " << x.size());
@@ -165,6 +180,7 @@ ModelStore::RefitResult ModelStore::refit(const std::string& name) {
   CPR_CHECK_MSG(model.supports_observe(),
                 "model '" << name << "' (family " << model.type_tag()
                           << ") does not support REFIT");
+  check_refittable(name, model, "REFIT");
   std::vector<Observation> batch;
   {
     std::lock_guard<std::mutex> lock(mu_);

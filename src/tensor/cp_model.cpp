@@ -18,6 +18,20 @@ CpModel::CpModel(Dims dims, std::size_t rank) : dims_(std::move(dims)), rank_(ra
 
 double CpModel::eval(const Index& idx) const {
   CPR_DCHECK(idx.size() == order());
+  if (f32_) {
+    // Float arm: the same multiply sequence per component with a double
+    // accumulator, so it is bitwise equal to the vectorized float kernel in
+    // CprModel's blocked dispatch.
+    double total = 0.0;
+    for (std::size_t r = 0; r < rank_; ++r) {
+      float product = 1.0f;
+      for (std::size_t j = 0; j < order(); ++j) {
+        product *= f32_row_ptr(j, idx[j])[r];
+      }
+      total += static_cast<double>(product);
+    }
+    return total;
+  }
   double total = 0.0;
   for (std::size_t r = 0; r < rank_; ++r) {
     double product = 1.0;
@@ -27,6 +41,28 @@ double CpModel::eval(const Index& idx) const {
     total += product;
   }
   return total;
+}
+
+bool CpModel::adopt_f32_storage() {
+  if (f32_) return true;
+  std::vector<std::vector<float>> narrow(factors_.size());
+  for (std::size_t j = 0; j < factors_.size(); ++j) {
+    const linalg::Matrix& factor = factors_[j];
+    narrow[j].resize(factor.size());
+    const double* values = factor.data();
+    for (std::size_t k = 0; k < factor.size(); ++k) {
+      const float f = static_cast<float>(values[k]);
+      // Exactness requirement: a lossy narrowing here would change
+      // predictions AND break the bitwise save/reload round trip.
+      if (static_cast<double>(f) != values[k]) return false;
+      narrow[j][k] = f;
+    }
+  }
+  f32_factors_ = std::move(narrow);
+  factors_.clear();
+  factors_.shrink_to_fit();
+  f32_ = true;
+  return true;
 }
 
 DenseTensor CpModel::reconstruct() const {
@@ -120,6 +156,19 @@ void CpModel::serialize(SerialSink& sink) const {
   sink.write_u64(order());
   sink.write_u64(rank_);
   for (const std::size_t dim : dims_) sink.write_u64(dim);
+  if (f32_) {
+    // Widen the fp32 storage on the fly (exact by the adoption invariant);
+    // the sink's quant mode decides how the matrix is re-encoded.
+    for (std::size_t j = 0; j < order(); ++j) {
+      linalg::Matrix factor(dims_[j], rank_);
+      const std::vector<float>& narrow = f32_factors_[j];
+      for (std::size_t k = 0; k < narrow.size(); ++k) {
+        factor.data()[k] = static_cast<double>(narrow[k]);
+      }
+      factor.serialize(sink);
+    }
+    return;
+  }
   for (const auto& factor : factors_) factor.serialize(sink);
 }
 
@@ -128,10 +177,11 @@ CpModel CpModel::deserialize(BufferSource& source) {
   const auto rank = source.read_u64();
   Dims dims(order);
   for (auto& dim : dims) dim = source.read_u64();
-  // The factors (dims[j] x rank doubles each) follow in the body; reject
+  // The factors (dims[j] x rank elements each) follow in the body; reject
   // corrupt shapes before the constructor allocates them. The budget is
-  // consumed across factors so their SUM is bounded too, not just each one.
-  std::size_t budget = source.remaining() / sizeof(double);
+  // consumed across factors so their SUM is bounded too, not just each one;
+  // quantized archives back an element with as little as one byte.
+  std::size_t budget = source.remaining() / source.min_matrix_bytes_per_element();
   for (const auto dim : dims) {
     CPR_CHECK_MSG(rank > 0 && dim <= budget / rank, "serialized buffer underrun");
     budget -= dim * rank;
@@ -140,6 +190,12 @@ CpModel CpModel::deserialize(BufferSource& source) {
   for (std::size_t j = 0; j < order; ++j) {
     model.factors_[j] = linalg::Matrix::deserialize(source);
     CPR_CHECK(model.factors_[j].rows() == dims[j] && model.factors_[j].cols() == rank);
+  }
+  if (source.quantized_framing() && source.quant_mode() == QuantMode::F32) {
+    // fp32 archive: serve straight from float factors (exact narrowing of
+    // the just-widened fp32 blocks; falls back to fp64 storage if any block
+    // had to be written wider).
+    model.adopt_f32_storage();
   }
   return model;
 }

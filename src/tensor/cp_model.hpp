@@ -22,12 +22,35 @@ class CpModel {
   /// Zero-initialized model with the given shape.
   CpModel(Dims dims, std::size_t rank);
 
-  std::size_t order() const { return factors_.size(); }
+  std::size_t order() const { return dims_.size(); }
   std::size_t rank() const { return rank_; }
   const Dims& dims() const { return dims_; }
 
-  linalg::Matrix& factor(std::size_t j) { return factors_.at(j); }
-  const linalg::Matrix& factor(std::size_t j) const { return factors_.at(j); }
+  linalg::Matrix& factor(std::size_t j) {
+    CPR_CHECK_MSG(!f32_, "CpModel::factor on an fp32-storage model");
+    return factors_.at(j);
+  }
+  const linalg::Matrix& factor(std::size_t j) const {
+    CPR_CHECK_MSG(!f32_, "CpModel::factor on an fp32-storage model");
+    return factors_.at(j);
+  }
+
+  /// Dequantize-free fp32 storage: narrows every factor entry to float and
+  /// frees the fp64 copies, so predict touches half the cache lines with no
+  /// widening pass. Only adopted when the narrowing is exact (every entry is
+  /// float-representable — always true for values loaded from an fp32
+  /// block), so serialize() round-trips bitwise; returns false and leaves
+  /// the model untouched otherwise. eval() and the blocked kernel dispatch
+  /// on f32_storage() with identical op order, keeping serial and blocked
+  /// predictions bitwise equal.
+  bool adopt_f32_storage();
+  bool f32_storage() const { return f32_; }
+
+  /// Row pointer into the fp32 copy of factor j (f32_storage() only).
+  const float* f32_row_ptr(std::size_t j, std::size_t i) const {
+    CPR_DCHECK(f32_ && j < f32_factors_.size());
+    return f32_factors_[j].data() + i * rank_;
+  }
 
   /// Reconstructs element t̂_i.
   double eval(const Index& idx) const;
@@ -71,6 +94,10 @@ class CpModel {
   Dims dims_;
   std::size_t rank_ = 0;
   std::vector<linalg::Matrix> factors_;
+  /// fp32 storage (adopt_f32_storage): one row-major dims_[j] x rank_ buffer
+  /// per mode; factors_ is empty while f32_ is set.
+  std::vector<std::vector<float>> f32_factors_;
+  bool f32_ = false;
 };
 
 }  // namespace cpr::tensor

@@ -112,9 +112,12 @@ TuckerModel TuckerModel::deserialize(BufferSource& source) {
   for (auto& r : core_dims) r = source.read_u64();
   // The core (prod core_dims doubles) and factors (dims[j] x core_dims[j])
   // follow in the body; reject corrupt shapes before allocating them. The
-  // factor budget is consumed across modes so their SUM is bounded too.
+  // factor budget is consumed across modes so their SUM is bounded too
+  // (factors may be quantized down to one byte per element; the core is
+  // always fp64 but shares the same conservative bound).
   std::size_t core_budget = source.remaining() / sizeof(double);
-  std::size_t factor_budget = source.remaining() / sizeof(double);
+  std::size_t factor_budget =
+      source.remaining() / source.min_matrix_bytes_per_element();
   for (std::size_t j = 0; j < order; ++j) {
     CPR_CHECK_MSG(core_dims[j] > 0 && core_dims[j] <= core_budget,
                   "serialized buffer underrun");

@@ -116,7 +116,8 @@ void write_perf_json(const std::string& path, const std::vector<PerfRecord>& rec
     out << "  {\"suite\": \"" << json_escaped(record.suite) << "\", \"case\": \""
         << json_escaped(record.name) << "\", \"seconds\": ";
     out.precision(9);
-    out << record.seconds << ", \"model_bytes\": " << record.model_bytes << "}"
+    out << record.seconds << ", \"model_bytes\": " << record.model_bytes
+        << ", \"quant_mode\": \"" << json_escaped(record.quant_mode) << "\"}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -153,6 +154,13 @@ std::vector<PerfRecord> parse_perf_json(const std::string& text) {
                           "perf JSON: model_bytes out of range");
             record.model_bytes = static_cast<std::size_t>(bytes);
             saw_bytes = true;
+          } else if (key == "quant_mode") {
+            // Optional (pre-quantization baselines lack it; the default is
+            // "fp64"), but when present it must be a known mode.
+            record.quant_mode = scan.string_value();
+            CPR_CHECK_MSG(record.quant_mode == "fp64" || record.quant_mode == "fp32" ||
+                              record.quant_mode == "fp16" || record.quant_mode == "int8",
+                          "perf JSON: unknown quant_mode '" << record.quant_mode << "'");
           } else {
             CPR_CHECK_MSG(false, "perf JSON: unknown key '" << key << "'");
           }

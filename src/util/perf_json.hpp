@@ -23,10 +23,15 @@ struct PerfRecord {
   std::string name;             ///< emitted as "case": app/family/config or kernel id
   double seconds = 0.0;         ///< wall time of the measured unit
   std::size_t model_bytes = 0;  ///< fitted model size (0 where not applicable)
+  /// Archive matrix encoding the case ran against ("fp64", "fp32", "fp16",
+  /// "int8"). Trailing member with a default so existing aggregate
+  /// initializers stay valid; optional on parse for pre-quantization
+  /// baseline files.
+  std::string quant_mode = "fp64";
 };
 
 /// \brief Writes records as a JSON array of {"suite", "case", "seconds",
-///        "model_bytes"} objects.
+///        "model_bytes", "quant_mode"} objects.
 /// \param path destination file; throws CheckError if it cannot be written.
 /// \param records the cases to persist.
 void write_perf_json(const std::string& path, const std::vector<PerfRecord>& records);

@@ -1,0 +1,287 @@
+#include "util/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/serialize.hpp"
+
+namespace cpr::util {
+
+namespace {
+
+constexpr double kI8Levels = 254.0;  // symmetric code range [-127, 127]
+
+/// True when every finite nonzero value survives the narrowing `probe`
+/// (stays finite and nonzero). Infinities and NaNs are representable in
+/// every IEEE width, so they never force a fallback by themselves.
+template <typename Probe>
+bool narrowing_ok(const std::vector<double>& values, Probe probe) {
+  for (const double v : values) {
+    if (!std::isfinite(v) || v == 0.0) continue;
+    const double narrowed = probe(v);
+    if (!std::isfinite(narrowed) || narrowed == 0.0) return false;
+  }
+  return true;
+}
+
+bool f32_ok(const std::vector<double>& values) {
+  return narrowing_ok(values,
+                      [](double v) { return static_cast<double>(static_cast<float>(v)); });
+}
+
+bool f16_ok(const std::vector<double>& values) {
+  return narrowing_ok(values, [](double v) {
+    return f16_bits_to_double(f16_bits_from_double(v));
+  });
+}
+
+/// Per-column affine parameters; valid() is false when the column range
+/// cannot be represented by finite f32 scale/offset (or values are not
+/// finite), which forces the block to fall back to fp32.
+struct I8Columns {
+  std::vector<float> scale;
+  std::vector<float> offset;
+  bool valid = false;
+};
+
+I8Columns i8_columns(const std::vector<double>& values, std::size_t cols) {
+  I8Columns out;
+  if (cols == 0) return out;
+  const std::size_t rows = values.size() / cols;
+  out.scale.resize(cols);
+  out.offset.resize(cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double v = values[i * cols + j];
+      if (!std::isfinite(v)) return out;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const float scale = static_cast<float>((hi - lo) / kI8Levels);
+    const float offset = static_cast<float>((lo + hi) / 2.0);
+    if (!std::isfinite(scale) || !std::isfinite(offset)) return out;
+    out.scale[j] = scale;
+    out.offset[j] = offset;
+  }
+  out.valid = true;
+  return out;
+}
+
+void write_tag(SerialSink& sink, QuantMode mode) {
+  sink.write_pod(static_cast<std::uint8_t>(mode));
+}
+
+void write_f64_block(SerialSink& sink, const std::vector<double>& values) {
+  write_tag(sink, QuantMode::F64);
+  if (!values.empty()) sink.write_bytes(values.data(), values.size() * sizeof(double));
+}
+
+void write_f32_block(SerialSink& sink, const std::vector<double>& values) {
+  write_tag(sink, QuantMode::F32);
+  std::vector<float> narrow(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    narrow[i] = static_cast<float>(values[i]);
+  }
+  if (!narrow.empty()) sink.write_bytes(narrow.data(), narrow.size() * sizeof(float));
+}
+
+void write_f16_block(SerialSink& sink, const std::vector<double>& values) {
+  write_tag(sink, QuantMode::F16);
+  std::vector<std::uint16_t> narrow(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    narrow[i] = f16_bits_from_double(values[i]);
+  }
+  if (!narrow.empty()) {
+    sink.write_bytes(narrow.data(), narrow.size() * sizeof(std::uint16_t));
+  }
+}
+
+void write_i8_block(SerialSink& sink, const std::vector<double>& values,
+                    std::size_t cols, const I8Columns& columns) {
+  write_tag(sink, QuantMode::I8);
+  for (std::size_t j = 0; j < cols; ++j) {
+    sink.write_pod(columns.scale[j]);
+    sink.write_pod(columns.offset[j]);
+  }
+  std::vector<std::int8_t> codes(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t j = i % cols;
+    const double scale = static_cast<double>(columns.scale[j]);
+    const double offset = static_cast<double>(columns.offset[j]);
+    const long q =
+        scale == 0.0 ? 0 : std::lround((values[i] - offset) / scale);
+    codes[i] = static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+  }
+  if (!codes.empty()) sink.write_bytes(codes.data(), codes.size());
+}
+
+}  // namespace
+
+const char* quant_mode_name(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::F64: return "fp64";
+    case QuantMode::F32: return "fp32";
+    case QuantMode::F16: return "fp16";
+    case QuantMode::I8: return "int8";
+  }
+  CPR_CHECK_MSG(false, "invalid quantization mode "
+                           << static_cast<unsigned>(mode));
+}
+
+QuantMode parse_quant_mode(const std::string& name) {
+  if (name == "fp64") return QuantMode::F64;
+  if (name == "fp32") return QuantMode::F32;
+  if (name == "fp16") return QuantMode::F16;
+  if (name == "int8") return QuantMode::I8;
+  CPR_CHECK_MSG(false, "unknown quantization mode '"
+                           << name << "' (expected fp64, fp32, fp16, or int8)");
+}
+
+std::uint16_t f16_bits_from_double(double v) {
+  const float f = static_cast<float>(v);
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exp = (bits >> 23) & 0xffu;
+  std::uint32_t mant = bits & 0x7fffffu;
+  if (exp == 0xffu) {  // inf / NaN: keep the class, collapse the payload
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00u);  // overflow
+  if (e <= 0) {
+    // Subnormal half (or zero): shift the 24-bit significand into place with
+    // round-to-nearest-even on the dropped bits.
+    if (e < -10) return static_cast<std::uint16_t>(sign);
+    mant |= 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - e);
+    const std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1u);
+    std::uint32_t out = sign | half_mant;
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++out;
+    return static_cast<std::uint16_t>(out);
+  }
+  std::uint32_t out =
+      sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  // Round to nearest even; a carry correctly overflows into the exponent
+  // (up to infinity at the top of the range).
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(out);
+}
+
+double f16_bits_to_double(std::uint16_t bits) {
+  const double sign = (bits & 0x8000u) ? -1.0 : 1.0;
+  const int exp = (bits >> 10) & 0x1f;
+  const int mant = bits & 0x3ff;
+  if (exp == 0x1f) {
+    if (mant) return std::numeric_limits<double>::quiet_NaN();
+    return sign * std::numeric_limits<double>::infinity();
+  }
+  if (exp == 0) return sign * std::ldexp(static_cast<double>(mant), -24);
+  return sign * std::ldexp(static_cast<double>(mant | 0x400), exp - 25);
+}
+
+void write_quantized_block(SerialSink& sink, const std::vector<double>& values,
+                           std::size_t cols, QuantMode requested) {
+  CPR_CHECK_MSG(cols == 0 || values.size() % cols == 0,
+                "quantized block size is not a multiple of its column count");
+  if (values.empty()) {
+    write_f64_block(sink, values);  // nothing to compress; keep the block trivial
+    return;
+  }
+  QuantMode mode = requested;
+  if (mode == QuantMode::I8) {
+    const I8Columns columns = i8_columns(values, cols);
+    if (columns.valid) {
+      write_i8_block(sink, values, cols, columns);
+      return;
+    }
+    mode = QuantMode::F32;
+  }
+  if (mode == QuantMode::F16) {
+    if (f16_ok(values)) {
+      write_f16_block(sink, values);
+      return;
+    }
+    mode = QuantMode::F32;
+  }
+  if (mode == QuantMode::F32 && f32_ok(values)) {
+    write_f32_block(sink, values);
+    return;
+  }
+  write_f64_block(sink, values);
+}
+
+std::vector<double> read_quantized_block(BufferSource& source, std::size_t count,
+                                         std::size_t cols) {
+  const auto tag = source.read_pod<std::uint8_t>();
+  CPR_CHECK_MSG(tag <= static_cast<std::uint8_t>(QuantMode::I8),
+                "unknown quantized block tag " << static_cast<unsigned>(tag));
+  const auto mode = static_cast<QuantMode>(tag);
+  std::vector<double> values;
+  switch (mode) {
+    case QuantMode::F64: {
+      CPR_CHECK_MSG(count <= source.remaining() / sizeof(double),
+                    "serialized buffer underrun");
+      values.resize(count);
+      if (count) source.read_bytes(values.data(), count * sizeof(double));
+      return values;
+    }
+    case QuantMode::F32: {
+      CPR_CHECK_MSG(count <= source.remaining() / sizeof(float),
+                    "serialized buffer underrun");
+      std::vector<float> narrow(count);
+      if (count) source.read_bytes(narrow.data(), count * sizeof(float));
+      values.assign(narrow.begin(), narrow.end());
+      return values;
+    }
+    case QuantMode::F16: {
+      CPR_CHECK_MSG(count <= source.remaining() / sizeof(std::uint16_t),
+                    "serialized buffer underrun");
+      std::vector<std::uint16_t> narrow(count);
+      if (count) {
+        source.read_bytes(narrow.data(), count * sizeof(std::uint16_t));
+      }
+      values.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        values[i] = f16_bits_to_double(narrow[i]);
+      }
+      return values;
+    }
+    case QuantMode::I8: {
+      CPR_CHECK_MSG(count == 0 || cols > 0,
+                    "int8 block in a matrix with zero columns");
+      CPR_CHECK_MSG(cols <= source.remaining() / (2 * sizeof(float)),
+                    "serialized buffer underrun");
+      std::vector<float> scale(cols);
+      std::vector<float> offset(cols);
+      for (std::size_t j = 0; j < cols; ++j) {
+        scale[j] = source.read_pod<float>();
+        offset[j] = source.read_pod<float>();
+        CPR_CHECK_MSG(std::isfinite(scale[j]) && scale[j] >= 0.0f &&
+                          std::isfinite(offset[j]),
+                      "int8 block has a corrupt scale/offset entry");
+      }
+      CPR_CHECK_MSG(count <= source.remaining(), "serialized buffer underrun");
+      std::vector<std::int8_t> codes(count);
+      if (count) source.read_bytes(codes.data(), count);
+      values.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j = i % cols;
+        values[i] = static_cast<double>(offset[j]) +
+                    static_cast<double>(scale[j]) * static_cast<double>(codes[i]);
+      }
+      return values;
+    }
+  }
+  CPR_CHECK_MSG(false, "unreachable quantized block tag");
+}
+
+}  // namespace cpr::util

@@ -1,0 +1,67 @@
+#pragma once
+// Quantized storage for serialized factor matrices (fp32 / fp16 / int8).
+//
+// Fig 7 treats model size as a first-class axis; the dominant bytes in every
+// archive are dense matrices (CP/Tucker factors, MLP weights, SVR/GP/KNN
+// support sets). Version-2 CPRARCH1 archives store those matrices as tagged
+// blocks in one of four element encodings:
+//
+//   tag 0  F64  raw IEEE doubles (always lossless)
+//   tag 1  F32  IEEE floats, widened exactly on load
+//   tag 2  F16  IEEE binary16 bits (round-to-nearest-even), widened on load
+//   tag 3  I8   per-column affine int8: cols x {f32 scale, f32 offset}
+//               followed by rows*cols int8 codes, v = offset + scale * q
+//
+// The tag is chosen per block: a block whose values do not survive the
+// requested encoding (overflow to inf, finite nonzero flushing to zero,
+// non-f32-representable column ranges) falls back to the next wider mode,
+// so a lossy request can never corrupt a model — it only saves fewer bytes.
+// Scalars, vectors, and tree payloads written through write_doubles stay
+// fp64 in every mode: their values (thresholds, leaf times, coefficients)
+// have no bounded-relative-error story under affine quantization.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+class SerialSink;
+class BufferSource;
+
+/// Element encoding requested for matrix payloads at save time. The numeric
+/// values are persisted in archive headers and block tags — never reorder.
+enum class QuantMode : std::uint8_t { F64 = 0, F32 = 1, F16 = 2, I8 = 3 };
+
+namespace util {
+
+/// "fp64", "fp32", "fp16", "int8" — the spelling used by --quantize and the
+/// perf_json quant_mode field.
+const char* quant_mode_name(QuantMode mode);
+
+/// Inverse of quant_mode_name; throws CheckError on anything else.
+QuantMode parse_quant_mode(const std::string& name);
+
+/// Round-to-nearest-even conversion to IEEE binary16 bits (software; no
+/// hardware f16 requirement).
+std::uint16_t f16_bits_from_double(double v);
+
+/// Exact widening of IEEE binary16 bits.
+double f16_bits_to_double(std::uint16_t bits);
+
+/// Writes `values` (a row-major rows x cols matrix body, cols needed for the
+/// per-column int8 scales) as one tagged block, choosing the widest-needed
+/// encoding at or above `requested` per the fallback rules above.
+void write_quantized_block(SerialSink& sink, const std::vector<double>& values,
+                           std::size_t cols, QuantMode requested);
+
+/// Reads one tagged block of exactly `count` elements written by
+/// write_quantized_block. Validates the tag, every length against the
+/// remaining buffer before allocating, and the int8 scale/offset entries
+/// (finite, scale >= 0); throws CheckError on any violation.
+std::vector<double> read_quantized_block(BufferSource& source, std::size_t count,
+                                         std::size_t cols);
+
+}  // namespace util
+}  // namespace cpr

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/quantize.hpp"
 
 namespace cpr {
 
@@ -21,6 +22,13 @@ class SerialSink {
  public:
   virtual ~SerialSink() = default;
   virtual void write_bytes(const void* data, std::size_t n) = 0;
+
+  /// Element encoding matrix payloads use on this sink. F64 (the default)
+  /// keeps the byte-identical version-1 layout; any other mode switches
+  /// Matrix::serialize to the tagged version-2 block framing. Set by
+  /// core::save_model_file from the --quantize request.
+  QuantMode quant_mode() const { return quant_mode_; }
+  void set_quant_mode(QuantMode mode) { quant_mode_ = mode; }
 
   template <typename T>
   void write_pod(const T& value) {
@@ -40,6 +48,9 @@ class SerialSink {
     write_u64(s.size());
     if (!s.empty()) write_bytes(s.data(), s.size());
   }
+
+ private:
+  QuantMode quant_mode_ = QuantMode::F64;
 };
 
 /// Counts bytes only — used for model_size_bytes().
@@ -122,9 +133,28 @@ class BufferSource {
   /// Bytes left to read.
   std::size_t remaining() const { return buffer_.size() - pos_; }
 
+  /// Archive-declared matrix encoding (version-2 archives). When the tagged
+  /// block framing is active, Matrix::deserialize reads quantized blocks and
+  /// loaders must budget matrix payloads at min_matrix_bytes_per_element()
+  /// instead of sizeof(double).
+  QuantMode quant_mode() const { return quant_mode_; }
+  bool quantized_framing() const { return quantized_framing_; }
+  void set_quant_mode(QuantMode mode, bool quantized_framing) {
+    quant_mode_ = mode;
+    quantized_framing_ = quantized_framing;
+  }
+
+  /// Smallest on-disk footprint one matrix element can have under the
+  /// active framing — the divisor for pre-allocation budget checks.
+  std::size_t min_matrix_bytes_per_element() const {
+    return quantized_framing_ ? 1 : sizeof(double);
+  }
+
  private:
   const std::vector<std::uint8_t>& buffer_;
   std::size_t pos_ = 0;
+  QuantMode quant_mode_ = QuantMode::F64;
+  bool quantized_framing_ = false;
 };
 
 }  // namespace cpr

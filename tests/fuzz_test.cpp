@@ -374,6 +374,62 @@ TEST(ArchiveFuzz, RandomBytesAndTruncationsRejectedCleanly) {
   std::filesystem::remove(path);
 }
 
+TEST(ArchiveFuzz, QuantizedPayloadsRejectedCleanlyUnderMutation) {
+  // The v2 (quantized) archive surface: block tags, per-column scale/offset
+  // words, and tensor lengths are all new parsing territory, so corruptions
+  // there must fail as cleanly as the v1 paths above. One sweep per lossy
+  // encoding, since they take different branches in read_quantized_block.
+  const auto path = testdata::temp_path("cpr_fuzz_quant_archive.cprm");
+  auto model = ModelRegistry::instance().create("cpr", testdata::zoo_spec("cpr"));
+  model->fit(testdata::sample_noisy_power_law(192, 8));
+  Rng rng(15);
+  for (const QuantMode mode : {QuantMode::F32, QuantMode::F16, QuantMode::I8}) {
+    core::save_model_file(*model, path, mode);
+    std::vector<char> archive(std::filesystem::file_size(path));
+    {
+      std::ifstream in(path, std::ios::binary);
+      in.read(archive.data(), static_cast<std::streamsize>(archive.size()));
+    }
+    const auto write = [&](const std::vector<char>& bytes, std::size_t n) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(n));
+    };
+    // Every-truncation sweep hits mid-header, mid-scale-block and
+    // mid-tensor cuts without needing to know the offsets.
+    for (std::size_t cut = 0; cut < archive.size();
+         cut += 1 + cut / 16) {  // dense early (headers), sparser in the bulk
+      write(archive, cut);
+      expect_total([](const std::string& p) { core::load_model_file(p); }, path,
+                   "load_model_file (truncated quantized)");
+    }
+    // Random single-byte corruptions across the whole archive (tag bytes,
+    // scale/offset words, codes, lengths — whatever the offset lands on).
+    for (int i = 0; i < 150; ++i) {
+      std::vector<char> corrupt = archive;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corrupt.size()) - 1));
+      corrupt[pos] = static_cast<char>(rng.uniform_int(0, 255));
+      write(corrupt, corrupt.size());
+      expect_total([](const std::string& p) { core::load_model_file(p); }, path,
+                   "load_model_file (corrupted quantized)");
+    }
+    // Targeted: the version-2 quant-mode byte itself, set to every value.
+    // It sits right after the "cpr" tag string + version u64 in the body.
+    const std::size_t mode_offset = 8 + 8       // magic + body size
+                                    + 8 + 3     // tag length + "cpr"
+                                    + 8;        // version
+    ASSERT_LT(mode_offset, archive.size());
+    for (int v = 0; v < 256; ++v) {
+      std::vector<char> corrupt = archive;
+      corrupt[mode_offset] = static_cast<char>(v);
+      write(corrupt, corrupt.size());
+      expect_total([](const std::string& p) { core::load_model_file(p); }, path,
+                   "load_model_file (mode byte)");
+    }
+  }
+  std::filesystem::remove(path);
+}
+
 // -------------------------------------------------- tuner / search space
 
 TEST(TunerFuzz, MalformedAxisStringsRejectedCleanly) {

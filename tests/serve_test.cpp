@@ -367,6 +367,75 @@ TEST(ModelStore, TransientStatErrorRetriesInsteadOfArmingThrottle) {
   EXPECT_GT(second->generation, first->generation);
 }
 
+// ------------------------------------------------------ quantized archives
+
+TEST(ModelStore, ServesQuantizedArchives) {
+  TempModelDir dir("quantserve");
+  const auto model = fit_family("cpr");
+  core::save_model_file(*model, core::model_file_path(dir.path(), "pl"),
+                        QuantMode::I8);
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(0));
+  const serve::ModelHandle handle = store.acquire("pl");
+  EXPECT_EQ(handle->model->archive_quant_mode(), QuantMode::I8);
+  // The dequantized model serves predictions close to the fp64 original
+  // (the exact tolerance contract lives in quant_test).
+  const Config probe{100.0, 100.0};
+  const double original = model->predict(probe);
+  EXPECT_NEAR(handle->model->predict(probe), original, 0.15 * std::abs(original));
+}
+
+TEST(ModelStore, HotReloadSwapsFp64ToInt8InPlace) {
+  TempModelDir dir("quantreload");
+  const std::string path = dir.save("pl", *fit_family("cpr", /*seed=*/7));
+
+  serve::ModelStore store(dir.path(), std::chrono::milliseconds(0));
+  const serve::ModelHandle first = store.acquire("pl");
+  EXPECT_EQ(first->model->archive_quant_mode(), QuantMode::F64);
+
+  // Rewrite the same model as an int8 archive (the shrink-the-fleet
+  // rollout), with a forced mtime step for coarse filesystem clocks.
+  core::save_model_file(*fit_family("cpr", /*seed=*/7), path, QuantMode::I8);
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(2));
+
+  const serve::ModelHandle second = store.acquire("pl");
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_GT(second->generation, first->generation);
+  EXPECT_EQ(second->model->archive_quant_mode(), QuantMode::I8);
+  EXPECT_GT(second->model->predict({100.0, 100.0}), 0.0);
+}
+
+TEST(Server, ObserveAndRefitOnQuantizedModelErrByName) {
+  // A cpr-online family model saved through a lossy encoding supports
+  // OBSERVE structurally — but replaying observations on dequantized
+  // factors would silently diverge from offline training, so the store
+  // must refuse both verbs with the model and mode named in the message.
+  TempModelDir dir("quantobserve");
+  core::save_model_file(*fit_online(), core::model_file_path(dir.path(), "olq"),
+                        QuantMode::I8);
+
+  serve::ServerOptions options;
+  options.model_dir = dir.path();
+  options.batcher.workers = 1;
+  serve::Server server(options);
+
+  // Serving itself works.
+  EXPECT_EQ(server.handle_line(predict_line("olq", {100.0, 200.0})).text.rfind("OK ", 0),
+            0u);
+  for (const std::string line :
+       {observe_line("olq", {100.0, 200.0}, 0.25), std::string("REFIT olq")}) {
+    const auto reply = server.handle_line(line);
+    EXPECT_EQ(reply.text.rfind("ERR ", 0), 0u) << reply.text;
+    EXPECT_NE(reply.text.find("olq"), std::string::npos) << reply.text;
+    EXPECT_NE(reply.text.find("int8"), std::string::npos) << reply.text;
+    EXPECT_NE(reply.text.find("--quantize=fp64"), std::string::npos) << reply.text;
+  }
+  // The refusal must not have poisoned the resident model.
+  EXPECT_EQ(server.handle_line(predict_line("olq", {100.0, 200.0})).text.rfind("OK ", 0),
+            0u);
+}
+
 // --------------------------------------------------------------- protocol
 
 TEST(Protocol, ParsesWellFormedRequests) {

@@ -316,6 +316,7 @@ TEST(PerfJson, RoundTripsRecordsThroughAFile) {
       {"micro_kernels", "BM_SparseMttkrpSerial/16", 3.9e-4, 0},
       {"kernel_suite", "mttkrp/rank64", 2.81e-4, 0},
       {"fig7_error_vs_modelsize", "MM/CPR/cells=16 rank=8", 1.25, 43112},
+      {"kernel_suite", "predict_batch_int8/1024", 2.1e-4, 9001, "int8"},
   };
   TempPerfFile file;
   util::write_perf_json(file.path.string(), records);
@@ -327,7 +328,23 @@ TEST(PerfJson, RoundTripsRecordsThroughAFile) {
     EXPECT_NEAR(parsed[i].seconds, records[i].seconds,
                 1e-9 * std::abs(records[i].seconds));
     EXPECT_EQ(parsed[i].model_bytes, records[i].model_bytes);
+    EXPECT_EQ(parsed[i].quant_mode, records[i].quant_mode);
   }
+  EXPECT_EQ(parsed[0].quant_mode, "fp64");  // the defaulted member round-trips
+}
+
+TEST(PerfJson, QuantModeIsOptionalOnParseButValidatedWhenPresent) {
+  // Pre-quantization baseline files have no quant_mode key; they must keep
+  // parsing with the fp64 default so the committed baseline stays valid.
+  const auto legacy = util::parse_perf_json(
+      "[{\"suite\": \"s\", \"case\": \"c\", \"seconds\": 1, \"model_bytes\": 2}]");
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0].quant_mode, "fp64");
+  // When the key is present, only the four known modes pass.
+  EXPECT_THROW(util::parse_perf_json("[{\"suite\": \"s\", \"case\": \"c\", "
+                                     "\"seconds\": 1, \"model_bytes\": 0, "
+                                     "\"quant_mode\": \"fp8\"}]"),
+               CheckError);
 }
 
 TEST(PerfJson, RoundTripsEscapedNamesAndEmptyArrays) {

@@ -5,7 +5,7 @@
 //   cpr_train --data=measurements.csv --out=model.cprm [--model=cpr]
 //       [--cells=16] [--rank=8] [--lambda=1e-4] [--log-dims=m,n,k]
 //       [--categorical=solver:4] [--hyper=key:value,...] [--tune]
-//       [--profile] [--trace-out=trace.json]
+//       [--quantize=fp64] [--profile] [--trace-out=trace.json]
 //
 // The CSV layout is one header row naming the parameters plus a final
 // "seconds" column (see common/dataset_io.hpp). Parameter ranges are taken
@@ -34,6 +34,7 @@
 #include "obs/profile.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
+#include "util/quantize.hpp"
 #include "util/table.hpp"
 
 using namespace cpr;
@@ -69,6 +70,11 @@ void usage(std::ostream& out) {
          "                         fitting one fixed configuration\n"
          "  --tune-threads=<n>     tuner worker threads (default: 1)\n"
          "  --seed=<n>             training/tuning seed (default: 42)\n"
+         "  --quantize=<mode>      matrix payload encoding of the written archive:\n"
+         "                         fp64 (default, lossless), fp32, fp16, or int8\n"
+         "                         (per-column scale/offset); lossy modes shrink\n"
+         "                         the archive, keep serving unchanged, but cannot\n"
+         "                         be refit through OBSERVE/REFIT\n"
          "  --profile              print a per-phase kernel time table\n"
          "                         (MTTKRP, fused Gram+RHS, potrf, QR, ...)\n"
          "                         after the fit (default: off)\n"
@@ -170,9 +176,12 @@ int main(int argc, char** argv) {
       CPR_CHECK_MSG(trace_out.good(), "cannot write trace to " << trace_path);
       std::cout << "profile trace written to " << trace_path << "\n";
     }
-    core::save_model_file(*model, out_path);
-    std::cout << "wrote " << model->model_size_bytes() << "-byte model to " << out_path
-              << "\n";
+    const QuantMode quantize =
+        util::parse_quant_mode(args.get_string("quantize", "fp64"));
+    core::save_model_file(*model, out_path, quantize);
+    std::cout << "wrote " << core::model_archive_bytes(*model, quantize)
+              << "-byte " << util::quant_mode_name(quantize) << " model to "
+              << out_path << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -6,7 +6,8 @@
 //       [--trials=24] [--folds=3] [--rungs=3] [--eta=3] [--threads=1]
 //       [--seed=42] [--cells=16] [--log-dims=a,b] [--categorical=name:k,...]
 //       [--hyper=key:value,...] [--space=axis,...] [--json=trials.json]
-//       [--csv=trials.csv] [--profile] [--trace-out=trace.json]
+//       [--csv=trials.csv] [--quantize=fp64] [--profile]
+//       [--trace-out=trace.json]
 //
 // The search space comes from the family's registry declaration; --hyper
 // pins keys (they are removed from the space and fixed at the given value),
@@ -30,6 +31,7 @@
 #include "obs/profile.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
+#include "util/quantize.hpp"
 #include "util/table.hpp"
 
 using namespace cpr;
@@ -61,6 +63,11 @@ void usage(std::ostream& out) {
          "                         (default: the family's registered space)\n"
          "  --json=<path>          write the ranked trials as JSON (default: off)\n"
          "  --csv=<path>           write the ranked trials as CSV (default: off)\n"
+         "  --quantize=<mode>      matrix payload encoding of the winner archive:\n"
+         "                         fp64 (default, lossless), fp32, fp16, or int8\n"
+         "                         (per-column scale/offset); lossy modes shrink\n"
+         "                         the archive, keep serving unchanged, but cannot\n"
+         "                         be refit through OBSERVE/REFIT\n"
          "  --profile              print a per-phase time table (tune_rung,\n"
          "                         tune_refit, and the kernels underneath)\n"
          "                         after the tune (default: off)\n"
@@ -227,8 +234,11 @@ int main(int argc, char** argv) {
       std::cout << "profile trace written to " << trace_path << "\n";
     }
     const std::string out_path = args.get_string("out", "tuned.cprm");
-    core::save_model_file(*outcome.model, out_path);
-    std::cout << "wrote " << outcome.model->model_size_bytes() << "-byte "
+    const QuantMode quantize =
+        util::parse_quant_mode(args.get_string("quantize", "fp64"));
+    core::save_model_file(*outcome.model, out_path, quantize);
+    std::cout << "wrote " << core::model_archive_bytes(*outcome.model, quantize)
+              << "-byte " << util::quant_mode_name(quantize) << " "
               << outcome.model->name() << " model to " << out_path << "\n";
     return 0;
   } catch (const std::exception& e) {

@@ -7,7 +7,10 @@
 #
 # --fast runs only the ctest suites labeled `quick` (everything except the
 # long tuner/serving suites tune_test + serve_test) — the inner-loop gate
-# while iterating; run the full script before a PR.
+# while iterating; run the full script before a PR. The quantized-archive
+# conformance suite (quant_test: every registry family under every
+# --quantize mode, plus the golden payload-byte pins) carries the `quick`
+# label, so --fast covers it.
 #
 # --sanitize additionally configures a second build directory
 # (<build-dir>-asan) with AddressSanitizer + UBSan (CPR_SANITIZE=ON) and runs
@@ -26,7 +29,10 @@
 # fallbacks there, still exercising the tile kernels).
 #
 # --bench additionally runs the cpr_bench performance-regression gate over
-# the stable kernel_suite cases, the serve_latency open-loop tail-latency
+# the stable kernel_suite cases (including the per-quant-mode
+# predict_batch_{fp64,fp32,fp16,int8}/1024 cases, so a regression in the
+# dequantize-free fp32 path or the on-load dequantize paths trips the gate),
+# the serve_latency open-loop tail-latency
 # cases (fixed offered-QPS points, p50/p99/p99.9), and the serve_drift
 # online-learning cases (deterministic drift-recovery errors plus refit wall
 # time and PREDICT p99 under concurrent refits): the merged
